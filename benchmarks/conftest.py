@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and both
+prints it and writes it under ``benchmarks/output/`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced
+tables on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def record_table(benchmark, name: str, table) -> None:
+    """Print ``table``, persist it, and attach a summary to the report."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    text = str(table)
+    print(f"\n{text}")
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    benchmark.extra_info["table"] = name
+    benchmark.extra_info["rows"] = len(table.rows)

@@ -1,0 +1,42 @@
+"""Micro-benchmarks of the simulation engine itself.
+
+These are conventional pytest-benchmark timings (multiple rounds) that
+track the event-processing rate of the core engine and the cost of one
+TCP bulk-transfer second — useful when optimising the simulator.
+"""
+
+from repro.sim import DropTailQueue, Link, Simulator, single_path_tcp
+
+
+def test_event_throughput(benchmark):
+    """Schedule-and-run throughput of the bare event loop."""
+    def run():
+        sim = Simulator()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < 20_000:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run_until_empty()
+        return counter[0]
+
+    events = benchmark(run)
+    assert events == 20_000
+
+
+def test_tcp_second_of_simulation(benchmark):
+    """One simulated second of a 10 Mb/s TCP bulk transfer."""
+    def run():
+        sim = Simulator()
+        link = Link(sim, rate_bps=10e6, delay=0.005,
+                    queue=DropTailQueue(limit=100))
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.005)
+        flow.start(0.0)
+        sim.run(until=1.0)
+        return flow.acked_packets
+
+    packets = benchmark(run)
+    assert packets > 100

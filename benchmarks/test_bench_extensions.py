@@ -1,0 +1,41 @@
+"""Benchmarks for the extension experiments: RTT heterogeneity (Remark 3)
+and the square-root-law calibration of the packet simulator."""
+
+from conftest import record_table
+
+from repro.experiments import calibration, rtt_heterogeneity
+
+
+def test_rtt_heterogeneity_sweep(benchmark):
+    """Remark 3: path preference and collateral damage under RTT skew."""
+    def run():
+        return (rtt_heterogeneity.rtt_sweep_table(algorithm="olia"),
+                rtt_heterogeneity.rtt_sweep_table(algorithm="lia"))
+
+    olia_table, lia_table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(benchmark, "rtt_sweep_olia", olia_table)
+    record_table(benchmark, "rtt_sweep_lia", lia_table)
+    tcp_ap1 = olia_table.column("tcp@AP1 rate")
+    assert tcp_ap1[0] < tcp_ap1[-1]  # short-RTT path users squeezed
+
+
+def test_best_path_criterion(benchmark):
+    """The sqrt(2/p)/rtt crossover table."""
+    table = benchmark.pedantic(
+        lambda: rtt_heterogeneity.best_path_criterion_table(),
+        rounds=1, iterations=1)
+    record_table(benchmark, "rtt_criterion", table)
+    assert "path1" in table.column("best path")
+    assert "path2" in table.column("best path")
+
+
+def test_calibration_square_root_law(benchmark):
+    """Packet TCP vs sqrt(2/p)/rtt across capacities and flow counts."""
+    table = benchmark.pedantic(
+        lambda: calibration.formula_validation_table(
+            capacities_mbps=(1.0, 2.0, 5.0), flow_counts=(2, 5),
+            duration=40.0, warmup=15.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "calibration", table)
+    for ratio in table.column("ratio"):
+        assert 0.5 < ratio < 2.0

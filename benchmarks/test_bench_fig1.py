@@ -1,0 +1,36 @@
+"""Benchmarks regenerating Figure 1 (scenario A, LIA vs optimum)."""
+
+from conftest import record_table
+
+from repro.experiments import scenario_a
+from repro.experiments.results import ResultTable
+
+
+def test_fig1b(benchmark):
+    """Fig. 1(b): normalized throughputs, analysis + measured LIA points."""
+    table = benchmark.pedantic(
+        lambda: scenario_a.figure1_table(
+            n1_values=(10, 20, 30), c1_over_c2=(0.75, 1.0, 1.5),
+            simulate_lia=True, duration=15.0, warmup=8.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig1b", table)
+    type2 = table.column("type2 LIA")
+    # Problem P1 shape: type2 throughput decreases with N1/N2.
+    assert type2[0] > type2[2]
+
+
+def test_fig1c(benchmark):
+    """Fig. 1(c): loss probability p2 at the shared AP."""
+    full = benchmark.pedantic(
+        lambda: scenario_a.figure1_table(
+            n1_values=(10, 20, 30), c1_over_c2=(0.75, 1.0, 1.5)),
+        rounds=1, iterations=1)
+    table = ResultTable("Fig. 1(c) - Scenario A: loss probability p2",
+                        ["C1/C2", "N1/N2", "p2 LIA", "p2 opt"])
+    for row in full.rows:
+        index = {c: i for i, c in enumerate(full.columns)}
+        table.add_row(row[index["C1/C2"]], row[index["N1/N2"]],
+                      row[index["p2 LIA"]], row[index["p2 opt"]])
+    record_table(benchmark, "fig1c", table)
+    p2 = table.column("p2 LIA")
+    assert p2[2] > p2[0]  # congestion grows with N1/N2

@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Figures 11 and 12 (scenario C, OLIA vs LIA)."""
+
+from conftest import record_table
+
+from repro.experiments import scenario_c
+
+
+def test_fig11(benchmark):
+    """Fig. 11: single-path users gain with OLIA."""
+    table = benchmark.pedantic(
+        lambda: scenario_c.figure11_12_table(
+            n1_values=(10, 30), c1_over_c2=(1.0, 2.0),
+            duration=15.0, warmup=8.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig11", table)
+    for lia_val, olia_val in zip(table.column("sp LIA"),
+                                 table.column("sp OLIA")):
+        assert olia_val > lia_val
+
+
+def test_fig12(benchmark):
+    """Fig. 12: p2 lower with OLIA (paper: 4-6x at N1=3N2)."""
+    table = benchmark.pedantic(
+        lambda: scenario_c.figure11_12_table(
+            n1_values=(30,), c1_over_c2=(1.0, 2.0),
+            duration=15.0, warmup=8.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig12", table)
+    for lia_p2, olia_p2 in zip(table.column("p2 LIA"),
+                               table.column("p2 OLIA")):
+        assert olia_p2 < lia_p2

@@ -1,0 +1,43 @@
+"""Benchmarks regenerating Figure 13 (FatTree, paper Section VI-B.1).
+
+The paper runs k=8 (128 hosts, 80 switches) at 100 Mb/s; we keep the
+full k=8 topology but scale links to 10 Mb/s and shorten the runs so the
+pure-Python simulation completes in minutes.  Percent-of-optimal is
+scale-free.
+"""
+
+from conftest import record_table
+
+from repro.experiments import fattree
+
+
+def test_fig13a(benchmark):
+    """Fig. 13(a): aggregate throughput vs number of subflows."""
+    table = benchmark.pedantic(
+        lambda: fattree.figure13a_table(
+            k=8, link_mbps=10.0, duration=2.0, warmup=0.75,
+            subflow_counts=(2, 4, 8)),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig13a", table)
+    tcp = table.column("TCP")[0]
+    for algorithm in ("LIA", "OLIA"):
+        best = max(table.column(algorithm))
+        assert best > 80.0        # MPTCP uses the available capacity
+        assert best > tcp + 20.0  # and clearly beats single-path TCP
+
+
+def test_fig13b(benchmark):
+    """Fig. 13(b): ranked per-flow throughput at 8 subflows."""
+    table = benchmark.pedantic(
+        lambda: fattree.figure13b_table(
+            k=8, link_mbps=10.0, duration=2.0, warmup=0.75,
+            n_subflows=8),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig13b", table)
+    # Fairness: MPTCP's 10th-percentile flow beats TCP's.
+    row10 = table.rows[0]
+    lia10 = row10[table.columns.index("LIA")]
+    olia10 = row10[table.columns.index("OLIA")]
+    tcp10 = row10[table.columns.index("TCP")]
+    assert lia10 > tcp10
+    assert olia10 > tcp10

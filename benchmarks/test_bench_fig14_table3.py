@@ -1,0 +1,32 @@
+"""Benchmarks regenerating Figure 14 and Table III (dynamic short flows)."""
+
+from conftest import record_table
+
+from repro.experiments import shortflows
+
+
+def test_table3(benchmark):
+    """Table III: FCT mean/std and core utilization per algorithm."""
+    table = benchmark.pedantic(
+        lambda: shortflows.table3(k=4, duration=12.0, warmup=1.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "table3", table)
+    rows = {row[0]: row for row in table.rows}
+    util_index = table.columns.index("core utilization (%)")
+    fct_index = table.columns.index("FCT mean (ms)")
+    # TCP: fastest short flows but clearly lower utilization.
+    assert rows["Regular TCP"][util_index] < rows["LIA"][util_index] - 5
+    assert rows["Regular TCP"][fct_index] < rows["LIA"][fct_index] * 1.1
+    # OLIA keeps LIA-level utilization.
+    assert abs(rows["OLIA"][util_index] - rows["LIA"][util_index]) < 10
+
+
+def test_fig14(benchmark):
+    """Fig. 14: distribution of short-flow completion times."""
+    table = benchmark.pedantic(
+        lambda: shortflows.figure14_table(k=4, duration=12.0, warmup=1.0,
+                                          bin_ms=50.0, max_ms=500.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig14", table)
+    for name in ("LIA", "OLIA", "TCP"):
+        assert sum(table.column(name)) > 0.99  # a full distribution

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 17 (probing-cost RTT sensitivity)."""
+
+from conftest import record_table
+
+from repro.experiments import scenario_b
+
+
+def test_fig17(benchmark):
+    """Fig. 17: the optimum's upgrade penalty scales as 1/RTT."""
+    table = benchmark.pedantic(
+        lambda: scenario_b.figure17_table(rtts=(0.025, 0.1, 0.15)),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig17", table)
+    drops = table.column("aggregate drop (Mbps)")
+    assert drops[0] > drops[1] > drops[2]

@@ -1,0 +1,33 @@
+"""Benchmarks regenerating Figure 4 (scenario B analytical curves)."""
+
+from conftest import record_table
+
+from repro.experiments import scenario_b
+
+
+def test_fig4a(benchmark):
+    """Fig. 4(a): LIA — upgrading Red lowers everyone for all CX/CT."""
+    table = benchmark.pedantic(
+        lambda: scenario_b.figure4_table(
+            cx_over_ct=(0.3, 0.5, 0.75, 1.0, 1.25, 1.5)),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig4a", table)
+    for blue_sp, blue_mp in zip(table.column("blue LIA sp"),
+                                table.column("blue LIA mp")):
+        assert blue_mp <= blue_sp + 1e-9
+    for red_sp, red_mp in zip(table.column("red LIA sp"),
+                              table.column("red LIA mp")):
+        assert red_mp <= red_sp + 1e-9
+
+
+def test_fig4b(benchmark):
+    """Fig. 4(b): the optimum loses only probing traffic on upgrade."""
+    table = benchmark.pedantic(
+        lambda: scenario_b.figure4_table(
+            cx_over_ct=(0.3, 0.5, 0.75, 1.0, 1.25, 1.5)),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig4b", table)
+    for blue_sp, blue_mp in zip(table.column("blue opt sp"),
+                                table.column("blue opt mp")):
+        drop = 1.0 - blue_mp / blue_sp
+        assert drop < 0.06  # paper: ~3%

@@ -1,0 +1,48 @@
+"""Benchmarks regenerating Figure 5 (scenario C)."""
+
+from conftest import record_table
+
+from repro.experiments import scenario_c
+from repro.experiments.results import ResultTable
+
+
+def test_fig5b(benchmark):
+    """Fig. 5(b): analytical LIA vs optimum over C1/C2 (N1=N2)."""
+    table = benchmark.pedantic(
+        lambda: scenario_c.figure5b_table(
+            c1_over_c2=(0.25, 0.5, 0.75, 1.0, 1.25, 1.5)),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig5b", table)
+    # Problem P2 shape: above C2/3, LIA multipath exceeds the fair share.
+    for ratio, mp_lia in zip(table.column("C1/C2"), table.column("mp LIA")):
+        if ratio >= 1.0:
+            assert mp_lia > 1.0
+
+
+def test_fig5c(benchmark):
+    """Fig. 5(c): normalized throughputs vs N1/N2 with measured points."""
+    table = benchmark.pedantic(
+        lambda: scenario_c.figure5cd_table(
+            n1_values=(5, 10, 20, 30), c1_over_c2=(1.0, 2.0),
+            simulate_lia=True, duration=15.0, warmup=8.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig5c", table)
+    sp = table.column("sp LIA")
+    assert sp[0] > sp[3]  # single-path throughput decreasing in N1
+
+
+def test_fig5d(benchmark):
+    """Fig. 5(d): loss probability p2 at AP2 grows with N1/N2."""
+    full = benchmark.pedantic(
+        lambda: scenario_c.figure5cd_table(
+            n1_values=(5, 10, 20, 30), c1_over_c2=(1.0, 2.0)),
+        rounds=1, iterations=1)
+    table = ResultTable("Fig. 5(d) - Scenario C: loss probability p2",
+                        ["C1/C2", "N1/N2", "p2 LIA", "p2 opt"])
+    index = {c: i for i, c in enumerate(full.columns)}
+    for row in full.rows:
+        table.add_row(row[index["C1/C2"]], row[index["N1/N2"]],
+                      row[index["p2 LIA"]], row[index["p2 opt"]])
+    record_table(benchmark, "fig5d", table)
+    p2 = table.column("p2 LIA")
+    assert p2[3] > p2[0]

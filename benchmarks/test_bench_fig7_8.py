@@ -1,0 +1,50 @@
+"""Benchmarks regenerating Figures 7 and 8 (window/alpha traces)."""
+
+from conftest import record_table
+
+from repro.experiments import traces
+from repro.experiments.results import ResultTable
+
+
+def test_fig7(benchmark):
+    """Fig. 7: symmetric two-path — both algorithms use both paths."""
+    def run():
+        table = ResultTable(
+            "Fig. 7 - symmetric two-path traces",
+            ["algorithm", "w1", "w2", "imbalance", "flips"])
+        results = {}
+        for algorithm in ("olia", "lia"):
+            trace = traces.run_two_path_trace(
+                algorithm, competing=(5, 5), duration=90.0)
+            w1, w2 = trace.mean_windows
+            table.add_row(algorithm, w1, w2, trace.window_imbalance(),
+                          trace.flip_count())
+            results[algorithm] = trace
+        return table, results
+
+    table, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(benchmark, "fig7", table)
+    for trace in results.values():
+        w1, w2 = trace.mean_windows
+        assert w1 > 3.0 and w2 > 3.0  # no path abandoned
+
+
+def test_fig8(benchmark):
+    """Fig. 8: asymmetric — OLIA retreats from the congested path."""
+    def run():
+        table = ResultTable(
+            "Fig. 8 - asymmetric two-path traces (path 2 congested)",
+            ["algorithm", "w1", "w2", "imbalance", "flips"])
+        results = {}
+        for algorithm in ("olia", "lia"):
+            trace = traces.run_two_path_trace(
+                algorithm, competing=(5, 10), duration=90.0)
+            w1, w2 = trace.mean_windows
+            table.add_row(algorithm, w1, w2, trace.window_imbalance(),
+                          trace.flip_count())
+            results[algorithm] = trace
+        return table, results
+
+    table, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(benchmark, "fig8", table)
+    assert results["olia"].mean_windows[1] < results["lia"].mean_windows[1]

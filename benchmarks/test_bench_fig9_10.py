@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Figures 9 and 10 (scenario A, OLIA vs LIA)."""
+
+from conftest import record_table
+
+from repro.experiments import scenario_a
+
+
+def test_fig9(benchmark):
+    """Fig. 9: measured type2 throughput, LIA vs OLIA vs optimum."""
+    table = benchmark.pedantic(
+        lambda: scenario_a.figure9_10_table(
+            n1_values=(10, 30), c1_over_c2=(0.75, 1.5),
+            duration=15.0, warmup=8.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig9", table)
+    for lia_val, olia_val in zip(table.column("type2 LIA"),
+                                 table.column("type2 OLIA")):
+        assert olia_val > lia_val  # OLIA always better for type2
+
+
+def test_fig10(benchmark):
+    """Fig. 10: measured p2, OLIA below LIA everywhere."""
+    table = benchmark.pedantic(
+        lambda: scenario_a.figure9_10_table(
+            n1_values=(10, 30), c1_over_c2=(1.0,),
+            duration=15.0, warmup=8.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "fig10", table)
+    for lia_p2, olia_p2 in zip(table.column("p2 LIA"),
+                               table.column("p2 OLIA")):
+        assert olia_p2 < lia_p2

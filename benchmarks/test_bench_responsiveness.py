@@ -1,0 +1,39 @@
+"""Benchmarks for the fluid responsiveness/stability experiments.
+
+These quantify two claims the paper makes but does not measure directly:
+OLIA is "as responsive as LIA", and its fixed points are stable (the
+conclusion leaves stability/convergence to future work).
+"""
+
+import math
+
+from conftest import record_table
+
+from repro.experiments import responsiveness
+
+
+def test_capacity_drop_settling(benchmark):
+    """Settling time after AP1's capacity drops by 4x."""
+    table = benchmark.pedantic(
+        lambda: responsiveness.capacity_drop_settling_table(
+            algorithms=("olia", "lia", "coupled")),
+        rounds=1, iterations=1)
+    record_table(benchmark, "responsiveness", table)
+    rows = {row[0]: row[1] for row in table.rows}
+    assert all(math.isfinite(v) for v in rows.values())
+    # OLIA is at least as responsive as LIA (paper's claim).
+    assert rows["olia"] <= 3.0 * max(rows["lia"], 1.0)
+
+
+def test_stability_under_perturbation(benchmark):
+    """Perturbed trajectories return to the same equilibrium."""
+    def run():
+        return (responsiveness.stability_table(algorithm="olia"),
+                responsiveness.stability_table(algorithm="lia"))
+
+    olia_table, lia_table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(benchmark, "stability_olia", olia_table)
+    record_table(benchmark, "stability_lia", lia_table)
+    for table in (olia_table, lia_table):
+        for deviation in table.column("max relative deviation at t_end"):
+            assert deviation < 0.1

@@ -1,0 +1,27 @@
+"""Benchmarks regenerating Tables I and II (scenario B, measured)."""
+
+from conftest import record_table
+
+from repro.experiments import scenario_b
+
+
+def test_table1_lia(benchmark):
+    """Table I: LIA — upgrading Red drops the aggregate by ~13%."""
+    table = benchmark.pedantic(
+        lambda: scenario_b.table_1_2("lia", duration=20.0, warmup=10.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "table1", table)
+    aggregates = table.column("Aggregate (Mbps)")
+    drop = 1.0 - aggregates[1] / aggregates[0]
+    assert 0.05 < drop < 0.25  # paper: 13%
+
+
+def test_table2_olia(benchmark):
+    """Table II: OLIA — the drop shrinks to probing overhead (~3.5%)."""
+    table = benchmark.pedantic(
+        lambda: scenario_b.table_1_2("olia", duration=20.0, warmup=10.0),
+        rounds=1, iterations=1)
+    record_table(benchmark, "table2", table)
+    aggregates = table.column("Aggregate (Mbps)")
+    drop = 1.0 - aggregates[1] / aggregates[0]
+    assert drop < 0.1

@@ -1,0 +1,99 @@
+"""Benchmarks verifying Theorems 1, 3 and 4 on the fluid model."""
+
+import numpy as np
+from conftest import record_table
+
+from repro.experiments.results import ResultTable
+from repro.fluid import (
+    FluidNetwork,
+    PowerLoss,
+    integrate,
+    kkt_report,
+    solve_fixed_point,
+    v_utility,
+    verify_theorem1,
+)
+
+
+def _scenario_net():
+    """Multipath user (two APs) + three TCP users on the second AP."""
+    net = FluidNetwork()
+    l1 = net.add_link(PowerLoss(capacity=800.0, p_at_capacity=0.02))
+    l2 = net.add_link(PowerLoss(capacity=800.0, p_at_capacity=0.02))
+    mp = net.add_user("mp")
+    net.add_route(mp, [l1], rtt=0.1)
+    net.add_route(mp, [l2], rtt=0.1)
+    rules = {mp: "olia"}
+    for i in range(3):
+        user = net.add_user(f"tcp{i}")
+        net.add_route(user, [l2], rtt=0.1)
+        rules[user] = "tcp"
+    return net, rules
+
+
+def test_theorem1(benchmark):
+    """Theorem 1: OLIA uses only best paths; total = best-path TCP rate."""
+    def run():
+        net, rules = _scenario_net()
+        result = solve_fixed_point(net, rules, floor_packets=1.0)
+        checks = verify_theorem1(net, result.rates)
+        return net, result, checks
+
+    net, result, checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = ResultTable("Theorem 1 - OLIA fixed-point properties",
+                        ["property", "holds"])
+    for name, value in checks.items():
+        table.add_row(name, value)
+    record_table(benchmark, "theorem1", table)
+    assert all(checks.values())
+
+
+def test_theorem3(benchmark):
+    """Theorem 3: the KKT certificate of V* holds at OLIA's fixed point
+    and fails at LIA's."""
+    def run():
+        net, rules = _scenario_net()
+        olia_fp = solve_fixed_point(net, rules, floor_packets=1.0)
+        olia_report = kkt_report(net, olia_fp.rates, tol=0.1)
+        lia_rules = dict(rules)
+        lia_rules[0] = "lia"
+        lia_fp = solve_fixed_point(net, lia_rules, floor_packets=1.0)
+        lia_report = kkt_report(net, lia_fp.rates, tol=0.1)
+        return olia_report, lia_report
+
+    olia_report, lia_report = benchmark.pedantic(run, rounds=1,
+                                                 iterations=1)
+    table = ResultTable("Theorem 3 - Pareto-optimality certificate (KKT)",
+                        ["algorithm", "max violation",
+                         "max complementarity", "pareto-optimal"])
+    table.add_row("olia", olia_report.max_violation,
+                  olia_report.max_complementarity,
+                  olia_report.is_pareto_optimal)
+    table.add_row("lia", lia_report.max_violation,
+                  lia_report.max_complementarity,
+                  lia_report.is_pareto_optimal)
+    record_table(benchmark, "theorem3", table)
+    assert olia_report.is_pareto_optimal
+    assert not lia_report.is_pareto_optimal
+
+
+def test_theorem4(benchmark):
+    """Theorem 4: V(x(t)) is non-decreasing along the OLIA dynamics."""
+    def run():
+        net, rules = _scenario_net()
+        traj = integrate(net, rules, t_end=40.0, dt=2e-3,
+                         floor_packets=0.0,
+                         x0=np.full(net.n_routes, 5.0))
+        return net, [v_utility(net, x) for x in traj.rates]
+
+    net, values = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = ResultTable("Theorem 4 - V(x(t)) along the OLIA trajectory",
+                        ["t index", "V(x)"])
+    step = max(len(values) // 8, 1)
+    for i in range(0, len(values), step):
+        table.add_row(i, values[i])
+    record_table(benchmark, "theorem4", table)
+    diffs = np.diff(values)
+    tol = 1e-3 * max(abs(v) for v in values)
+    assert np.all(diffs >= -tol)
+    assert values[-1] > values[0]

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Quickstart: run OLIA and LIA on a two-path topology and compare.
+
+This is the paper's illustrative example (Section IV-C, Figures 7-8):
+a two-path MPTCP user shares bottleneck 1 with 5 TCP flows and
+bottleneck 2 with 10 TCP flows.  OLIA should retreat from the congested
+second path while LIA keeps transmitting there.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.traces import run_two_path_trace
+
+
+def main() -> None:
+    print("Two-path MPTCP (asymmetric: 5 vs 10 competing TCP flows)")
+    print("=" * 60)
+    for algorithm in ("olia", "lia"):
+        trace = run_two_path_trace(algorithm, competing=(5, 10),
+                                   duration=60.0)
+        w1, w2 = trace.mean_windows
+        print(f"\n{algorithm.upper()}:")
+        print(f"  mean window, good path:      {w1:6.2f} packets")
+        print(f"  mean window, congested path: {w2:6.2f} packets")
+        print(f"  window imbalance:            {trace.window_imbalance():.2f}")
+        if algorithm == "olia":
+            # Show a slice of the alpha trace: the opportunistic term at
+            # work (non-zero means traffic is being re-forwarded).
+            nonzero = sum(1 for row in trace.alphas
+                          if any(a != 0 for a in row))
+            print(f"  alpha active in {nonzero}/{len(trace.alphas)} samples")
+    print("\nExpected: OLIA's congested-path window sits near the 1-MSS")
+    print("probing floor; LIA's stays visibly higher (paper Fig. 8).")
+
+
+if __name__ == "__main__":
+    main()

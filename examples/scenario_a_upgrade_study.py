@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Scenario A: does upgrading users to MPTCP hurt the others?
+
+Reproduces the paper's headline result (problem P1, Figures 1 and 9):
+N1 streaming-server clients add an MPTCP subflow through a shared AP
+used by N2 regular TCP users.  The upgrade gains the upgraded users
+nothing (they are server-limited) but, under LIA, costs the TCP users
+up to half their throughput.  OLIA avoids the damage.
+
+Run:  python examples/scenario_a_upgrade_study.py
+"""
+
+from repro.analysis import scenario_a as theory
+from repro.experiments import scenario_a
+from repro.units import mbps_to_pps
+
+
+def main() -> None:
+    n2, c1_mbps, c2_mbps, rtt = 10, 1.0, 1.0, 0.15
+    print("Scenario A: N2=10 TCP users behind a shared 10 Mb/s AP;")
+    print("N1 MPTCP users add a subflow through that AP.\n")
+    header = (f"{'N1/N2':>6} | {'type2 theory':>12} | {'type2 LIA':>10} | "
+              f"{'type2 OLIA':>10} | {'optimum':>8}")
+    print(header)
+    print("-" * len(header))
+    for n1 in (10, 20, 30):
+        fixed_point = theory.lia_fixed_point(
+            n1=n1, n2=n2, c1=mbps_to_pps(c1_mbps), c2=mbps_to_pps(c2_mbps),
+            rtt=rtt)
+        optimum = theory.optimum_with_probing(
+            n1=n1, n2=n2, c1=mbps_to_pps(c1_mbps), c2=mbps_to_pps(c2_mbps),
+            rtt=rtt)
+        lia = scenario_a.simulate("lia", n1=n1, n2=n2, c1_mbps=c1_mbps,
+                                  c2_mbps=c2_mbps, duration=20.0,
+                                  warmup=10.0)
+        olia = scenario_a.simulate("olia", n1=n1, n2=n2, c1_mbps=c1_mbps,
+                                   c2_mbps=c2_mbps, duration=20.0,
+                                   warmup=10.0)
+        print(f"{n1 / n2:>6.1f} | {fixed_point.type2_normalized:>12.2f} | "
+              f"{lia.type2_normalized:>10.2f} | "
+              f"{olia.type2_normalized:>10.2f} | "
+              f"{optimum.type2_normalized:>8.2f}")
+    print("\ntype1 users get normalized throughput 1.0 in every cell —")
+    print("the upgrade buys them nothing while LIA taxes type2 users.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Responsiveness demo: congestion moves, OLIA follows.
+
+The paper motivates OLIA's alpha term with responsiveness: when path
+quality changes, the algorithm must re-balance quickly (Section IV).
+Here a two-path user (think WiFi + cellular) starts with a clean path 1;
+at t=45s a burst of 8 TCP flows congests path 1, so the user should
+shift its traffic to path 2.
+
+Run:  python examples/wireless_handover.py
+"""
+
+import random
+
+from repro.sim import BulkTransfer, MptcpConnection, Simulator, WindowTracer
+from repro.topology import build_two_path
+
+
+def mean_windows(tracer, t_from, t_to):
+    rows = [w for t, w in zip(tracer.times, tracer.windows)
+            if t_from <= t < t_to]
+    if not rows:
+        return 0.0, 0.0
+    return (sum(r[0] for r in rows) / len(rows),
+            sum(r[1] for r in rows) / len(rows))
+
+
+def run(algorithm: str) -> None:
+    sim = Simulator()
+    rng = random.Random(7)
+    topo = build_two_path(sim, rng, capacity_mbps=10.0)
+    # Steady background: 3 TCP flows on each path.
+    for path_index in (0, 1):
+        for i in range(3):
+            bulk = BulkTransfer(sim, "tcp", [topo.tcp_paths[path_index]],
+                                start_time=rng.uniform(0, 1),
+                                name=f"bg{path_index}.{i}")
+            bulk.start()
+    conn = MptcpConnection(sim, algorithm, topo.mptcp_paths)
+    tracer = WindowTracer(sim, conn, period=0.25)
+    conn.start(1.0)
+    tracer.start()
+    # The congestion burst arrives on path 1 at t=45.
+    for i in range(8):
+        burst = BulkTransfer(sim, "tcp", [topo.tcp_paths[0]],
+                             start_time=45.0 + 0.1 * i, name=f"burst{i}")
+        burst.start()
+    sim.run(until=90.0)
+
+    before = mean_windows(tracer, 25.0, 45.0)
+    after = mean_windows(tracer, 65.0, 90.0)
+    print(f"\n{algorithm.upper()}:")
+    print(f"  windows before burst (t in [25,45)): "
+          f"w1={before[0]:5.2f}  w2={before[1]:5.2f}")
+    print(f"  windows after burst  (t in [65,90)): "
+          f"w1={after[0]:5.2f}  w2={after[1]:5.2f}")
+    shift = (after[1] - after[0]) - (before[1] - before[0])
+    print(f"  traffic shift towards path 2: {shift:+.2f} packets of window")
+
+
+def main() -> None:
+    print("Congestion burst hits path 1 at t=45s; the multipath user")
+    print("should re-balance towards path 2.")
+    for algorithm in ("olia", "lia"):
+        run(algorithm)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — reproduction of "MPTCP is not Pareto-Optimal" (Khalili et al.).
+
+The package is organised in layers:
+
+* :mod:`repro.core` — the congestion-control algorithms themselves
+  (OLIA, LIA, and baselines), independent of any simulator.
+* :mod:`repro.fluid` — the paper's fluid model (differential inclusion),
+  used to verify Theorems 1, 3 and 4 numerically.
+* :mod:`repro.analysis` — closed-form fixed points and the "theoretical
+  optimum with probing cost" for scenarios A, B and C.
+* :mod:`repro.sim` — a packet-level discrete-event simulator standing in
+  for the paper's Linux testbed and the htsim simulator.
+* :mod:`repro.topology` — scenario and FatTree topology builders.
+* :mod:`repro.experiments` — runners that regenerate every table and
+  figure of the evaluation.
+
+Quickstart::
+
+    from repro.experiments.traces import run_two_path_trace
+
+    result = run_two_path_trace(algorithm="olia", competing=(5, 10))
+    print(result.summary())
+"""
+
+from . import units
+from .core import (
+    CoupledController,
+    EwtcpController,
+    LiaController,
+    MultipathController,
+    OliaController,
+    RenoController,
+    SubflowState,
+    make_controller,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "units",
+    "MultipathController",
+    "SubflowState",
+    "OliaController",
+    "LiaController",
+    "RenoController",
+    "CoupledController",
+    "EwtcpController",
+    "make_controller",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Closed-form fixed points and optima for the paper's scenarios."""
+
+from . import scenario_a, scenario_b, scenario_c
+from .optimum import OptimumResult, proportional_fair
+from .roots import (
+    RootError,
+    bisect_increasing,
+    positive_real_roots,
+    unique_positive_root,
+)
+from .tcp import loss_for_rate, tcp_rate, window_for_loss
+
+__all__ = [
+    "scenario_a",
+    "scenario_b",
+    "scenario_c",
+    "tcp_rate",
+    "loss_for_rate",
+    "window_for_loss",
+    "unique_positive_root",
+    "positive_real_roots",
+    "bisect_increasing",
+    "RootError",
+    "proportional_fair",
+    "OptimumResult",
+]

@@ -1,0 +1,72 @@
+"""Positive real-root helpers for the scenario fixed-point polynomials.
+
+The fixed-point analyses of Appendices A and B reduce to finding the
+unique positive root of low-degree polynomials (a cubic for scenarios A
+and C, a quadratic and a quintic for scenario B).  We locate roots with
+``numpy.roots`` and validate uniqueness/positivity, falling back to
+bisection when numerical noise produces near-real pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+class RootError(ValueError):
+    """Raised when a polynomial does not have the expected positive root."""
+
+
+def positive_real_roots(coeffs: Sequence[float],
+                        imag_tol: float = 1e-9) -> list[float]:
+    """All positive real roots of the polynomial with given coefficients.
+
+    ``coeffs`` are in ``numpy.roots`` order (highest degree first).
+    """
+    roots = np.roots(coeffs)
+    found = []
+    for root in roots:
+        if abs(root.imag) < imag_tol * max(1.0, abs(root.real)) \
+                and root.real > 0:
+            found.append(float(root.real))
+    return sorted(found)
+
+
+def unique_positive_root(coeffs: Sequence[float]) -> float:
+    """The unique positive real root; raises :class:`RootError` otherwise."""
+    roots = positive_real_roots(coeffs)
+    if not roots:
+        raise RootError(f"no positive real root for coefficients {coeffs}")
+    if len(roots) > 1:
+        # Collapse numerically identical duplicates before complaining.
+        distinct = [roots[0]]
+        for root in roots[1:]:
+            if abs(root - distinct[-1]) > 1e-9 * max(1.0, abs(root)):
+                distinct.append(root)
+        if len(distinct) > 1:
+            raise RootError(
+                f"expected one positive root, found {distinct} for {coeffs}")
+        roots = distinct
+    return roots[0]
+
+
+def bisect_increasing(fn: Callable[[float], float], lo: float, hi: float,
+                      iterations: int = 200) -> float:
+    """Root of an increasing function ``fn`` on ``[lo, hi]`` by bisection.
+
+    Used for the monotone fixed-point equations (e.g. Eq. 10 of the
+    paper), where monotonicity guarantees uniqueness without relying on
+    polynomial form.
+    """
+    f_lo, f_hi = fn(lo), fn(hi)
+    if f_lo > 0 or f_hi < 0:
+        raise RootError(
+            f"no sign change on [{lo}, {hi}]: f(lo)={f_lo}, f(hi)={f_hi}")
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if fn(mid) < 0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,188 @@
+"""Closed-form analysis of Scenario B (Section III-B, Appendix B).
+
+Four ISPs: X, Y, Z, T.  N Blue users download from servers in Z over two
+paths (via X and via Y); N Red users download from servers in T, either
+over Y only (single-path) or additionally over a path that crosses both X
+and T (multipath, the "upgrade").  Only links X and T are bottlenecks,
+with aggregate capacities ``CX`` and ``CT``; all RTTs are equal.
+
+Rates per user: Blue sends ``x1`` via X and ``x2`` via T; Red sends
+``y1`` on the dashed X+T path and ``y2`` via Y (which also lands on T).
+Capacity constraints: ``CX = N (x1 + y1)`` and ``CT = N (x2 + y1 + y2)``.
+
+With LIA and Red upgraded, Appendix B reduces the fixed point to
+
+* ``CX/CT < 5/9`` — ``z = pX/pT > 1`` root of
+  ``2 z^2 + z (5 - 2 CT/CX) + 2 - 3 CT/CX = 0``;
+* ``CX/CT > 5/9`` — ``s = sqrt(pX/pT) < 1`` root of
+  ``s^5 + s^4 + s^3 (3-R) + s^2 (2-R) + s (2-R) - 2R = 0`` with
+  ``R = CT/CX``.
+
+The headline result (Table I): upgrading Red *lowers everyone's rate*.
+With the optimum-with-probing (Eqs. 11-14) — and hence with OLIA — the
+drop is only the probing overhead ``N/rtt`` packets/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import scenario_c
+from .roots import unique_positive_root
+from .tcp import loss_for_rate
+
+
+@dataclass
+class ScenarioBResult:
+    """Per-user rates (pkt/s) for one scenario B configuration."""
+
+    n_users: int        # users per class (NB = NR = N)
+    cx: float           # aggregate capacity of ISP X (pkt/s)
+    ct: float           # aggregate capacity of ISP T (pkt/s)
+    rtt: float
+    x1: float           # Blue via X
+    x2: float           # Blue via T
+    y1: float           # Red via the dashed X+T path (0 if single-path)
+    y2: float           # Red via Y (lands on T)
+    p_x: float          # loss probability at X
+    p_t: float          # loss probability at T
+
+    @property
+    def blue_rate(self) -> float:
+        """Per-user Blue throughput."""
+        return self.x1 + self.x2
+
+    @property
+    def red_rate(self) -> float:
+        """Per-user Red throughput."""
+        return self.y1 + self.y2
+
+    @property
+    def aggregate(self) -> float:
+        """Aggregate throughput over all 2N users (pkt/s)."""
+        return self.n_users * (self.blue_rate + self.red_rate)
+
+    @property
+    def blue_normalized(self) -> float:
+        """The paper's Fig. 4 normalisation ``N (x1+x2) / CT``."""
+        return self.n_users * self.blue_rate / self.ct
+
+    @property
+    def red_normalized(self) -> float:
+        """``N (y1+y2) / CT``."""
+        return self.n_users * self.red_rate / self.ct
+
+
+#: ``CX/CT`` at which the LIA fixed point switches polynomial branch.
+BRANCH_THRESHOLD = 5.0 / 9.0
+
+
+def lia_multipath(n_users: int, cx: float, ct: float,
+                  rtt: float) -> ScenarioBResult:
+    """LIA equilibrium with Red users upgraded to MPTCP (Appendix B.1)."""
+    _validate(n_users, cx, ct, rtt)
+    ratio = ct / cx
+    if cx / ct < BRANCH_THRESHOLD:
+        # p_X > p_T: z = pX/pT is the root > 1 of the quadratic.
+        z = _quadratic_root(ratio)
+        # Total TCP-equivalent rate on the best (T-side) path.
+        s_t = ct / (n_users * (z / (1.0 + z) + 1.0))
+        x1 = s_t / (1.0 + z)
+        x2 = s_t * z / (1.0 + z)
+        y1 = s_t / (2.0 + z)
+        y2 = (1.0 + z) * y1
+        p_t = loss_for_rate(s_t, rtt)
+        p_x = z * p_t
+    else:
+        # p_T > p_X: s = sqrt(pX/pT) < 1 is the positive quintic root.
+        s = unique_positive_root(
+            [1.0, 1.0, 3.0 - ratio, 2.0 - ratio, 2.0 - ratio, -2.0 * ratio])
+        s_x = ct / (n_users * (s * s / (1.0 + s * s) + s))
+        x1 = s_x / (1.0 + s * s)
+        x2 = s_x * s * s / (1.0 + s * s)
+        y1 = s_x * s / (2.0 + s * s)
+        y2 = (1.0 + s * s) * y1
+        p_x = loss_for_rate(s_x, rtt)
+        p_t = p_x / (s * s)
+    return ScenarioBResult(n_users=n_users, cx=cx, ct=ct, rtt=rtt,
+                           x1=x1, x2=x2, y1=y1, y2=y2, p_x=p_x, p_t=p_t)
+
+
+def lia_singlepath(n_users: int, cx: float, ct: float,
+                   rtt: float) -> ScenarioBResult:
+    """LIA equilibrium with Red users on Y only.
+
+    Structurally identical to scenario C: Blue are the multipath users
+    with a "private" AP (X, per-user capacity CX/N) and a shared AP (T,
+    per-user capacity CT/N); Red are the single-path users.
+    """
+    _validate(n_users, cx, ct, rtt)
+    inner = scenario_c.lia_fixed_point(
+        n1=n_users, n2=n_users, c1=cx / n_users, c2=ct / n_users, rtt=rtt)
+    return ScenarioBResult(n_users=n_users, cx=cx, ct=ct, rtt=rtt,
+                           x1=inner.x1, x2=inner.x2, y1=0.0, y2=inner.y,
+                           p_x=inner.p1, p_t=inner.p2)
+
+
+def optimum_singlepath(n_users: int, cx: float, ct: float,
+                       rtt: float) -> ScenarioBResult:
+    """Optimum with probing cost, Red on Y only (Eqs. 11-12)."""
+    _validate(n_users, cx, ct, rtt)
+    probe = 1.0 / rtt
+    cx_user, ct_user = cx / n_users, ct / n_users
+    pooled = (cx_user + ct_user) / 2.0
+    blue = max(cx_user + probe, pooled)
+    red = min(ct_user - probe, pooled)
+    x2 = blue - cx_user
+    if red <= 0:
+        raise ValueError("probing traffic saturates ISP T in this setting")
+    return ScenarioBResult(
+        n_users=n_users, cx=cx, ct=ct, rtt=rtt,
+        x1=cx_user, x2=x2, y1=0.0, y2=red,
+        p_x=loss_for_rate(cx_user, rtt), p_t=loss_for_rate(red, rtt))
+
+
+def optimum_multipath(n_users: int, cx: float, ct: float,
+                      rtt: float) -> ScenarioBResult:
+    """Optimum with probing cost, Red upgraded (Eqs. 13-14).
+
+    Red's extra path shares the T bottleneck with its Y path, so the
+    upgrade can only add probing overhead: every user loses about
+    ``probe/2`` compared to :func:`optimum_singlepath`.
+    """
+    _validate(n_users, cx, ct, rtt)
+    probe = 1.0 / rtt
+    cx_user, ct_user = cx / n_users, ct / n_users
+    pooled = (cx_user + ct_user) / 2.0
+    blue = max(cx_user, pooled - probe / 2.0)
+    red = min(ct_user - probe, pooled - probe / 2.0)
+    if red <= 0:
+        raise ValueError("probing traffic saturates ISP T in this setting")
+    x1 = cx_user - probe
+    x2 = blue - x1
+    y1 = probe
+    y2 = red - y1
+    return ScenarioBResult(
+        n_users=n_users, cx=cx, ct=ct, rtt=rtt,
+        x1=x1, x2=x2, y1=y1, y2=y2,
+        p_x=loss_for_rate(cx_user, rtt), p_t=loss_for_rate(red, rtt))
+
+
+#: OLIA achieves the optimum with probing cost (Theorem 1 + 1-MSS floor).
+olia_singlepath = optimum_singlepath
+olia_multipath = optimum_multipath
+
+
+def _quadratic_root(ratio: float) -> float:
+    """Root > 1 of ``2 z^2 + z (5 - 2 ratio) + 2 - 3 ratio`` (Appendix B.1)."""
+    roots = unique_positive_root([2.0, 5.0 - 2.0 * ratio, 2.0 - 3.0 * ratio])
+    return roots
+
+
+def _validate(n_users: int, cx: float, ct: float, rtt: float) -> None:
+    if n_users <= 0:
+        raise ValueError("n_users must be positive")
+    if cx <= 0 or ct <= 0:
+        raise ValueError("capacities must be positive")
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")

@@ -1,0 +1,142 @@
+"""Closed-form analysis of Scenario C (Section III-C).
+
+N1 multipath users connect to a private AP1 (per-user capacity ``C1``)
+and to a shared AP2 (capacity ``N2*C2``) where N2 single-path TCP users
+live.  All RTTs are equal.
+
+For ``C1/C2 > 1/(2 + N1/N2)`` (AP1 less congested, ``p1 < p2``), LIA's
+fixed point gives ``z = sqrt(p1/p2)`` as the unique positive root of::
+
+    z^3 + (N1/N2) z^2 + z - C2/C1 = 0
+
+with normalized throughputs ``(x1+x2)/C1 = 1 + z^2`` for multipath users
+and ``y/C2 = 1 - (N1 C1)/(N2 C2) z^2`` for single-path users — the
+multipath users grab AP2 bandwidth they do not need (problem P2).
+
+Below the threshold (``p1 > p2``) every user ends with the same rate
+``C1 + (C2 - C1)/(1 + N1/N2)`` (equal to ``(C1+C2)/2`` when N1 = N2,
+as stated in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .roots import unique_positive_root
+from .tcp import loss_for_rate
+
+
+@dataclass
+class ScenarioCResult:
+    """Per-user rates and losses for one scenario C setting."""
+
+    n1: int
+    n2: int
+    c1: float
+    c2: float
+    rtt: float
+    x1: float          # multipath rate over AP1
+    x2: float          # multipath rate over AP2
+    y: float           # single-path rate
+    p1: float          # loss probability at AP1
+    p2: float          # loss probability at AP2
+
+    @property
+    def multipath_normalized(self) -> float:
+        """``(x1+x2)/C1``, the paper's normalized multipath throughput."""
+        return (self.x1 + self.x2) / self.c1
+
+    @property
+    def singlepath_normalized(self) -> float:
+        """``y/C2``."""
+        return self.y / self.c2
+
+
+def lia_threshold(n1: int, n2: int) -> float:
+    """``C1/C2`` below which LIA users no longer dominate AP2."""
+    return 1.0 / (2.0 + n1 / n2)
+
+
+def lia_fixed_point(n1: int, n2: int, c1: float, c2: float,
+                    rtt: float) -> ScenarioCResult:
+    """LIA equilibrium of scenario C (both regimes)."""
+    _validate(n1, n2, c1, c2, rtt)
+    ratio_users = n1 / n2
+    if c1 / c2 > lia_threshold(n1, n2):
+        # AP1 is the better path: p1 < p2, z = sqrt(p1/p2) in (0, 1].
+        z = unique_positive_root([1.0, ratio_users, 1.0, -c2 / c1])
+        x1 = c1
+        x2 = c1 * z * z
+        y = c2 - ratio_users * c1 * z * z
+        total = c1 * (1.0 + z * z)     # = sqrt(2/p1)/rtt
+        p1 = loss_for_rate(total, rtt)
+        p2 = p1 / (z * z)
+    else:
+        # AP2 is the better path: p1 > p2, u = sqrt(p1/p2) >= 1.
+        u_sq = (c2 - c1) / (c1 * (1.0 + ratio_users))
+        total = c1 * (1.0 + u_sq)      # = sqrt(2/p2)/rtt
+        x1 = c1
+        x2 = total - c1
+        y = total
+        p2 = loss_for_rate(total, rtt)
+        p1 = p2 * u_sq
+    return ScenarioCResult(n1=n1, n2=n2, c1=c1, c2=c2, rtt=rtt,
+                           x1=x1, x2=x2, y=y, p1=p1, p2=p2)
+
+
+def fair_allocation(n1: int, n2: int, c1: float, c2: float) -> tuple[float,
+                                                                     float]:
+    """Idealised proportionally fair rates (no probing traffic).
+
+    Multipath users use AP2 only when pooling helps (``C1 < pooled``);
+    otherwise they keep to AP1 and single-path users keep all of AP2.
+    Returns ``(multipath_rate, singlepath_rate)``.
+    """
+    pooled = (n1 * c1 + n2 * c2) / (n1 + n2)
+    if c1 < pooled:
+        return pooled, pooled
+    return c1, c2
+
+
+def optimum_with_probing(n1: int, n2: int, c1: float, c2: float,
+                         rtt: float) -> ScenarioCResult:
+    """Optimum with 1-packet-per-RTT probing (Appendix B, Case 1 logic)."""
+    _validate(n1, n2, c1, c2, rtt)
+    probe = 1.0 / rtt
+    pooled = (n1 * c1 + n2 * c2) / (n1 + n2)
+    if pooled >= c1 + probe:
+        # Pooling helps: every user converges to the fair share.
+        multipath, single = pooled, pooled
+        x2 = pooled - c1
+    else:
+        # AP2 cannot help the multipath users: park at the probing floor.
+        x2 = probe
+        multipath = c1 + probe
+        single = c2 - (n1 / n2) * probe
+    if single <= 0:
+        raise ValueError("probing traffic saturates AP2 in this setting")
+    p1 = loss_for_rate(c1 if c1 > 0 else probe, rtt)
+    p2 = loss_for_rate(single, rtt)
+    return ScenarioCResult(n1=n1, n2=n2, c1=c1, c2=c2, rtt=rtt,
+                           x1=multipath - x2, x2=x2, y=single, p1=p1, p2=p2)
+
+
+def olia_prediction(n1: int, n2: int, c1: float, c2: float,
+                    rtt: float) -> ScenarioCResult:
+    """OLIA's predicted equilibrium (Theorem 1 + probing floor).
+
+    When AP1 alone serves the multipath users at least as well as AP2
+    serves the TCP users, OLIA parks its AP2 subflow at the probing floor
+    (Theorems 1 and 4); otherwise it pools towards the fair share —
+    i.e. the optimum with probing cost.
+    """
+    return optimum_with_probing(n1, n2, c1, c2, rtt)
+
+
+def _validate(n1: int, n2: int, c1: float, c2: float, rtt: float) -> None:
+    if n1 <= 0 or n2 <= 0:
+        raise ValueError("user counts must be positive")
+    if c1 <= 0 or c2 <= 0:
+        raise ValueError("capacities must be positive")
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")

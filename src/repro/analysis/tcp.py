@@ -1,0 +1,34 @@
+"""The TCP loss-throughput formula and its inverses.
+
+The paper relies throughout on the classic square-root law (reference
+[22]): a regular TCP connection over a path with loss probability ``p``
+and round-trip time ``rtt`` achieves ``x = sqrt(2/p) / rtt`` packets per
+second.  These helpers convert between rates, losses and windows.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def tcp_rate(loss_prob: float, rtt: float) -> float:
+    """Throughput ``sqrt(2/p)/rtt`` in packets per second."""
+    if loss_prob <= 0:
+        raise ValueError("loss probability must be positive")
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")
+    return math.sqrt(2.0 / loss_prob) / rtt
+
+
+def loss_for_rate(rate: float, rtt: float) -> float:
+    """Loss probability at which TCP sustains ``rate`` (inverse formula)."""
+    if rate <= 0 or rtt <= 0:
+        raise ValueError("rate and rtt must be positive")
+    return 2.0 / (rate * rtt) ** 2
+
+
+def window_for_loss(loss_prob: float) -> float:
+    """Mean window ``sqrt(2/p)`` in packets."""
+    if loss_prob <= 0:
+        raise ValueError("loss probability must be positive")
+    return math.sqrt(2.0 / loss_prob)

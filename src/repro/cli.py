@@ -1,0 +1,126 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig1b table1 ...
+    python -m repro run all --fast
+
+Every experiment prints its paper-style result table to stdout.  With
+``--fast`` the simulated experiments run at reduced duration (useful for
+smoke checks); without it they use the benchmark defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from .experiments import (
+    ablation,
+    calibration,
+    fattree,
+    responsiveness,
+    rtt_heterogeneity,
+    scenario_a,
+    scenario_b,
+    scenario_c,
+    shortflows,
+    traces,
+)
+
+
+def _sim_kwargs(fast: bool, slow: dict, quick: dict) -> dict:
+    return quick if fast else slow
+
+
+def _experiments(fast: bool) -> Dict[str, Callable[[], object]]:
+    """Experiment name -> zero-argument callable returning a table."""
+    sim = dict(duration=20.0, warmup=10.0) if not fast else \
+        dict(duration=8.0, warmup=5.0)
+    tree = dict(k=8, duration=2.0, warmup=0.75) if not fast else \
+        dict(k=4, duration=1.5, warmup=0.5)
+    dyn = dict(k=4, duration=12.0, warmup=1.0) if not fast else \
+        dict(k=4, duration=5.0, warmup=1.0)
+    trace_len = 90.0 if not fast else 30.0
+    return {
+        "fig1b": lambda: scenario_a.figure1_table(simulate_lia=True, **sim),
+        "fig1c": lambda: scenario_a.figure1_table(),
+        "fig4": lambda: scenario_b.figure4_table(),
+        "table1": lambda: scenario_b.table_1_2("lia", **sim),
+        "table2": lambda: scenario_b.table_1_2("olia", **sim),
+        "fig5b": lambda: scenario_c.figure5b_table(),
+        "fig5cd": lambda: scenario_c.figure5cd_table(simulate_lia=True,
+                                                     **sim),
+        "fig7-8": lambda: traces.figure7_8_table(duration=trace_len),
+        "fig9-10": lambda: scenario_a.figure9_10_table(
+            n1_values=(10, 30), c1_over_c2=(0.75, 1.5), **sim),
+        "fig11-12": lambda: scenario_c.figure11_12_table(
+            n1_values=(10, 30), c1_over_c2=(1.0, 2.0), **sim),
+        "fig13a": lambda: fattree.figure13a_table(
+            subflow_counts=(2, 4, 8) if not fast else (2, 4), **tree),
+        "fig13b": lambda: fattree.figure13b_table(
+            n_subflows=8 if not fast else 4, **tree),
+        "fig14": lambda: shortflows.figure14_table(**dyn),
+        "table3": lambda: shortflows.table3(**dyn),
+        "fig17": lambda: scenario_b.figure17_table(),
+        "ablation-epsilon": ablation.epsilon_sweep_table,
+        "ablation-alpha": lambda: ablation.flappiness_table(
+            duration=trace_len,
+            seeds=(1, 2, 3) if not fast else (1,)),
+        "ablation-queue": lambda: ablation.queue_discipline_table(**sim),
+        "responsiveness":
+            responsiveness.capacity_drop_settling_table,
+        "stability": responsiveness.stability_table,
+        "rtt-sweep": rtt_heterogeneity.rtt_sweep_table,
+        "rtt-criterion": rtt_heterogeneity.best_path_criterion_table,
+        "calibration": lambda: calibration.formula_validation_table(
+            duration=40.0 if not fast else 15.0,
+            warmup=15.0 if not fast else 8.0),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of 'MPTCP is not "
+                    "Pareto-Optimal' (Khalili et al.)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment names (or 'all')")
+    run.add_argument("--fast", action="store_true",
+                     help="reduced durations for a quick smoke run")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in _experiments(fast=False):
+            print(name)
+        return 0
+
+    registry = _experiments(args.fast)
+    names = list(registry) if "all" in args.experiments \
+        else args.experiments
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        known = ", ".join(registry)
+        print(f"unknown experiment(s): {', '.join(unknown)}\n"
+              f"known: {known}", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.time()
+        table = registry[name]()
+        elapsed = time.time() - started
+        print(table)
+        print(f"[{name}: {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

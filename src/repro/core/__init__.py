@@ -1,0 +1,36 @@
+"""Congestion-control algorithms: the paper's contribution and baselines.
+
+* :class:`OliaController` — the paper's OLIA (Eqs. 5-6).
+* :class:`LiaController` — MPTCP's default LIA (Eq. 1, RFC 6356).
+* :class:`RenoController` — regular/uncoupled TCP.
+* :class:`CoupledController` — fully coupled (OLIA without the alpha term).
+* :class:`EwtcpController` — equally-weighted TCP baseline.
+"""
+
+from .base import MultipathController, SubflowState
+from .coupled import CoupledController
+from .cubic import CubicController
+from .ewtcp import EwtcpController
+from .lia import LiaController
+from .olia import OliaController
+from .registry import available_algorithms, make_controller, register_algorithm
+from .reno import RenoController, UncoupledController
+from .rtt import RttEstimator
+from .stcp import ScalableTcpController
+
+__all__ = [
+    "MultipathController",
+    "SubflowState",
+    "OliaController",
+    "LiaController",
+    "RenoController",
+    "UncoupledController",
+    "CoupledController",
+    "EwtcpController",
+    "ScalableTcpController",
+    "CubicController",
+    "RttEstimator",
+    "make_controller",
+    "available_algorithms",
+    "register_algorithm",
+]

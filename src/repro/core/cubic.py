@@ -1,0 +1,80 @@
+"""CUBIC (Ha, Rhee, Xu 2008) — reference [27] of the paper.
+
+The other RTT-insensitive alternative named in Remark 3.  The window
+grows as a cubic function of the *time since the last loss*::
+
+    W(t) = C_scale * (t - K)**3 + W_max,   K = (W_max * beta / C_scale)^(1/3)
+
+where ``W_max`` is the window at the last loss and ``beta`` the
+multiplicative decrease (0.3 -> the window drops to 0.7 W_max).  Because
+growth depends on wall-clock time, the controller needs a clock callable
+(the packet simulator passes its virtual clock; tests pass a fake).
+
+This is the real-time variant without the TCP-friendliness fallback
+region — sufficient for the RTT-sensitivity comparisons this library
+uses it for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import MultipathController
+
+
+class CubicController(MultipathController):
+    """CUBIC on each subflow independently, driven by a clock callable."""
+
+    name = "cubic"
+
+    #: Standard CUBIC scaling constant (packets/s^3).
+    C_SCALE = 0.4
+    #: Multiplicative decrease: window drops to (1 - BETA) * W_max.
+    BETA = 0.3
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        super().__init__()
+        self.clock = clock
+        self._w_max: Dict[int, float] = {}
+        self._epoch: Dict[int, float] = {}
+
+    def register_subflow(self, key, state):
+        super().register_subflow(key, state)
+        self._w_max[key] = state.cwnd
+        self._epoch[key] = self.clock()
+
+    def remove_subflow(self, key):
+        super().remove_subflow(key)
+        del self._w_max[key]
+        del self._epoch[key]
+
+    def _k(self, key: int) -> float:
+        """Time offset at which W(t) crosses W_max again."""
+        return (self._w_max[key] * self.BETA / self.C_SCALE) ** (1.0 / 3.0)
+
+    def target_window(self, key: int) -> float:
+        """The cubic target W(t) for subflow ``key`` at the current time."""
+        elapsed = self.clock() - self._epoch[key]
+        offset = elapsed - self._k(key)
+        return self.C_SCALE * offset ** 3 + self._w_max[key]
+
+    def increase_increment(self, key: int) -> float:
+        """Move 1/w of the distance to the cubic target per ACK.
+
+        Over one RTT (w ACKs) the window covers the full gap to the
+        target, matching CUBIC's ``(target - cwnd) / cwnd`` per-ACK rule.
+        """
+        state = self._subflows[key]
+        target = self.target_window(key)
+        if target <= state.cwnd:
+            # Concave plateau: creep towards W_max slowly.
+            return 0.01 / state.cwnd
+        return (target - state.cwnd) / state.cwnd
+
+    def decrease_on_loss(self, key: int) -> float:
+        state = self._subflows[key]
+        state.record_loss()
+        self._w_max[key] = state.cwnd
+        self._epoch[key] = self.clock()
+        state.cwnd = max(state.cwnd * (1.0 - self.BETA), self.min_cwnd)
+        return state.cwnd

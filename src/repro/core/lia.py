@@ -1,0 +1,27 @@
+"""LIA — the Linked-Increases Algorithm of MPTCP (RFC 6356).
+
+Implements Equation (1) of the paper: for each ACK on subflow ``r``,
+increase ``w_r`` by::
+
+    min( (max_i w_i / rtt_i^2) / (sum_i w_i / rtt_i)^2 ,  1 / w_r )
+
+The ``min`` with ``1/w_r`` caps the aggressiveness at that of a regular TCP
+on any single path (design goal 2).  The decrease on loss is the standard
+TCP halving inherited from :class:`~repro.core.base.MultipathController`.
+"""
+
+from __future__ import annotations
+
+from .base import MultipathController
+
+
+class LiaController(MultipathController):
+    """MPTCP's default coupled congestion avoidance (Eq. 1)."""
+
+    name = "lia"
+
+    def increase_increment(self, key: int) -> float:
+        state = self._subflows[key]
+        denom = self._sum_w_over_rtt()
+        coupled = self._max_w_over_rtt_sq() / (denom * denom)
+        return min(coupled, 1.0 / state.cwnd)

@@ -1,0 +1,57 @@
+"""Name-based factory for congestion controllers.
+
+Experiment configurations refer to algorithms by name ("lia", "olia", ...);
+this registry turns those names into fresh controller instances so that a
+single experiment runner can sweep algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import MultipathController
+from .coupled import CoupledController
+from .ewtcp import EwtcpController
+from .lia import LiaController
+from .olia import OliaController
+from .reno import RenoController
+from .stcp import ScalableTcpController
+
+_FACTORIES: Dict[str, Callable[[], MultipathController]] = {
+    "reno": RenoController,
+    "tcp": RenoController,
+    "uncoupled": RenoController,
+    "lia": LiaController,
+    "olia": OliaController,
+    "coupled": CoupledController,
+    "ewtcp": EwtcpController,
+    "stcp": ScalableTcpController,
+}
+
+
+def available_algorithms() -> list[str]:
+    """All registered algorithm names (aliases included)."""
+    return sorted(_FACTORIES)
+
+
+def make_controller(name: str) -> MultipathController:
+    """Instantiate a controller by name.
+
+    Raises ``KeyError`` with the list of known names when ``name`` is
+    unknown, which makes config typos fail loudly.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        known = ", ".join(available_algorithms())
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    return factory()
+
+
+def register_algorithm(name: str,
+                       factory: Callable[[], MultipathController]) -> None:
+    """Register a custom controller factory (e.g. for user extensions)."""
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ValueError(f"algorithm {name!r} already registered")
+    _FACTORIES[key] = factory

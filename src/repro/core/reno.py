@@ -1,0 +1,26 @@
+"""Single-path TCP Reno congestion avoidance (the paper's "regular TCP").
+
+Also usable as an *uncoupled* multipath controller: each subflow behaves as
+an independent TCP connection.  This corresponds to the ``epsilon = 2`` end
+of the design spectrum discussed in Section II of the paper — maximally
+responsive and non-flappy, but it does not balance congestion and is unfair
+to single-path users at shared bottlenecks.
+"""
+
+from __future__ import annotations
+
+from .base import MultipathController
+
+
+class RenoController(MultipathController):
+    """Per-ACK increase of ``1/w_r`` on each subflow independently."""
+
+    name = "reno"
+
+    def increase_increment(self, key: int) -> float:
+        state = self._subflows[key]
+        return 1.0 / state.cwnd
+
+
+#: Alias making the uncoupled-multipath reading explicit in experiment code.
+UncoupledController = RenoController

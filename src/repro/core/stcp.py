@@ -1,0 +1,41 @@
+"""Scalable TCP (Tom Kelly, 2003) — reference [28] of the paper.
+
+Remark 3 of the paper notes that fully avoiding problems P1/P2 under
+heterogeneous RTTs requires departing from TCP compatibility with
+mechanisms "less sensitive to round trip times, such as CUBIC or STCP";
+OLIA's first term is itself a TCP-compatible adaptation of Kelly and
+Voice's *scalable-TCP-based* algorithm.  This controller implements the
+classic single-path Scalable TCP for comparison experiments:
+
+* per-ACK increase: ``w += a`` with ``a = 0.01`` (rate doubles every
+  ~70 RTTs regardless of window size);
+* on loss: ``w <- (1 - b) * w`` with ``b = 0.125``.
+"""
+
+from __future__ import annotations
+
+from .base import MultipathController
+
+
+class ScalableTcpController(MultipathController):
+    """STCP on each subflow independently (multiplicative-increase)."""
+
+    name = "stcp"
+
+    def __init__(self, a: float = 0.01, b: float = 0.125) -> None:
+        super().__init__()
+        if not 0 < a:
+            raise ValueError("increase parameter a must be positive")
+        if not 0 < b < 1:
+            raise ValueError("decrease parameter b must be in (0, 1)")
+        self.a = a
+        self.b = b
+
+    def increase_increment(self, key: int) -> float:
+        return self.a
+
+    def decrease_on_loss(self, key: int) -> float:
+        state = self._subflows[key]
+        state.record_loss()
+        state.cwnd = max(state.cwnd * (1.0 - self.b), self.min_cwnd)
+        return state.cwnd

@@ -1,0 +1,43 @@
+"""Experiment runners regenerating every table and figure of the paper."""
+
+from . import (
+    ablation,
+    calibration,
+    fattree,
+    responsiveness,
+    rtt_heterogeneity,
+    scenario_a,
+    scenario_b,
+    scenario_c,
+    shortflows,
+    traces,
+)
+from .results import ResultTable
+from .runner import (
+    MeasureResult,
+    RepeatedStat,
+    measure,
+    repeat,
+    staggered_starts,
+    summarize_samples,
+)
+
+__all__ = [
+    "scenario_a",
+    "scenario_b",
+    "scenario_c",
+    "traces",
+    "fattree",
+    "shortflows",
+    "ablation",
+    "responsiveness",
+    "rtt_heterogeneity",
+    "calibration",
+    "ResultTable",
+    "measure",
+    "MeasureResult",
+    "repeat",
+    "RepeatedStat",
+    "summarize_samples",
+    "staggered_starts",
+]

@@ -1,0 +1,119 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+1. **epsilon-family trade-off** (Section II): the fixed points of
+   ``x_r ~ p_r**(-1/eps)`` on the scenario C network show how congestion
+   balancing degrades from full resource pooling (eps -> 0, OLIA-like)
+   to TCP-like spreading (eps = 2), with LIA stuck at eps = 1.
+2. **OLIA's alpha term**: the fully coupled controller (OLIA minus
+   alpha) is Pareto-optimal but flappy; we quantify flappiness as the
+   window-imbalance flip count on the symmetric two-path scenario.
+3. **RED vs drop-tail**: scenario C measured with both queue
+   disciplines — the qualitative LIA/OLIA gap must survive the queue
+   choice (the paper uses RED on the testbed, drop-tail in htsim).
+"""
+
+from __future__ import annotations
+
+from ..fluid import FluidNetwork, SharpLoss, solve_fixed_point
+from ..fluid.equilibrium import allocation_rule
+from ..units import mbps_to_pps
+from .results import ResultTable
+from .traces import run_two_path_trace
+
+
+def epsilon_sweep_table(*, n1: int = 10, n2: int = 10,
+                        c1_mbps: float = 1.0, c2_mbps: float = 1.0,
+                        rtt: float = 0.15,
+                        epsilons=(0.0, 0.5, 1.0, 1.5, 2.0)) -> ResultTable:
+    """Fixed points of the epsilon-family on the scenario C network."""
+    table = ResultTable(
+        "Ablation - epsilon-family on scenario C "
+        "(eps=0 ~ OLIA, eps=1 ~ LIA, eps=2 ~ uncoupled)",
+        ["epsilon", "mp rate (pkt/s)", "sp rate (pkt/s)", "p2",
+         "mp share of AP2 (%)"])
+    for epsilon in epsilons:
+        net = FluidNetwork()
+        ap1 = net.add_link(SharpLoss(capacity=n1 * mbps_to_pps(c1_mbps)))
+        ap2 = net.add_link(SharpLoss(capacity=n2 * mbps_to_pps(c2_mbps)))
+        rules = {}
+        for i in range(n1):
+            user = net.add_user(f"mp{i}")
+            net.add_route(user, [ap1], rtt=rtt)
+            net.add_route(user, [ap2], rtt=rtt)
+            rules[user] = allocation_rule("epsilon", epsilon=epsilon) \
+                if epsilon > 0 else allocation_rule("olia")
+        for i in range(n2):
+            user = net.add_user(f"sp{i}")
+            net.add_route(user, [ap2], rtt=rtt)
+            rules[user] = allocation_rule("tcp")
+        result = solve_fixed_point(net, rules, floor_packets=1.0)
+        totals = result.user_totals(net)
+        mp_rate = float(totals[:n1].mean())
+        sp_rate = float(totals[n1:].mean())
+        # Multipath traffic crossing AP2: every odd route of mp users.
+        mp_ap2 = sum(result.rates[2 * i + 1] for i in range(n1))
+        ap2_total = mp_ap2 + sum(
+            result.rates[2 * n1 + i] for i in range(n2))
+        table.add_row(epsilon, mp_rate, sp_rate,
+                      float(result.link_loss[1]),
+                      100.0 * mp_ap2 / ap2_total)
+    table.add_note("larger epsilon -> more multipath traffic parked on "
+                   "the congested AP2 and lower single-path rates")
+    return table
+
+
+def flappiness_table(*, capacity_mbps: float = 10.0,
+                     duration: float = 90.0,
+                     seeds=(1, 2, 3)) -> ResultTable:
+    """OLIA vs the alpha-less coupled controller on symmetric paths.
+
+    The coupled controller concentrates its window on one path and flips
+    between them (flappiness); OLIA's alpha term keeps both windows up.
+    Results are averaged over ``seeds`` because individual runs are
+    noisy at these window sizes.
+    """
+    table = ResultTable(
+        "Ablation - the role of OLIA's alpha term (symmetric two-path, "
+        f"mean over {len(seeds)} seeds)",
+        ["algorithm", "w1", "w2", "imbalance", "one-sided frac"])
+    for algorithm in ("olia", "coupled"):
+        w1s, w2s, imbalances, onesided = [], [], [], []
+        for seed in seeds:
+            trace = run_two_path_trace(algorithm, competing=(5, 5),
+                                       capacity_mbps=capacity_mbps,
+                                       duration=duration, seed=seed)
+            w1, w2 = trace.mean_windows
+            w1s.append(w1)
+            w2s.append(w2)
+            imbalances.append(trace.window_imbalance())
+            tail = trace.windows[len(trace.windows) // 4:]
+            onesided.append(sum(
+                1 for a, b in tail
+                if a + b > 0 and abs(a - b) / (a + b) > 0.6) / len(tail))
+        n_seeds = len(seeds)
+        table.add_row(algorithm, sum(w1s) / n_seeds, sum(w2s) / n_seeds,
+                      sum(imbalances) / n_seeds, sum(onesided) / n_seeds)
+    table.add_note("without alpha the window imbalance grows: the "
+                   "fully coupled rule starves one of two equal paths")
+    return table
+
+
+def queue_discipline_table(*, n1: int = 10, n2: int = 10,
+                           c1_mbps: float = 1.0, c2_mbps: float = 1.0,
+                           duration: float = 30.0, warmup: float = 15.0,
+                           seed: int = 1) -> ResultTable:
+    """Scenario C under RED (testbed) and drop-tail (htsim) queues."""
+    from .scenario_c import simulate
+    table = ResultTable(
+        "Ablation - queue discipline: scenario C, N1=N2, C1=C2",
+        ["queue", "algorithm", "sp normalized", "p2"])
+    for queue in ("red", "droptail"):
+        for algorithm in ("lia", "olia"):
+            run = simulate(algorithm, n1=n1, n2=n2, c1_mbps=c1_mbps,
+                           c2_mbps=c2_mbps, duration=duration,
+                           warmup=warmup, seed=seed, queue=queue)
+            table.add_row(queue, algorithm, run.singlepath_normalized,
+                          run.p2)
+    table.add_note("the OLIA > LIA ordering for single-path users holds "
+                   "under both disciplines")
+    return table

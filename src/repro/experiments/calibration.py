@@ -1,0 +1,60 @@
+"""Calibration: the packet simulator against the TCP square-root law.
+
+Every analytical result in the paper leans on the loss-throughput
+formula ``x = sqrt(2/p)/rtt``.  This experiment measures, for a range of
+bottleneck capacities and competing-flow counts, the loss probability
+and goodput of the packet simulator's TCP and reports the ratio between
+measured goodput and the formula's prediction — the simulator is
+trustworthy where that ratio is near 1.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..analysis.tcp import tcp_rate
+from ..sim.apps import BulkTransfer
+from ..sim.engine import Simulator
+from ..sim.link import Link
+from ..sim.mptcp import PathSpec
+from ..sim.queues import REDQueue
+from .results import ResultTable
+from .runner import measure, staggered_starts
+
+
+def formula_validation_table(*, capacities_mbps=(1.0, 2.0, 5.0),
+                             flow_counts=(2, 5),
+                             duration: float = 60.0,
+                             warmup: float = 20.0,
+                             seed: int = 1) -> ResultTable:
+    """Measured TCP goodput vs ``sqrt(2/p)/rtt`` across configurations."""
+    table = ResultTable(
+        "Calibration - packet TCP vs the square-root law",
+        ["capacity (Mbps)", "flows", "measured p", "goodput (pkt/s)",
+         "formula (pkt/s)", "ratio"])
+    for capacity in capacities_mbps:
+        for n_flows in flow_counts:
+            sim = Simulator()
+            rng = random.Random(seed)
+            link = Link(sim, rate_bps=capacity * 1e6, delay=0.04,
+                        queue=REDQueue.for_capacity_mbps(rng, capacity),
+                        name="bn")
+            flows = {}
+            for i, start in enumerate(staggered_starts(rng, n_flows)):
+                bulk = BulkTransfer(sim, "tcp",
+                                    [PathSpec((link,), 0.04)],
+                                    start_time=start, name=f"f{i}")
+                bulk.start()
+                flows[f"f{i}"] = bulk
+            result = measure(sim, flows, [link], warmup=warmup,
+                             duration=duration)
+            p = result.link_loss["bn"]
+            goodput = result.group_mean("f")
+            # Estimate the operating RTT from one flow's smoothed RTT.
+            rtt = flows["f0"].connection.srtt
+            predicted = tcp_rate(max(p, 1e-9), rtt)
+            table.add_row(capacity, n_flows, p, goodput, predicted,
+                          goodput / predicted)
+    table.add_note("ratios near 1 certify the transport implementation; "
+                   "deviations grow when windows approach 1 MSS")
+    return table

@@ -1,0 +1,65 @@
+"""Result containers and paper-style table rendering.
+
+Every experiment returns a :class:`ResultTable` whose ``__str__`` prints
+the same rows/series the paper reports, so benchmark runs regenerate the
+tables and figure series directly on stdout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+@dataclass
+class ResultTable:
+    """A titled table with named columns."""
+
+    title: str
+    columns: List[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, by name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:.0f}"
+            if abs(value) >= 1:
+                return f"{value:.3g}"
+            return f"{value:.3g}"
+        return str(value)
+
+    def __str__(self) -> str:
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title,
+                 " | ".join(c.ljust(w)
+                            for c, w in zip(self.columns, widths)),
+                 sep]
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w)
+                                    for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Shared plumbing for simulation experiments: warmup, measure, repeat.
+
+The paper's testbed methodology runs each Iperf session for 120 s, lets
+flows reach equilibrium, and reports averages over 5 runs with random
+flow start order.  ``measure`` mirrors that: random staggered starts,
+a warmup period excluded from every statistic, then a measurement
+window over which goodputs and loss probabilities are averaged.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..sim.engine import Simulator
+from ..sim.link import Link
+from ..sim.monitors import FlowMeter
+
+
+@dataclass
+class MeasureResult:
+    """Goodputs (pkt/s) and per-link loss probabilities for one run."""
+
+    goodput_pps: Dict[str, float]
+    link_loss: Dict[str, float]
+    link_utilization: Dict[str, float]
+    duration: float
+
+    def group_mean(self, prefix: str) -> float:
+        """Mean goodput over flows whose name starts with ``prefix``."""
+        values = [v for k, v in self.goodput_pps.items()
+                  if k.startswith(prefix)]
+        if not values:
+            raise KeyError(f"no flows with prefix {prefix!r}")
+        return sum(values) / len(values)
+
+
+def staggered_starts(rng: random.Random, n_flows: int,
+                     spread: float = 1.0) -> List[float]:
+    """Random flow start times in ``[0, spread)`` (random Iperf order)."""
+    return [rng.uniform(0.0, spread) for _ in range(n_flows)]
+
+
+def measure(sim: Simulator, flows: Dict[str, object],
+            links: Sequence[Link], *, warmup: float,
+            duration: float) -> MeasureResult:
+    """Run ``warmup`` then measure goodput/losses for ``duration``.
+
+    ``flows`` maps names to objects with an ``acked_packets`` attribute;
+    flows must already be started.
+    """
+    if warmup < 0 or duration <= 0:
+        raise ValueError("need warmup >= 0 and duration > 0")
+    meter = FlowMeter(sim, flows)
+    sim.run(until=sim.now + warmup)
+    meter.reset()
+    for link in links:
+        link.stats.reset(sim.now)
+    sim.run(until=sim.now + duration)
+    return MeasureResult(
+        goodput_pps=meter.goodput_pps(),
+        link_loss={link.name: link.stats.loss_probability
+                   for link in links},
+        link_utilization={
+            link.name: link.stats.utilization(sim.now, link.rate_bps)
+            for link in links},
+        duration=duration)
+
+
+@dataclass
+class RepeatedStat:
+    """Mean and 95% confidence interval over repeated runs."""
+
+    mean: float
+    half_width: float    # 95% CI half-width (Student t)
+    samples: List[float]
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g}"
+
+
+#: Two-sided 95% Student-t quantiles for small sample counts
+#: (index = degrees of freedom); enough for the paper's 5-run protocol.
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+
+
+def summarize_samples(samples: Sequence[float]) -> RepeatedStat:
+    """Mean ± 95% CI of a list of per-run measurements."""
+    values = list(samples)
+    if not values:
+        raise ValueError("need at least one sample")
+    mean = statistics.fmean(values)
+    if len(values) < 2:
+        return RepeatedStat(mean=mean, half_width=0.0, samples=values)
+    dof = len(values) - 1
+    t_quantile = _T95.get(dof, 1.96)
+    stderr = statistics.stdev(values) / math.sqrt(len(values))
+    return RepeatedStat(mean=mean, half_width=t_quantile * stderr,
+                        samples=values)
+
+
+def repeat(run_fn: Callable[[int], Dict[str, float]], *,
+           repetitions: int = 5,
+           base_seed: int = 1) -> Dict[str, RepeatedStat]:
+    """Run an experiment ``repetitions`` times and summarise each metric.
+
+    ``run_fn(seed)`` must return a flat ``{metric: value}`` dict; the
+    paper's testbed protocol (5 measurements, random flow order, 95%
+    confidence intervals) corresponds to the defaults.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    per_metric: Dict[str, List[float]] = {}
+    for i in range(repetitions):
+        result = run_fn(base_seed + i)
+        for metric, value in result.items():
+            per_metric.setdefault(metric, []).append(float(value))
+    return {metric: summarize_samples(values)
+            for metric, values in per_metric.items()}

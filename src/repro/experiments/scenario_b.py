@@ -1,0 +1,154 @@
+"""Scenario B experiments: Figure 4, Tables I and II, Figure 17.
+
+15 Blue users are multihomed to ISPs X and T; 15 Red users download via
+T and may "upgrade" to MPTCP by adding a path that crosses both X and T.
+Upgrading Red users under LIA lowers *everyone's* throughput (Table I);
+with OLIA the only cost is probing traffic (Table II).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..analysis import scenario_b as analysis_b
+from ..sim.apps import BulkTransfer
+from ..sim.engine import Simulator
+from ..topology.scenarios import build_scenario_b
+from ..units import mbps_to_pps, pps_to_mbps
+from .results import ResultTable
+from .runner import measure, staggered_starts
+
+
+@dataclass
+class ScenarioBRun:
+    """Measured per-user rates (Mbps) for one configuration."""
+
+    algorithm: str
+    red_multipath: bool
+    blue_mbps: float
+    red_mbps: float
+    aggregate_mbps: float
+    p_x: float
+    p_t: float
+
+
+def simulate(algorithm: str, *, red_multipath: bool, n_users: int = 15,
+             cx_mbps: float = 27.0, ct_mbps: float = 36.0,
+             duration: float = 30.0, warmup: float = 15.0,
+             seed: int = 1, queue: str = "red") -> ScenarioBRun:
+    """Packet-level run of scenario B.
+
+    Blue users always run MPTCP with ``algorithm`` over {X, T}.  Red
+    users run TCP over T, plus (if ``red_multipath``) a second subflow
+    over the dashed X+T path coupled by ``algorithm``.
+    """
+    sim = Simulator()
+    rng = random.Random(seed)
+    topo = build_scenario_b(sim, rng, cx_mbps=cx_mbps, ct_mbps=ct_mbps,
+                            queue=queue)
+    flows = {}
+    starts = staggered_starts(rng, 2 * n_users)
+    for i in range(n_users):
+        bulk = BulkTransfer(sim, algorithm, topo.blue_paths,
+                            start_time=starts[i], name=f"blue.{i}")
+        bulk.start()
+        flows[f"blue.{i}"] = bulk
+    for i in range(n_users):
+        if red_multipath:
+            paths = [topo.red_main_path, topo.red_dashed_path]
+            bulk = BulkTransfer(sim, algorithm, paths,
+                                start_time=starts[n_users + i],
+                                name=f"red.{i}")
+        else:
+            bulk = BulkTransfer(sim, "tcp", [topo.red_main_path],
+                                start_time=starts[n_users + i],
+                                name=f"red.{i}")
+        bulk.start()
+        flows[f"red.{i}"] = bulk
+
+    result = measure(sim, flows, [topo.link_x, topo.link_t],
+                     warmup=warmup, duration=duration)
+    blue = pps_to_mbps(result.group_mean("blue"))
+    red = pps_to_mbps(result.group_mean("red"))
+    return ScenarioBRun(
+        algorithm=algorithm, red_multipath=red_multipath,
+        blue_mbps=blue, red_mbps=red,
+        aggregate_mbps=n_users * (blue + red),
+        p_x=result.link_loss["ispX"], p_t=result.link_loss["ispT"])
+
+
+def table_1_2(algorithm: str, *, n_users: int = 15, cx_mbps: float = 27.0,
+              ct_mbps: float = 36.0, duration: float = 30.0,
+              warmup: float = 15.0, seed: int = 1) -> ResultTable:
+    """Table I (``algorithm='lia'``) or Table II (``'olia'``), measured."""
+    number = "I" if algorithm == "lia" else "II"
+    table = ResultTable(
+        f"Table {number} - Scenario B measurements ({algorithm.upper()})",
+        ["Red users", "Blue rate (Mbps)", "Red rate (Mbps)",
+         "Aggregate (Mbps)"])
+    single = simulate(algorithm, red_multipath=False, n_users=n_users,
+                      cx_mbps=cx_mbps, ct_mbps=ct_mbps, duration=duration,
+                      warmup=warmup, seed=seed)
+    multi = simulate(algorithm, red_multipath=True, n_users=n_users,
+                     cx_mbps=cx_mbps, ct_mbps=ct_mbps, duration=duration,
+                     warmup=warmup, seed=seed)
+    table.add_row("Single-path", single.blue_mbps, single.red_mbps,
+                  single.aggregate_mbps)
+    table.add_row("Multipath", multi.blue_mbps, multi.red_mbps,
+                  multi.aggregate_mbps)
+    drop = 100.0 * (1.0 - multi.aggregate_mbps / single.aggregate_mbps)
+    table.add_note(f"aggregate drop when Red upgrade: {drop:.1f}% "
+                   f"(paper: 13% for LIA, 3.5% for OLIA)")
+    return table
+
+
+def figure4_table(*, n_users: int = 15, ct_mbps: float = 36.0,
+                  cx_over_ct=(0.3, 0.5, 0.75, 1.0, 1.25, 1.5),
+                  rtt: float = 0.15) -> ResultTable:
+    """Figure 4: analytical normalized throughputs vs CX/CT.
+
+    Dashed curves (Red single-path) and solid curves (Red upgraded),
+    for LIA (a) and the optimum with probing cost (b).
+    """
+    table = ResultTable(
+        "Fig. 4 - Scenario B: normalized throughput N*rate/CT vs CX/CT",
+        ["CX/CT",
+         "blue LIA sp", "red LIA sp", "blue LIA mp", "red LIA mp",
+         "blue opt sp", "red opt sp", "blue opt mp", "red opt mp"])
+    ct = mbps_to_pps(ct_mbps)
+    for ratio in cx_over_ct:
+        cx = ratio * ct
+        lia_sp = analysis_b.lia_singlepath(n_users, cx, ct, rtt)
+        lia_mp = analysis_b.lia_multipath(n_users, cx, ct, rtt)
+        opt_sp = analysis_b.optimum_singlepath(n_users, cx, ct, rtt)
+        opt_mp = analysis_b.optimum_multipath(n_users, cx, ct, rtt)
+        table.add_row(ratio,
+                      lia_sp.blue_normalized, lia_sp.red_normalized,
+                      lia_mp.blue_normalized, lia_mp.red_normalized,
+                      opt_sp.blue_normalized, opt_sp.red_normalized,
+                      opt_mp.blue_normalized, opt_mp.red_normalized)
+    table.add_note("for every CX/CT, LIA's 'mp' columns sit below its "
+                   "'sp' columns: the upgrade hurts everyone (P1)")
+    return table
+
+
+def figure17_table(*, n_users: int = 15, cx_mbps: float = 27.0,
+                   ct_mbps: float = 36.0,
+                   rtts=(0.025, 0.1, 0.15)) -> ResultTable:
+    """Figure 17: optimum-with-probing sensitivity to the RTT."""
+    table = ResultTable(
+        "Fig. 17 - Scenario B optimum w/ probing: RTT sensitivity",
+        ["RTT (ms)", "blue sp", "red sp", "blue mp", "red mp",
+         "aggregate drop (Mbps)"])
+    cx, ct = mbps_to_pps(cx_mbps), mbps_to_pps(ct_mbps)
+    for rtt in rtts:
+        sp = analysis_b.optimum_singlepath(n_users, cx, ct, rtt)
+        mp = analysis_b.optimum_multipath(n_users, cx, ct, rtt)
+        table.add_row(rtt * 1e3,
+                      sp.blue_normalized, sp.red_normalized,
+                      mp.blue_normalized, mp.red_normalized,
+                      pps_to_mbps(sp.aggregate - mp.aggregate))
+    table.add_note("the upgrade penalty is pure probing overhead "
+                   "N*MSS/rtt: smaller RTT -> larger penalty")
+    return table

@@ -1,0 +1,135 @@
+"""Window/alpha trace experiments: Figures 7 and 8.
+
+A two-path MPTCP user shares each bottleneck with regular TCP flows
+(Fig. 6).  In the symmetric case both paths carry traffic with no sign
+of flappiness; in the asymmetric case (second path shared with twice as
+many TCP flows) OLIA retreats to the probing window on the congested
+path while LIA keeps pushing traffic there.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from ..sim.apps import BulkTransfer
+from ..sim.engine import Simulator
+from ..sim.monitors import WindowTracer
+from ..sim.mptcp import MptcpConnection
+from ..topology.scenarios import build_two_path
+from .results import ResultTable
+
+
+@dataclass
+class TraceResult:
+    """Sampled windows/alphas of the two-path MPTCP flow."""
+
+    algorithm: str
+    competing: tuple
+    times: List[float]
+    windows: List[List[float]]
+    alphas: List[List[float]]
+    mean_windows: List[float] = field(default_factory=list)
+
+    def window_imbalance(self) -> float:
+        """Mean |w1 - w2| / (w1 + w2) over the trace tail.
+
+        ~0 for balanced symmetric use; ~1 when one path is abandoned.
+        Sustained oscillation between those extremes indicates
+        flappiness.
+        """
+        start = len(self.windows) // 4
+        values = []
+        for w1, w2 in self.windows[start:]:
+            total = w1 + w2
+            if total > 0:
+                values.append(abs(w1 - w2) / total)
+        return sum(values) / len(values) if values else 0.0
+
+    def flip_count(self, threshold: float = 0.3) -> int:
+        """Number of times the dominant path changes (flappiness count).
+
+        A flip is counted when the signed imbalance crosses from above
+        ``threshold`` to below ``-threshold`` or vice versa.
+        """
+        start = len(self.windows) // 4
+        sign = 0
+        flips = 0
+        for w1, w2 in self.windows[start:]:
+            total = w1 + w2
+            if total <= 0:
+                continue
+            imbalance = (w1 - w2) / total
+            if imbalance > threshold:
+                if sign == -1:
+                    flips += 1
+                sign = 1
+            elif imbalance < -threshold:
+                if sign == 1:
+                    flips += 1
+                sign = -1
+        return flips
+
+    def summary(self) -> str:
+        w1, w2 = self.mean_windows
+        return (f"{self.algorithm} vs {self.competing} TCP flows: "
+                f"mean windows ({w1:.2f}, {w2:.2f}), "
+                f"imbalance {self.window_imbalance():.2f}, "
+                f"flips {self.flip_count()}")
+
+
+def run_two_path_trace(algorithm: str = "olia", *,
+                       competing: tuple = (5, 5),
+                       capacity_mbps: float = 10.0,
+                       duration: float = 120.0,
+                       sample_period: float = 0.2,
+                       seed: int = 1,
+                       queue: str = "red") -> TraceResult:
+    """Trace a two-path MPTCP flow against ``competing`` TCP flows.
+
+    ``competing=(5, 5)`` reproduces Fig. 7's symmetric scenario;
+    ``(5, 10)`` reproduces Fig. 8's asymmetric one.
+    """
+    sim = Simulator()
+    rng = random.Random(seed)
+    topo = build_two_path(sim, rng, capacity_mbps=capacity_mbps,
+                          queue=queue)
+    for path_index, n_flows in enumerate(competing):
+        for i in range(n_flows):
+            bulk = BulkTransfer(sim, "tcp",
+                                [topo.tcp_paths[path_index]],
+                                start_time=rng.uniform(0, 1.0),
+                                name=f"tcp{path_index}.{i}")
+            bulk.start()
+    conn = MptcpConnection(sim, algorithm, topo.mptcp_paths, name="mp")
+    tracer = WindowTracer(sim, conn, period=sample_period)
+    conn.start(1.0)
+    tracer.start()
+    sim.run(until=duration)
+    return TraceResult(algorithm=algorithm, competing=tuple(competing),
+                       times=tracer.times, windows=tracer.windows,
+                       alphas=tracer.alphas,
+                       mean_windows=tracer.mean_windows())
+
+
+def figure7_8_table(*, capacity_mbps: float = 10.0, duration: float = 90.0,
+                    seed: int = 1,
+                    algorithms=("olia", "lia")) -> ResultTable:
+    """Figures 7/8 summary: mean windows in both Fig. 6 scenarios."""
+    table = ResultTable(
+        "Fig. 7/8 - two-path traces: mean windows (w1, w2) and flips",
+        ["scenario", "algorithm", "w1", "w2", "imbalance", "flips"])
+    for competing, label in (((5, 5), "symmetric (Fig. 7)"),
+                             ((5, 10), "asymmetric (Fig. 8)")):
+        for algorithm in algorithms:
+            trace = run_two_path_trace(
+                algorithm, competing=competing,
+                capacity_mbps=capacity_mbps, duration=duration, seed=seed)
+            w1, w2 = trace.mean_windows
+            table.add_row(label, algorithm, w1, w2,
+                          trace.window_imbalance(), trace.flip_count())
+    table.add_note("symmetric: both algorithms use both paths; "
+                   "asymmetric: OLIA's w2 collapses to ~1 while LIA "
+                   "keeps transmitting on the congested path")
+    return table

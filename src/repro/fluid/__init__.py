@@ -1,0 +1,73 @@
+"""Fluid model of Section V: networks, dynamics, equilibria, utilities."""
+
+from .dynamics import (
+    CoupledFluid,
+    EwtcpFluid,
+    FluidAlgorithm,
+    LiaFluid,
+    OliaFluid,
+    TcpFluid,
+    make_fluid_algorithm,
+)
+from .equilibrium import (
+    FixedPointResult,
+    best_path_rate,
+    epsilon_family_allocation,
+    lia_allocation,
+    olia_allocation,
+    solve_fixed_point,
+    tcp_allocation,
+    tcp_rate,
+    verify_theorem1,
+)
+from .integrator import FluidTrajectory, integrate, integrate_to_equilibrium
+from .loss import (
+    LossModel,
+    PowerLoss,
+    RedLoss,
+    SharpLoss,
+    equilibrium_rate_for_tcp,
+)
+from .network import FluidNetwork
+from .utility import (
+    KktReport,
+    kkt_report,
+    pareto_dominates,
+    taus_from_rates,
+    v_star_utility,
+    v_utility,
+)
+
+__all__ = [
+    "FluidNetwork",
+    "LossModel",
+    "PowerLoss",
+    "SharpLoss",
+    "RedLoss",
+    "equilibrium_rate_for_tcp",
+    "FluidAlgorithm",
+    "TcpFluid",
+    "LiaFluid",
+    "OliaFluid",
+    "CoupledFluid",
+    "EwtcpFluid",
+    "make_fluid_algorithm",
+    "integrate",
+    "integrate_to_equilibrium",
+    "FluidTrajectory",
+    "tcp_rate",
+    "best_path_rate",
+    "lia_allocation",
+    "olia_allocation",
+    "epsilon_family_allocation",
+    "tcp_allocation",
+    "solve_fixed_point",
+    "FixedPointResult",
+    "verify_theorem1",
+    "kkt_report",
+    "KktReport",
+    "pareto_dominates",
+    "taus_from_rates",
+    "v_star_utility",
+    "v_utility",
+]

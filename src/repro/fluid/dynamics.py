@@ -1,0 +1,154 @@
+"""Fluid rate dynamics ``dx/dt`` for TCP, LIA, OLIA and baselines.
+
+These are the differential equations of Section V-A, obtained from the
+per-ACK window updates by replacing stochastic variations with their
+expectation.  With ``x_r = w_r / rtt_r``:
+
+* TCP (Reno, one route):   ``dx/dt = 1/rtt^2 - p x^2 / 2``
+* LIA (Eq. 1):             ``dx_r/dt = (x_r/rtt_r) * min(max_i(x_i/rtt_i) /
+  (sum_i x_i)^2, 1/(x_r rtt_r)) - p_r x_r^2 / 2``
+* OLIA (Eq. 7):            ``dx_r/dt = x_r^2 (1/(rtt_r^2 (sum_p x_p)^2)
+  - p_r/2) + alpha_r / rtt_r^2``
+
+OLIA's ``alpha_r`` follows Eq. (6) with the inter-loss distance
+approximated by its mean ``l_r = 1/p_r``: the set ``B`` of best paths
+maximizes ``1/(p_r rtt_r^2)`` and the set ``M`` maximizes the window
+``x_r rtt_r``.  The sets are computed with a relative tolerance; a strictly
+positive tolerance yields a selection of the differential inclusion
+(Eqs. 8-9) in which near-ties share the alpha mass, avoiding chattering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _argmax_set(scores: Sequence[float], rel_tol: float) -> List[int]:
+    """Indices whose score is within ``rel_tol`` (relative) of the max."""
+    best = max(scores)
+    if best <= 0:
+        return list(range(len(scores)))
+    threshold = best * (1.0 - rel_tol)
+    return [i for i, s in enumerate(scores) if s >= threshold]
+
+
+class FluidAlgorithm:
+    """Rate derivative of one user's routes under a given algorithm."""
+
+    name = "base"
+
+    def derivative(self, x: np.ndarray, p: np.ndarray,
+                   rtt: np.ndarray) -> np.ndarray:
+        """``dx/dt`` for this user's routes.
+
+        Parameters are per-route vectors restricted to the user's routes:
+        current rates ``x`` (pkt/s), loss probabilities ``p``, RTTs ``rtt``.
+        """
+        raise NotImplementedError
+
+
+class TcpFluid(FluidAlgorithm):
+    """Regular TCP on each route independently (uncoupled multipath)."""
+
+    name = "tcp"
+
+    def derivative(self, x, p, rtt):
+        return 1.0 / (rtt * rtt) - p * x * x / 2.0
+
+
+class LiaFluid(FluidAlgorithm):
+    """MPTCP's linked-increases algorithm (fluid version of Eq. 1)."""
+
+    name = "lia"
+
+    def derivative(self, x, p, rtt):
+        total = float(np.sum(x))
+        if total <= _EPS:
+            return 1.0 / (rtt * rtt)
+        coupled = float(np.max(x / rtt)) / (total * total)
+        cap = 1.0 / np.maximum(x * rtt, _EPS)
+        increase = x * np.minimum(coupled, cap) / rtt
+        return increase - p * x * x / 2.0
+
+
+class OliaFluid(FluidAlgorithm):
+    """OLIA (fluid version of Eqs. 5-7 with ``l_r ~= 1/p_r``)."""
+
+    name = "olia"
+
+    def __init__(self, tie_tolerance: float = 1e-3) -> None:
+        if tie_tolerance < 0:
+            raise ValueError("tie_tolerance must be non-negative")
+        self.tie_tolerance = tie_tolerance
+
+    def alphas(self, x: np.ndarray, p: np.ndarray,
+               rtt: np.ndarray) -> np.ndarray:
+        """``alpha_r`` of Eq. (6) with ``l_r = 1/p_r``."""
+        n_paths = len(x)
+        windows = x * rtt
+        best_scores = 1.0 / (np.maximum(p, _EPS) * rtt * rtt)
+        max_set = set(_argmax_set(list(windows), self.tie_tolerance))
+        best_set = set(_argmax_set(list(best_scores), self.tie_tolerance))
+        best_not_max = best_set - max_set
+        alphas = np.zeros(n_paths)
+        if not best_not_max:
+            return alphas
+        gain = (1.0 / n_paths) / len(best_not_max)
+        pain = -(1.0 / n_paths) / len(max_set)
+        for idx in best_not_max:
+            alphas[idx] = gain
+        for idx in max_set:
+            alphas[idx] = pain
+        return alphas
+
+    def derivative(self, x, p, rtt):
+        total = float(np.sum(x))
+        if total <= _EPS:
+            return 1.0 / (rtt * rtt)
+        kelly_voice = x * x * (1.0 / (rtt * rtt * total * total) - p / 2.0)
+        return kelly_voice + self.alphas(x, p, rtt) / (rtt * rtt)
+
+
+class CoupledFluid(OliaFluid):
+    """Fully coupled Kelly-Voice dynamics: OLIA without the alpha term."""
+
+    name = "coupled"
+
+    def alphas(self, x, p, rtt):
+        return np.zeros(len(x))
+
+
+class EwtcpFluid(FluidAlgorithm):
+    """Equally-weighted TCP: weight ``1/n^2`` per subflow."""
+
+    name = "ewtcp"
+
+    def derivative(self, x, p, rtt):
+        n_paths = len(x)
+        weight = 1.0 / (n_paths * n_paths)
+        return weight / (rtt * rtt) - p * x * x / 2.0
+
+
+_ALGORITHMS = {
+    "tcp": TcpFluid,
+    "reno": TcpFluid,
+    "uncoupled": TcpFluid,
+    "lia": LiaFluid,
+    "olia": OliaFluid,
+    "coupled": CoupledFluid,
+    "ewtcp": EwtcpFluid,
+}
+
+
+def make_fluid_algorithm(name: str) -> FluidAlgorithm:
+    """Instantiate a fluid algorithm by name (``tcp``, ``lia``, ``olia``...)."""
+    try:
+        return _ALGORITHMS[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_ALGORITHMS))
+        raise KeyError(f"unknown fluid algorithm {name!r}; known: {known}") \
+            from None

@@ -1,0 +1,214 @@
+"""Fixed points of the fluid model and verification of Theorem 1.
+
+Two complementary tools:
+
+* *per-user allocation rules* — given route loss probabilities, the rate
+  vector each algorithm equilibrates to: the TCP square-root law, LIA's
+  Eq. (2), OLIA's best-paths-only allocation (Theorem 1), and the
+  ``epsilon``-family of Section II (``x_r`` proportional to
+  ``p_r**(-1/epsilon)``) that interpolates between full resource pooling
+  (``epsilon -> 0``) and uncoupled TCP-like spreading (``epsilon = 2``).
+
+* a damped *fixed-point solver* that iterates allocation rules against the
+  network's loss models until rates and losses agree — the analytical
+  counterpart of running the testbed to equilibrium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+_EPS = 1e-15
+
+
+def tcp_rate(p: float, rtt: float) -> float:
+    """TCP loss-throughput formula ``x = sqrt(2/p) / rtt`` (pkt/s)."""
+    return float(np.sqrt(2.0 / max(p, _EPS)) / rtt)
+
+
+def best_path_rate(p: Sequence[float], rtt: Sequence[float]) -> float:
+    """Rate of a regular TCP user on the best of the given paths."""
+    return max(tcp_rate(pi, ri) for pi, ri in zip(p, rtt))
+
+
+def lia_allocation(p: Sequence[float], rtt: Sequence[float]) -> np.ndarray:
+    """LIA's fixed-point allocation, Eq. (2) of the paper.
+
+    Windows are proportional to ``1/p_r`` and the total rate equals the
+    TCP rate on the best path: ``w_r = (1/p_r) * best / sum_p 1/(rtt_p p_p)``
+    with ``x_r = w_r / rtt_r``.
+    """
+    p = np.maximum(np.asarray(p, dtype=float), _EPS)
+    rtt = np.asarray(rtt, dtype=float)
+    best = best_path_rate(p, rtt)
+    denom = float(np.sum(1.0 / (rtt * p)))
+    windows = (1.0 / p) * best / denom
+    return windows / rtt
+
+
+def olia_allocation(p: Sequence[float], rtt: Sequence[float],
+                    floor: Sequence[float] | None = None,
+                    tie_tolerance: float = 1e-6) -> np.ndarray:
+    """OLIA's fixed point per Theorem 1: best paths only.
+
+    Only the routes maximizing ``sqrt(2/p_r)/rtt_r`` carry traffic; the
+    total equals the TCP rate on the best path, split equally among tied
+    best paths.  Non-best routes receive the probing ``floor`` (0 by
+    default), matching the minimum-window behaviour of the implementation.
+    """
+    p = np.maximum(np.asarray(p, dtype=float), _EPS)
+    rtt = np.asarray(rtt, dtype=float)
+    rates = np.array([tcp_rate(pi, ri) for pi, ri in zip(p, rtt)])
+    best = float(np.max(rates))
+    best_set = rates >= best * (1.0 - tie_tolerance)
+    x = np.zeros(len(p))
+    if floor is not None:
+        x = np.asarray(floor, dtype=float).copy()
+    x[best_set] = best / int(np.sum(best_set))
+    return x
+
+
+def epsilon_family_allocation(p: Sequence[float], rtt: Sequence[float],
+                              epsilon: float) -> np.ndarray:
+    """The ``epsilon``-family of Section II: ``x_r ~ p_r**(-1/epsilon)``.
+
+    The total rate is normalised to the TCP rate on the best path (design
+    goals 1-2).  ``epsilon = 1`` reproduces LIA's Eq. (2) when RTTs are
+    equal; ``epsilon -> 0`` concentrates on the least-lossy path (fully
+    coupled); ``epsilon = 2`` spreads like uncoupled TCP.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    p = np.maximum(np.asarray(p, dtype=float), _EPS)
+    rtt = np.asarray(rtt, dtype=float)
+    total = best_path_rate(p, rtt)
+    if epsilon == 0:
+        return olia_allocation(p, rtt)
+    weights = p ** (-1.0 / epsilon)
+    return total * weights / float(np.sum(weights))
+
+
+def tcp_allocation(p: Sequence[float], rtt: Sequence[float]) -> np.ndarray:
+    """Uncoupled: every route gets the full TCP rate for its own loss."""
+    return np.array([tcp_rate(pi, ri) for pi, ri in zip(p, rtt)])
+
+
+AllocationRule = Callable[[Sequence[float], Sequence[float]], np.ndarray]
+
+
+def allocation_rule(name: str, **kwargs) -> AllocationRule:
+    """Look up an allocation rule by algorithm name.
+
+    ``epsilon`` selects the epsilon-family and requires ``epsilon=...``.
+    """
+    name = name.lower()
+    if name in ("tcp", "reno", "uncoupled"):
+        return tcp_allocation
+    if name == "lia":
+        return lia_allocation
+    if name in ("olia", "coupled"):
+        floor = kwargs.get("floor")
+        tol = kwargs.get("tie_tolerance", 1e-6)
+        return lambda p, rtt: olia_allocation(p, rtt, floor=floor,
+                                              tie_tolerance=tol)
+    if name == "epsilon":
+        eps = kwargs["epsilon"]
+        return lambda p, rtt: epsilon_family_allocation(p, rtt, eps)
+    raise KeyError(f"unknown allocation rule {name!r}")
+
+
+@dataclass
+class FixedPointResult:
+    """Outcome of the damped fixed-point iteration."""
+
+    rates: np.ndarray
+    route_loss: np.ndarray
+    link_loss: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+
+    def user_totals(self, network) -> np.ndarray:
+        return network.user_totals(self.rates)
+
+
+def solve_fixed_point(network, rules, *,
+                      floor_packets: float = 0.0,
+                      damping: float = 0.15,
+                      tol: float = 1e-8,
+                      max_iter: int = 20000,
+                      x0: np.ndarray | None = None) -> FixedPointResult:
+    """Damped iteration ``x <- (1-g) x + g f(p(x))`` to a fixed point.
+
+    ``rules`` is a single rule/name or a mapping ``user -> rule/name``.
+    The probing floor (in packets per RTT) is applied after each step.
+    """
+    if isinstance(rules, (str,)) or callable(rules):
+        rules = {user: rules for user in range(network.n_users)}
+    per_user: List[AllocationRule] = []
+    for user in range(network.n_users):
+        rule = rules[user]
+        per_user.append(allocation_rule(rule) if isinstance(rule, str)
+                        else rule)
+
+    rtts = network.rtt_array()
+    floor = (floor_packets / rtts if floor_packets > 0
+             else np.zeros_like(rtts))
+    x = (np.maximum(1.0 / rtts, floor) if x0 is None
+         else np.maximum(np.asarray(x0, dtype=float), floor))
+    user_routes = [np.asarray(r, dtype=int) for r in network.routes_of_user]
+
+    residual = np.inf
+    for iteration in range(1, max_iter + 1):
+        p_routes = network.route_loss_probs(x)
+        target = np.zeros_like(x)
+        for user, rule in enumerate(per_user):
+            idx = user_routes[user]
+            target[idx] = rule(p_routes[idx], rtts[idx])
+        target = np.maximum(target, floor)
+        new_x = (1.0 - damping) * x + damping * target
+        scale = max(float(np.max(np.abs(new_x))), 1e-9)
+        residual = float(np.max(np.abs(new_x - x))) / scale
+        x = new_x
+        if residual < tol:
+            return FixedPointResult(
+                rates=x, route_loss=network.route_loss_probs(x),
+                link_loss=network.link_loss_probs(x),
+                iterations=iteration, converged=True, residual=residual)
+    return FixedPointResult(
+        rates=x, route_loss=network.route_loss_probs(x),
+        link_loss=network.link_loss_probs(x),
+        iterations=max_iter, converged=False, residual=residual)
+
+
+def verify_theorem1(network, x: np.ndarray, *,
+                    floor_packets: float = 1.0,
+                    rtol: float = 0.05) -> Dict[str, bool]:
+    """Check the two claims of Theorem 1 for rate vector ``x``.
+
+    (i) only best paths carry more than the probing floor;
+    (ii) each user's total rate matches the TCP rate on its best path.
+    Returns a dict of booleans per claim.
+    """
+    rtts = network.rtt_array()
+    p_routes = network.route_loss_probs(x)
+    only_best = True
+    total_matches = True
+    for user, routes in enumerate(network.routes_of_user):
+        idx = np.asarray(routes, dtype=int)
+        p, rtt, rates = p_routes[idx], rtts[idx], x[idx]
+        tcp_rates = np.array([tcp_rate(pi, ri) for pi, ri in zip(p, rtt)])
+        best = float(np.max(tcp_rates))
+        floor = floor_packets / rtt
+        for rate, path_rate, f in zip(rates, tcp_rates, floor):
+            is_best = path_rate >= best * (1.0 - rtol)
+            # More than ~30% above the probing floor counts as "in use".
+            if not is_best and rate > 1.3 * f:
+                only_best = False
+        if not np.isclose(float(np.sum(rates)), best,
+                          rtol=rtol, atol=2 * float(np.max(floor))):
+            total_matches = False
+    return {"only_best_paths": only_best, "total_is_best_tcp": total_matches}

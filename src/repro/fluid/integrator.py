@@ -1,0 +1,174 @@
+"""Euler integration of the fluid dynamics, with probing-rate floor.
+
+The congestion windows of real window-based protocols never drop below
+1 MSS, so each established route always carries at least one packet per
+RTT.  The integrator mirrors this with a projection ``x_r >= floor_r``
+(``floor_packets / rtt_r``); setting ``floor_packets = 0`` recovers the
+idealised fluid model of the theorems.
+
+The right-hand side of OLIA's dynamics is discontinuous (the sets ``M``
+and ``B`` jump); the explicit Euler scheme with a small step behaves like
+a sliding-mode integration whose averaged trajectory follows the
+differential inclusion (Eqs. 8-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .dynamics import FluidAlgorithm, make_fluid_algorithm
+from .network import FluidNetwork
+
+
+@dataclass
+class FluidTrajectory:
+    """Recorded trajectory of route rates over time."""
+
+    network: FluidNetwork
+    times: np.ndarray
+    rates: np.ndarray  # shape (n_samples, n_routes)
+
+    @property
+    def final_rates(self) -> np.ndarray:
+        """Route rates at the last recorded instant."""
+        return self.rates[-1]
+
+    def user_totals(self) -> np.ndarray:
+        """Per-user total rates over time, shape (n_samples, n_users)."""
+        totals = np.zeros((self.rates.shape[0], self.network.n_users))
+        for route, user in enumerate(self.network.user_of_route):
+            totals[:, user] += self.rates[:, route]
+        return totals
+
+    def route_series(self, route: int) -> np.ndarray:
+        """Rate of one route over time."""
+        return self.rates[:, route]
+
+    def tail_average(self, fraction: float = 0.25) -> np.ndarray:
+        """Time-average of the last ``fraction`` of the trajectory.
+
+        OLIA's alpha term makes trajectories oscillate around the
+        equilibrium; averaging the tail gives the fixed point the
+        differential inclusion converges to.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        start = int(self.rates.shape[0] * (1.0 - fraction))
+        return self.rates[start:].mean(axis=0)
+
+    def settling_time(self, rel_tol: float = 0.05) -> float:
+        """Earliest time after which every rate stays within ``rel_tol``
+        (relative to the rate scale) of its final value.
+
+        This is the responsiveness metric used by the convergence
+        experiments: a smaller settling time means the algorithm adapts
+        faster after a change in path quality.  Returns ``inf`` when the
+        trajectory has not settled by its end.
+        """
+        final = self.tail_average(fraction=0.1)
+        scale = max(float(np.max(final)), 1e-9)
+        within = np.all(np.abs(self.rates - final) <= rel_tol * scale,
+                        axis=1)
+        outside = np.where(~within)[0]
+        if len(outside) == 0:
+            return float(self.times[0])
+        last_bad = int(outside[-1])
+        if last_bad + 1 >= len(self.times):
+            return float("inf")
+        return float(self.times[last_bad + 1])
+
+
+def _resolve_algorithms(network: FluidNetwork,
+                        algorithms) -> List[FluidAlgorithm]:
+    """Normalise the ``algorithms`` argument to one instance per user."""
+    if isinstance(algorithms, (str, FluidAlgorithm)):
+        algorithms = {user: algorithms for user in range(network.n_users)}
+    resolved = []
+    for user in range(network.n_users):
+        algo = algorithms[user]
+        if isinstance(algo, str):
+            algo = make_fluid_algorithm(algo)
+        resolved.append(algo)
+    return resolved
+
+
+def integrate(network: FluidNetwork, algorithms, *,
+              t_end: float, dt: float = 1e-3,
+              x0: np.ndarray | None = None,
+              floor_packets: float = 1.0,
+              record_every: int = 10) -> FluidTrajectory:
+    """Integrate the fluid dynamics from ``x0`` for ``t_end`` seconds.
+
+    Parameters
+    ----------
+    algorithms:
+        Either a single algorithm (name or instance) used by every user, or
+        a mapping ``user id -> algorithm``.
+    floor_packets:
+        Minimum window in packets; route rates are clamped to
+        ``floor_packets / rtt_r`` (probing traffic).  Use 0 to disable.
+    record_every:
+        Record one sample every this many Euler steps.
+    """
+    if dt <= 0 or t_end <= 0:
+        raise ValueError("dt and t_end must be positive")
+    per_user = _resolve_algorithms(network, algorithms)
+    rtts = network.rtt_array()
+    floor = floor_packets / rtts if floor_packets > 0 else np.zeros_like(rtts)
+    if x0 is None:
+        x = np.maximum(floor.copy(), 1.0 / rtts)
+    else:
+        x = np.maximum(np.asarray(x0, dtype=float).copy(), floor)
+
+    n_steps = int(round(t_end / dt))
+    times: List[float] = [0.0]
+    samples: List[np.ndarray] = [x.copy()]
+    user_routes = [np.asarray(routes, dtype=int)
+                   for routes in network.routes_of_user]
+
+    for step in range(1, n_steps + 1):
+        p_routes = network.route_loss_probs(x)
+        dx = np.zeros_like(x)
+        for user, algo in enumerate(per_user):
+            idx = user_routes[user]
+            dx[idx] = algo.derivative(x[idx], p_routes[idx], rtts[idx])
+        x = np.maximum(x + dt * dx, floor)
+        if step % record_every == 0 or step == n_steps:
+            times.append(step * dt)
+            samples.append(x.copy())
+
+    return FluidTrajectory(network=network,
+                           times=np.asarray(times),
+                           rates=np.vstack(samples))
+
+
+def integrate_to_equilibrium(network: FluidNetwork, algorithms, *,
+                             dt: float = 1e-3, chunk: float = 5.0,
+                             max_time: float = 500.0, rel_tol: float = 1e-4,
+                             floor_packets: float = 1.0,
+                             x0: np.ndarray | None = None) -> FluidTrajectory:
+    """Integrate in chunks until the tail-averaged rates stop moving.
+
+    Convergence is declared when the tail averages of two consecutive
+    chunks differ by less than ``rel_tol`` relative to the rate scale.
+    Returns the trajectory of the final chunk.
+    """
+    previous = None
+    x_start = x0
+    elapsed = 0.0
+    trajectory = None
+    while elapsed < max_time:
+        trajectory = integrate(network, algorithms, t_end=chunk, dt=dt,
+                               x0=x_start, floor_packets=floor_packets)
+        current = trajectory.tail_average()
+        if previous is not None:
+            scale = max(float(np.max(np.abs(current))), 1e-9)
+            if float(np.max(np.abs(current - previous))) < rel_tol * scale:
+                return trajectory
+        previous = current
+        x_start = trajectory.final_rates
+        elapsed += chunk
+    return trajectory

@@ -1,0 +1,160 @@
+"""Link loss models ``p_l(y)`` for the fluid network.
+
+The fluid model of Section V assumes each link ``l`` has a loss rate
+``p_l`` that is an increasing function of the total traffic ``y`` through
+it.  Three families are provided:
+
+* :class:`PowerLoss` — smooth ``p(y) = p_c * (y/C)**beta``; convenient for
+  proofs-by-numerics because it is differentiable everywhere.
+* :class:`SharpLoss` — a steep power law approximating the "sharp around
+  C_l" regime of Remark 1 (capacity constraints).
+* :class:`RedLoss` — the piecewise-linear RED marking curve the testbed
+  routers use (min_th/max_th/gentle), mapped from queue occupancy to rate.
+
+Every model also exposes :meth:`LossModel.cost`, the primitive
+``int_0^y p(u) du`` used by the congestion cost ``C(x)`` of Theorem 3.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class LossModel:
+    """Increasing loss probability as a function of link rate (pkt/s)."""
+
+    #: Nominal capacity in pkt/s (used for reporting and utilization).
+    capacity: float
+
+    def __call__(self, rate: float) -> float:
+        """Loss probability at total link ``rate``, in ``[0, 1]``."""
+        raise NotImplementedError
+
+    def cost(self, rate: float) -> float:
+        """Congestion-cost primitive ``int_0^rate p(u) du``."""
+        raise NotImplementedError
+
+
+class PowerLoss(LossModel):
+    """``p(y) = p_at_capacity * (y / capacity)**exponent`` (clamped to 1).
+
+    The default exponent of 4 gives a loss probability that rises quickly
+    but smoothly around the capacity, which keeps the Euler integration of
+    the fluid dynamics well behaved.
+    """
+
+    def __init__(self, capacity: float, p_at_capacity: float = 0.01,
+                 exponent: float = 4.0) -> None:
+        if capacity <= 0 or not 0 < p_at_capacity <= 1 or exponent <= 0:
+            raise ValueError("invalid PowerLoss parameters")
+        self.capacity = capacity
+        self.p_at_capacity = p_at_capacity
+        self.exponent = exponent
+        # Rate beyond which p saturates at 1.
+        self._saturation = capacity * (1.0 / p_at_capacity) ** (1.0 / exponent)
+
+    def __call__(self, rate: float) -> float:
+        if rate <= 0:
+            return 0.0
+        if rate >= self._saturation:
+            return 1.0
+        return self.p_at_capacity * (rate / self.capacity) ** self.exponent
+
+    def cost(self, rate: float) -> float:
+        if rate <= 0:
+            return 0.0
+        k = self.exponent
+        if rate <= self._saturation:
+            return self.p_at_capacity * rate * (rate / self.capacity) ** k / (k + 1)
+        at_sat = (self.p_at_capacity * self._saturation / (k + 1)
+                  * (self._saturation / self.capacity) ** k)
+        return at_sat + (rate - self._saturation)
+
+
+class SharpLoss(PowerLoss):
+    """A steep power law: negligible below capacity, rising fast above it.
+
+    Approximates the binary congestion cost of Remark 1, where the cost
+    function effectively enforces ``sum_{r in l} x_r <= C_l``.
+    """
+
+    def __init__(self, capacity: float, p_at_capacity: float = 0.02,
+                 exponent: float = 12.0) -> None:
+        super().__init__(capacity, p_at_capacity, exponent)
+
+
+class RedLoss(LossModel):
+    """Piecewise-linear RED marking curve expressed in the rate domain.
+
+    The testbed RED queue (Section III) drops with probability 0 up to
+    ``min_th``, then linearly up to ``p_max`` at ``max_th``, then linearly
+    up to 1 at ``2 * max_th`` (gentle mode).  In the fluid model the queue
+    occupancy is monotone in the arrival rate, so we map the thresholds to
+    rates: zero loss below ``low * capacity``, ``p_max`` at capacity, and 1
+    at ``high * capacity``.
+    """
+
+    def __init__(self, capacity: float, p_max: float = 0.1,
+                 low: float = 0.9, high: float = 1.5) -> None:
+        if capacity <= 0 or not 0 < p_max < 1 or not 0 < low < 1 < high:
+            raise ValueError("invalid RedLoss parameters")
+        self.capacity = capacity
+        self.p_max = p_max
+        self.low_rate = low * capacity
+        self.high_rate = high * capacity
+
+    def __call__(self, rate: float) -> float:
+        if rate <= self.low_rate:
+            return 0.0
+        if rate <= self.capacity:
+            frac = (rate - self.low_rate) / (self.capacity - self.low_rate)
+            return self.p_max * frac
+        if rate <= self.high_rate:
+            frac = (rate - self.capacity) / (self.high_rate - self.capacity)
+            return self.p_max + (1.0 - self.p_max) * frac
+        return 1.0
+
+    def cost(self, rate: float) -> float:
+        # Integrate the piecewise-linear curve segment by segment.
+        total = 0.0
+        if rate <= self.low_rate:
+            return 0.0
+        # Segment 2: linear 0 -> p_max over [low_rate, capacity].
+        seg_end = min(rate, self.capacity)
+        width = seg_end - self.low_rate
+        slope = self.p_max / (self.capacity - self.low_rate)
+        total += 0.5 * slope * width * width
+        if rate <= self.capacity:
+            return total
+        # Segment 3: linear p_max -> 1 over [capacity, high_rate].
+        seg_end = min(rate, self.high_rate)
+        width = seg_end - self.capacity
+        slope = (1.0 - self.p_max) / (self.high_rate - self.capacity)
+        total += self.p_max * width + 0.5 * slope * width * width
+        if rate <= self.high_rate:
+            return total
+        # Saturated tail.
+        total += rate - self.high_rate
+        return total
+
+
+def equilibrium_rate_for_tcp(loss: LossModel, rtt: float,
+                             n_flows: int = 1) -> float:
+    """Rate at which ``n_flows`` TCP users equilibrate on a single link.
+
+    Solves ``n * sqrt(2 / p(y)) / rtt = y`` by bisection; a helper used in
+    tests to cross-check the fluid integrator against the loss model.
+    """
+    lo, hi = 1e-9, max(loss.capacity * 10.0, 1.0)
+
+    def excess(y: float) -> float:
+        p = max(loss(y), 1e-12)
+        return n_flows * math.sqrt(2.0 / p) / rtt - y
+
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if excess(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

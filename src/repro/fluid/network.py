@@ -1,0 +1,142 @@
+"""Static fluid network: links, routes and users (Section V-A).
+
+The network model follows Kelly et al.: a set of links, each with a loss
+model ``p_l``; routes are sets of links; each user owns a set of routes.
+Route loss probabilities are ``p_r = sum_{l in r} p_l`` (independent small
+losses, as assumed in the paper).
+
+Rates live in a flat numpy vector indexed by *route id*, which makes the
+dynamics and fixed-point code vectorizable and easy to test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .loss import LossModel
+
+
+class FluidNetwork:
+    """Container for links, users and routes of the fluid model."""
+
+    def __init__(self) -> None:
+        self._loss_models: List[LossModel] = []
+        self._link_names: List[str] = []
+        self._user_names: List[str] = []
+        self.routes_of_user: List[List[int]] = []
+        self.user_of_route: List[int] = []
+        self.links_of_route: List[List[int]] = []
+        self.rtts: List[float] = []
+        self._route_names: List[str] = []
+
+    # -- construction ---------------------------------------------------------
+    def add_link(self, loss_model: LossModel, name: str | None = None) -> int:
+        """Register a link; returns its id."""
+        self._loss_models.append(loss_model)
+        self._link_names.append(name or f"link{len(self._loss_models) - 1}")
+        return len(self._loss_models) - 1
+
+    def add_user(self, name: str | None = None) -> int:
+        """Register a user; returns its id."""
+        self.routes_of_user.append([])
+        self._user_names.append(name or f"user{len(self.routes_of_user) - 1}")
+        return len(self.routes_of_user) - 1
+
+    def add_route(self, user: int, links: Sequence[int], rtt: float,
+                  name: str | None = None) -> int:
+        """Attach a route (a set of link ids) to ``user``; returns route id."""
+        if rtt <= 0:
+            raise ValueError("route RTT must be positive")
+        if not links:
+            raise ValueError("a route must cross at least one link")
+        for link in links:
+            if not 0 <= link < len(self._loss_models):
+                raise ValueError(f"unknown link id {link}")
+        route_id = len(self.user_of_route)
+        self.routes_of_user[user].append(route_id)
+        self.user_of_route.append(user)
+        self.links_of_route.append(list(links))
+        self.rtts.append(float(rtt))
+        self._route_names.append(name or f"route{route_id}")
+        return route_id
+
+    # -- sizes ------------------------------------------------------------------
+    @property
+    def n_links(self) -> int:
+        return len(self._loss_models)
+
+    @property
+    def n_users(self) -> int:
+        return len(self.routes_of_user)
+
+    @property
+    def n_routes(self) -> int:
+        return len(self.user_of_route)
+
+    def link_name(self, link: int) -> str:
+        return self._link_names[link]
+
+    def user_name(self, user: int) -> str:
+        return self._user_names[user]
+
+    def route_name(self, route: int) -> str:
+        return self._route_names[route]
+
+    def loss_model(self, link: int) -> LossModel:
+        return self._loss_models[link]
+
+    def rtt_array(self) -> np.ndarray:
+        """Route RTTs as a numpy vector."""
+        return np.asarray(self.rtts, dtype=float)
+
+    # -- rate/loss computations --------------------------------------------------
+    def link_rates(self, x: np.ndarray) -> np.ndarray:
+        """Total rate through each link for route-rate vector ``x``."""
+        rates = np.zeros(self.n_links)
+        for route, links in enumerate(self.links_of_route):
+            for link in links:
+                rates[link] += x[route]
+        return rates
+
+    def link_loss_probs(self, x: np.ndarray) -> np.ndarray:
+        """Loss probability at each link."""
+        rates = self.link_rates(x)
+        return np.array([model(rate)
+                         for model, rate in zip(self._loss_models, rates)])
+
+    def route_loss_probs(self, x: np.ndarray) -> np.ndarray:
+        """Per-route loss ``p_r = min(1, sum_{l in r} p_l)``."""
+        link_probs = self.link_loss_probs(x)
+        route_probs = np.array([
+            sum(link_probs[link] for link in links)
+            for links in self.links_of_route])
+        return np.minimum(route_probs, 1.0)
+
+    def user_totals(self, x: np.ndarray) -> np.ndarray:
+        """Total rate per user."""
+        totals = np.zeros(self.n_users)
+        for route, user in enumerate(self.user_of_route):
+            totals[user] += x[route]
+        return totals
+
+    def congestion_cost(self, x: np.ndarray) -> float:
+        """The paper's ``C(x) = sum_l int_0^{y_l} p_l(u) du`` (Theorem 3)."""
+        rates = self.link_rates(x)
+        return float(sum(model.cost(rate)
+                         for model, rate in zip(self._loss_models, rates)))
+
+    def describe(self) -> str:
+        """Readable one-line-per-entity summary (debugging aid)."""
+        lines = [f"FluidNetwork: {self.n_links} links, "
+                 f"{self.n_users} users, {self.n_routes} routes"]
+        for user, routes in enumerate(self.routes_of_user):
+            parts = []
+            for route in routes:
+                links = "+".join(self._link_names[l]
+                                 for l in self.links_of_route[route])
+                parts.append(f"{self._route_names[route]}({links}, "
+                             f"rtt={self.rtts[route]:g})")
+            lines.append(f"  {self._user_names[user]}: " + ", ".join(parts))
+        return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Utility functions and Pareto-optimality checks (Theorems 3 and 4).
+
+Appendix F shows OLIA's fixed points maximize::
+
+    V*(x) = sum_u -1 / (tau_u^2 * sum_{r in R_u} x_r / rtt_r^2)
+            - 1/2 * sum_l int_0^{y_l} p_l(u) du
+
+with ``tau_u = (sum_r x*_r) / (sum_r x*_r / rtt_r^2)``.  When all of a
+user's routes share one RTT this reduces to the TCP-fairness utility
+``V(x)`` of Theorem 4.  Because V* is concave, a rate vector is a
+maximizer iff the KKT conditions (Eqs. 18-19) hold, which gives a cheap
+numerical Pareto-optimality certificate for any allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .network import FluidNetwork
+
+_EPS = 1e-15
+
+
+def taus_from_rates(network: FluidNetwork, x: np.ndarray) -> np.ndarray:
+    """``tau_u = (sum_r x_r) / (sum_r x_r / rtt_r^2)`` per user."""
+    rtts = network.rtt_array()
+    taus = np.zeros(network.n_users)
+    for user, routes in enumerate(network.routes_of_user):
+        idx = np.asarray(routes, dtype=int)
+        total = float(np.sum(x[idx]))
+        weighted = float(np.sum(x[idx] / rtts[idx] ** 2))
+        taus[user] = total / max(weighted, _EPS)
+    return taus
+
+
+def v_star_utility(network: FluidNetwork, x: np.ndarray,
+                   taus: np.ndarray | None = None) -> float:
+    """The paper's ``V*(x)`` (Eq. 17)."""
+    if taus is None:
+        taus = taus_from_rates(network, x)
+    rtts = network.rtt_array()
+    value = 0.0
+    for user, routes in enumerate(network.routes_of_user):
+        idx = np.asarray(routes, dtype=int)
+        weighted = float(np.sum(x[idx] / rtts[idx] ** 2))
+        value -= 1.0 / (taus[user] ** 2 * max(weighted, _EPS))
+    value -= 0.5 * network.congestion_cost(x)
+    return value
+
+
+def v_utility(network: FluidNetwork, x: np.ndarray) -> float:
+    """The TCP-fairness utility ``V(x)`` of Theorem 4.
+
+    Requires every route of a user to share the same RTT (assumption A);
+    raises ``ValueError`` otherwise.
+    """
+    rtts = network.rtt_array()
+    value = 0.0
+    for user, routes in enumerate(network.routes_of_user):
+        idx = np.asarray(routes, dtype=int)
+        user_rtts = rtts[idx]
+        if not np.allclose(user_rtts, user_rtts[0], rtol=1e-9):
+            raise ValueError(
+                f"user {user} has routes with different RTTs; "
+                "V(x) requires assumption (A)")
+        total = float(np.sum(x[idx]))
+        value -= 1.0 / (user_rtts[0] ** 2 * max(total, _EPS))
+    value -= 0.5 * network.congestion_cost(x)
+    return value
+
+
+@dataclass
+class KktReport:
+    """Per-route KKT residuals for V* (Eqs. 18-19)."""
+
+    residuals: np.ndarray          # g_r, must be <= tol
+    complementarity: np.ndarray    # |g_r| where x_r is above the floor
+    max_violation: float
+    max_complementarity: float
+    is_pareto_optimal: bool
+
+
+def kkt_report(network: FluidNetwork, x: np.ndarray, *,
+               floor_packets: float = 1.0,
+               tol: float = 0.05) -> KktReport:
+    """Evaluate the KKT conditions of V* at ``x``.
+
+    For every route (Eq. 18-19, scaled by ``2/p_r`` to be unit-free)::
+
+        g_r = (1/tau_u^2) * (1/rtt_r^2) / (sum_r x_r/rtt_r^2)^2 - p_r/2
+
+    must satisfy ``g_r <= tol`` and ``g_r ~= 0`` whenever ``x_r`` exceeds
+    the probing floor.  ``is_pareto_optimal`` summarises both checks; by
+    Theorem 3 this certifies that no user's ``sum_r x_r/rtt_r^2`` can be
+    raised without lowering another's or raising the congestion cost.
+    """
+    taus = taus_from_rates(network, x)
+    rtts = network.rtt_array()
+    p_routes = network.route_loss_probs(x)
+    g = np.zeros(network.n_routes)
+    active = np.zeros(network.n_routes, dtype=bool)
+    for user, routes in enumerate(network.routes_of_user):
+        idx = np.asarray(routes, dtype=int)
+        weighted = float(np.sum(x[idx] / rtts[idx] ** 2))
+        for r in idx:
+            lhs = (1.0 / taus[user] ** 2) * (1.0 / rtts[r] ** 2) \
+                / max(weighted, _EPS) ** 2
+            p_r = max(p_routes[r], _EPS)
+            # Relative residual: lhs/(p_r/2) - 1 is 0 at the optimum.
+            g[r] = lhs / (p_r / 2.0) - 1.0
+            # A route is "in use" when clearly above the probing floor;
+            # 30% margin separates floor-parked routes from active ones.
+            active[r] = x[r] > 1.3 * floor_packets / rtts[r]
+    complementarity = np.where(active, np.abs(g), 0.0)
+    max_violation = float(np.max(g)) if len(g) else 0.0
+    max_comp = float(np.max(complementarity)) if len(g) else 0.0
+    return KktReport(
+        residuals=g,
+        complementarity=complementarity,
+        max_violation=max_violation,
+        max_complementarity=max_comp,
+        is_pareto_optimal=(max_violation <= tol and max_comp <= tol))
+
+
+def pareto_dominates(network: FluidNetwork, x_new: np.ndarray,
+                     x_old: np.ndarray, *, rtol: float = 1e-6,
+                     cost_rtol: float | None = None) -> bool:
+    """True if ``x_new`` Pareto-dominates ``x_old`` in the paper's sense.
+
+    Domination means: every user's utility ``sum_r x_r / rtt_r^2`` is at
+    least as high, at least one strictly higher (beyond ``rtol``), and the
+    congestion cost did not increase (beyond ``cost_rtol``, which defaults
+    to ``rtol``; pass a larger value to ignore sub-capacity cost noise
+    under smooth loss models).
+    """
+    if cost_rtol is None:
+        cost_rtol = rtol
+    rtts = network.rtt_array()
+
+    def objectives(x):
+        vals = np.zeros(network.n_users)
+        for user, routes in enumerate(network.routes_of_user):
+            idx = np.asarray(routes, dtype=int)
+            vals[user] = float(np.sum(x[idx] / rtts[idx] ** 2))
+        return vals
+
+    new_vals, old_vals = objectives(x_new), objectives(x_old)
+    scale = max(float(np.max(np.abs(old_vals))), _EPS)
+    if np.any(new_vals < old_vals - rtol * scale):
+        return False
+    cost_new = network.congestion_cost(x_new)
+    cost_old = network.congestion_cost(x_old)
+    cost_scale = max(abs(cost_old), _EPS)
+    if cost_new > cost_old + cost_rtol * cost_scale:
+        return False
+    return bool(np.any(new_vals > old_vals + rtol * scale))

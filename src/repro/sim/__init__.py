@@ -1,0 +1,29 @@
+"""Packet-level discrete-event simulator (testbed / htsim substitute)."""
+
+from .apps import BackgroundTraffic, BulkTransfer, ShortFlowSource
+from .engine import Event, Simulator
+from .link import Link, LinkStats
+from .monitors import FlowMeter, WindowTracer
+from .mptcp import MptcpConnection, PathSpec
+from .packet import Packet
+from .queues import DropTailQueue, REDQueue
+from .tcp import TcpSubflow, single_path_tcp
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Packet",
+    "DropTailQueue",
+    "REDQueue",
+    "Link",
+    "LinkStats",
+    "TcpSubflow",
+    "single_path_tcp",
+    "MptcpConnection",
+    "PathSpec",
+    "BulkTransfer",
+    "ShortFlowSource",
+    "BackgroundTraffic",
+    "FlowMeter",
+    "WindowTracer",
+]

@@ -1,0 +1,111 @@
+"""Store-and-forward link with an egress queue and per-link statistics.
+
+A :class:`Link` transmits one packet at a time at its configured rate,
+then hands the packet to the next hop of its path after the propagation
+delay.  Arriving packets go through the queue discipline when the
+transmitter is busy; queue drops are the (only) loss mechanism in the
+simulator, exactly as in the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .engine import Simulator
+from .packet import Packet
+from .queues import DropTailQueue
+
+
+class LinkStats:
+    """Arrival/drop/throughput counters with warmup reset support."""
+
+    __slots__ = ("arrivals", "drops", "bytes_sent", "since")
+
+    def __init__(self) -> None:
+        self.arrivals = 0
+        self.drops = 0
+        self.bytes_sent = 0
+        self.since = 0.0
+
+    def reset(self, now: float) -> None:
+        """Forget everything before ``now`` (end of warmup)."""
+        self.arrivals = 0
+        self.drops = 0
+        self.bytes_sent = 0
+        self.since = now
+
+    @property
+    def loss_probability(self) -> float:
+        """Fraction of arrivals dropped since the last reset."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.drops / self.arrivals
+
+    def utilization(self, now: float, rate_bps: float) -> float:
+        """Fraction of the link capacity used since the last reset."""
+        elapsed = now - self.since
+        if elapsed <= 0:
+            return 0.0
+        return (self.bytes_sent * 8.0) / (rate_bps * elapsed)
+
+
+class Link:
+    """Unidirectional link: rate (bits/s), propagation delay, queue."""
+
+    __slots__ = ("sim", "rate_bps", "delay", "queue", "stats", "name",
+                 "_busy")
+
+    def __init__(self, sim: Simulator, rate_bps: float, delay: float,
+                 queue: Optional[DropTailQueue] = None,
+                 name: str = "link") -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.stats = LinkStats()
+        self.name = name
+        self._busy = False
+
+    def receive(self, packet: Packet) -> None:
+        """Packet arrives at this link's ingress."""
+        self.stats.arrivals += 1
+        if self._busy:
+            if not self.queue.try_enqueue(packet):
+                self.stats.drops += 1
+            return
+        # Transmitter idle: RED still sees the (empty) queue arrival.
+        if not self.queue.try_enqueue(packet):
+            self.stats.drops += 1
+            return
+        next_packet = self.queue.dequeue()
+        if next_packet is not None:
+            self._start_transmission(next_packet)
+
+    def _start_transmission(self, packet: Packet) -> None:
+        self._busy = True
+        service_time = packet.size_bytes * 8.0 / self.rate_bps
+        self.sim.schedule(service_time, self._transmission_done, packet)
+
+    def _transmission_done(self, packet: Packet) -> None:
+        self.stats.bytes_sent += packet.size_bytes
+        self.sim.schedule(self.delay, self._deliver, packet)
+        next_packet = self.queue.dequeue()
+        if next_packet is not None:
+            self._start_transmission(next_packet)
+        else:
+            self._busy = False
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.hop += 1
+        if packet.hop < len(packet.path):
+            packet.path[packet.hop].receive(packet)
+        else:
+            packet.endpoint.on_data(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Link({self.name}, {self.rate_bps / 1e6:.1f} Mbps, "
+                f"{self.delay * 1e3:.1f} ms)")

@@ -1,0 +1,89 @@
+"""Measurement helpers: goodput meters and window/alpha tracers.
+
+``FlowMeter`` snapshots acknowledged-packet counters so experiments can
+exclude warmup.  ``WindowTracer`` samples congestion windows (and OLIA's
+alpha values) at a fixed period, producing the time series of the
+paper's Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .engine import Simulator
+
+
+class FlowMeter:
+    """Goodput measurement over a time window for a set of flows.
+
+    Flows must expose an ``acked_packets`` attribute (both
+    :class:`~repro.sim.tcp.TcpSubflow` and
+    :class:`~repro.sim.mptcp.MptcpConnection` do).
+    """
+
+    def __init__(self, sim: Simulator, flows: Dict[str, object]) -> None:
+        self.sim = sim
+        self.flows = dict(flows)
+        self._baseline: Dict[str, int] = {name: 0 for name in self.flows}
+        self._since = 0.0
+
+    def reset(self) -> None:
+        """Start a fresh measurement window (end of warmup)."""
+        self._since = self.sim.now
+        for name, flow in self.flows.items():
+            self._baseline[name] = flow.acked_packets
+
+    def goodput_pps(self) -> Dict[str, float]:
+        """Per-flow goodput in packets/s since the last reset."""
+        elapsed = self.sim.now - self._since
+        if elapsed <= 0:
+            return {name: 0.0 for name in self.flows}
+        return {
+            name: (flow.acked_packets - self._baseline[name]) / elapsed
+            for name, flow in self.flows.items()
+        }
+
+    def total_pps(self) -> float:
+        """Aggregate goodput in packets/s since the last reset."""
+        return sum(self.goodput_pps().values())
+
+
+class WindowTracer:
+    """Periodic sampler of subflow windows and OLIA alphas."""
+
+    def __init__(self, sim: Simulator, connection, period: float = 0.1)\
+            -> None:
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        self.sim = sim
+        self.connection = connection
+        self.period = period
+        self.times: List[float] = []
+        self.windows: List[List[float]] = []
+        self.alphas: List[List[float]] = []
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self.sim.schedule(0.0, self._sample)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        self.times.append(self.sim.now)
+        self.windows.append(list(self.connection.windows()))
+        self.alphas.append(list(self.connection.alphas()))
+        self.sim.schedule(self.period, self._sample)
+
+    def mean_windows(self, skip_fraction: float = 0.25) -> List[float]:
+        """Time-averaged windows, skipping the first ``skip_fraction``."""
+        if not self.windows:
+            return []
+        start = int(len(self.windows) * skip_fraction)
+        rows = self.windows[start:]
+        n_subflows = len(rows[0])
+        return [sum(row[i] for row in rows) / len(rows)
+                for i in range(n_subflows)]

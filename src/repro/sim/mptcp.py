@@ -1,0 +1,114 @@
+"""MPTCP connections: several subflows coupled by one controller.
+
+An :class:`MptcpConnection` opens one :class:`~repro.sim.tcp.TcpSubflow`
+per path and binds them all to a single shared
+:class:`~repro.core.base.MultipathController` (LIA, OLIA, ...), which is
+where the congestion coupling happens.  Following the paper's Linux
+implementation (Section IV-B), subflows of a multi-path connection use a
+minimum ssthresh of 1 MSS so that congested paths fall out of slow start
+immediately.
+
+Long-lived connections model Iperf bulk transfers: every subflow always
+has data to send, so the MPTCP scheduler (packet striping) is irrelevant
+to throughput and is not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.base import MultipathController
+from ..core.registry import make_controller
+from .engine import Simulator
+from .tcp import TcpSubflow
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """Forward path (tuple of links) plus the reverse-direction delay."""
+
+    links: tuple
+    reverse_delay: float
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError("a path needs at least one link")
+        if self.reverse_delay < 0:
+            raise ValueError("reverse delay cannot be negative")
+
+
+class MptcpConnection:
+    """A multipath connection running a coupled congestion controller."""
+
+    def __init__(self, sim: Simulator, algorithm, paths: Sequence[PathSpec],
+                 *, name: str = "mptcp") -> None:
+        if not paths:
+            raise ValueError("an MPTCP connection needs at least one path")
+        self.sim = sim
+        self.name = name
+        if isinstance(algorithm, MultipathController):
+            self.controller = algorithm
+        else:
+            self.controller = make_controller(algorithm)
+        multipath = len(paths) > 1
+        self.subflows: List[TcpSubflow] = []
+        self._next_key = 0
+        self._started = False
+        self._closed_acked = 0
+        for spec in paths:
+            self._make_subflow(spec, multipath)
+
+    def _make_subflow(self, spec: PathSpec, multipath: bool) -> TcpSubflow:
+        key = self._next_key
+        self._next_key += 1
+        subflow = TcpSubflow(
+            self.sim, spec.links, spec.reverse_delay, self.controller,
+            key=key,
+            min_ssthresh=1.0 if multipath else 2.0,
+            name=f"{self.name}.sf{key}")
+        self.subflows.append(subflow)
+        return subflow
+
+    def start(self, at: float | None = None) -> None:
+        """Start every subflow at time ``at`` (defaults to now)."""
+        self._started = True
+        for subflow in self.subflows:
+            subflow.start(at)
+
+    # -- dynamic path management ------------------------------------------------
+    def add_subflow(self, spec: PathSpec) -> TcpSubflow:
+        """Open an extra subflow mid-connection (a new path appeared).
+
+        The new subflow joins the shared controller and, if the
+        connection is already running, starts immediately.
+        """
+        subflow = self._make_subflow(spec, multipath=True)
+        if self._started:
+            subflow.start()
+        return subflow
+
+    def remove_subflow(self, subflow: TcpSubflow) -> None:
+        """Close one subflow (path failure / interface removal)."""
+        if subflow not in self.subflows:
+            raise ValueError("subflow does not belong to this connection")
+        subflow.stop()
+        self.subflows.remove(subflow)
+        self._closed_acked += subflow.acked_packets
+
+    @property
+    def acked_packets(self) -> int:
+        """Total packets acknowledged across subflows (closed included)."""
+        return (sum(sf.acked_packets for sf in self.subflows)
+                + self._closed_acked)
+
+    def windows(self) -> List[float]:
+        """Current congestion windows, one per subflow."""
+        return [sf.cwnd for sf in self.subflows]
+
+    def alphas(self) -> List[float]:
+        """OLIA's current alpha values (zeros for other algorithms)."""
+        if hasattr(self.controller, "alphas"):
+            alpha_map = self.controller.alphas()
+            return [alpha_map.get(sf.key, 0.0) for sf in self.subflows]
+        return [0.0] * len(self.subflows)

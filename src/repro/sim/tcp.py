@@ -1,0 +1,321 @@
+"""Packet-level TCP: one subflow with NewReno-style loss recovery.
+
+A :class:`TcpSubflow` is both the sender and the receiver endpoint of one
+path (the reverse direction carries only ACK notifications after a fixed
+``reverse_delay``; see DESIGN.md).  The congestion-avoidance *increase* is
+delegated to a :class:`~repro.core.base.MultipathController`, so the same
+transport code runs regular TCP (Reno controller), LIA, OLIA, and the
+baselines.  Loss behaviour is common to all algorithms in the paper:
+halving on fast retransmit, window of 1 and slow start on timeout.
+
+Implemented mechanisms:
+
+* slow start with configurable minimum ssthresh (the paper's OLIA
+  implementation uses 1 MSS for multipath subflows, Section IV-B);
+* cumulative ACKs with out-of-order buffering at the receiver;
+* fast retransmit on 3 duplicate ACKs, NewReno partial-ACK retransmission
+  without re-halving during one recovery episode;
+* retransmission timeout with exponential backoff and Karn's algorithm
+  (no RTT samples from retransmitted segments);
+* Jacobson/Karels smoothed RTT driving both the RTO and the coupled
+  controllers' RTT compensation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.base import MultipathController, SubflowState
+from ..core.reno import RenoController
+from ..core.rtt import RttEstimator
+from ..units import MSS_BYTES
+from .engine import Simulator
+from .packet import Packet
+
+_INITIAL_SSTHRESH = 1e9
+
+
+class TcpSubflow:
+    """One TCP connection / MPTCP subflow over an explicit path."""
+
+    def __init__(self, sim: Simulator, path: tuple, reverse_delay: float,
+                 controller: MultipathController, key: int, *,
+                 size_packets: Optional[int] = None,
+                 initial_cwnd: float = 2.0,
+                 min_ssthresh: float = 2.0,
+                 rcv_wnd_packets: Optional[int] = None,
+                 on_complete: Optional[Callable[[float], None]] = None,
+                 name: str = "flow") -> None:
+        if not path:
+            raise ValueError("path must contain at least one link")
+        if reverse_delay < 0:
+            raise ValueError("reverse delay cannot be negative")
+        if rcv_wnd_packets is not None and rcv_wnd_packets < 1:
+            raise ValueError("receive window must be at least 1 packet")
+        self.sim = sim
+        self.path = tuple(path)
+        self.reverse_delay = reverse_delay
+        self.controller = controller
+        self.key = key
+        self.size_packets = size_packets
+        self.min_ssthresh = min_ssthresh
+        self.rcv_wnd_packets = rcv_wnd_packets
+        self.on_complete = on_complete
+        self.name = name
+
+        base_rtt = sum(link.delay for link in self.path) + reverse_delay
+        self.state = SubflowState(cwnd=initial_cwnd,
+                                  rtt=max(base_rtt, 1e-6))
+        controller.register_subflow(key, self.state)
+        self.rtt_estimator = RttEstimator()
+
+        # Sender state.
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.ssthresh = _INITIAL_SSTHRESH
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover = -1
+        self._rtx_high = -1
+        self.backoff = 1
+        self.started = False
+        self.completed = False
+        self.start_time = 0.0
+        # Classic "timed segment" RTT sampling: at most one segment is
+        # timed at a time, and any retransmission cancels the measurement
+        # (conservative Karn's algorithm) so hole-filling cumulative ACKs
+        # can never produce bogus multi-second samples.
+        self._timed_seq: Optional[int] = None
+        self._timed_at = 0.0
+        self._timer_event = None
+        self._timer_deadline = 0.0
+
+        # Receiver state.
+        self.rcv_nxt = 0
+        self._out_of_order: set[int] = set()
+
+        # Counters for monitors (newly acknowledged packets).
+        self.acked_packets = 0
+        self.retransmits = 0
+        self.timeouts = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self, at: float | None = None) -> None:
+        """Begin transmitting at time ``at`` (defaults to now)."""
+        when = self.sim.now if at is None else at
+        self.sim.schedule_at(when, self._begin)
+
+    def _begin(self) -> None:
+        self.started = True
+        self.start_time = self.sim.now
+        self._try_send()
+
+    @property
+    def cwnd(self) -> float:
+        """Congestion window in packets."""
+        return self.state.cwnd
+
+    @property
+    def srtt(self) -> float:
+        """Smoothed RTT (falls back to the initial path estimate)."""
+        return self.rtt_estimator.srtt or self.state.rtt
+
+    @property
+    def in_flight(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    # -- sending ---------------------------------------------------------------
+    def _has_data(self) -> bool:
+        if self.size_packets is None:
+            return True
+        return self.snd_nxt < self.size_packets
+
+    def _try_send(self) -> None:
+        window = int(self.state.cwnd)
+        if self.rcv_wnd_packets is not None:
+            # Flow control: never exceed the receiver's advertised window.
+            window = min(window, self.rcv_wnd_packets)
+        while (not self.completed and self._has_data()
+               and self.in_flight < window):
+            self._transmit(self.snd_nxt, retransmitted=False)
+            self.snd_nxt += 1
+
+    def _transmit(self, seq: int, retransmitted: bool) -> None:
+        if retransmitted:
+            # Conservative Karn: a retransmission makes any in-progress
+            # RTT measurement ambiguous, so drop it.
+            self._timed_seq = None
+            self.retransmits += 1
+        elif self._timed_seq is None:
+            self._timed_seq = seq
+            self._timed_at = self.sim.now
+        packet = Packet(self, seq, self.path, MSS_BYTES,
+                        sent_time=self.sim.now,
+                        retransmitted=retransmitted)
+        self.path[0].receive(packet)
+        self._arm_timer()
+
+    # -- receiver --------------------------------------------------------------
+    def on_data(self, packet: Packet) -> None:
+        """A data packet reached the end of the forward path."""
+        seq = packet.seq
+        if seq == self.rcv_nxt:
+            self.rcv_nxt += 1
+            while self.rcv_nxt in self._out_of_order:
+                self._out_of_order.discard(self.rcv_nxt)
+                self.rcv_nxt += 1
+        elif seq > self.rcv_nxt:
+            self._out_of_order.add(seq)
+        # ACK (cumulative) returns over the uncongested reverse direction.
+        self.sim.schedule(self.reverse_delay, self.on_ack, self.rcv_nxt)
+
+    # -- ACK processing ----------------------------------------------------------
+    def on_ack(self, ack: int) -> None:
+        if self.completed or not self.started:
+            return
+        if ack > self.snd_una:
+            self._on_new_ack(ack)
+        elif ack == self.snd_una and self.in_flight > 0:
+            self._on_dupack()
+
+    def _on_new_ack(self, ack: int) -> None:
+        newly = ack - self.snd_una
+        if self._timed_seq is not None and ack > self._timed_seq:
+            self.state.rtt = self.rtt_estimator.update(
+                self.sim.now - self._timed_at)
+            self._timed_seq = None
+        self.snd_una = ack
+        self.dupacks = 0
+        self.backoff = 1
+        self.acked_packets += newly
+
+        if self.in_recovery:
+            if ack > self.recover:
+                self.in_recovery = False
+            else:
+                # Partial ACK: repair the remaining holes without another
+                # halving.  The receiver's out-of-order set stands in for
+                # SACK blocks (both endpoints live in this object), so we
+                # retransmit every missing segment of the recovery window
+                # in one cwnd-limited burst instead of NewReno's
+                # one-hole-per-RTT crawl.
+                self._retransmit_holes()
+        if not self.in_recovery:
+            if self.state.cwnd < self.ssthresh:
+                # Slow start grows one MSS per ACKed packet; the
+                # inter-loss counters still see the ACKed bytes.
+                self.state.record_ack(newly * MSS_BYTES)
+                self.state.cwnd = min(self.state.cwnd + newly,
+                                      max(self.ssthresh, 1.0))
+            else:
+                self.controller.increase_on_ack(self.key,
+                                                acked_packets=newly)
+
+        if self.size_packets is not None and ack >= self.size_packets:
+            self._complete()
+            return
+        self._arm_timer()
+        self._try_send()
+
+    #: Retransmissions allowed per arriving partial ACK.  Two per ACK
+    #: grows the repair rate exponentially (like slow start) while
+    #: keeping retransmission bursts ACK-clocked, so a large loss event
+    #: cannot re-overflow the bottleneck queue with retransmissions.
+    RTX_PER_ACK = 2
+
+    def _retransmit_holes(self) -> None:
+        """SACK-style recovery: resend missing segments of the recovery
+        window, ACK-clocked.
+
+        ``_rtx_high`` is the highest sequence retransmitted in this
+        recovery episode, so later partial ACKs do not resend the same
+        holes (a retransmission that is itself lost falls back to RTO).
+        """
+        sent = 0
+        seq = max(self.snd_una, self._rtx_high + 1)
+        while seq <= self.recover and sent < self.RTX_PER_ACK:
+            if seq not in self._out_of_order:
+                self._transmit(seq, retransmitted=True)
+                sent += 1
+            self._rtx_high = seq
+            seq += 1
+
+    def _on_dupack(self) -> None:
+        self.dupacks += 1
+        if self.dupacks == 3 and not self.in_recovery:
+            self.in_recovery = True
+            self.recover = self.snd_nxt - 1
+            self._rtx_high = self.snd_una
+            # Unmodified TCP decrease: halve (controller also rolls the
+            # inter-loss counters used by OLIA).
+            self.controller.decrease_on_loss(self.key)
+            self.ssthresh = max(self.state.cwnd, self.min_ssthresh)
+            self._transmit(self.snd_una, retransmitted=True)
+
+    # -- retransmission timer ------------------------------------------------------
+    def _rto(self) -> float:
+        return self.rtt_estimator.rto * self.backoff
+
+    def _arm_timer(self) -> None:
+        self._timer_deadline = self.sim.now + self._rto()
+        if self._timer_event is None:
+            self._timer_event = self.sim.schedule_at(
+                self._timer_deadline, self._timer_fired)
+
+    def _timer_fired(self) -> None:
+        self._timer_event = None
+        if self.completed or self.in_flight == 0:
+            return
+        if self.sim.now < self._timer_deadline - 1e-12:
+            # The deadline moved forward since this event was scheduled.
+            self._timer_event = self.sim.schedule_at(
+                self._timer_deadline, self._timer_fired)
+            return
+        self._on_timeout()
+
+    def _on_timeout(self) -> None:
+        self.timeouts += 1
+        self.backoff = min(self.backoff * 2, 64)
+        self.ssthresh = max(self.state.cwnd / 2.0, self.min_ssthresh)
+        self.state.record_loss()
+        self.state.cwnd = 1.0
+        self.dupacks = 0
+        # Stay in (or enter) recovery until everything outstanding at the
+        # time of the timeout is acknowledged: partial ACKs then repair
+        # the remaining holes immediately instead of waiting one RTO per
+        # hole.  The watermark resets so post-timeout holes (including
+        # lost retransmissions) are eligible again.
+        self.in_recovery = True
+        self.recover = self.snd_nxt - 1
+        self._rtx_high = self.snd_una
+        self._transmit(self.snd_una, retransmitted=True)
+
+    def stop(self) -> None:
+        """Cease transmitting and detach from the controller.
+
+        Used for path removal (e.g. an interface going away); in-flight
+        packets are abandoned and no completion callback fires.
+        """
+        if self.completed:
+            return
+        self.completed = True
+        if self._timer_event is not None:
+            self._timer_event.cancel()
+            self._timer_event = None
+        self.controller.remove_subflow(self.key)
+
+    def _complete(self) -> None:
+        self.stop()
+        if self.on_complete is not None:
+            self.on_complete(self.sim.now - self.start_time)
+
+
+def single_path_tcp(sim: Simulator, path: tuple, reverse_delay: float, *,
+                    size_packets: Optional[int] = None,
+                    on_complete: Optional[Callable[[float], None]] = None,
+                    name: str = "tcp") -> TcpSubflow:
+    """A regular TCP connection (fresh Reno controller, one path)."""
+    controller = RenoController()
+    return TcpSubflow(sim, path, reverse_delay, controller, key=0,
+                      size_packets=size_packets, on_complete=on_complete,
+                      name=name)

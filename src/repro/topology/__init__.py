@@ -1,0 +1,25 @@
+"""Topology builders: testbed scenarios and data-center FatTrees."""
+
+from .fattree import FatTree
+from .scenarios import (
+    ScenarioATopology,
+    ScenarioBTopology,
+    ScenarioCTopology,
+    TwoPathTopology,
+    build_scenario_a,
+    build_scenario_b,
+    build_scenario_c,
+    build_two_path,
+)
+
+__all__ = [
+    "FatTree",
+    "ScenarioATopology",
+    "ScenarioBTopology",
+    "ScenarioCTopology",
+    "TwoPathTopology",
+    "build_scenario_a",
+    "build_scenario_b",
+    "build_scenario_c",
+    "build_two_path",
+]

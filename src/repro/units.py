@@ -1,0 +1,48 @@
+"""Unit conventions and conversions used throughout the library.
+
+The paper (and this reproduction) works in three natural units:
+
+* **packets** — congestion windows and queue lengths, where one packet is
+  one maximum segment (MSS) of 1500 bytes;
+* **seconds** — time, RTTs, simulation clocks;
+* **packets per second** — rates.  Link capacities quoted in Mbps are
+  converted with :func:`mbps_to_pps`.
+
+Keeping a single internal unit system means the TCP loss-throughput
+formula ``x = sqrt(2/p) / rtt`` (packets/s) can be compared directly with
+measured goodputs from the packet-level simulator.
+"""
+
+from __future__ import annotations
+
+#: Maximum segment size in bytes (the paper's testbed uses 1500-byte MSS).
+MSS_BYTES = 1500
+
+#: Maximum segment size in bits.
+MSS_BITS = MSS_BYTES * 8
+
+#: Size of a pure ACK segment in bytes (only used for reporting; ACKs
+#: travel on an uncongested reverse path in the simulator).
+ACK_BYTES = 40
+
+
+def mbps_to_pps(mbps: float, mss_bytes: int = MSS_BYTES) -> float:
+    """Convert a rate in megabits per second to packets (MSS) per second."""
+    return mbps * 1e6 / (mss_bytes * 8)
+
+
+def pps_to_mbps(pps: float, mss_bytes: int = MSS_BYTES) -> float:
+    """Convert a rate in packets (MSS) per second to megabits per second."""
+    return pps * mss_bytes * 8 / 1e6
+
+
+def bytes_to_packets(nbytes: float, mss_bytes: int = MSS_BYTES) -> int:
+    """Number of MSS-sized packets needed to carry ``nbytes`` of payload."""
+    if nbytes <= 0:
+        return 0
+    return int(-(-nbytes // mss_bytes))  # ceiling division
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds (readability helper for experiment configs)."""
+    return value * 1e-3

@@ -1,0 +1,123 @@
+"""Tests for the scenario A closed forms (Fig. 1, Appendix A)."""
+
+import pytest
+
+from repro.analysis import scenario_a
+from repro.units import mbps_to_pps
+
+
+def paper_setting(n1=10, c1_mbps=1.0):
+    """The testbed setting of Section III-A: N2=10, C2=1 Mbps, RTT 150 ms."""
+    return dict(n1=n1, n2=10, c1=mbps_to_pps(c1_mbps), c2=mbps_to_pps(1.0),
+                rtt=0.15)
+
+
+class TestLiaFixedPoint:
+    def test_eq10_satisfied(self):
+        res = scenario_a.lia_fixed_point(**paper_setting())
+        z = (res.p1 / res.p2) ** 0.5
+        lhs = z + (res.n1 / res.n2) * z * z / (1.0 + 2.0 * z * z)
+        assert lhs == pytest.approx(res.c2 / res.c1, rel=1e-9)
+
+    def test_capacity_constraints_hold(self):
+        res = scenario_a.lia_fixed_point(**paper_setting(n1=20))
+        # Server: x1 + x2 = C1; shared AP: N1 x2 + N2 y = N2 C2.
+        assert res.x1 + res.x2 == pytest.approx(res.c1, rel=1e-9)
+        assert res.n1 * res.x2 + res.n2 * res.y == pytest.approx(
+            res.n2 * res.c2, rel=1e-9)
+
+    def test_type1_normalized_always_one(self):
+        for n1 in (10, 20, 30):
+            res = scenario_a.lia_fixed_point(**paper_setting(n1=n1))
+            assert res.type1_normalized == pytest.approx(1.0)
+
+    def test_type2_degrades_with_more_type1_users(self):
+        """Problem P1: type2 throughput decreases as N1 grows."""
+        values = [scenario_a.lia_fixed_point(
+            **paper_setting(n1=n1)).type2_normalized
+            for n1 in (10, 20, 30)]
+        assert values[0] > values[1] > values[2]
+
+    def test_paper_magnitude_30_percent_drop_at_equal_users(self):
+        """Paper: 'For N1=N2, type2 users see a decrease of about 30%'."""
+        res = scenario_a.lia_fixed_point(**paper_setting(n1=10))
+        assert res.type2_normalized == pytest.approx(0.7, abs=0.08)
+
+    def test_paper_magnitude_50_60_percent_drop_at_triple_users(self):
+        """Paper: 'When N1=3N2, this decrease is between 50% to 60%'."""
+        res = scenario_a.lia_fixed_point(**paper_setting(n1=30))
+        assert 0.40 <= res.type2_normalized <= 0.50
+
+    def test_depends_only_on_ratios(self):
+        a = scenario_a.lia_fixed_point(n1=10, n2=10, c1=100.0, c2=100.0,
+                                       rtt=0.15)
+        b = scenario_a.lia_fixed_point(n1=30, n2=30, c1=400.0, c2=400.0,
+                                       rtt=0.15)
+        assert a.type2_normalized == pytest.approx(b.type2_normalized)
+
+    def test_congestion_grows_on_shared_ap(self):
+        """Fig. 1(c): p2 increases with N1/N2."""
+        p2s = [scenario_a.lia_fixed_point(**paper_setting(n1=n1)).p2
+               for n1 in (10, 20, 30)]
+        assert p2s[0] < p2s[1] < p2s[2]
+
+    def test_p1_depends_only_on_c1(self):
+        res1 = scenario_a.lia_fixed_point(**paper_setting(n1=10))
+        res2 = scenario_a.lia_fixed_point(**paper_setting(n1=30))
+        assert res1.p1 == pytest.approx(res2.p1)
+
+    def test_paper_p1_values(self):
+        """Paper: p1 ~= 0.02, 0.009, 0.004 for C1 = 0.75, 1, 1.5 Mbps.
+
+        These are measured testbed numbers at RTT ~= 150 ms; the formula
+        p1 = 2/(C1*rtt)^2 should land in the same range.
+        """
+        for c1_mbps, p1_expected in ((0.75, 0.02), (1.0, 0.009),
+                                     (1.5, 0.004)):
+            res = scenario_a.lia_fixed_point(**paper_setting(
+                c1_mbps=c1_mbps))
+            assert res.p1 == pytest.approx(p1_expected, rel=0.45)
+
+
+class TestOptimumWithProbing:
+    def test_probe_traffic_is_one_packet_per_rtt(self):
+        res = scenario_a.optimum_with_probing(**paper_setting())
+        assert res.x2 == pytest.approx(1.0 / 0.15)
+
+    def test_type2_loses_only_probing_share(self):
+        res = scenario_a.optimum_with_probing(**paper_setting(n1=30))
+        expected_y = res.c2 - 3.0 * (1.0 / 0.15)
+        assert res.y == pytest.approx(expected_y)
+
+    def test_beats_lia_for_type2(self):
+        for n1 in (10, 20, 30):
+            lia = scenario_a.lia_fixed_point(**paper_setting(n1=n1))
+            opt = scenario_a.optimum_with_probing(**paper_setting(n1=n1))
+            assert opt.type2_normalized > lia.type2_normalized
+
+    def test_probing_saturation_detected(self):
+        with pytest.raises(ValueError):
+            scenario_a.optimum_with_probing(n1=100, n2=1, c1=10.0, c2=10.0,
+                                            rtt=0.15)
+
+    def test_olia_prediction_matches_optimum(self):
+        olia = scenario_a.olia_prediction(**paper_setting(n1=20))
+        opt = scenario_a.optimum_with_probing(**paper_setting(n1=20))
+        assert olia.y == pytest.approx(opt.y)
+        assert olia.p2 == pytest.approx(opt.p2)
+
+    def test_olia_congestion_far_below_lia(self):
+        """Fig. 10: OLIA's p2 stays low while LIA's grows ~5x."""
+        lia = scenario_a.lia_fixed_point(**paper_setting(n1=30))
+        olia = scenario_a.olia_prediction(**paper_setting(n1=30))
+        assert olia.p2 < 0.5 * lia.p2
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            scenario_a.lia_fixed_point(n1=0, n2=10, c1=1.0, c2=1.0, rtt=0.1)
+        with pytest.raises(ValueError):
+            scenario_a.lia_fixed_point(n1=1, n2=1, c1=-1.0, c2=1.0, rtt=0.1)
+        with pytest.raises(ValueError):
+            scenario_a.lia_fixed_point(n1=1, n2=1, c1=1.0, c2=1.0, rtt=0.0)

@@ -1,0 +1,168 @@
+"""Tests for the scenario B closed forms (Fig. 4, Tables I/II, Fig. 17)."""
+
+import pytest
+
+from repro.analysis import scenario_b
+from repro.units import mbps_to_pps, pps_to_mbps
+
+
+def paper_setting(cx_mbps=27.0):
+    """Testbed setting: CT=36 Mbps, 15+15 users, RTT 150 ms."""
+    return dict(n_users=15, cx=mbps_to_pps(cx_mbps), ct=mbps_to_pps(36.0),
+                rtt=0.15)
+
+
+class TestLiaMultipath:
+    def test_capacity_constraints_quadratic_branch(self):
+        setting = paper_setting(cx_mbps=36.0 * 0.4)  # CX/CT = 0.4 < 5/9
+        res = scenario_b.lia_multipath(**setting)
+        n = res.n_users
+        assert n * (res.x1 + res.y1) == pytest.approx(res.cx, rel=1e-6)
+        assert n * (res.x2 + res.y1 + res.y2) == pytest.approx(res.ct,
+                                                               rel=1e-6)
+
+    def test_capacity_constraints_quintic_branch(self):
+        setting = paper_setting(cx_mbps=27.0)  # CX/CT = 0.75 > 5/9
+        res = scenario_b.lia_multipath(**setting)
+        n = res.n_users
+        assert n * (res.x1 + res.y1) == pytest.approx(res.cx, rel=1e-6)
+        assert n * (res.x2 + res.y1 + res.y2) == pytest.approx(res.ct,
+                                                               rel=1e-6)
+
+    def test_loss_ordering_by_branch(self):
+        low = scenario_b.lia_multipath(**paper_setting(cx_mbps=36.0 * 0.4))
+        assert low.p_x > low.p_t
+        high = scenario_b.lia_multipath(**paper_setting(cx_mbps=27.0))
+        assert high.p_t > high.p_x
+
+    def test_branches_continuous_at_5_9(self):
+        ct = mbps_to_pps(36.0)
+        eps = 1e-4
+        below = scenario_b.lia_multipath(
+            n_users=15, cx=ct * (5 / 9 - eps), ct=ct, rtt=0.15)
+        above = scenario_b.lia_multipath(
+            n_users=15, cx=ct * (5 / 9 + eps), ct=ct, rtt=0.15)
+        assert below.blue_rate == pytest.approx(above.blue_rate, rel=1e-2)
+        assert below.red_rate == pytest.approx(above.red_rate, rel=1e-2)
+
+    def test_loss_throughput_consistency(self):
+        """Each rate matches the LIA loss-throughput formulas."""
+        res = scenario_b.lia_multipath(**paper_setting())
+        z = res.p_x / res.p_t
+        s_best = (2.0 / min(res.p_x, res.p_t)) ** 0.5 / res.rtt
+        assert res.x1 == pytest.approx(s_best / (1.0 + z), rel=1e-6)
+        assert res.y2 == pytest.approx(
+            (res.p_x + res.p_t) / res.p_t * res.y1, rel=1e-6)
+
+
+class TestUpgradeHurtsEveryone:
+    def test_problem_p1_all_users_lose(self):
+        """Fig. 4(a): for all CX/CT, upgrading Red lowers both classes."""
+        for cx_frac in (0.3, 0.5, 0.75, 1.0, 1.4):
+            setting = paper_setting(cx_mbps=36.0 * cx_frac)
+            single = scenario_b.lia_singlepath(**setting)
+            multi = scenario_b.lia_multipath(**setting)
+            assert multi.blue_rate < single.blue_rate * 1.001
+            assert multi.red_rate < single.red_rate * 1.001
+            assert multi.aggregate < single.aggregate
+
+    def test_paper_magnitude_21_percent_blue_drop(self):
+        """Paper: at CX/CT ~= 0.75 Blue users lose up to 21% with LIA."""
+        setting = paper_setting(cx_mbps=27.0)
+        single = scenario_b.lia_singlepath(**setting)
+        multi = scenario_b.lia_multipath(**setting)
+        drop = 1.0 - multi.blue_rate / single.blue_rate
+        assert drop == pytest.approx(0.21, abs=0.08)
+
+    def test_optimum_drop_is_only_probing(self):
+        """Fig. 4(b): with the optimum the aggregate drop is ~N/rtt."""
+        setting = paper_setting(cx_mbps=27.0)
+        single = scenario_b.optimum_singlepath(**setting)
+        multi = scenario_b.optimum_multipath(**setting)
+        agg_drop = single.aggregate - multi.aggregate
+        probing = setting["n_users"] / setting["rtt"]
+        assert agg_drop == pytest.approx(probing, rel=0.2)
+
+    def test_paper_3_percent_optimum_drop(self):
+        """Paper: ~3% Blue drop with an optimal algorithm at CX/CT=0.75."""
+        setting = paper_setting(cx_mbps=27.0)
+        single = scenario_b.optimum_singlepath(**setting)
+        multi = scenario_b.optimum_multipath(**setting)
+        drop = 1.0 - multi.blue_rate / single.blue_rate
+        assert 0.0 <= drop <= 0.06
+
+
+class TestTablePredictions:
+    def test_table1_lia_aggregate_drop_about_13_percent(self):
+        """Table I: aggregate falls by 13% when Red upgrade under LIA."""
+        setting = paper_setting(cx_mbps=27.0)
+        single = scenario_b.lia_singlepath(**setting)
+        multi = scenario_b.lia_multipath(**setting)
+        drop = 1.0 - multi.aggregate / single.aggregate
+        assert drop == pytest.approx(0.13, abs=0.07)
+
+    def test_table2_olia_aggregate_drop_about_3_5_percent(self):
+        """Table II: only ~3.5% aggregate drop with OLIA."""
+        setting = paper_setting(cx_mbps=27.0)
+        single = scenario_b.olia_singlepath(**setting)
+        multi = scenario_b.olia_multipath(**setting)
+        drop = 1.0 - multi.aggregate / single.aggregate
+        assert drop == pytest.approx(0.035, abs=0.03)
+
+    def test_single_path_rates_near_cutset(self):
+        """Paper: single-path aggregate close to the 63 Mbps cut-set."""
+        setting = paper_setting(cx_mbps=27.0)
+        single = scenario_b.olia_singlepath(**setting)
+        assert pps_to_mbps(single.aggregate) == pytest.approx(63.0, rel=0.05)
+
+    def test_blue_gets_more_than_red_single_path_lia(self):
+        """Table I: with LIA, Blue (multihomed) users out-earn Red.
+
+        The optimum (and OLIA's prediction) instead pools to the fair
+        share, so Blue and Red tie there — matching the smaller gap of
+        Table II (2.2 vs 1.8, against LIA's 2.5 vs 1.5).
+        """
+        setting = paper_setting(cx_mbps=27.0)
+        lia = scenario_b.lia_singlepath(**setting)
+        assert lia.blue_rate > lia.red_rate * 1.2
+        olia = scenario_b.olia_singlepath(**setting)
+        assert olia.blue_rate == pytest.approx(olia.red_rate, rel=0.01)
+        # OLIA's allocation is less skewed than LIA's.
+        assert (olia.blue_rate / olia.red_rate
+                < lia.blue_rate / lia.red_rate)
+
+    def test_table1_lia_matches_measured_rates(self):
+        """Paper Table I (measured): Blue 2.5, Red 1.5 Mbps per user."""
+        res = scenario_b.lia_singlepath(**paper_setting(cx_mbps=27.0))
+        assert pps_to_mbps(res.blue_rate) == pytest.approx(2.5, abs=0.2)
+        assert pps_to_mbps(res.red_rate) == pytest.approx(1.5, abs=0.25)
+
+
+class TestFig17RttSensitivity:
+    def test_lower_rtt_means_larger_probing_penalty(self):
+        """Fig. 17: the probing overhead scales as 1/RTT."""
+        drops = {}
+        for rtt in (0.025, 0.1, 0.15):
+            setting = dict(n_users=15, cx=mbps_to_pps(27.0),
+                           ct=mbps_to_pps(36.0), rtt=rtt)
+            single = scenario_b.optimum_singlepath(**setting)
+            multi = scenario_b.optimum_multipath(**setting)
+            drops[rtt] = single.aggregate - multi.aggregate
+        assert drops[0.025] > drops[0.1] > drops[0.15]
+        assert drops[0.025] == pytest.approx(15.0 / 0.025, rel=0.2)
+
+
+class TestValidation:
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            scenario_b.lia_multipath(n_users=0, cx=1.0, ct=1.0, rtt=0.1)
+        with pytest.raises(ValueError):
+            scenario_b.lia_multipath(n_users=1, cx=0.0, ct=1.0, rtt=0.1)
+        with pytest.raises(ValueError):
+            scenario_b.optimum_multipath(n_users=1, cx=1.0, ct=1.0, rtt=0.0)
+
+    def test_probing_saturation_detected(self):
+        with pytest.raises(ValueError):
+            # CT so small that probing exceeds it.
+            scenario_b.optimum_multipath(n_users=10, cx=100.0, ct=50.0,
+                                         rtt=0.1)

@@ -1,0 +1,187 @@
+"""Tests for the scenario C closed forms (Fig. 5, Section III-C)."""
+
+import pytest
+
+from repro.analysis import scenario_c
+from repro.units import mbps_to_pps
+
+
+def paper_setting(n1=10, c1_mbps=1.0):
+    """Testbed setting: N2=10, C2=1 Mbps, RTT 150 ms."""
+    return dict(n1=n1, n2=10, c1=mbps_to_pps(c1_mbps), c2=mbps_to_pps(1.0),
+                rtt=0.15)
+
+
+class TestThreshold:
+    def test_equal_users(self):
+        assert scenario_c.lia_threshold(10, 10) == pytest.approx(1.0 / 3.0)
+
+    def test_paper_claim(self):
+        """'multipath users get a larger share as soon as C1 >= C2/(2+N1/N2)'."""
+        assert scenario_c.lia_threshold(20, 10) == pytest.approx(0.25)
+
+
+class TestLiaAboveThreshold:
+    def test_cubic_satisfied(self):
+        res = scenario_c.lia_fixed_point(**paper_setting())
+        z = (res.p1 / res.p2) ** 0.5
+        ratio = res.n1 / res.n2
+        assert z ** 3 + ratio * z * z + z == pytest.approx(res.c2 / res.c1,
+                                                           rel=1e-9)
+
+    def test_normalized_forms(self):
+        """(x1+x2)/C1 = 1+z^2 and y/C2 = 1 - (N1 C1)/(N2 C2) z^2."""
+        res = scenario_c.lia_fixed_point(**paper_setting(n1=20))
+        z_sq = res.p1 / res.p2
+        assert res.multipath_normalized == pytest.approx(1.0 + z_sq)
+        expected_y = 1.0 - (res.n1 * res.c1) / (res.n2 * res.c2) * z_sq
+        assert res.singlepath_normalized == pytest.approx(expected_y)
+
+    def test_capacity_constraints(self):
+        res = scenario_c.lia_fixed_point(**paper_setting(n1=30, c1_mbps=2.0))
+        assert res.x1 == pytest.approx(res.c1)
+        assert res.n1 * res.x2 + res.n2 * res.y == pytest.approx(
+            res.n2 * res.c2, rel=1e-9)
+
+    def test_problem_p2_multipath_exceeds_fair_share(self):
+        """With C1 = C2, fairness says multipath should not touch AP2 at
+        all, yet LIA takes a visible share (normalized > 1)."""
+        res = scenario_c.lia_fixed_point(**paper_setting())
+        assert res.multipath_normalized > 1.05
+        assert res.singlepath_normalized < 0.95
+
+    def test_aggression_grows_with_n1(self):
+        """Fig. 5(c): single-path throughput decreases in N1/N2."""
+        ys = [scenario_c.lia_fixed_point(**paper_setting(n1=n1))
+              .singlepath_normalized for n1 in (5, 10, 20, 30)]
+        assert all(a > b for a, b in zip(ys, ys[1:]))
+
+    def test_p2_grows_with_n1(self):
+        """Fig. 5(d): LIA keeps increasing congestion at AP2."""
+        p2s = [scenario_c.lia_fixed_point(**paper_setting(n1=n1)).p2
+               for n1 in (5, 10, 20, 30)]
+        assert all(a < b for a, b in zip(p2s, p2s[1:]))
+
+    def test_paper_p1_values(self):
+        """Paper: p1 = 0.01 and 0.003 for C1 = 1 and 2 Mbps (measured)."""
+        res1 = scenario_c.lia_fixed_point(**paper_setting(c1_mbps=1.0))
+        res2 = scenario_c.lia_fixed_point(**paper_setting(c1_mbps=2.0))
+        assert res1.p1 == pytest.approx(0.01, rel=0.5)
+        assert res2.p1 == pytest.approx(0.003, rel=0.5)
+        assert res2.p1 < res1.p1
+
+
+class TestLiaBelowThreshold:
+    def test_equal_rates_when_n1_equals_n2(self):
+        """Below threshold all users receive (C1+C2)/2 (paper, N1=N2)."""
+        res = scenario_c.lia_fixed_point(n1=10, n2=10, c1=20.0, c2=100.0,
+                                         rtt=0.15)
+        expected = (20.0 + 100.0) / 2.0
+        assert res.x1 + res.x2 == pytest.approx(expected)
+        assert res.y == pytest.approx(expected)
+
+    def test_p1_above_p2(self):
+        res = scenario_c.lia_fixed_point(n1=10, n2=10, c1=20.0, c2=100.0,
+                                         rtt=0.15)
+        assert res.p1 > res.p2
+
+    def test_continuous_at_threshold(self):
+        n1 = n2 = 10
+        c2 = 100.0
+        threshold = scenario_c.lia_threshold(n1, n2)
+        below = scenario_c.lia_fixed_point(n1, n2, c2 * threshold * 0.999,
+                                           c2, 0.15)
+        above = scenario_c.lia_fixed_point(n1, n2, c2 * threshold * 1.001,
+                                           c2, 0.15)
+        assert below.y == pytest.approx(above.y, rel=0.01)
+
+    def test_capacity_constraint_ap2(self):
+        res = scenario_c.lia_fixed_point(n1=20, n2=10, c1=10.0, c2=100.0,
+                                         rtt=0.15)
+        assert res.n1 * res.x2 + res.n2 * res.y == pytest.approx(
+            res.n2 * res.c2, rel=1e-9)
+
+
+class TestFairAndOptimum:
+    def test_fair_pools_when_c1_small(self):
+        mp, sp = scenario_c.fair_allocation(10, 10, 50.0, 100.0)
+        assert mp == sp == pytest.approx(75.0)
+
+    def test_fair_separates_when_c1_large(self):
+        mp, sp = scenario_c.fair_allocation(10, 10, 200.0, 100.0)
+        assert mp == pytest.approx(200.0)
+        assert sp == pytest.approx(100.0)
+
+    def test_optimum_probe_only_when_c1_large(self):
+        res = scenario_c.optimum_with_probing(**paper_setting(c1_mbps=2.0))
+        assert res.x2 == pytest.approx(1.0 / 0.15)
+        assert res.y == pytest.approx(res.c2 - 1.0 / 0.15)
+
+    def test_optimum_pools_when_c1_small(self):
+        res = scenario_c.optimum_with_probing(n1=10, n2=10, c1=30.0,
+                                              c2=120.0, rtt=0.15)
+        pooled = (30.0 + 120.0) / 2.0
+        assert res.x1 + res.x2 == pytest.approx(pooled)
+        assert res.y == pytest.approx(pooled)
+
+    def test_olia_beats_lia_for_singlepath_users(self):
+        """Fig. 11: with OLIA, single-path users get up to 2x more."""
+        for c1_mbps in (1.0, 2.0):
+            for n1 in (10, 20, 30):
+                lia = scenario_c.lia_fixed_point(
+                    **paper_setting(n1=n1, c1_mbps=c1_mbps))
+                olia = scenario_c.olia_prediction(
+                    **paper_setting(n1=n1, c1_mbps=c1_mbps))
+                assert olia.singlepath_normalized > lia.singlepath_normalized
+
+    def test_olia_p2_far_below_lia(self):
+        """Fig. 12 shape: at N1 = 3 N2, p2 grows ~2x from its N1=0 value
+        with OLIA but 4x+ with LIA (the measured gap is even larger)."""
+        from repro.analysis.tcp import loss_for_rate
+        setting = paper_setting(n1=30)
+        p2_baseline = loss_for_rate(setting["c2"], setting["rtt"])
+        lia = scenario_c.lia_fixed_point(**setting)
+        olia = scenario_c.olia_prediction(**setting)
+        assert olia.p2 / p2_baseline < 2.2
+        assert lia.p2 / p2_baseline > 3.5
+        assert lia.p2 / olia.p2 > 2.0
+
+
+class TestCrossCheckWithFluid:
+    def test_matches_fluid_fixed_point(self):
+        """The closed form agrees with the generic fluid solver when the
+        loss curves are the exact TCP-consistent ones.
+
+        We build the scenario C network with SharpLoss links and compare
+        the LIA allocation from the damped solver with the closed form;
+        the loss model is not identical to the implicit one of the closed
+        form, so rates agree loosely but the structure (shares, ordering)
+        must match.
+        """
+        from repro.fluid import FluidNetwork, SharpLoss, solve_fixed_point
+        n1 = n2 = 10
+        c1, c2 = mbps_to_pps(1.0), mbps_to_pps(1.0)
+        rtt = 0.15
+        net = FluidNetwork()
+        ap1 = net.add_link(SharpLoss(capacity=n1 * c1))
+        ap2 = net.add_link(SharpLoss(capacity=n2 * c2))
+        rules = {}
+        for i in range(n1):
+            u = net.add_user(f"mp{i}")
+            net.add_route(u, [ap1], rtt=rtt)
+            net.add_route(u, [ap2], rtt=rtt)
+            rules[u] = "lia"
+        for i in range(n2):
+            u = net.add_user(f"sp{i}")
+            net.add_route(u, [ap2], rtt=rtt)
+            rules[u] = "tcp"
+        fp = solve_fixed_point(net, rules, floor_packets=1.0)
+        closed = scenario_c.lia_fixed_point(n1=n1, n2=n2, c1=c1, c2=c2,
+                                            rtt=rtt)
+        totals = fp.user_totals(net)
+        mp_rate = totals[:n1].mean()
+        sp_rate = totals[n1:].mean()
+        assert mp_rate / sp_rate == pytest.approx(
+            (closed.x1 + closed.x2) / closed.y, rel=0.25)
+        # LIA overshoot: multipath users above their private capacity.
+        assert mp_rate > c1

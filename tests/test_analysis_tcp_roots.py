@@ -1,0 +1,68 @@
+"""Tests for the TCP formula helpers and root finders."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    RootError,
+    bisect_increasing,
+    loss_for_rate,
+    positive_real_roots,
+    tcp_rate,
+    unique_positive_root,
+    window_for_loss,
+)
+
+
+class TestTcpFormula:
+    def test_rate_value(self):
+        assert tcp_rate(0.02, 0.1) == pytest.approx(100.0)
+
+    def test_rate_loss_inverse(self):
+        p = loss_for_rate(tcp_rate(0.01, 0.15), 0.15)
+        assert p == pytest.approx(0.01)
+
+    def test_window(self):
+        assert window_for_loss(0.02) == pytest.approx(10.0)
+
+    def test_window_is_rate_times_rtt(self):
+        p, rtt = 0.005, 0.08
+        assert window_for_loss(p) == pytest.approx(tcp_rate(p, rtt) * rtt)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tcp_rate(0.0, 0.1)
+        with pytest.raises(ValueError):
+            tcp_rate(0.1, -1.0)
+        with pytest.raises(ValueError):
+            loss_for_rate(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            window_for_loss(0.0)
+
+
+class TestRoots:
+    def test_positive_real_roots_of_quadratic(self):
+        # (z - 2)(z + 3) = z^2 + z - 6
+        assert positive_real_roots([1.0, 1.0, -6.0]) == pytest.approx([2.0])
+
+    def test_unique_positive_root_cubic(self):
+        # z^3 + z^2 + z - 3 has root z = 1.
+        assert unique_positive_root([1.0, 1.0, 1.0, -3.0]) == pytest.approx(1.0)
+
+    def test_no_positive_root_raises(self):
+        with pytest.raises(RootError):
+            unique_positive_root([1.0, 0.0, 1.0])  # z^2 + 1
+
+    def test_multiple_positive_roots_raise(self):
+        # (z-1)(z-2) = z^2 - 3z + 2
+        with pytest.raises(RootError):
+            unique_positive_root([1.0, -3.0, 2.0])
+
+    def test_bisect_increasing(self):
+        root = bisect_increasing(lambda z: z * z - 2.0, 0.0, 10.0)
+        assert root == pytest.approx(math.sqrt(2.0), rel=1e-10)
+
+    def test_bisect_requires_bracket(self):
+        with pytest.raises(RootError):
+            bisect_increasing(lambda z: z + 1.0, 0.0, 10.0)

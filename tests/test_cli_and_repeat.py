@@ -1,0 +1,96 @@
+"""Tests for the CLI and the repeated-measurement statistics."""
+
+import pytest
+
+from repro.cli import _experiments, build_parser, main
+from repro.experiments import RepeatedStat, repeat, summarize_samples
+
+
+class TestSummarizeSamples:
+    def test_single_sample_zero_width(self):
+        stat = summarize_samples([4.2])
+        assert stat.mean == pytest.approx(4.2)
+        assert stat.half_width == 0.0
+
+    def test_five_runs_t_interval(self):
+        samples = [10.0, 11.0, 9.0, 10.5, 9.5]
+        stat = summarize_samples(samples)
+        assert stat.mean == pytest.approx(10.0)
+        # stdev ~= 0.7906, stderr ~= 0.3536, t(4) = 2.776.
+        assert stat.half_width == pytest.approx(2.776 * 0.3536, rel=1e-3)
+        assert stat.low < 10.0 < stat.high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples([])
+
+    def test_str_format(self):
+        text = str(summarize_samples([1.0, 2.0, 3.0]))
+        assert "±" in text
+
+
+class TestRepeat:
+    def test_aggregates_metrics_across_seeds(self):
+        def run(seed):
+            return {"metric": float(seed), "constant": 7.0}
+
+        stats = repeat(run, repetitions=3, base_seed=10)
+        assert stats["metric"].mean == pytest.approx(11.0)
+        assert stats["metric"].samples == [10.0, 11.0, 12.0]
+        assert stats["constant"].half_width == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            repeat(lambda seed: {}, repetitions=0)
+
+    def test_repeat_real_simulation_metrics_stable(self):
+        """Scenario C single-path throughput: CI over 3 seeds is tight
+        relative to the mean (the paper's error bars are small)."""
+        from repro.experiments import scenario_c
+
+        def run(seed):
+            result = scenario_c.simulate(
+                "lia", n1=5, n2=5, c1_mbps=1.0, c2_mbps=1.0,
+                duration=10.0, warmup=6.0, seed=seed)
+            return {"sp": result.singlepath_normalized}
+
+        stats = repeat(run, repetitions=3)
+        assert stats["sp"].half_width < 0.5 * stats["sp"].mean
+
+
+class TestCli:
+    def test_list_names(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1b", "table1", "fig13a", "fig17"):
+            assert name in out
+
+    def test_registry_names_are_callable(self):
+        registry = _experiments(fast=True)
+        assert all(callable(fn) for fn in registry.values())
+        assert len(registry) >= 15
+
+    def test_run_analysis_experiment(self, capsys):
+        assert main(["run", "fig17"]) == 0
+        out = capsys.readouterr().out
+        assert "RTT" in out
+        assert "fig17" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "fig4", "fig5b"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out and "Fig. 5(b)" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fast_flag_parses(self):
+        args = build_parser().parse_args(["run", "all", "--fast"])
+        assert args.fast is True
+        assert args.experiments == ["all"]

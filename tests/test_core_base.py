@@ -1,0 +1,117 @@
+"""Unit tests for the controller base class and subflow state."""
+
+import pytest
+
+from repro.core.base import MultipathController, SubflowState
+from repro.core.reno import RenoController
+
+
+class TestSubflowState:
+    def test_defaults(self):
+        state = SubflowState()
+        assert state.cwnd == 1.0
+        assert state.interloss_bytes == 0.0
+
+    def test_record_ack_accumulates_l2(self):
+        state = SubflowState()
+        state.record_ack(1500.0)
+        state.record_ack(3000.0)
+        assert state.bytes_acked_since_loss == 4500.0
+        assert state.interloss_bytes == 4500.0
+
+    def test_record_loss_rolls_counters(self):
+        state = SubflowState()
+        state.record_ack(6000.0)
+        state.record_loss()
+        assert state.bytes_between_last_losses == 6000.0
+        assert state.bytes_acked_since_loss == 0.0
+        # l = max(l1, l2) keeps the pre-loss estimate right after a loss.
+        assert state.interloss_bytes == 6000.0
+
+    def test_interloss_is_max_of_both_counters(self):
+        state = SubflowState()
+        state.record_ack(3000.0)
+        state.record_loss()
+        state.record_ack(9000.0)
+        assert state.interloss_bytes == 9000.0
+
+    def test_second_loss_overwrites_l1(self):
+        state = SubflowState()
+        state.record_ack(9000.0)
+        state.record_loss()
+        state.record_ack(1500.0)
+        state.record_loss()
+        assert state.bytes_between_last_losses == 1500.0
+        assert state.interloss_bytes == 1500.0
+
+
+class TestControllerLifecycle:
+    def test_register_and_states_order(self):
+        ctrl = RenoController()
+        s0, s1 = SubflowState(), SubflowState()
+        ctrl.register_subflow(0, s0)
+        ctrl.register_subflow(1, s1)
+        assert ctrl.states() == [s0, s1]
+
+    def test_duplicate_key_rejected(self):
+        ctrl = RenoController()
+        ctrl.register_subflow(0, SubflowState())
+        with pytest.raises(ValueError):
+            ctrl.register_subflow(0, SubflowState())
+
+    def test_remove_subflow(self):
+        ctrl = RenoController()
+        ctrl.register_subflow(0, SubflowState())
+        ctrl.remove_subflow(0)
+        assert ctrl.states() == []
+
+    def test_base_increment_not_implemented(self):
+        ctrl = MultipathController()
+        ctrl.register_subflow(0, SubflowState())
+        with pytest.raises(NotImplementedError):
+            ctrl.increase_increment(0)
+
+
+class TestSharedDynamics:
+    def test_decrease_halves_window(self):
+        ctrl = RenoController()
+        ctrl.register_subflow(0, SubflowState(cwnd=10.0))
+        assert ctrl.decrease_on_loss(0) == 5.0
+
+    def test_decrease_floors_at_one_mss(self):
+        ctrl = RenoController()
+        ctrl.register_subflow(0, SubflowState(cwnd=1.5))
+        assert ctrl.decrease_on_loss(0) == 1.0
+
+    def test_decrease_rolls_interloss_counters(self):
+        ctrl = RenoController()
+        state = SubflowState(cwnd=4.0)
+        ctrl.register_subflow(0, state)
+        ctrl.increase_on_ack(0, acked_packets=2)
+        assert state.bytes_acked_since_loss == 3000.0
+        ctrl.decrease_on_loss(0)
+        assert state.bytes_between_last_losses == 3000.0
+        assert state.bytes_acked_since_loss == 0.0
+
+    def test_increase_applies_per_packet(self):
+        ctrl = RenoController()
+        state = SubflowState(cwnd=2.0)
+        ctrl.register_subflow(0, state)
+        # Two ACKed packets: w -> w + 1/2, then + 1/2.5.
+        ctrl.increase_on_ack(0, acked_packets=2)
+        assert state.cwnd == pytest.approx(2.0 + 0.5 + 1.0 / 2.5)
+
+    def test_increase_records_acked_bytes(self):
+        ctrl = RenoController()
+        state = SubflowState(cwnd=2.0)
+        ctrl.register_subflow(0, state)
+        ctrl.increase_on_ack(0, acked_packets=1, acked_bytes=512.0)
+        assert state.bytes_acked_since_loss == 512.0
+
+    def test_window_never_below_minimum(self):
+        ctrl = RenoController()
+        state = SubflowState(cwnd=1.0)
+        ctrl.register_subflow(0, state)
+        for _ in range(5):
+            ctrl.decrease_on_loss(0)
+        assert state.cwnd == 1.0

@@ -1,0 +1,75 @@
+"""Unit tests for the baseline controllers (Reno, coupled, EWTCP)."""
+
+import pytest
+
+from repro.core import (
+    CoupledController,
+    EwtcpController,
+    RenoController,
+    SubflowState,
+    UncoupledController,
+)
+
+
+def register(ctrl, windows, rtts):
+    for i, (w, rtt) in enumerate(zip(windows, rtts)):
+        ctrl.register_subflow(i, SubflowState(cwnd=w, rtt=rtt))
+    return ctrl
+
+
+class TestReno:
+    def test_increment_is_one_over_w(self):
+        ctrl = register(RenoController(), [4.0], [0.1])
+        assert ctrl.increase_increment(0) == pytest.approx(0.25)
+
+    def test_subflows_independent(self):
+        """Uncoupled: changing one window never affects the other's rule."""
+        ctrl = register(RenoController(), [4.0, 100.0], [0.1, 0.1])
+        assert ctrl.increase_increment(0) == pytest.approx(0.25)
+
+    def test_uncoupled_alias(self):
+        assert UncoupledController is RenoController
+
+
+class TestCoupled:
+    def test_single_path_is_reno(self):
+        ctrl = register(CoupledController(), [5.0], [0.1])
+        assert ctrl.increase_increment(0) == pytest.approx(0.2)
+
+    def test_matches_olia_without_alpha(self):
+        """The coupled increment equals OLIA's first term exactly."""
+        windows, rtts = [6.0, 3.0], [0.05, 0.2]
+        ctrl = register(CoupledController(), windows, rtts)
+        denom = sum(w / r for w, r in zip(windows, rtts)) ** 2
+        for i, (w, r) in enumerate(zip(windows, rtts)):
+            assert ctrl.increase_increment(i) == pytest.approx(
+                (w / r**2) / denom)
+
+    def test_rich_path_gets_richer(self):
+        """The fully coupled rule favours the larger window (flappiness root)."""
+        ctrl = register(CoupledController(), [10.0, 1.0], [0.1, 0.1])
+        assert ctrl.increase_increment(0) > ctrl.increase_increment(1)
+
+
+class TestEwtcp:
+    def test_default_weight_one_over_n_squared(self):
+        ctrl = register(EwtcpController(), [4.0, 4.0], [0.1, 0.1])
+        assert ctrl.weight == pytest.approx(0.25)
+        assert ctrl.increase_increment(0) == pytest.approx(0.25 / 4.0)
+
+    def test_explicit_weight(self):
+        ctrl = register(EwtcpController(weight=0.5), [4.0], [0.1])
+        assert ctrl.increase_increment(0) == pytest.approx(0.5 / 4.0)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            EwtcpController(weight=0.0)
+
+    def test_weight_tracks_subflow_count(self):
+        ctrl = EwtcpController()
+        ctrl.register_subflow(0, SubflowState())
+        assert ctrl.weight == pytest.approx(1.0)
+        ctrl.register_subflow(1, SubflowState())
+        assert ctrl.weight == pytest.approx(0.25)
+        ctrl.register_subflow(2, SubflowState())
+        assert ctrl.weight == pytest.approx(1.0 / 9.0)

@@ -1,0 +1,168 @@
+"""Unit tests for OLIA (Eqs. 5-6 of the paper)."""
+
+import random
+
+import pytest
+
+from repro.core import OliaController, SubflowState
+
+
+def make_olia(windows, rtts, interloss=None, tie_tolerance=0.0):
+    ctrl = OliaController(tie_tolerance=tie_tolerance)
+    interloss = interloss or [0.0] * len(windows)
+    for i, (w, rtt, l) in enumerate(zip(windows, rtts, interloss)):
+        state = SubflowState(cwnd=w, rtt=rtt)
+        state.bytes_acked_since_loss = l
+        ctrl.register_subflow(i, state)
+    return ctrl
+
+
+class TestArgmaxSets:
+    def test_max_window_paths_unique(self):
+        ctrl = make_olia([3.0, 7.0, 5.0], [0.1] * 3)
+        assert ctrl.max_window_paths() == [1]
+
+    def test_max_window_paths_tie(self):
+        ctrl = make_olia([7.0, 7.0, 5.0], [0.1] * 3)
+        assert sorted(ctrl.max_window_paths()) == [0, 1]
+
+    def test_best_paths_by_interloss_over_rtt_squared(self):
+        # Path 0: l/rtt^2 = 3000/0.01 = 3e5; path 1: 12000/0.16 = 7.5e4.
+        ctrl = make_olia([1.0, 1.0], [0.1, 0.4], interloss=[3000.0, 12000.0])
+        assert ctrl.best_paths() == [0]
+
+    def test_best_paths_all_when_no_data_yet(self):
+        """With l_p = 0 everywhere, every path ties as 'best'."""
+        ctrl = make_olia([1.0, 1.0], [0.1, 0.1])
+        assert sorted(ctrl.best_paths()) == [0, 1]
+
+    def test_tie_tolerance_widens_sets(self):
+        ctrl = make_olia([10.0, 9.95], [0.1, 0.1], tie_tolerance=0.01)
+        assert sorted(ctrl.max_window_paths()) == [0, 1]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            OliaController(tie_tolerance=-0.1)
+
+
+class TestAlphas:
+    def test_all_zero_when_best_equals_max(self):
+        """B \\ M empty => every alpha is 0 (Eq. 6, third case)."""
+        ctrl = make_olia([9.0, 2.0], [0.1, 0.1], interloss=[15000.0, 1500.0])
+        assert ctrl.best_paths() == [0]
+        assert ctrl.max_window_paths() == [0]
+        assert ctrl.alphas() == {0: 0.0, 1: 0.0}
+
+    def test_transfer_from_max_to_best(self):
+        """Best path with small window gains 1/|R|; max-window path loses it."""
+        ctrl = make_olia([9.0, 2.0], [0.1, 0.1], interloss=[1500.0, 15000.0])
+        alphas = ctrl.alphas()
+        assert alphas[1] == pytest.approx(0.5)   # (1/2)/|B\M|=1
+        assert alphas[0] == pytest.approx(-0.5)  # -(1/2)/|M|=1
+        assert sum(alphas.values()) == pytest.approx(0.0)
+
+    def test_three_paths_split(self):
+        """alpha mass 1/|R| splits evenly across B\\M and across M."""
+        ctrl = make_olia(
+            [9.0, 2.0, 2.0], [0.1] * 3,
+            interloss=[1500.0, 15000.0, 15000.0])
+        alphas = ctrl.alphas()
+        assert alphas[1] == pytest.approx((1 / 3) / 2)
+        assert alphas[2] == pytest.approx((1 / 3) / 2)
+        assert alphas[0] == pytest.approx(-(1 / 3) / 1)
+        assert sum(alphas.values()) == pytest.approx(0.0)
+
+    def test_path_in_both_sets_gets_negative_share(self):
+        """r in M and B\\M nonempty: r pays -1/(|R||M|) (Eq. 6 second case)."""
+        # Path 0 has the max window AND is tied-best with path 1,
+        # but path 1 has a smaller window, so B \ M = {1}.
+        ctrl = make_olia([9.0, 2.0], [0.1, 0.1],
+                         interloss=[15000.0, 15000.0])
+        alphas = ctrl.alphas()
+        assert alphas[0] == pytest.approx(-0.5)
+        assert alphas[1] == pytest.approx(0.5)
+
+    def test_alphas_sum_zero_always(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            n = rng.randint(1, 5)
+            ctrl = make_olia(
+                [rng.uniform(1, 50) for _ in range(n)],
+                [rng.uniform(0.01, 0.5) for _ in range(n)],
+                interloss=[rng.choice([0.0, rng.uniform(0, 1e6)])
+                           for _ in range(n)])
+            assert sum(ctrl.alphas().values()) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestOliaIncrement:
+    def test_single_path_reduces_to_reno(self):
+        ctrl = make_olia([8.0], [0.1])
+        assert ctrl.increase_increment(0) == pytest.approx(1.0 / 8.0)
+
+    def test_kelly_voice_term_two_equal_paths(self):
+        """Equal paths, B==M: increment is (w/rtt^2)/(2w/rtt)^2 = 1/(4w)."""
+        ctrl = make_olia([10.0, 10.0], [0.1, 0.1],
+                         interloss=[15000.0, 15000.0])
+        assert ctrl.increase_increment(0) == pytest.approx(1.0 / 40.0)
+
+    def test_alpha_accelerates_best_small_path(self):
+        ctrl = make_olia([9.0, 2.0], [0.1, 0.1], interloss=[1500.0, 15000.0])
+        w2 = 2.0
+        kv = (w2 / 0.1**2) / (9.0 / 0.1 + w2 / 0.1) ** 2
+        assert ctrl.increase_increment(1) == pytest.approx(kv + 0.5 / w2)
+
+    def test_alpha_slows_max_window_path(self):
+        ctrl = make_olia([9.0, 2.0], [0.1, 0.1], interloss=[1500.0, 15000.0])
+        w1 = 9.0
+        kv = (w1 / 0.1**2) / (9.0 / 0.1 + 2.0 / 0.1) ** 2
+        assert ctrl.increase_increment(0) == pytest.approx(kv - 0.5 / w1)
+
+    def test_increment_can_be_negative_but_window_floors(self):
+        """A strongly penalised path can shrink, but never below 1 MSS."""
+        ctrl = make_olia([1.0, 1.0], [0.1, 0.1], interloss=[0.0, 15000.0])
+        # Path 0 is in M (tie) ... both in M; force path 0 only:
+        ctrl.subflows[0].cwnd = 1.2
+        increment = ctrl.increase_increment(0)
+        assert increment < 0
+        ctrl.increase_on_ack(0)
+        assert ctrl.subflows[0].cwnd >= 1.0
+
+
+class TestOliaBehaviour:
+    def test_abandons_congested_path(self):
+        """Bernoulli losses: p=0.004 vs p=0.1 -> window concentrates on path 0.
+
+        This mirrors Fig. 8 of the paper: the congested path's window stays
+        near the minimum while the good path carries the traffic.
+        """
+        rng = random.Random(42)
+        ctrl = make_olia([2.0, 2.0], [0.1, 0.1])
+        probs = {0: 0.004, 1: 0.1}
+        for _ in range(30000):
+            for key, p in probs.items():
+                if rng.random() < p:
+                    ctrl.decrease_on_loss(key)
+                else:
+                    ctrl.increase_on_ack(key)
+        w_good = ctrl.subflows[0].cwnd
+        w_bad = ctrl.subflows[1].cwnd
+        assert w_good > 5.0
+        assert w_bad < 3.0
+
+    def test_uses_both_equal_paths(self):
+        """Symmetric case (Fig. 7): both windows stay well above minimum."""
+        rng = random.Random(1)
+        ctrl = make_olia([2.0, 2.0], [0.1, 0.1])
+        totals = [0.0, 0.0]
+        n_rounds = 30000
+        for _ in range(n_rounds):
+            for key in (0, 1):
+                if rng.random() < 0.01:
+                    ctrl.decrease_on_loss(key)
+                else:
+                    ctrl.increase_on_ack(key)
+                totals[key] += ctrl.subflows[key].cwnd
+        mean0 = totals[0] / n_rounds
+        mean1 = totals[1] / n_rounds
+        assert mean0 > 2.0 and mean1 > 2.0
+        assert mean0 == pytest.approx(mean1, rel=0.35)

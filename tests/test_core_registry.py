@@ -1,0 +1,51 @@
+"""Unit tests for the algorithm registry."""
+
+import pytest
+
+from repro.core import (
+    LiaController,
+    OliaController,
+    RenoController,
+    available_algorithms,
+    make_controller,
+    register_algorithm,
+)
+
+
+class TestRegistry:
+    def test_known_algorithms_present(self):
+        names = available_algorithms()
+        for expected in ("lia", "olia", "reno", "coupled", "ewtcp"):
+            assert expected in names
+
+    def test_make_controller_types(self):
+        assert isinstance(make_controller("lia"), LiaController)
+        assert isinstance(make_controller("olia"), OliaController)
+        assert isinstance(make_controller("reno"), RenoController)
+
+    def test_aliases(self):
+        assert isinstance(make_controller("tcp"), RenoController)
+        assert isinstance(make_controller("uncoupled"), RenoController)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_controller("OLIA"), OliaController)
+
+    def test_fresh_instance_each_call(self):
+        assert make_controller("lia") is not make_controller("lia")
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="olia"):
+            make_controller("does-not-exist")
+
+    def test_register_custom_and_duplicate(self):
+        class Custom(RenoController):
+            name = "custom-test"
+
+        register_algorithm("custom-test", Custom)
+        try:
+            assert isinstance(make_controller("custom-test"), Custom)
+            with pytest.raises(ValueError):
+                register_algorithm("custom-test", Custom)
+        finally:
+            from repro.core import registry
+            del registry._FACTORIES["custom-test"]

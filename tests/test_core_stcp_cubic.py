@@ -1,0 +1,139 @@
+"""Unit tests for the Scalable TCP and CUBIC controllers (Remark 3)."""
+
+import pytest
+
+from repro.core import CubicController, ScalableTcpController, SubflowState
+
+
+class TestScalableTcp:
+    def test_constant_increment(self):
+        ctrl = ScalableTcpController()
+        ctrl.register_subflow(0, SubflowState(cwnd=100.0, rtt=0.1))
+        assert ctrl.increase_increment(0) == pytest.approx(0.01)
+        ctrl.subflows[0].cwnd = 5.0
+        assert ctrl.increase_increment(0) == pytest.approx(0.01)
+
+    def test_multiplicative_decrease(self):
+        ctrl = ScalableTcpController()
+        ctrl.register_subflow(0, SubflowState(cwnd=100.0, rtt=0.1))
+        assert ctrl.decrease_on_loss(0) == pytest.approx(87.5)
+
+    def test_decrease_floors_at_one(self):
+        ctrl = ScalableTcpController()
+        ctrl.register_subflow(0, SubflowState(cwnd=1.05, rtt=0.1))
+        assert ctrl.decrease_on_loss(0) == 1.0
+
+    def test_exponential_growth(self):
+        """w(t) grows multiplicatively: a fraction a per ACK, w ACKs/RTT."""
+        ctrl = ScalableTcpController()
+        state = SubflowState(cwnd=10.0, rtt=0.1)
+        ctrl.register_subflow(0, state)
+        for _ in range(100):  # ~10 RTTs of ACKs at w=10
+            ctrl.increase_on_ack(0)
+        assert state.cwnd == pytest.approx(11.0)
+
+    def test_loss_rolls_interloss_counters(self):
+        ctrl = ScalableTcpController()
+        state = SubflowState(cwnd=10.0, rtt=0.1)
+        ctrl.register_subflow(0, state)
+        ctrl.increase_on_ack(0, acked_packets=4)
+        ctrl.decrease_on_loss(0)
+        assert state.bytes_between_last_losses == 6000.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ScalableTcpController(a=0.0)
+        with pytest.raises(ValueError):
+            ScalableTcpController(b=1.0)
+
+    def test_registry_name(self):
+        from repro.core import make_controller
+        assert isinstance(make_controller("stcp"), ScalableTcpController)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestCubic:
+    def test_target_at_epoch_is_below_wmax(self):
+        clock = FakeClock()
+        ctrl = CubicController(clock)
+        ctrl.register_subflow(0, SubflowState(cwnd=10.0, rtt=0.1))
+        ctrl.decrease_on_loss(0)  # sets W_max = 10, epoch = 0
+        # Immediately after a loss the target is W_max * (1 - beta).
+        assert ctrl.target_window(0) == pytest.approx(
+            10.0 - CubicController.C_SCALE * ctrl._k(0) ** 3)
+        assert ctrl.target_window(0) == pytest.approx(7.0)
+
+    def test_target_recovers_wmax_at_k(self):
+        clock = FakeClock()
+        ctrl = CubicController(clock)
+        ctrl.register_subflow(0, SubflowState(cwnd=20.0, rtt=0.1))
+        ctrl.decrease_on_loss(0)
+        clock.t = ctrl._k(0)
+        assert ctrl.target_window(0) == pytest.approx(20.0)
+
+    def test_growth_accelerates_beyond_k(self):
+        clock = FakeClock()
+        ctrl = CubicController(clock)
+        state = SubflowState(cwnd=20.0, rtt=0.1)
+        ctrl.register_subflow(0, state)
+        ctrl.decrease_on_loss(0)
+        k = ctrl._k(0)
+        clock.t = k + 2.0
+        assert ctrl.target_window(0) > 20.0
+        increment = ctrl.increase_increment(0)
+        assert increment > 0.1  # far from target -> big step
+
+    def test_plateau_near_wmax_is_gentle(self):
+        clock = FakeClock()
+        ctrl = CubicController(clock)
+        state = SubflowState(cwnd=20.0, rtt=0.1)
+        ctrl.register_subflow(0, state)
+        ctrl.decrease_on_loss(0)
+        clock.t = ctrl._k(0)
+        state.cwnd = 20.0  # at the plateau exactly
+        assert ctrl.increase_increment(0) <= 0.01 / 20.0 + 1e-12
+
+    def test_decrease_factor(self):
+        clock = FakeClock()
+        ctrl = CubicController(clock)
+        state = SubflowState(cwnd=20.0, rtt=0.1)
+        ctrl.register_subflow(0, state)
+        assert ctrl.decrease_on_loss(0) == pytest.approx(14.0)
+
+    def test_rtt_insensitivity(self):
+        """Two CUBIC flows with different RTTs grow identically in time.
+
+        This is the property Remark 3 wants: growth depends on elapsed
+        time, not on the ACK clock.  We emulate flows by applying the
+        per-ACK rule with ACK counts proportional to 1/rtt.
+        """
+        clock = FakeClock()
+        ctrl = CubicController(clock)
+        fast = SubflowState(cwnd=10.0, rtt=0.01)
+        slow = SubflowState(cwnd=10.0, rtt=0.1)
+        ctrl.register_subflow(0, fast)
+        ctrl.register_subflow(1, slow)
+        ctrl.decrease_on_loss(0)
+        ctrl.decrease_on_loss(1)
+        # Advance 1 second; the fast flow sees 10x more ACKs.
+        for step in range(100):
+            clock.t += 0.01
+            for _ in range(10):
+                ctrl.increase_on_ack(0)
+            ctrl.increase_on_ack(1)
+        assert fast.cwnd == pytest.approx(slow.cwnd, rel=0.1)
+
+    def test_remove_subflow_cleans_state(self):
+        clock = FakeClock()
+        ctrl = CubicController(clock)
+        ctrl.register_subflow(0, SubflowState())
+        ctrl.remove_subflow(0)
+        assert ctrl._w_max == {}
+        assert ctrl._epoch == {}

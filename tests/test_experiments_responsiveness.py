@@ -1,0 +1,81 @@
+"""Tests for the fluid responsiveness/stability experiments."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import responsiveness
+from repro.fluid import FluidNetwork, PowerLoss, integrate
+
+
+class TestSettlingTime:
+    def test_settled_trajectory_reports_early_time(self):
+        net = FluidNetwork()
+        link = net.add_link(PowerLoss(capacity=100.0))
+        user = net.add_user()
+        net.add_route(user, [link], rtt=0.1)
+        traj = integrate(net, "tcp", t_end=60.0, dt=2e-3)
+        settle = traj.settling_time(rel_tol=0.1)
+        assert math.isfinite(settle)
+        assert settle < 30.0
+
+    def test_equilibrium_start_settles_immediately(self):
+        net = FluidNetwork()
+        link = net.add_link(PowerLoss(capacity=100.0))
+        user = net.add_user()
+        net.add_route(user, [link], rtt=0.1)
+        warm = integrate(net, "tcp", t_end=60.0, dt=2e-3)
+        traj = integrate(net, "tcp", t_end=10.0, dt=2e-3,
+                         x0=warm.final_rates)
+        assert traj.settling_time(rel_tol=0.1) < 1.0
+
+    def test_unsettled_is_infinite(self):
+        net = FluidNetwork()
+        link = net.add_link(PowerLoss(capacity=100.0))
+        user = net.add_user()
+        net.add_route(user, [link], rtt=0.1)
+        # Far-from-equilibrium start with a tiny horizon: the rate is
+        # still climbing at the last sample, so it never settles.
+        traj = integrate(net, "tcp", t_end=0.05, dt=1e-3,
+                         x0=np.array([1.0]), record_every=1)
+        assert traj.settling_time(rel_tol=0.001) == float("inf")
+
+
+class TestCapacityDrop:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return responsiveness.capacity_drop_settling_table(
+            algorithms=("olia", "lia"), t_converge=40.0, t_measure=40.0)
+
+    def test_all_algorithms_settle(self, table):
+        for settle in table.column("settling time (s)"):
+            assert math.isfinite(settle)
+            assert settle < 40.0
+
+    def test_multipath_rate_drops_with_capacity(self, table):
+        for before, after in zip(table.column("mp rate before"),
+                                 table.column("mp rate after")):
+            assert after < before
+
+    def test_olia_about_as_responsive_as_lia(self, table):
+        """The paper's claim: OLIA is as responsive as LIA."""
+        rows = {row[0]: row[1] for row in table.rows}
+        assert rows["olia"] < 3.0 * max(rows["lia"], 1.0)
+
+
+class TestStability:
+    def test_all_perturbations_return_to_equilibrium(self):
+        table = responsiveness.stability_table(
+            algorithm="olia", perturbation_factors=(0.2, 5.0),
+            t_end=60.0)
+        for deviation in table.column(
+                "max relative deviation at t_end"):
+            assert deviation < 0.1
+
+    def test_lia_also_stable(self):
+        table = responsiveness.stability_table(
+            algorithm="lia", perturbation_factors=(0.5, 2.0), t_end=60.0)
+        for deviation in table.column(
+                "max relative deviation at t_end"):
+            assert deviation < 0.1

@@ -1,0 +1,80 @@
+"""Tests for result tables and the measurement runner."""
+
+import random
+
+import pytest
+
+from repro.experiments import ResultTable, measure, staggered_starts
+from repro.sim import BulkTransfer, DropTailQueue, Link, PathSpec, Simulator
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        table = ResultTable("Demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", 0.001)
+        text = str(table)
+        assert "Demo" in text
+        assert "a" in text and "b" in text
+        assert "2.5" in text
+
+    def test_wrong_arity_rejected(self):
+        table = ResultTable("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_access(self):
+        table = ResultTable("Demo", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_notes_rendered(self):
+        table = ResultTable("Demo", ["a"])
+        table.add_row(1)
+        table.add_note("hello note")
+        assert "hello note" in str(table)
+
+
+class TestRunner:
+    def test_staggered_starts_in_range(self):
+        starts = staggered_starts(random.Random(1), 10, spread=2.0)
+        assert len(starts) == 10
+        assert all(0 <= s < 2.0 for s in starts)
+
+    def test_measure_excludes_warmup(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=10e6, delay=0.005,
+                    queue=DropTailQueue(limit=100))
+        bulk = BulkTransfer(sim, "tcp", [PathSpec((link,), 0.005)])
+        bulk.start()
+        result = measure(sim, {"f": bulk}, [link], warmup=1.0,
+                         duration=2.0)
+        # Goodput should reflect steady state, not the slow-start ramp.
+        assert result.goodput_pps["f"] > 0
+        assert result.duration == 2.0
+        assert 0 <= result.link_loss["link"] <= 1
+
+    def test_group_mean(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=10e6, delay=0.005,
+                    queue=DropTailQueue(limit=100))
+        flows = {}
+        for i in range(2):
+            bulk = BulkTransfer(sim, "tcp", [PathSpec((link,), 0.005)],
+                                name=f"g.{i}")
+            bulk.start()
+            flows[f"g.{i}"] = bulk
+        result = measure(sim, flows, [link], warmup=0.5, duration=1.0)
+        mean = result.group_mean("g")
+        assert mean == pytest.approx(
+            sum(result.goodput_pps.values()) / 2)
+        with pytest.raises(KeyError):
+            result.group_mean("missing")
+
+    def test_measure_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            measure(sim, {}, [], warmup=-1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            measure(sim, {}, [], warmup=0.0, duration=0.0)

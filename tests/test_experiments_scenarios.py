@@ -1,0 +1,111 @@
+"""Integration tests: scenario experiments reproduce the paper's shapes.
+
+These run the packet simulator at short durations, asserting the
+*qualitative* claims of each figure/table (who wins, orderings, factor
+ranges) rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import scenario_a, scenario_b, scenario_c
+
+FAST = dict(duration=12.0, warmup=8.0)
+
+
+class TestScenarioASimulation:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        lia = scenario_a.simulate("lia", n1=10, n2=10, c1_mbps=1.0,
+                                  c2_mbps=1.0, **FAST)
+        olia = scenario_a.simulate("olia", n1=10, n2=10, c1_mbps=1.0,
+                                   c2_mbps=1.0, **FAST)
+        return lia, olia
+
+    def test_type1_pinned_at_capacity(self, runs):
+        """Problem P1: type1 throughput is server-limited either way."""
+        lia, olia = runs
+        assert lia.type1_normalized == pytest.approx(1.0, abs=0.1)
+        assert olia.type1_normalized == pytest.approx(1.0, abs=0.1)
+
+    def test_olia_gives_type2_more(self, runs):
+        """Fig. 9: type2 users do better when type1 run OLIA."""
+        lia, olia = runs
+        assert olia.type2_normalized > lia.type2_normalized
+
+    def test_olia_reduces_shared_ap_congestion(self, runs):
+        """Fig. 10: p2 lower under OLIA."""
+        lia, olia = runs
+        assert olia.p2 < lia.p2
+
+    def test_figure1_table_structure(self):
+        table = scenario_a.figure1_table(n1_values=(10, 30),
+                                         c1_over_c2=(1.0,))
+        assert len(table.rows) == 2
+        type2 = table.column("type2 LIA")
+        assert type2[0] > type2[1]  # more type1 users hurt type2
+
+    def test_figure9_table_runs(self):
+        table = scenario_a.figure9_10_table(
+            n1_values=(10,), c1_over_c2=(1.0,), **FAST)
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        olia_col = table.columns.index("type2 OLIA")
+        lia_col = table.columns.index("type2 LIA")
+        assert row[olia_col] > row[lia_col]
+
+
+class TestScenarioBSimulation:
+    def test_table1_lia_upgrade_hurts_everyone(self):
+        single = scenario_b.simulate("lia", red_multipath=False, **FAST)
+        multi = scenario_b.simulate("lia", red_multipath=True, **FAST)
+        assert multi.blue_mbps < single.blue_mbps
+        assert multi.aggregate_mbps < single.aggregate_mbps
+        drop = 1.0 - multi.aggregate_mbps / single.aggregate_mbps
+        assert drop > 0.05  # paper: 13%
+
+    def test_table2_olia_drop_smaller_than_lia(self):
+        def agg_drop(algorithm):
+            single = scenario_b.simulate(algorithm, red_multipath=False,
+                                         **FAST)
+            multi = scenario_b.simulate(algorithm, red_multipath=True,
+                                        **FAST)
+            return 1.0 - multi.aggregate_mbps / single.aggregate_mbps
+
+        assert agg_drop("olia") < agg_drop("lia")
+
+    def test_single_path_rates_match_paper_scale(self):
+        """Paper Table I single-path row: Blue ~2.5, Red ~1.5 Mbps."""
+        run = scenario_b.simulate("lia", red_multipath=False, **FAST)
+        assert run.blue_mbps == pytest.approx(2.5, abs=0.5)
+        assert run.red_mbps == pytest.approx(1.5, abs=0.5)
+
+    def test_table_render(self):
+        table = scenario_b.table_1_2("lia", **FAST)
+        text = str(table)
+        assert "Single-path" in text and "Multipath" in text
+
+
+class TestScenarioCSimulation:
+    def test_olia_better_for_single_path_users(self):
+        lia = scenario_c.simulate("lia", n1=20, n2=10, c1_mbps=1.0,
+                                  c2_mbps=1.0, **FAST)
+        olia = scenario_c.simulate("olia", n1=20, n2=10, c1_mbps=1.0,
+                                   c2_mbps=1.0, **FAST)
+        assert olia.singlepath_normalized > lia.singlepath_normalized
+        assert olia.p2 < lia.p2
+
+    def test_figure5b_table_shape(self):
+        table = scenario_c.figure5b_table()
+        mp_lia = table.column("mp LIA")
+        mp_opt = table.column("mp opt")
+        ratios = table.column("C1/C2")
+        # Above the 1/3 threshold LIA exceeds the optimum (problem P2).
+        for ratio, lia_val, opt_val in zip(ratios, mp_lia, mp_opt):
+            if ratio > 0.5:
+                assert lia_val > opt_val
+
+    def test_figure5cd_analysis_columns(self):
+        table = scenario_c.figure5cd_table(n1_values=(10, 30),
+                                           c1_over_c2=(1.0,))
+        p2 = table.column("p2 LIA")
+        assert p2[1] > p2[0]  # congestion grows with N1

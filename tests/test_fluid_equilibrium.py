@@ -1,0 +1,185 @@
+"""Tests for allocation rules, the fixed-point solver and Theorem 1."""
+
+import numpy as np
+import pytest
+
+from repro.fluid import (
+    FluidNetwork,
+    PowerLoss,
+    SharpLoss,
+    best_path_rate,
+    epsilon_family_allocation,
+    lia_allocation,
+    olia_allocation,
+    solve_fixed_point,
+    tcp_allocation,
+    tcp_rate,
+    verify_theorem1,
+)
+
+
+class TestAllocationRules:
+    def test_tcp_rate_formula(self):
+        assert tcp_rate(0.02, 0.1) == pytest.approx(100.0)
+
+    def test_best_path_rate(self):
+        assert best_path_rate([0.02, 0.005], [0.1, 0.1]) == pytest.approx(200.0)
+
+    def test_lia_matches_eq2(self):
+        """Windows proportional to 1/p, total = best TCP rate."""
+        p = np.array([0.005, 0.02])
+        rtt = np.array([0.1, 0.1])
+        x = lia_allocation(p, rtt)
+        assert np.sum(x) == pytest.approx(200.0)
+        assert x[0] / x[1] == pytest.approx((1 / 0.005) / (1 / 0.02))
+
+    def test_lia_single_path_is_tcp(self):
+        x = lia_allocation([0.02], [0.1])
+        assert x[0] == pytest.approx(tcp_rate(0.02, 0.1))
+
+    def test_olia_concentrates_on_best(self):
+        x = olia_allocation([0.005, 0.02], [0.1, 0.1])
+        assert x[0] == pytest.approx(200.0)
+        assert x[1] == 0.0
+
+    def test_olia_splits_ties_equally(self):
+        x = olia_allocation([0.02, 0.02], [0.1, 0.1])
+        assert x[0] == pytest.approx(x[1])
+        assert np.sum(x) == pytest.approx(tcp_rate(0.02, 0.1))
+
+    def test_olia_floor_on_nonbest(self):
+        x = olia_allocation([0.005, 0.02], [0.1, 0.1], floor=[0.0, 10.0])
+        assert x[1] == pytest.approx(10.0)
+
+    def test_olia_rtt_weighting(self):
+        """Best path maximizes sqrt(2/p)/rtt, not just 1/p."""
+        # Path 0: lower loss but much larger RTT -> path 1 wins.
+        x = olia_allocation([0.005, 0.02], [1.0, 0.1])
+        assert x[0] == 0.0
+        assert x[1] == pytest.approx(tcp_rate(0.02, 0.1))
+
+    def test_epsilon_one_equals_lia_for_equal_rtt(self):
+        p = np.array([0.004, 0.01, 0.03])
+        rtt = np.full(3, 0.15)
+        assert np.allclose(epsilon_family_allocation(p, rtt, 1.0),
+                           lia_allocation(p, rtt))
+
+    def test_epsilon_zero_equals_olia(self):
+        p = np.array([0.004, 0.01])
+        rtt = np.full(2, 0.15)
+        assert np.allclose(epsilon_family_allocation(p, rtt, 0.0),
+                           olia_allocation(p, rtt))
+
+    def test_epsilon_two_spreads_like_sqrt(self):
+        p = np.array([0.01, 0.04])
+        rtt = np.full(2, 0.1)
+        x = epsilon_family_allocation(p, rtt, 2.0)
+        assert x[0] / x[1] == pytest.approx(2.0)  # (p2/p1)**0.5
+
+    def test_epsilon_negative_rejected(self):
+        with pytest.raises(ValueError):
+            epsilon_family_allocation([0.01], [0.1], -1.0)
+
+    def test_uncoupled_allocation(self):
+        x = tcp_allocation([0.02, 0.08], [0.1, 0.1])
+        assert x[0] == pytest.approx(100.0)
+        assert x[1] == pytest.approx(50.0)
+
+
+class TestFixedPointSolver:
+    def test_single_tcp_on_link(self):
+        net = FluidNetwork()
+        link = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        user = net.add_user()
+        net.add_route(user, [link], rtt=0.1)
+        result = solve_fixed_point(net, "tcp")
+        assert result.converged
+        x = result.rates[0]
+        p = result.route_loss[0]
+        assert x == pytest.approx(tcp_rate(p, 0.1), rel=1e-4)
+
+    def test_matches_integrator(self):
+        """The fixed point agrees with the trajectory's limit."""
+        from repro.fluid import integrate
+        net = FluidNetwork()
+        l1 = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        l2 = net.add_link(PowerLoss(capacity=60.0, p_at_capacity=0.02))
+        mp = net.add_user()
+        net.add_route(mp, [l1], rtt=0.1)
+        net.add_route(mp, [l2], rtt=0.1)
+        sp = net.add_user()
+        net.add_route(sp, [l2], rtt=0.1)
+        fp = solve_fixed_point(net, {0: "lia", 1: "tcp"})
+        traj = integrate(net, {0: "lia", 1: "tcp"}, t_end=120.0, dt=2e-3,
+                         floor_packets=0.0)
+        assert fp.converged
+        assert np.allclose(fp.rates, traj.tail_average(), rtol=0.08,
+                           atol=1.0)
+
+    def test_scenario_c_structure_with_olia(self):
+        """OLIA multipath + TCP single-path on shared AP2 (scenario C).
+
+        With C1 >= C2 the multipath user should abandon AP2 entirely
+        (only probing traffic), matching Theorems 1/4.
+        """
+        net = FluidNetwork()
+        ap1 = net.add_link(SharpLoss(capacity=200.0))
+        ap2 = net.add_link(SharpLoss(capacity=100.0))
+        mp = net.add_user("mp")
+        net.add_route(mp, [ap1], rtt=0.15)
+        net.add_route(mp, [ap2], rtt=0.15)
+        sp = net.add_user("sp")
+        net.add_route(sp, [ap2], rtt=0.15)
+        result = solve_fixed_point(net, {0: "olia", 1: "tcp"},
+                                   floor_packets=1.0)
+        assert result.converged
+        x_mp_ap2 = result.rates[1]
+        assert x_mp_ap2 <= 1.0 / 0.15 * 1.01  # probing only
+        checks = verify_theorem1(net, result.rates)
+        assert checks["only_best_paths"]
+
+    def test_unconverged_flagged(self):
+        net = FluidNetwork()
+        link = net.add_link(PowerLoss(capacity=100.0))
+        user = net.add_user()
+        net.add_route(user, [link], rtt=0.1)
+        result = solve_fixed_point(net, "tcp", max_iter=3)
+        assert not result.converged
+        assert result.iterations == 3
+
+
+class TestVerifyTheorem1:
+    def test_accepts_olia_fixed_point(self):
+        net = FluidNetwork()
+        l1 = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        l2 = net.add_link(PowerLoss(capacity=30.0, p_at_capacity=0.02))
+        mp = net.add_user()
+        net.add_route(mp, [l1], rtt=0.1)
+        net.add_route(mp, [l2], rtt=0.1)
+        for i in range(4):
+            u = net.add_user()
+            net.add_route(u, [l2], rtt=0.1)
+        result = solve_fixed_point(net, {0: "olia", 1: "tcp", 2: "tcp",
+                                         3: "tcp", 4: "tcp"},
+                                   floor_packets=1.0)
+        checks = verify_theorem1(net, result.rates)
+        assert checks["only_best_paths"]
+        assert checks["total_is_best_tcp"]
+
+    def test_rejects_lia_fixed_point(self):
+        """LIA sends more than probing traffic on the congested path, so
+        the Theorem 1 best-paths-only property must fail."""
+        net = FluidNetwork()
+        l1 = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        l2 = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        mp = net.add_user()
+        net.add_route(mp, [l1], rtt=0.1)
+        net.add_route(mp, [l2], rtt=0.1)
+        for i in range(3):
+            u = net.add_user()
+            net.add_route(u, [l2], rtt=0.1)
+        rules = {0: "lia"}
+        rules.update({u: "tcp" for u in range(1, 4)})
+        result = solve_fixed_point(net, rules, floor_packets=1.0)
+        checks = verify_theorem1(net, result.rates)
+        assert not checks["only_best_paths"]

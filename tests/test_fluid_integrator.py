@@ -1,0 +1,150 @@
+"""Integration tests for the fluid Euler integrator."""
+
+import numpy as np
+import pytest
+
+from repro.fluid import (
+    FluidNetwork,
+    PowerLoss,
+    equilibrium_rate_for_tcp,
+    integrate,
+    integrate_to_equilibrium,
+)
+
+
+def single_link_net(capacity=100.0, rtt=0.1, n_users=1):
+    net = FluidNetwork()
+    link = net.add_link(PowerLoss(capacity=capacity, p_at_capacity=0.02,
+                                  exponent=4.0))
+    for i in range(n_users):
+        user = net.add_user(f"u{i}")
+        net.add_route(user, [link], rtt=rtt)
+    return net
+
+
+def two_path_net(c1=100.0, c2=100.0, rtt=0.1):
+    """One multipath user with a private path per AP (no competition)."""
+    net = FluidNetwork()
+    l1 = net.add_link(PowerLoss(capacity=c1, p_at_capacity=0.02))
+    l2 = net.add_link(PowerLoss(capacity=c2, p_at_capacity=0.02))
+    user = net.add_user("mp")
+    net.add_route(user, [l1], rtt=rtt)
+    net.add_route(user, [l2], rtt=rtt)
+    return net
+
+
+class TestTcpConvergence:
+    def test_single_tcp_reaches_formula_equilibrium(self):
+        net = single_link_net()
+        expected = equilibrium_rate_for_tcp(net.loss_model(0), 0.1)
+        traj = integrate(net, "tcp", t_end=60.0, dt=2e-3)
+        assert traj.final_rates[0] == pytest.approx(expected, rel=0.02)
+
+    def test_two_tcp_users_share_equally(self):
+        net = single_link_net(n_users=2)
+        traj = integrate(net, "tcp", t_end=60.0, dt=2e-3)
+        x = traj.final_rates
+        assert x[0] == pytest.approx(x[1], rel=1e-3)
+
+    def test_trajectory_shapes(self):
+        net = single_link_net()
+        traj = integrate(net, "tcp", t_end=1.0, dt=1e-3, record_every=100)
+        assert traj.rates.shape[0] == len(traj.times)
+        assert traj.rates.shape[1] == net.n_routes
+        assert traj.times[0] == 0.0
+        assert traj.times[-1] == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        net = single_link_net()
+        with pytest.raises(ValueError):
+            integrate(net, "tcp", t_end=0.0)
+        with pytest.raises(ValueError):
+            integrate(net, "tcp", t_end=1.0, dt=-1e-3)
+
+    def test_floor_respected(self):
+        net = single_link_net()
+        traj = integrate(net, "tcp", t_end=1.0, dt=1e-3, floor_packets=2.0)
+        assert np.all(traj.rates >= 2.0 / 0.1 - 1e-9)
+
+
+class TestMultipathConvergence:
+    def test_olia_uses_both_equal_paths(self):
+        """Symmetric two-path user: both routes converge to similar rates."""
+        net = two_path_net()
+        traj = integrate(net, "olia", t_end=120.0, dt=2e-3)
+        x = traj.tail_average()
+        assert x[0] == pytest.approx(x[1], rel=0.2)
+        assert x[0] > 50.0  # well above the probing floor
+
+    def test_olia_abandons_congested_path(self):
+        """Asymmetric capacities: the narrow path keeps only probing traffic."""
+        net = FluidNetwork()
+        l1 = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        l2 = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        mp = net.add_user("mp")
+        net.add_route(mp, [l1], rtt=0.1)
+        net.add_route(mp, [l2], rtt=0.1)
+        # Ten TCP users crowd the second link.
+        for i in range(10):
+            u = net.add_user(f"tcp{i}")
+            net.add_route(u, [l2], rtt=0.1)
+        traj = integrate(net, "olia", t_end=120.0, dt=2e-3)
+        x = traj.tail_average()
+        floor = 1.0 / 0.1  # one packet per RTT
+        assert x[1] <= floor * 1.05
+        assert x[0] > 8 * floor
+
+    def test_lia_keeps_traffic_on_congested_path(self):
+        """Same asymmetric case: LIA sends a visible share over link 2.
+
+        This is the root of problems P1/P2 — compare with the OLIA test
+        above.
+        """
+        net = FluidNetwork()
+        l1 = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        l2 = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        mp = net.add_user("mp")
+        net.add_route(mp, [l1], rtt=0.1)
+        net.add_route(mp, [l2], rtt=0.1)
+        for i in range(10):
+            u = net.add_user(f"tcp{i}")
+            net.add_route(u, [l2], rtt=0.1)
+        traj = integrate(net, "lia", t_end=120.0, dt=2e-3)
+        x = traj.tail_average()
+        # LIA's Eq. (2) gives the congested path w ~ 1/p share, clearly
+        # more than OLIA's probing-only traffic.
+        assert x[1] > 0.05 * x[0]
+
+    def test_mixed_algorithms_per_user(self):
+        net = FluidNetwork()
+        link = net.add_link(PowerLoss(capacity=100.0))
+        u0 = net.add_user()
+        net.add_route(u0, [link], rtt=0.1)
+        u1 = net.add_user()
+        net.add_route(u1, [link], rtt=0.1)
+        traj = integrate(net, {0: "tcp", 1: "olia"}, t_end=30.0, dt=2e-3)
+        x = traj.final_rates
+        # A single-path OLIA user behaves exactly like TCP.
+        assert x[0] == pytest.approx(x[1], rel=0.05)
+
+
+class TestEquilibriumDriver:
+    def test_converges_and_stops_early(self):
+        net = single_link_net()
+        traj = integrate_to_equilibrium(net, "tcp", dt=2e-3, chunk=10.0,
+                                        max_time=200.0)
+        expected = equilibrium_rate_for_tcp(net.loss_model(0), 0.1)
+        assert traj.tail_average()[0] == pytest.approx(expected, rel=0.02)
+
+    def test_tail_average_validation(self):
+        net = single_link_net()
+        traj = integrate(net, "tcp", t_end=1.0, dt=1e-3)
+        with pytest.raises(ValueError):
+            traj.tail_average(fraction=0.0)
+
+    def test_user_totals_series(self):
+        net = two_path_net()
+        traj = integrate(net, "olia", t_end=5.0, dt=2e-3)
+        totals = traj.user_totals()
+        assert totals.shape == (traj.rates.shape[0], 1)
+        assert np.allclose(totals[:, 0], traj.rates.sum(axis=1))

@@ -1,0 +1,104 @@
+"""Unit tests for link loss models."""
+
+import numpy as np
+import pytest
+
+from repro.fluid.loss import (
+    PowerLoss,
+    RedLoss,
+    SharpLoss,
+    equilibrium_rate_for_tcp,
+)
+
+
+class TestPowerLoss:
+    def test_zero_below_zero(self):
+        loss = PowerLoss(capacity=100.0)
+        assert loss(0.0) == 0.0
+        assert loss(-5.0) == 0.0
+
+    def test_value_at_capacity(self):
+        loss = PowerLoss(capacity=100.0, p_at_capacity=0.02)
+        assert loss(100.0) == pytest.approx(0.02)
+
+    def test_monotone_increasing(self):
+        loss = PowerLoss(capacity=100.0)
+        rates = np.linspace(0, 500, 200)
+        values = [loss(r) for r in rates]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_saturates_at_one(self):
+        loss = PowerLoss(capacity=10.0, p_at_capacity=0.1, exponent=2.0)
+        assert loss(1e6) == 1.0
+
+    def test_cost_matches_numeric_integral(self):
+        loss = PowerLoss(capacity=50.0, p_at_capacity=0.05, exponent=3.0)
+        ys = np.linspace(0, 120, 6000)
+        numeric = np.trapezoid([loss(y) for y in ys], ys)
+        assert loss.cost(120.0) == pytest.approx(numeric, rel=1e-3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PowerLoss(capacity=0.0)
+        with pytest.raises(ValueError):
+            PowerLoss(capacity=1.0, p_at_capacity=0.0)
+        with pytest.raises(ValueError):
+            PowerLoss(capacity=1.0, exponent=-1.0)
+
+
+class TestSharpLoss:
+    def test_negligible_below_capacity(self):
+        loss = SharpLoss(capacity=100.0)
+        assert loss(80.0) < 2e-3
+
+    def test_steep_above_capacity(self):
+        loss = SharpLoss(capacity=100.0)
+        assert loss(130.0) > 10 * loss(100.0)
+
+
+class TestRedLoss:
+    def test_piecewise_shape(self):
+        loss = RedLoss(capacity=100.0, p_max=0.1, low=0.9, high=1.5)
+        assert loss(80.0) == 0.0
+        assert loss(95.0) == pytest.approx(0.05)
+        assert loss(100.0) == pytest.approx(0.1)
+        assert loss(125.0) == pytest.approx(0.1 + 0.9 * 0.5)
+        assert loss(200.0) == 1.0
+
+    def test_continuity_at_breakpoints(self):
+        loss = RedLoss(capacity=100.0)
+        for point in (loss.low_rate, loss.capacity, loss.high_rate):
+            assert loss(point - 1e-9) == pytest.approx(loss(point + 1e-9),
+                                                       abs=1e-6)
+
+    def test_cost_matches_numeric_integral(self):
+        loss = RedLoss(capacity=100.0)
+        for upper in (50.0, 95.0, 120.0, 200.0):
+            ys = np.linspace(0, upper, 8000)
+            numeric = np.trapezoid([loss(y) for y in ys], ys)
+            assert loss.cost(upper) == pytest.approx(numeric, rel=2e-3,
+                                                     abs=1e-6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RedLoss(capacity=-1.0)
+        with pytest.raises(ValueError):
+            RedLoss(capacity=1.0, p_max=1.5)
+        with pytest.raises(ValueError):
+            RedLoss(capacity=1.0, low=1.2)
+
+
+class TestTcpEquilibriumHelper:
+    def test_single_flow_consistency(self):
+        """The bisection rate satisfies x = sqrt(2/p(x))/rtt."""
+        loss = PowerLoss(capacity=100.0, p_at_capacity=0.02, exponent=4.0)
+        rtt = 0.1
+        y = equilibrium_rate_for_tcp(loss, rtt)
+        assert y == pytest.approx((2.0 / loss(y)) ** 0.5 / rtt, rel=1e-4)
+
+    def test_more_flows_drive_higher_loss(self):
+        loss = PowerLoss(capacity=100.0)
+        y1 = equilibrium_rate_for_tcp(loss, 0.1, n_flows=1)
+        y5 = equilibrium_rate_for_tcp(loss, 0.1, n_flows=5)
+        assert y5 > y1
+        assert loss(y5) > loss(y1)

@@ -1,0 +1,97 @@
+"""Unit tests for the fluid network container."""
+
+import numpy as np
+import pytest
+
+from repro.fluid import FluidNetwork, PowerLoss
+
+
+def two_link_network():
+    net = FluidNetwork()
+    l1 = net.add_link(PowerLoss(capacity=100.0), name="ap1")
+    l2 = net.add_link(PowerLoss(capacity=50.0), name="ap2")
+    u = net.add_user("mp")
+    r1 = net.add_route(u, [l1], rtt=0.1)
+    r2 = net.add_route(u, [l2], rtt=0.1)
+    v = net.add_user("sp")
+    r3 = net.add_route(v, [l2], rtt=0.1)
+    return net, (l1, l2), (r1, r2, r3)
+
+
+class TestConstruction:
+    def test_sizes(self):
+        net, _, _ = two_link_network()
+        assert (net.n_links, net.n_users, net.n_routes) == (2, 2, 3)
+
+    def test_names(self):
+        net, _, _ = two_link_network()
+        assert net.link_name(0) == "ap1"
+        assert net.user_name(1) == "sp"
+        assert net.route_name(2) == "route2"
+
+    def test_invalid_route_rtt(self):
+        net = FluidNetwork()
+        link = net.add_link(PowerLoss(10.0))
+        user = net.add_user()
+        with pytest.raises(ValueError):
+            net.add_route(user, [link], rtt=0.0)
+
+    def test_route_needs_links(self):
+        net = FluidNetwork()
+        user = net.add_user()
+        with pytest.raises(ValueError):
+            net.add_route(user, [], rtt=0.1)
+
+    def test_unknown_link_rejected(self):
+        net = FluidNetwork()
+        user = net.add_user()
+        with pytest.raises(ValueError):
+            net.add_route(user, [3], rtt=0.1)
+
+
+class TestRateAccounting:
+    def test_link_rates_sum_routes(self):
+        net, _, _ = two_link_network()
+        x = np.array([10.0, 5.0, 7.0])
+        rates = net.link_rates(x)
+        assert rates[0] == pytest.approx(10.0)
+        assert rates[1] == pytest.approx(12.0)  # routes 1 and 2 share ap2
+
+    def test_user_totals(self):
+        net, _, _ = two_link_network()
+        totals = net.user_totals(np.array([10.0, 5.0, 7.0]))
+        assert totals[0] == pytest.approx(15.0)
+        assert totals[1] == pytest.approx(7.0)
+
+    def test_route_loss_sums_links(self):
+        net = FluidNetwork()
+        l1 = net.add_link(PowerLoss(capacity=10.0, p_at_capacity=0.1,
+                                    exponent=1.0))
+        l2 = net.add_link(PowerLoss(capacity=10.0, p_at_capacity=0.2,
+                                    exponent=1.0))
+        u = net.add_user()
+        net.add_route(u, [l1, l2], rtt=0.1)
+        x = np.array([10.0])
+        p = net.route_loss_probs(x)
+        assert p[0] == pytest.approx(0.3)
+
+    def test_route_loss_capped_at_one(self):
+        net = FluidNetwork()
+        links = [net.add_link(PowerLoss(capacity=1.0, p_at_capacity=0.9,
+                                        exponent=1.0)) for _ in range(3)]
+        u = net.add_user()
+        net.add_route(u, links, rtt=0.1)
+        p = net.route_loss_probs(np.array([1.0]))
+        assert p[0] == 1.0
+
+    def test_congestion_cost_additive_over_links(self):
+        net, _, _ = two_link_network()
+        x = np.array([120.0, 30.0, 40.0])
+        expected = (net.loss_model(0).cost(120.0)
+                    + net.loss_model(1).cost(70.0))
+        assert net.congestion_cost(x) == pytest.approx(expected)
+
+    def test_describe_mentions_entities(self):
+        net, _, _ = two_link_network()
+        text = net.describe()
+        assert "ap1" in text and "mp" in text and "sp" in text

@@ -1,0 +1,139 @@
+"""Tests for utilities, KKT/Pareto checks (Theorems 3 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.fluid import (
+    FluidNetwork,
+    PowerLoss,
+    integrate,
+    kkt_report,
+    pareto_dominates,
+    solve_fixed_point,
+    taus_from_rates,
+    v_star_utility,
+    v_utility,
+)
+
+
+def scenario_net():
+    """Two-link network: multipath user + one TCP competitor on link 2.
+
+    Capacities are large enough that the 1-packet-per-RTT probing floor is
+    a small fraction of the rates, keeping the KKT certificate sharp.
+    """
+    net = FluidNetwork()
+    l1 = net.add_link(PowerLoss(capacity=800.0, p_at_capacity=0.02))
+    l2 = net.add_link(PowerLoss(capacity=480.0, p_at_capacity=0.02))
+    mp = net.add_user("mp")
+    net.add_route(mp, [l1], rtt=0.1)
+    net.add_route(mp, [l2], rtt=0.1)
+    sp = net.add_user("sp")
+    net.add_route(sp, [l2], rtt=0.1)
+    return net
+
+
+class TestTaus:
+    def test_equal_rtts_give_rtt_squared(self):
+        net = scenario_net()
+        x = np.array([50.0, 10.0, 40.0])
+        taus = taus_from_rates(net, x)
+        assert np.allclose(taus, 0.01)
+
+    def test_mixed_rtts_weighted(self):
+        net = FluidNetwork()
+        link = net.add_link(PowerLoss(capacity=100.0))
+        u = net.add_user()
+        net.add_route(u, [link], rtt=0.1)
+        net.add_route(u, [link], rtt=0.2)
+        x = np.array([10.0, 10.0])
+        tau = taus_from_rates(net, x)[0]
+        expected = 20.0 / (10.0 / 0.01 + 10.0 / 0.04)
+        assert tau == pytest.approx(expected)
+
+
+class TestUtilities:
+    def test_v_matches_v_star_for_equal_rtts(self):
+        net = scenario_net()
+        x = np.array([50.0, 10.0, 40.0])
+        assert v_utility(net, x) == pytest.approx(v_star_utility(net, x))
+
+    def test_v_requires_equal_rtts_per_user(self):
+        net = FluidNetwork()
+        link = net.add_link(PowerLoss(capacity=100.0))
+        u = net.add_user()
+        net.add_route(u, [link], rtt=0.1)
+        net.add_route(u, [link], rtt=0.3)
+        with pytest.raises(ValueError):
+            v_utility(net, np.array([10.0, 10.0]))
+
+    def test_v_increases_along_olia_trajectory(self):
+        """Theorem 4: dV/dt >= 0 along the (fluid) OLIA dynamics."""
+        net = scenario_net()
+        traj = integrate(net, {0: "olia", 1: "tcp"}, t_end=60.0, dt=2e-3,
+                         floor_packets=0.0,
+                         x0=np.array([5.0, 5.0, 5.0]))
+        values = [v_utility(net, x) for x in traj.rates]
+        # Allow tiny numerical wiggle; the trend must be monotone.
+        diffs = np.diff(values)
+        tol = 1e-3 * max(abs(v) for v in values)
+        assert np.all(diffs >= -tol)
+        assert values[-1] > values[0]
+
+
+class TestKktParetoCertificate:
+    def test_olia_fixed_point_is_pareto_optimal(self):
+        net = scenario_net()
+        result = solve_fixed_point(net, {0: "olia", 1: "tcp"},
+                                   floor_packets=1.0)
+        report = kkt_report(net, result.rates, tol=0.1)
+        assert report.is_pareto_optimal
+
+    def test_lia_fixed_point_fails_certificate(self):
+        """Scenario-C-like congestion: LIA's allocation violates the KKT
+        stationarity of V* on the congested route (it is not
+        Pareto-optimal), which is exactly problem P1/P2."""
+        net = FluidNetwork()
+        l1 = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        l2 = net.add_link(PowerLoss(capacity=100.0, p_at_capacity=0.02))
+        mp = net.add_user()
+        net.add_route(mp, [l1], rtt=0.1)
+        net.add_route(mp, [l2], rtt=0.1)
+        for i in range(3):
+            u = net.add_user()
+            net.add_route(u, [l2], rtt=0.1)
+        rules = {0: "lia"}
+        rules.update({u: "tcp" for u in range(1, 4)})
+        result = solve_fixed_point(net, rules, floor_packets=1.0)
+        report = kkt_report(net, result.rates, tol=0.1)
+        assert not report.is_pareto_optimal
+
+    def test_report_fields_consistent(self):
+        net = scenario_net()
+        result = solve_fixed_point(net, {0: "olia", 1: "tcp"},
+                                   floor_packets=1.0)
+        report = kkt_report(net, result.rates)
+        assert report.residuals.shape == (net.n_routes,)
+        assert report.max_violation == pytest.approx(
+            float(np.max(report.residuals)))
+
+
+class TestParetoDominates:
+    def test_strict_improvement_dominates(self):
+        net = scenario_net()
+        x_old = np.array([50.0, 5.0, 40.0])
+        x_new = np.array([60.0, 5.0, 40.0])
+        # Rates are far below capacity, so the smooth loss model's cost
+        # increase is noise; allow it via cost_rtol.
+        assert pareto_dominates(net, x_new, x_old, rtol=1e-6, cost_rtol=1.0)
+
+    def test_trade_off_does_not_dominate(self):
+        net = scenario_net()
+        x_old = np.array([50.0, 5.0, 40.0])
+        x_new = np.array([60.0, 5.0, 30.0])  # sp loses
+        assert not pareto_dominates(net, x_new, x_old)
+
+    def test_equal_does_not_dominate(self):
+        net = scenario_net()
+        x = np.array([50.0, 5.0, 40.0])
+        assert not pareto_dominates(net, x, x)

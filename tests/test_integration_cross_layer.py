@@ -1,0 +1,146 @@
+"""Cross-layer integration tests: analysis vs fluid vs packet simulator.
+
+The strongest evidence that the reproduction is self-consistent is that
+three independent implementations of the same model — closed forms,
+fluid fixed points, and the packet simulator — agree on the paper's
+scenarios.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis import scenario_a as closed_a
+from repro.analysis import scenario_c as closed_c
+from repro.experiments import scenario_a as sim_a
+from repro.experiments import scenario_c as sim_c
+from repro.fluid import FluidNetwork, SharpLoss, solve_fixed_point
+from repro.units import mbps_to_pps
+
+
+class TestScenarioAThreeWay:
+    """Closed form vs fluid solver vs packet sim on scenario A."""
+
+    N1, N2 = 10, 10
+    C1_MBPS = C2_MBPS = 1.0
+    RTT = 0.15
+
+    @pytest.fixture(scope="class")
+    def closed(self):
+        return closed_a.lia_fixed_point(
+            n1=self.N1, n2=self.N2, c1=mbps_to_pps(self.C1_MBPS),
+            c2=mbps_to_pps(self.C2_MBPS), rtt=self.RTT)
+
+    @pytest.fixture(scope="class")
+    def fluid(self):
+        net = FluidNetwork()
+        server = net.add_link(
+            SharpLoss(capacity=self.N1 * mbps_to_pps(self.C1_MBPS)))
+        shared = net.add_link(
+            SharpLoss(capacity=self.N2 * mbps_to_pps(self.C2_MBPS)))
+        rules = {}
+        for i in range(self.N1):
+            user = net.add_user(f"t1.{i}")
+            net.add_route(user, [server], rtt=self.RTT)
+            net.add_route(user, [server, shared], rtt=self.RTT)
+            rules[user] = "lia"
+        for i in range(self.N2):
+            user = net.add_user(f"t2.{i}")
+            net.add_route(user, [shared], rtt=self.RTT)
+            rules[user] = "tcp"
+        result = solve_fixed_point(net, rules, floor_packets=1.0)
+        return net, result
+
+    @pytest.fixture(scope="class")
+    def packet(self):
+        return sim_a.simulate("lia", n1=self.N1, n2=self.N2,
+                              c1_mbps=self.C1_MBPS, c2_mbps=self.C2_MBPS,
+                              duration=15.0, warmup=10.0)
+
+    def test_type2_rate_consistent(self, closed, fluid, packet):
+        net, result = fluid
+        totals = result.user_totals(net)
+        fluid_type2 = float(totals[self.N1:].mean()) \
+            / mbps_to_pps(self.C2_MBPS)
+        assert closed.type2_normalized == pytest.approx(fluid_type2,
+                                                        abs=0.15)
+        assert closed.type2_normalized == pytest.approx(
+            packet.type2_normalized, abs=0.15)
+
+    def test_all_report_type2_suppression(self, closed, fluid, packet):
+        net, result = fluid
+        totals = result.user_totals(net)
+        fluid_type2 = float(totals[self.N1:].mean()) \
+            / mbps_to_pps(self.C2_MBPS)
+        for value in (closed.type2_normalized, fluid_type2,
+                      packet.type2_normalized):
+            assert value < 0.9  # all three see problem P1
+
+
+class TestScenarioCThreeWay:
+    N1, N2 = 10, 10
+    C1_MBPS = C2_MBPS = 1.0
+    RTT = 0.15
+
+    def test_singlepath_rate_consistent(self):
+        closed = closed_c.lia_fixed_point(
+            n1=self.N1, n2=self.N2, c1=mbps_to_pps(self.C1_MBPS),
+            c2=mbps_to_pps(self.C2_MBPS), rtt=self.RTT)
+        packet = sim_c.simulate("lia", n1=self.N1, n2=self.N2,
+                                c1_mbps=self.C1_MBPS,
+                                c2_mbps=self.C2_MBPS,
+                                duration=15.0, warmup=10.0)
+        assert closed.singlepath_normalized == pytest.approx(
+            packet.singlepath_normalized, abs=0.15)
+
+    def test_olia_vs_optimum_consistent(self):
+        """The packet OLIA lands between LIA and the optimum."""
+        opt = closed_c.optimum_with_probing(
+            n1=self.N1, n2=self.N2, c1=mbps_to_pps(self.C1_MBPS),
+            c2=mbps_to_pps(self.C2_MBPS), rtt=self.RTT)
+        lia = sim_c.simulate("lia", n1=self.N1, n2=self.N2,
+                             c1_mbps=self.C1_MBPS, c2_mbps=self.C2_MBPS,
+                             duration=15.0, warmup=10.0)
+        olia = sim_c.simulate("olia", n1=self.N1, n2=self.N2,
+                              c1_mbps=self.C1_MBPS, c2_mbps=self.C2_MBPS,
+                              duration=15.0, warmup=10.0)
+        assert lia.singlepath_normalized < olia.singlepath_normalized
+        assert olia.singlepath_normalized < opt.singlepath_normalized \
+            * 1.05
+
+
+class TestFluidVsPacketWindows:
+    def test_two_path_window_split_matches_fluid(self):
+        """Fig. 8 setup: the packet-level LIA window split on good vs
+        congested path tracks the fluid LIA allocation."""
+        from repro.experiments.traces import run_two_path_trace
+        from repro.fluid import integrate
+
+        # Packet level.
+        trace = run_two_path_trace("lia", competing=(5, 10),
+                                   capacity_mbps=10.0, duration=60.0)
+        w_good, w_bad = trace.mean_windows
+        packet_split = w_bad / (w_good + w_bad)
+
+        # Fluid level (same structure).
+        cap = mbps_to_pps(10.0)
+        net = FluidNetwork()
+        l1 = net.add_link(SharpLoss(capacity=cap))
+        l2 = net.add_link(SharpLoss(capacity=cap))
+        mp = net.add_user("mp")
+        net.add_route(mp, [l1], rtt=0.15)
+        net.add_route(mp, [l2], rtt=0.15)
+        rules = {mp: "lia"}
+        for i in range(5):
+            u = net.add_user(f"a{i}")
+            net.add_route(u, [l1], rtt=0.15)
+            rules[u] = "tcp"
+        for i in range(10):
+            u = net.add_user(f"b{i}")
+            net.add_route(u, [l2], rtt=0.15)
+            rules[u] = "tcp"
+        result = solve_fixed_point(net, rules, floor_packets=1.0)
+        fluid_split = result.rates[1] / (result.rates[0]
+                                         + result.rates[1])
+        assert packet_split == pytest.approx(float(fluid_split), abs=0.15)

@@ -1,0 +1,153 @@
+"""Property-based tests for queues, engine, units, and fluid allocations."""
+
+import random
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro import units
+from repro.analysis.tcp import loss_for_rate, tcp_rate
+from repro.fluid.equilibrium import (
+    epsilon_family_allocation,
+    lia_allocation,
+    olia_allocation,
+)
+from repro.fluid.loss import PowerLoss, RedLoss
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queues import REDQueue
+
+probs = st.floats(min_value=1e-5, max_value=0.5,
+                  allow_nan=False, allow_infinity=False)
+rtts = st.floats(min_value=1e-3, max_value=2.0,
+                 allow_nan=False, allow_infinity=False)
+
+
+class TestUnitsProperties:
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_mbps_pps_roundtrip(self, mbps):
+        assert abs(units.pps_to_mbps(units.mbps_to_pps(mbps)) - mbps) \
+            <= 1e-9 * mbps
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_bytes_to_packets_covers_payload(self, nbytes):
+        packets = units.bytes_to_packets(nbytes)
+        assert packets * units.MSS_BYTES >= nbytes
+        assert (packets - 1) * units.MSS_BYTES < nbytes
+
+
+class TestTcpFormulaProperties:
+    @given(probs, rtts)
+    def test_rate_loss_inverse(self, p, rtt):
+        assert abs(loss_for_rate(tcp_rate(p, rtt), rtt) - p) < 1e-9 * p
+
+    @given(probs, probs, rtts)
+    def test_rate_decreasing_in_loss(self, p1, p2, rtt):
+        lo, hi = sorted((p1, p2))
+        assert tcp_rate(lo, rtt) >= tcp_rate(hi, rtt)
+
+
+class TestAllocationProperties:
+    @given(st.lists(probs, min_size=1, max_size=6), rtts)
+    def test_lia_total_equals_best_path_rate(self, ps, rtt):
+        rtt_vec = [rtt] * len(ps)
+        x = lia_allocation(ps, rtt_vec)
+        best = max(tcp_rate(p, rtt) for p in ps)
+        assert abs(float(np.sum(x)) - best) < 1e-6 * best
+
+    @given(st.lists(probs, min_size=2, max_size=6), rtts)
+    def test_lia_windows_inverse_to_loss(self, ps, rtt):
+        rtt_vec = [rtt] * len(ps)
+        x = lia_allocation(ps, rtt_vec)
+        # Windows w = x * rtt proportional to 1/p (equal RTTs).
+        products = [xi * rtt * pi for xi, pi in zip(x, ps)]
+        assert max(products) - min(products) < 1e-6 * max(products)
+
+    @given(st.lists(probs, min_size=1, max_size=6), rtts)
+    def test_olia_uses_only_best_paths(self, ps, rtt):
+        rtt_vec = [rtt] * len(ps)
+        x = olia_allocation(ps, rtt_vec)
+        best = max(tcp_rate(p, rtt) for p in ps)
+        assert abs(float(np.sum(x)) - best) < 1e-6 * best
+        for xi, pi in zip(x, ps):
+            if xi > 0:
+                assert tcp_rate(pi, rtt) >= best * (1 - 1e-5)
+
+    @given(st.lists(probs, min_size=1, max_size=6), rtts,
+           st.floats(min_value=0.1, max_value=2.0))
+    def test_epsilon_family_total_invariant(self, ps, rtt, eps):
+        rtt_vec = [rtt] * len(ps)
+        x = epsilon_family_allocation(ps, rtt_vec, eps)
+        best = max(tcp_rate(p, rtt) for p in ps)
+        assert abs(float(np.sum(x)) - best) < 1e-6 * best
+
+    @given(st.lists(probs, min_size=2, max_size=6), rtts)
+    def test_epsilon_orders_by_loss(self, ps, rtt):
+        """Less lossy paths always get at least as much rate."""
+        x = epsilon_family_allocation(ps, [rtt] * len(ps), 1.0)
+        order = np.argsort(ps)
+        rates_sorted = x[order]
+        assert all(a >= b - 1e-9 for a, b in zip(rates_sorted,
+                                                 rates_sorted[1:]))
+
+
+class TestLossModelProperties:
+    @given(st.floats(min_value=1.0, max_value=1e5),
+           st.lists(st.floats(min_value=0.0, max_value=3e5),
+                    min_size=2, max_size=10))
+    def test_power_loss_monotone(self, capacity, ys):
+        loss = PowerLoss(capacity=capacity)
+        values = [loss(y) for y in sorted(ys)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    @given(st.floats(min_value=1.0, max_value=1e5),
+           st.floats(min_value=0.0, max_value=3e5))
+    def test_cost_nonnegative_and_increasing(self, capacity, y):
+        loss = RedLoss(capacity=capacity)
+        assert loss.cost(y) >= 0.0
+        assert loss.cost(y * 1.5) >= loss.cost(y)
+
+
+class TestRedQueueProperties:
+    @given(st.floats(min_value=0.0, max_value=500.0))
+    def test_drop_probability_in_unit_interval(self, avg):
+        queue = REDQueue(random.Random(1), min_th=25, max_th=50)
+        queue.avg = avg
+        assert 0.0 <= queue.drop_probability() <= 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=400), min_size=2,
+                    max_size=20))
+    def test_drop_probability_monotone_in_average(self, avgs):
+        queue = REDQueue(random.Random(1), min_th=25, max_th=50)
+        values = []
+        for avg in sorted(avgs):
+            queue.avg = avg
+            values.append(queue.drop_probability())
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_events_execute_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run(until=200.0)
+        assert len(fired) == len(delays)
+        assert fired == sorted(fired)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_same_time_events_fifo(self, tags):
+        sim = Simulator()
+        fired = []
+        for tag in tags:
+            sim.schedule(1.0, fired.append, tag)
+        sim.run(until=2.0)
+        assert fired == tags

@@ -1,0 +1,89 @@
+"""End-to-end tests: STCP and CUBIC controllers inside the packet TCP.
+
+Remark 3 of the paper points to these RTT-insensitive protocols as the
+way to fully escape problems P1/P2; here we verify they integrate with
+the transport layer and show their characteristic behaviours.
+"""
+
+import pytest
+
+from repro.core import CubicController, ScalableTcpController
+from repro.sim import DropTailQueue, Link, Simulator, TcpSubflow
+
+
+def bottleneck(sim, mbps=5.0, delay=0.02, limit=100):
+    return Link(sim, rate_bps=mbps * 1e6, delay=delay,
+                queue=DropTailQueue(limit=limit), name="bn")
+
+
+class TestStcpEndToEnd:
+    def test_bulk_flow_fills_link(self):
+        sim = Simulator()
+        link = bottleneck(sim)
+        flow = TcpSubflow(sim, (link,), 0.02, ScalableTcpController(),
+                          key=0)
+        flow.start(0.0)
+        sim.run(until=30.0)
+        goodput = flow.acked_packets / 30.0
+        assert goodput > 0.6 * 5e6 / 12000
+
+    def test_gentler_backoff_than_reno(self):
+        """STCP halves by 12.5%, so its window stays higher after loss."""
+        sim = Simulator()
+        link = bottleneck(sim, limit=30)
+        flow = TcpSubflow(sim, (link,), 0.02, ScalableTcpController(),
+                          key=0)
+        flow.start(0.0)
+        sim.run(until=30.0)
+        assert flow.retransmits > 0
+        # After losses the STCP window hovers near the queue ceiling.
+        assert flow.cwnd > 10.0
+
+
+class TestCubicEndToEnd:
+    def test_bulk_flow_with_sim_clock(self):
+        sim = Simulator()
+        link = bottleneck(sim)
+        controller = CubicController(clock=lambda: sim.now)
+        flow = TcpSubflow(sim, (link,), 0.02, controller, key=0)
+        flow.start(0.0)
+        sim.run(until=30.0)
+        goodput = flow.acked_packets / 30.0
+        assert goodput > 0.5 * 5e6 / 12000
+
+    def test_epoch_resets_on_loss(self):
+        sim = Simulator()
+        link = bottleneck(sim, limit=20)
+        controller = CubicController(clock=lambda: sim.now)
+        flow = TcpSubflow(sim, (link,), 0.02, controller, key=0)
+        flow.start(0.0)
+        sim.run(until=20.0)
+        assert flow.retransmits > 0
+        # A loss epoch was recorded during the run.
+        assert controller._epoch[0] > 0.0
+
+    def test_two_rtt_classes_share_more_evenly_than_reno(self):
+        """CUBIC's time-based growth narrows the RTT-unfairness gap.
+
+        Two flows share a bottleneck; one has 4x the RTT.  Under Reno
+        the short-RTT flow dominates ~quadratically; under CUBIC the
+        ratio should be materially smaller.
+        """
+        def share_ratio(make_controller):
+            sim = Simulator()
+            link = bottleneck(sim, mbps=5.0, delay=0.01, limit=100)
+            fast = TcpSubflow(sim, (link,), 0.01, make_controller(sim),
+                              key=0)
+            # The long-RTT path: extra reverse delay, same bottleneck.
+            slow = TcpSubflow(sim, (link,), 0.07, make_controller(sim),
+                              key=0)
+            fast.start(0.0)
+            slow.start(0.0)
+            sim.run(until=60.0)
+            return fast.acked_packets / max(slow.acked_packets, 1)
+
+        from repro.core import RenoController
+        reno_ratio = share_ratio(lambda sim: RenoController())
+        cubic_ratio = share_ratio(
+            lambda sim: CubicController(clock=lambda: sim.now))
+        assert cubic_ratio < reno_ratio

@@ -1,0 +1,161 @@
+"""Tests for traffic applications and monitors."""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    BulkTransfer,
+    DropTailQueue,
+    FlowMeter,
+    Link,
+    PathSpec,
+    ShortFlowSource,
+    Simulator,
+    WindowTracer,
+)
+from repro.sim.mptcp import MptcpConnection
+
+
+def fat_link(sim, mbps=10.0):
+    return Link(sim, rate_bps=mbps * 1e6, delay=0.005,
+                queue=DropTailQueue(limit=200))
+
+
+class TestBulkTransfer:
+    def test_single_path_tcp_variant(self):
+        sim = Simulator()
+        link = fat_link(sim)
+        bulk = BulkTransfer(sim, "tcp", [PathSpec((link,), 0.005)])
+        bulk.start()
+        sim.run(until=5.0)
+        assert bulk.acked_packets > 100
+
+    def test_mptcp_variant(self):
+        sim = Simulator()
+        l1, l2 = fat_link(sim), fat_link(sim)
+        bulk = BulkTransfer(sim, "olia", [PathSpec((l1,), 0.005),
+                                          PathSpec((l2,), 0.005)])
+        bulk.start()
+        sim.run(until=5.0)
+        assert isinstance(bulk.connection, MptcpConnection)
+        assert bulk.acked_packets > 100
+
+    def test_start_time_respected(self):
+        sim = Simulator()
+        link = fat_link(sim)
+        bulk = BulkTransfer(sim, "tcp", [PathSpec((link,), 0.005)],
+                            start_time=2.0)
+        bulk.start()
+        sim.run(until=1.9)
+        assert bulk.acked_packets == 0
+        sim.run(until=4.0)
+        assert bulk.acked_packets > 0
+
+    def test_goodput_helper(self):
+        sim = Simulator()
+        link = fat_link(sim)
+        bulk = BulkTransfer(sim, "tcp", [PathSpec((link,), 0.005)])
+        bulk.start()
+        sim.run(until=2.0)
+        baseline = bulk.acked_packets
+        sim.run(until=4.0)
+        pps = bulk.goodput_pps(2.0, 4.0, baseline)
+        assert pps > 0
+
+
+class TestShortFlows:
+    def test_flows_complete_and_record_fct(self):
+        sim = Simulator()
+        link = fat_link(sim, mbps=10.0)
+        rng = random.Random(5)
+        source = ShortFlowSource(
+            sim, rng, lambda: ((link,), 0.005),
+            mean_interarrival=0.2, flow_bytes=70_000)
+        source.start(0.0)
+        sim.run(until=10.0)
+        source.stop()
+        sim.run(until=15.0)
+        assert source.flows_started > 20
+        assert len(source.completion_times) >= source.flows_started - 2
+        assert 0 < source.mean_fct() < 2.0
+
+    def test_poisson_arrival_count(self):
+        """~50 arrivals expected in 10 s at one per 200 ms."""
+        sim = Simulator()
+        link = fat_link(sim, mbps=100.0)
+        rng = random.Random(11)
+        source = ShortFlowSource(sim, rng, lambda: ((link,), 0.005))
+        source.start(0.0)
+        sim.run(until=10.0)
+        assert 25 <= source.flows_started <= 85
+
+    def test_fct_grows_under_congestion(self):
+        def mean_fct(background_mbps):
+            sim = Simulator()
+            link = fat_link(sim, mbps=10.0)
+            if background_mbps:
+                bulk = BulkTransfer(sim, "tcp", [PathSpec((link,), 0.005)])
+                bulk.start()
+            rng = random.Random(5)
+            source = ShortFlowSource(sim, rng, lambda: ((link,), 0.005))
+            source.start(1.0)
+            sim.run(until=20.0)
+            return source.mean_fct()
+
+        assert mean_fct(background_mbps=10) > mean_fct(background_mbps=0)
+
+    def test_validation(self):
+        sim = Simulator()
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            ShortFlowSource(sim, rng, lambda: ((), 0.0),
+                            mean_interarrival=0.0)
+        with pytest.raises(ValueError):
+            ShortFlowSource(sim, rng, lambda: ((), 0.0), flow_bytes=0)
+
+    def test_stop_halts_arrivals(self):
+        sim = Simulator()
+        link = fat_link(sim)
+        rng = random.Random(5)
+        source = ShortFlowSource(sim, rng, lambda: ((link,), 0.005))
+        source.start(0.0)
+        sim.run(until=5.0)
+        source.stop()
+        count = source.flows_started
+        sim.run(until=10.0)
+        assert source.flows_started == count
+
+
+class TestMonitors:
+    def test_flow_meter_reset_and_rates(self):
+        sim = Simulator()
+        link = fat_link(sim)
+        bulk = BulkTransfer(sim, "tcp", [PathSpec((link,), 0.005)])
+        bulk.start()
+        meter = FlowMeter(sim, {"bulk": bulk})
+        sim.run(until=2.0)
+        meter.reset()
+        sim.run(until=4.0)
+        rates = meter.goodput_pps()
+        assert rates["bulk"] > 0
+        assert meter.total_pps() == pytest.approx(rates["bulk"])
+
+    def test_window_tracer_period_and_stop(self):
+        sim = Simulator()
+        l1, l2 = fat_link(sim), fat_link(sim)
+        conn = MptcpConnection(sim, "olia", [PathSpec((l1,), 0.005),
+                                             PathSpec((l2,), 0.005)])
+        conn.start(0.0)
+        tracer = WindowTracer(sim, conn, period=0.5)
+        tracer.start()
+        sim.run(until=4.9)
+        tracer.stop()
+        sim.run(until=10.0)
+        assert 9 <= len(tracer.times) <= 11
+        assert all(len(w) == 2 for w in tracer.windows)
+
+    def test_window_tracer_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            WindowTracer(sim, None, period=0.0)

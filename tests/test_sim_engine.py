@@ -1,0 +1,107 @@
+"""Unit tests for the event engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "late")
+        sim.schedule(1.0, log.append, "early")
+        sim.run(until=3.0)
+        assert log == ["early", "late"]
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, log.append, i)
+        sim.run(until=2.0)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_until(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_events_beyond_until_stay_queued(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, log.append, "x")
+        sim.run(until=5.0)
+        assert log == []
+        sim.run(until=15.0)
+        assert log == ["x"]
+
+    def test_schedule_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run(until=10.0)
+        assert log == [0, 1, 2, 3]
+
+    def test_now_visible_inside_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run(until=3.0)
+        assert seen == [2.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, log.append, "no")
+        event.cancel()
+        sim.run(until=2.0)
+        assert log == []
+
+    def test_cancel_is_lazy_but_counts_stay_consistent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 1
+        sim.run(until=2.0)
+        assert sim.events_processed == 0
+
+
+class TestRunUntilEmpty:
+    def test_processes_everything(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(5.0, log.append, 2)
+        sim.run_until_empty()
+        assert log == [1, 2]
+        assert sim.now == 5.0
+
+    def test_event_budget_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run_until_empty(max_events=100)

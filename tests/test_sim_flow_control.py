@@ -1,0 +1,160 @@
+"""Tests for receive-window limitation and dynamic subflow management.
+
+Both features are named in the paper's conclusion as factors for future
+experiments ("receive window limitations", "discarding bad paths from
+the set of available paths").
+"""
+
+import pytest
+
+from repro.sim import (
+    DropTailQueue,
+    Link,
+    MptcpConnection,
+    PathSpec,
+    Simulator,
+    TcpSubflow,
+)
+from repro.core import RenoController
+
+
+def fat_link(sim, mbps=10.0, delay=0.01):
+    """A link whose buffer is roughly one bandwidth-delay product."""
+    bdp = max(int(mbps * 1e6 / 12_000 * 2 * delay), 20)
+    return Link(sim, rate_bps=mbps * 1e6, delay=delay,
+                queue=DropTailQueue(limit=bdp))
+
+
+class TestReceiveWindow:
+    def test_rcv_wnd_caps_throughput(self):
+        """Goodput is limited to rcv_wnd / RTT despite spare capacity."""
+        sim = Simulator()
+        link = fat_link(sim, mbps=100.0, delay=0.05)  # RTT ~100 ms
+        ctrl = RenoController()
+        flow = TcpSubflow(sim, (link,), 0.05, ctrl, key=0,
+                          rcv_wnd_packets=10)
+        flow.start(0.0)
+        sim.run(until=20.0)
+        goodput = flow.acked_packets / 20.0
+        # 10 packets per ~100 ms RTT = ~100 pkt/s.
+        assert goodput == pytest.approx(100.0, rel=0.15)
+
+    def test_unlimited_by_default(self):
+        sim = Simulator()
+        link = fat_link(sim, mbps=100.0, delay=0.05)
+        ctrl = RenoController()
+        flow = TcpSubflow(sim, (link,), 0.05, ctrl, key=0)
+        flow.start(0.0)
+        sim.run(until=20.0)
+        assert flow.acked_packets / 20.0 > 300.0
+
+    def test_in_flight_never_exceeds_rcv_wnd(self):
+        sim = Simulator()
+        link = fat_link(sim, mbps=100.0, delay=0.05)
+        ctrl = RenoController()
+        flow = TcpSubflow(sim, (link,), 0.05, ctrl, key=0,
+                          rcv_wnd_packets=5)
+        flow.start(0.0)
+        violations = []
+
+        def watch():
+            if flow.in_flight > 5:
+                violations.append(flow.in_flight)
+            if sim.now < 5.0:
+                sim.schedule(0.01, watch)
+
+        sim.schedule(0.1, watch)
+        sim.run(until=6.0)
+        assert violations == []
+
+    def test_invalid_rcv_wnd(self):
+        sim = Simulator()
+        link = fat_link(sim)
+        with pytest.raises(ValueError):
+            TcpSubflow(sim, (link,), 0.01, RenoController(), key=0,
+                       rcv_wnd_packets=0)
+
+
+class TestSubflowStop:
+    def test_stop_detaches_and_halts(self):
+        sim = Simulator()
+        link = fat_link(sim)
+        ctrl = RenoController()
+        flow = TcpSubflow(sim, (link,), 0.01, ctrl, key=0)
+        flow.start(0.0)
+        sim.run(until=1.0)
+        acked = flow.acked_packets
+        flow.stop()
+        sim.run(until=3.0)
+        assert flow.acked_packets <= acked + 5  # in-flight stragglers only
+        assert 0 not in ctrl.subflows
+
+    def test_stop_is_idempotent(self):
+        sim = Simulator()
+        link = fat_link(sim)
+        ctrl = RenoController()
+        flow = TcpSubflow(sim, (link,), 0.01, ctrl, key=0)
+        flow.start(0.0)
+        sim.run(until=0.5)
+        flow.stop()
+        flow.stop()  # must not raise
+
+
+class TestDynamicSubflows:
+    def test_add_subflow_mid_connection(self):
+        """A second path added at t=5 roughly doubles the goodput."""
+        sim = Simulator()
+        l1, l2 = fat_link(sim, mbps=5.0), fat_link(sim, mbps=5.0)
+        conn = MptcpConnection(sim, "olia", [PathSpec((l1,), 0.01)])
+        conn.start(0.0)
+        sim.run(until=5.0)
+        acked_phase1 = conn.acked_packets
+        rate1 = acked_phase1 / 5.0
+        conn.add_subflow(PathSpec((l2,), 0.01))
+        assert len(conn.subflows) == 2
+        sim.run(until=10.0)
+        rate2 = (conn.acked_packets - acked_phase1) / 5.0
+        assert rate2 > 1.5 * rate1
+
+    def test_added_subflow_uses_multipath_ssthresh(self):
+        sim = Simulator()
+        l1, l2 = fat_link(sim), fat_link(sim)
+        conn = MptcpConnection(sim, "olia", [PathSpec((l1,), 0.01)])
+        new = conn.add_subflow(PathSpec((l2,), 0.01))
+        assert new.min_ssthresh == 1.0
+
+    def test_remove_subflow_keeps_counters(self):
+        sim = Simulator()
+        l1, l2 = fat_link(sim), fat_link(sim)
+        conn = MptcpConnection(sim, "olia", [PathSpec((l1,), 0.01),
+                                             PathSpec((l2,), 0.01)])
+        conn.start(0.0)
+        sim.run(until=3.0)
+        total_before = conn.acked_packets
+        victim = conn.subflows[1]
+        conn.remove_subflow(victim)
+        assert len(conn.subflows) == 1
+        assert conn.acked_packets >= total_before
+        sim.run(until=6.0)
+        # The surviving path keeps making progress.
+        assert conn.acked_packets > total_before
+
+    def test_remove_foreign_subflow_rejected(self):
+        sim = Simulator()
+        l1 = fat_link(sim)
+        conn = MptcpConnection(sim, "olia", [PathSpec((l1,), 0.01)])
+        other = MptcpConnection(sim, "olia", [PathSpec((l1,), 0.01)])
+        with pytest.raises(ValueError):
+            conn.remove_subflow(other.subflows[0])
+
+    def test_keys_unique_after_add_remove_cycles(self):
+        sim = Simulator()
+        l1, l2 = fat_link(sim), fat_link(sim)
+        conn = MptcpConnection(sim, "olia", [PathSpec((l1,), 0.01)])
+        conn.start(0.0)
+        for _ in range(3):
+            new = conn.add_subflow(PathSpec((l2,), 0.01))
+            sim.run(until=sim.now + 0.5)
+            conn.remove_subflow(new)
+        keys = [sf.key for sf in conn.subflows]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,124 @@
+"""Unit tests for the store-and-forward link."""
+
+import pytest
+
+from repro.sim import DropTailQueue, Link, Packet, Simulator
+from repro.units import MSS_BYTES
+
+
+class Sink:
+    """Records delivered packets and their arrival times."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def on_data(self, packet):
+        self.received.append((self.sim.now, packet.seq))
+
+
+def send(sim, path, sink, seq=0, size=MSS_BYTES):
+    packet = Packet(sink, seq, tuple(path), size_bytes=size)
+    path[0].receive(packet)
+    return packet
+
+
+class TestSingleLink:
+    def test_delivery_time_is_service_plus_delay(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=12_000_000, delay=0.01)  # 1ms service
+        sink = Sink(sim)
+        send(sim, [link], sink)
+        sim.run(until=1.0)
+        assert sink.received == [(pytest.approx(0.011), 0)]
+
+    def test_back_to_back_packets_serialise(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=12_000_000, delay=0.0)
+        sink = Sink(sim)
+        for seq in range(3):
+            send(sim, [link], sink, seq=seq)
+        sim.run(until=1.0)
+        times = [t for t, _ in sink.received]
+        assert times == [pytest.approx(0.001), pytest.approx(0.002),
+                         pytest.approx(0.003)]
+
+    def test_queue_overflow_drops_and_counts(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=12_000_000, delay=0.0,
+                    queue=DropTailQueue(limit=2))
+        sink = Sink(sim)
+        for seq in range(5):
+            send(sim, [link], sink, seq=seq)
+        sim.run(until=1.0)
+        # 1 in service + 2 queued; the other 2 dropped.
+        assert len(sink.received) == 3
+        assert link.stats.arrivals == 5
+        assert link.stats.drops == 2
+        assert link.stats.loss_probability == pytest.approx(0.4)
+
+    def test_throughput_capped_at_rate(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1_200_000, delay=0.0,
+                    queue=DropTailQueue(limit=1000))  # 100 pkt/s
+        sink = Sink(sim)
+        for seq in range(200):
+            send(sim, [link], sink, seq=seq)
+        sim.run(until=1.0)
+        assert len(sink.received) == pytest.approx(100, abs=1)
+
+    def test_utilization(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1_200_000, delay=0.0,
+                    queue=DropTailQueue(limit=1000))
+        sink = Sink(sim)
+        for seq in range(50):
+            send(sim, [link], sink, seq=seq)
+        sim.run(until=1.0)
+        assert link.stats.utilization(sim.now, link.rate_bps) == \
+            pytest.approx(0.5, rel=0.05)
+
+    def test_stats_reset_for_warmup(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=12_000_000, delay=0.0)
+        sink = Sink(sim)
+        send(sim, [link], sink)
+        sim.run(until=0.5)
+        link.stats.reset(sim.now)
+        assert link.stats.arrivals == 0
+        assert link.stats.loss_probability == 0.0
+
+
+class TestMultiHopPath:
+    def test_packet_traverses_all_hops(self):
+        sim = Simulator()
+        l1 = Link(sim, rate_bps=12_000_000, delay=0.005, name="l1")
+        l2 = Link(sim, rate_bps=12_000_000, delay=0.005, name="l2")
+        sink = Sink(sim)
+        send(sim, [l1, l2], sink)
+        sim.run(until=1.0)
+        # Two service times (1 ms) + two propagation delays (5 ms).
+        assert sink.received[0][0] == pytest.approx(0.012)
+
+    def test_bottleneck_shapes_flow(self):
+        sim = Simulator()
+        fast = Link(sim, rate_bps=12_000_000, delay=0.0, name="fast",
+                    queue=DropTailQueue(limit=1000))
+        slow = Link(sim, rate_bps=1_200_000, delay=0.0, name="slow",
+                    queue=DropTailQueue(limit=1000))
+        sink = Sink(sim)
+        for seq in range(100):
+            send(sim, [fast, slow], sink)
+        sim.run(until=1.0)
+        # The slow link serves 100 pkt/s.
+        assert len(sink.received) == pytest.approx(100, abs=2)
+
+
+class TestValidation:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), rate_bps=0.0, delay=0.0)
+
+    def test_invalid_delay(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), rate_bps=1.0, delay=-0.1)

@@ -1,0 +1,111 @@
+"""Unit tests for drop-tail and RED queues."""
+
+import random
+
+import pytest
+
+from repro.sim import DropTailQueue, Packet, REDQueue
+
+
+def make_packet(seq=0):
+    return Packet(endpoint=None, seq=seq, path=())
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(limit=10)
+        first, second = make_packet(1), make_packet(2)
+        assert queue.try_enqueue(first)
+        assert queue.try_enqueue(second)
+        assert queue.dequeue() is first
+        assert queue.dequeue() is second
+        assert queue.dequeue() is None
+
+    def test_drops_when_full(self):
+        queue = DropTailQueue(limit=2)
+        assert queue.try_enqueue(make_packet())
+        assert queue.try_enqueue(make_packet())
+        assert not queue.try_enqueue(make_packet())
+        assert len(queue) == 2
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(limit=0)
+
+
+class TestRed:
+    def test_never_drops_below_min_th(self):
+        queue = REDQueue(random.Random(1), min_th=25, max_th=50, limit=300)
+        for i in range(25):
+            assert queue.try_enqueue(make_packet(i))
+
+    def test_paper_drop_curve(self):
+        """p = 0 at min_th, p_max at max_th, 1 at 2*max_th."""
+        queue = REDQueue(random.Random(1), min_th=25, max_th=50, p_max=0.1)
+        queue.avg = 25.0
+        assert queue.drop_probability() == pytest.approx(0.0)
+        queue.avg = 37.5
+        assert queue.drop_probability() == pytest.approx(0.05)
+        queue.avg = 50.0 - 1e-9
+        assert queue.drop_probability() == pytest.approx(0.1, abs=1e-6)
+        queue.avg = 75.0
+        assert queue.drop_probability() == pytest.approx(0.55)
+        queue.avg = 100.0
+        assert queue.drop_probability() == 1.0
+
+    def test_statistical_drop_rate_between_thresholds(self):
+        rng = random.Random(42)
+        queue = REDQueue(rng, min_th=5, max_th=1000, p_max=0.5, limit=10_000,
+                         ewma_weight=1.0)
+        # Hold occupancy near 55 by dequeuing after each arrival attempt.
+        for _ in range(55):
+            queue.try_enqueue(make_packet())
+        drops = 0
+        trials = 4000
+        for _ in range(trials):
+            if queue.try_enqueue(make_packet()):
+                queue.dequeue()
+            else:
+                drops += 1
+        expected = queue.drop_probability()
+        assert drops / trials == pytest.approx(expected, rel=0.2)
+
+    def test_hard_limit_enforced(self):
+        rng = random.Random(1)
+        queue = REDQueue(rng, min_th=1e9, max_th=2e9, limit=5)
+        for _ in range(5):
+            assert queue.try_enqueue(make_packet())
+        assert not queue.try_enqueue(make_packet())
+
+    def test_ewma_smooths_average(self):
+        rng = random.Random(1)
+        queue = REDQueue(rng, min_th=25, max_th=50, ewma_weight=0.1)
+        for _ in range(10):
+            queue.try_enqueue(make_packet())
+        # Instantaneous occupancy is 10 but the EWMA lags behind.
+        assert queue.avg < 10.0
+
+    def test_capacity_scaling(self):
+        rng = random.Random(1)
+        q10 = REDQueue.for_capacity_mbps(rng, 10.0)
+        assert q10.min_th == pytest.approx(25.0)
+        assert q10.max_th == pytest.approx(50.0)
+        assert q10.limit == 300
+        q20 = REDQueue.for_capacity_mbps(rng, 20.0)
+        assert q20.min_th == pytest.approx(50.0)
+        assert q20.limit == 600
+
+    def test_scaling_floors_for_slow_links(self):
+        rng = random.Random(1)
+        slow = REDQueue.for_capacity_mbps(rng, 0.5)
+        assert slow.min_th >= 5.0
+        assert slow.limit >= 30
+
+    def test_invalid_parameters(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            REDQueue(rng, min_th=50, max_th=25)
+        with pytest.raises(ValueError):
+            REDQueue(rng, p_max=0.0)
+        with pytest.raises(ValueError):
+            REDQueue(rng, ewma_weight=0.0)

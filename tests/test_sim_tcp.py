@@ -1,0 +1,178 @@
+"""Behavioural tests for the packet-level TCP implementation."""
+
+import random
+
+import pytest
+
+from repro.analysis import tcp_rate
+from repro.sim import (
+    DropTailQueue,
+    Link,
+    REDQueue,
+    Simulator,
+    single_path_tcp,
+)
+from repro.units import mbps_to_pps
+
+
+def bottleneck(sim, mbps=1.0, delay=0.04, queue=None, name="bn"):
+    """A single bottleneck link (default 1 Mbps, 40 ms one-way)."""
+    if queue is None:
+        queue = DropTailQueue(limit=100)
+    return Link(sim, rate_bps=mbps * 1e6, delay=delay, queue=queue,
+                name=name)
+
+
+class TestBasicTransfer:
+    def test_sized_flow_completes(self):
+        sim = Simulator()
+        link = bottleneck(sim)
+        fcts = []
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.04,
+                               size_packets=20,
+                               on_complete=fcts.append)
+        flow.start(0.0)
+        sim.run(until=20.0)
+        assert flow.completed
+        assert len(fcts) == 1
+        # 20 packets via slow start over ~80ms RTT: a few RTTs.
+        assert 0.1 < fcts[0] < 2.0
+
+    def test_receiver_sees_contiguous_data(self):
+        sim = Simulator()
+        link = bottleneck(sim)
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.04,
+                               size_packets=50)
+        flow.start(0.0)
+        sim.run(until=30.0)
+        assert flow.rcv_nxt == 50
+        assert flow.acked_packets == 50
+
+    def test_slow_start_doubles_window_each_rtt(self):
+        sim = Simulator()
+        # Plenty of bandwidth so no losses occur.
+        link = bottleneck(sim, mbps=100.0)
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.04)
+        flow.start(0.0)
+        sim.run(until=0.5)  # ~6 RTTs of ~81 ms
+        assert flow.cwnd > 30  # exponential growth from 2
+
+    def test_bulk_flow_fills_bottleneck(self):
+        sim = Simulator()
+        link = bottleneck(sim, mbps=1.0)
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.04)
+        flow.start(0.0)
+        sim.run(until=60.0)
+        goodput = flow.acked_packets / 60.0
+        assert goodput > 0.75 * mbps_to_pps(1.0)
+
+    def test_rtt_estimate_tracks_path(self):
+        sim = Simulator()
+        link = bottleneck(sim, mbps=10.0)
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.04,
+                               size_packets=100)
+        flow.start(0.0)
+        sim.run(until=10.0)
+        # Base RTT 80 ms + ~1.2 ms service; queueing adds some more.
+        assert 0.08 <= flow.srtt < 0.2
+
+
+class TestLossRecovery:
+    def test_fast_retransmit_recovers(self):
+        sim = Simulator()
+        link = bottleneck(sim, mbps=1.0, queue=DropTailQueue(limit=10))
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.04)
+        flow.start(0.0)
+        sim.run(until=60.0)
+        assert link.stats.drops > 0
+        assert flow.retransmits > 0
+        # Despite losses the flow keeps the link busy.
+        assert flow.acked_packets / 60.0 > 0.7 * mbps_to_pps(1.0)
+
+    def test_no_data_lost_or_duplicated(self):
+        """Receiver's next-expected always equals sender's snd_una."""
+        sim = Simulator()
+        link = bottleneck(sim, mbps=1.0, queue=DropTailQueue(limit=6))
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.04,
+                               size_packets=500)
+        flow.start(0.0)
+        sim.run(until=60.0)
+        assert flow.completed
+        assert flow.rcv_nxt == 500
+        assert flow.snd_una == 500
+
+    def test_timeout_recovery_from_tiny_window(self):
+        """With a 2-packet queue, dupacks are rare: RTO must save us."""
+        sim = Simulator()
+        link = bottleneck(sim, mbps=0.3, queue=DropTailQueue(limit=2))
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.04,
+                               size_packets=120)
+        flow.start(0.0)
+        sim.run(until=120.0)
+        assert flow.completed
+
+    def test_window_halves_on_fast_retransmit(self):
+        sim = Simulator()
+        link = bottleneck(sim, mbps=1.0, queue=DropTailQueue(limit=20))
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.04)
+        flow.start(0.0)
+        max_window = 0.0
+
+        def watch():
+            nonlocal max_window
+            max_window = max(max_window, flow.cwnd)
+            sim.schedule(0.05, watch)
+
+        sim.schedule(0.0, watch)
+        sim.run(until=40.0)
+        # After losses the window must sit well below its slow-start peak.
+        assert flow.retransmits > 0
+        assert flow.cwnd < max_window
+
+
+class TestFairness:
+    def test_two_flows_share_bottleneck(self):
+        sim = Simulator()
+        rng = random.Random(7)
+        link = bottleneck(sim, mbps=2.0,
+                          queue=REDQueue.for_capacity_mbps(rng, 2.0))
+        f1 = single_path_tcp(sim, (link,), reverse_delay=0.04, name="f1")
+        f2 = single_path_tcp(sim, (link,), reverse_delay=0.04, name="f2")
+        f1.start(0.0)
+        f2.start(0.5)
+        sim.run(until=120.0)
+        g1 = f1.acked_packets / 120.0
+        g2 = f2.acked_packets / 120.0
+        assert g1 + g2 > 0.7 * mbps_to_pps(2.0)
+        assert 0.5 < g1 / g2 < 2.0
+
+    def test_red_loss_matches_tcp_formula(self):
+        """Measured goodput tracks sqrt(2/p)/rtt for the measured p."""
+        sim = Simulator()
+        rng = random.Random(3)
+        link = bottleneck(sim, mbps=2.0,
+                          queue=REDQueue.for_capacity_mbps(rng, 2.0))
+        flow = single_path_tcp(sim, (link,), reverse_delay=0.04)
+        flow.start(0.0)
+        sim.run(until=30.0)  # warmup
+        link.stats.reset(sim.now)
+        base = flow.acked_packets
+        sim.run(until=150.0)
+        goodput = (flow.acked_packets - base) / 120.0
+        p = link.stats.loss_probability
+        assert p > 0
+        predicted = tcp_rate(p, flow.srtt)
+        assert goodput == pytest.approx(predicted, rel=0.4)
+
+
+class TestValidation:
+    def test_empty_path_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            single_path_tcp(sim, (), reverse_delay=0.04)
+
+    def test_negative_reverse_delay_rejected(self):
+        sim = Simulator()
+        link = bottleneck(sim)
+        with pytest.raises(ValueError):
+            single_path_tcp(sim, (link,), reverse_delay=-0.1)

@@ -1,0 +1,143 @@
+"""Tests for the FatTree topology builder."""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.topology import FatTree
+
+
+class TestDimensions:
+    def test_k4_counts(self):
+        tree = FatTree(Simulator(), k=4)
+        assert tree.n_hosts == 16
+        assert tree.n_core == 4
+        assert tree.n_pods == 4
+
+    def test_k8_matches_paper(self):
+        """Paper: 'a FatTree with 128 hosts, 80 eight-port switches'."""
+        tree = FatTree(Simulator(), k=8)
+        assert tree.n_hosts == 128
+        n_switches = tree.n_pods * tree.half * 2 + tree.n_core
+        assert n_switches == 80
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            FatTree(Simulator(), k=3)
+        with pytest.raises(ValueError):
+            FatTree(Simulator(), k=0)
+
+    def test_describe(self):
+        text = FatTree(Simulator(), k=4).describe()
+        assert "16 hosts" in text and "20 switches" in text
+
+
+class TestCoordinates:
+    def test_pod_and_edge_of(self):
+        tree = FatTree(Simulator(), k=4)
+        # Pod 0 hosts: 0..3, edges: hosts 0,1 -> edge 0; hosts 2,3 -> edge 1.
+        assert tree.pod_of(0) == 0
+        assert tree.pod_of(3) == 0
+        assert tree.pod_of(4) == 1
+        assert tree.edge_of(0) == 0
+        assert tree.edge_of(2) == 1
+        assert tree.edge_of(5) == 0
+
+
+class TestPaths:
+    def test_path_counts(self):
+        tree = FatTree(Simulator(), k=4)
+        assert tree.n_paths(0, 4) == 4     # inter-pod: (k/2)^2 cores
+        assert tree.n_paths(0, 2) == 2     # intra-pod: k/2 aggs
+        assert tree.n_paths(0, 1) == 1     # same edge
+
+    def test_interpod_path_structure(self):
+        tree = FatTree(Simulator(), k=4)
+        path = tree.path(0, 4, choice=0)
+        assert len(path) == 6
+        assert path[0] is tree.host_up[0]
+        assert path[-1] is tree.host_down[4]
+
+    def test_intrapod_path_structure(self):
+        tree = FatTree(Simulator(), k=4)
+        path = tree.path(0, 2, choice=1)
+        assert len(path) == 4
+
+    def test_same_edge_path(self):
+        tree = FatTree(Simulator(), k=4)
+        path = tree.path(0, 1)
+        assert len(path) == 2
+        assert path == (tree.host_up[0], tree.host_down[1])
+
+    def test_distinct_cores_for_interpod_choices(self):
+        tree = FatTree(Simulator(), k=4)
+        core_hops = {tree.path(0, 4, c)[2] for c in range(4)}
+        assert len(core_hops) == 4
+
+    def test_choice_out_of_range(self):
+        tree = FatTree(Simulator(), k=4)
+        with pytest.raises(ValueError):
+            tree.path(0, 4, choice=4)
+        with pytest.raises(ValueError):
+            tree.path(0, 0)
+
+    def test_paths_are_connected(self):
+        """Consecutive path links belong to the right layer ordering."""
+        tree = FatTree(Simulator(), k=8)
+        rng = random.Random(1)
+        for _ in range(50):
+            src = rng.randrange(tree.n_hosts)
+            dst = rng.randrange(tree.n_hosts)
+            if src == dst:
+                continue
+            for choice in range(min(tree.n_paths(src, dst), 3)):
+                path = tree.path(src, dst, choice)
+                assert path[0] is tree.host_up[src]
+                assert path[-1] is tree.host_down[dst]
+                assert len(path) in (2, 4, 6)
+
+
+class TestSubflowPlacement:
+    def test_distinct_paths_no_duplicates(self):
+        tree = FatTree(Simulator(), k=8)
+        rng = random.Random(2)
+        specs = tree.distinct_paths(0, 64, 8, rng)
+        assert len(specs) == 8
+        middles = {spec.links[2] for spec in specs}
+        assert len(middles) == 8  # eight distinct cores
+
+    def test_more_subflows_than_paths(self):
+        tree = FatTree(Simulator(), k=4)
+        rng = random.Random(2)
+        specs = tree.distinct_paths(0, 2, 4, rng)  # only 2 distinct paths
+        assert len(specs) == 4
+
+    def test_reverse_delay_matches_hops(self):
+        tree = FatTree(Simulator(), k=4, link_delay=1e-4)
+        spec = tree.path_spec(0, 4, 0)
+        assert spec.reverse_delay == pytest.approx(6e-4)
+
+
+class TestTrafficAndCapacity:
+    def test_permutation_has_no_fixed_points(self):
+        tree = FatTree(Simulator(), k=4)
+        perm = tree.random_permutation(random.Random(3))
+        assert sorted(perm) == list(range(16))
+        assert all(perm[i] != i for i in range(16))
+
+    def test_oversubscription_slows_fabric_only(self):
+        tree = FatTree(Simulator(), k=4, link_mbps=10.0,
+                       oversubscription=4.0)
+        assert tree.host_up[0].rate_bps == pytest.approx(10e6)
+        assert tree.edge_to_agg[0][0][0].rate_bps == pytest.approx(2.5e6)
+        assert tree.agg_to_core[0][0][0].rate_bps == pytest.approx(2.5e6)
+
+    def test_invalid_oversubscription(self):
+        with pytest.raises(ValueError):
+            FatTree(Simulator(), k=4, oversubscription=0.5)
+
+    def test_core_links_count(self):
+        tree = FatTree(Simulator(), k=4)
+        # agg->core: 4 pods * 2 aggs * 2 ports = 16; core->agg: 4*4 = 16.
+        assert len(tree.core_links()) == 32

@@ -1,0 +1,107 @@
+"""Tests for the scenario topology builders."""
+
+import random
+
+import pytest
+
+from repro.sim import REDQueue, Simulator
+from repro.sim.queues import DropTailQueue
+from repro.topology import (
+    build_scenario_a,
+    build_scenario_b,
+    build_scenario_c,
+    build_two_path,
+)
+
+
+class TestScenarioA:
+    def test_capacities(self):
+        sim = Simulator()
+        topo = build_scenario_a(sim, random.Random(1), n1=10, n2=10,
+                                c1_mbps=1.0, c2_mbps=1.0)
+        assert topo.server_link.rate_bps == pytest.approx(10e6)
+        assert topo.shared_ap.rate_bps == pytest.approx(10e6)
+
+    def test_paths_structure(self):
+        sim = Simulator()
+        topo = build_scenario_a(sim, random.Random(1), n1=10, n2=10,
+                                c1_mbps=1.0, c2_mbps=1.0)
+        private, via_shared = topo.type1_paths
+        assert private.links == (topo.server_link,)
+        assert via_shared.links == (topo.server_link, topo.shared_ap)
+        assert topo.type2_path.links == (topo.shared_ap,)
+
+    def test_all_paths_share_base_rtt(self):
+        sim = Simulator()
+        topo = build_scenario_a(sim, random.Random(1), n1=10, n2=10,
+                                c1_mbps=1.0, c2_mbps=1.0, base_rtt=0.08)
+        for spec in topo.type1_paths + [topo.type2_path]:
+            forward = sum(link.delay for link in spec.links)
+            assert forward + spec.reverse_delay == pytest.approx(0.08)
+
+    def test_red_queue_default(self):
+        sim = Simulator()
+        topo = build_scenario_a(sim, random.Random(1), n1=10, n2=10,
+                                c1_mbps=1.0, c2_mbps=1.0)
+        assert isinstance(topo.shared_ap.queue, REDQueue)
+
+    def test_droptail_option(self):
+        sim = Simulator()
+        topo = build_scenario_a(sim, random.Random(1), n1=10, n2=10,
+                                c1_mbps=1.0, c2_mbps=1.0, queue="droptail")
+        assert isinstance(topo.shared_ap.queue, DropTailQueue)
+        assert not isinstance(topo.shared_ap.queue, REDQueue)
+
+    def test_unknown_queue_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            build_scenario_a(sim, random.Random(1), n1=1, n2=1,
+                             c1_mbps=1.0, c2_mbps=1.0, queue="fifo?")
+
+
+class TestScenarioB:
+    def test_paths_match_capacity_equations(self):
+        """X carries {blue1, red-dashed}; T carries {blue2, red-main,
+        red-dashed} — the structure behind CX=N(x1+y1), CT=N(x2+y1+y2)."""
+        sim = Simulator()
+        topo = build_scenario_b(sim, random.Random(1), cx_mbps=27.0,
+                                ct_mbps=36.0)
+        assert topo.blue_paths[0].links == (topo.link_x,)
+        assert topo.blue_paths[1].links == (topo.link_t,)
+        assert topo.red_main_path.links == (topo.link_t,)
+        assert topo.red_dashed_path.links == (topo.link_x, topo.link_t)
+
+    def test_capacities(self):
+        sim = Simulator()
+        topo = build_scenario_b(sim, random.Random(1), cx_mbps=27.0,
+                                ct_mbps=36.0)
+        assert topo.link_x.rate_bps == pytest.approx(27e6)
+        assert topo.link_t.rate_bps == pytest.approx(36e6)
+
+
+class TestScenarioC:
+    def test_structure(self):
+        sim = Simulator()
+        topo = build_scenario_c(sim, random.Random(1), n1=10, n2=10,
+                                c1_mbps=2.0, c2_mbps=1.0)
+        assert topo.ap1.rate_bps == pytest.approx(20e6)
+        assert topo.ap2.rate_bps == pytest.approx(10e6)
+        assert topo.multipath_paths[0].links == (topo.ap1,)
+        assert topo.multipath_paths[1].links == (topo.ap2,)
+        assert topo.singlepath_path.links == (topo.ap2,)
+
+
+class TestTwoPath:
+    def test_structure(self):
+        sim = Simulator()
+        topo = build_two_path(sim, random.Random(1), capacity_mbps=3.0)
+        assert len(topo.bottlenecks) == 2
+        assert topo.mptcp_paths[0].links == (topo.bottlenecks[0],)
+        assert topo.mptcp_paths[1].links == (topo.bottlenecks[1],)
+
+    def test_base_rtt_budget(self):
+        sim = Simulator()
+        topo = build_two_path(sim, random.Random(1), base_rtt=0.08)
+        for spec in topo.mptcp_paths + topo.tcp_paths:
+            forward = sum(link.delay for link in spec.links)
+            assert forward + spec.reverse_delay == pytest.approx(0.08)

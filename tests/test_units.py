@@ -1,0 +1,34 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_mbps_to_pps_round_trip(self):
+        assert units.pps_to_mbps(units.mbps_to_pps(10.0)) == pytest.approx(10.0)
+
+    def test_one_mbps_in_packets(self):
+        # 1 Mbps / (1500 B * 8 b/B) = 83.33 pkt/s
+        assert units.mbps_to_pps(1.0) == pytest.approx(83.3333, rel=1e-4)
+
+    def test_custom_mss(self):
+        assert units.mbps_to_pps(1.0, mss_bytes=125) == pytest.approx(1000.0)
+
+    def test_bytes_to_packets_ceils(self):
+        assert units.bytes_to_packets(1) == 1
+        assert units.bytes_to_packets(1500) == 1
+        assert units.bytes_to_packets(1501) == 2
+        assert units.bytes_to_packets(70_000) == 47
+
+    def test_bytes_to_packets_nonpositive(self):
+        assert units.bytes_to_packets(0) == 0
+        assert units.bytes_to_packets(-5) == 0
+
+    def test_ms_helper(self):
+        assert units.ms(150) == pytest.approx(0.15)
+
+    def test_constants(self):
+        assert units.MSS_BYTES == 1500
+        assert units.MSS_BITS == 12000
