@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Emit ``BENCH_sweep.json``: fluid batch-vs-loop sweep throughput and
+DES engine events/sec before/after the free-list optimisation.
+
+Thin wrapper over :mod:`repro.benchreport` so the report can be produced
+either from the source tree (``python benchmarks/bench_report.py``) or
+via the CLI (``python -m repro bench``).  ``REPRO_BENCH_SMOKE=1`` caps
+the sizes for quick smoke runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.benchreport import format_report, run_bench  # noqa: E402
+
+
+def main() -> int:
+    output = sys.argv[1] if len(sys.argv) > 1 \
+        else str(REPO_ROOT / "BENCH_sweep.json")
+    report = run_bench(output)
+    print(format_report(report))
+    print(f"[report written to {output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Benchmarks of the batched sweep machinery itself.
+
+Unlike the figure benchmarks (which regenerate paper tables), these
+track the *speed* of the two execution backends so regressions in the
+hot paths show up in ``pytest benchmarks/`` timings:
+
+* the batched fluid integrator vs the point-by-point loop, on the same
+  64-point sweep the ``BENCH_sweep.json`` report uses;
+* the DES engine event loop (free-list + pre-bound heap entries).
+
+``REPRO_BENCH_SMOKE=1`` caps the sweep sizes so tier-1 test runs stay
+fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchreport import smoke_mode, sweep_networks
+from repro.fluid import integrate, integrate_batch
+from repro.sim import Simulator
+
+N_POINTS = 8 if smoke_mode() else 32
+T_END = 0.5 if smoke_mode() else 1.0
+DT = 2e-3
+RULES = {0: "olia", 1: "tcp", 2: "tcp", 3: "tcp"}
+
+
+def test_fluid_sweep_loop_backend(benchmark):
+    """Point-by-point integration: the pre-batching baseline."""
+    networks = sweep_networks(N_POINTS)
+
+    def run():
+        return [integrate(net, RULES, t_end=T_END, dt=DT)
+                for net in networks]
+
+    trajectories = benchmark(run)
+    assert len(trajectories) == N_POINTS
+    benchmark.extra_info["points"] = N_POINTS
+
+
+def test_fluid_sweep_batch_backend(benchmark):
+    """All sweep points stacked into one (K, n_routes) state matrix."""
+    networks = sweep_networks(N_POINTS)
+
+    def run():
+        return integrate_batch(networks, RULES, t_end=T_END, dt=DT)
+
+    batch = benchmark(run)
+    assert batch.n_points == N_POINTS
+    benchmark.extra_info["points"] = N_POINTS
+
+
+def test_batch_matches_loop_bitwise(benchmark):
+    """The two backends must agree bitwise (benchmarked on the batch)."""
+    networks = sweep_networks(N_POINTS)
+    sequential = [integrate(net, RULES, t_end=T_END, dt=DT)
+                  for net in networks]
+    batch = benchmark(lambda: integrate_batch(networks, RULES,
+                                              t_end=T_END, dt=DT))
+    for k in range(N_POINTS):
+        assert np.array_equal(sequential[k].rates,
+                              batch.trajectory(k).rates)
+
+
+def test_engine_event_throughput(benchmark):
+    """Free-list engine: schedule-and-run event loop throughput."""
+    n_events = 5_000 if smoke_mode() else 50_000
+
+    def run():
+        sim = Simulator()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < n_events:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run_until_empty()
+        return counter[0]
+
+    events = benchmark(run)
+    assert events == n_events

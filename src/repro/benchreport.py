@@ -1,0 +1,241 @@
+"""Performance tracking: the ``BENCH_sweep.json`` report.
+
+Measures the two hot paths this repo optimises and writes a small JSON
+report so the performance trajectory is tracked commit over commit:
+
+* **fluid sweep throughput** — a 64-point parameter sweep integrated
+  point-by-point (``loop`` backend) vs. stacked into one
+  :class:`~repro.fluid.BatchFluidIntegrator` run (``batch`` backend),
+  reported as sweep points per second.  The two backends must agree
+  bitwise; the report records that check.
+* **engine event throughput** — events per second of the DES event loop,
+  measured for the current engine ("after") and for a frozen copy of the
+  seed engine ("before", inlined below) so the effect of the free-list +
+  pre-bound-tuple optimisation stays visible.
+
+Run via ``python -m repro bench`` (or ``benchmarks/bench_report.py``).
+``REPRO_BENCH_SMOKE=1`` caps the workload sizes so CI smoke runs stay
+fast; the capped numbers are labelled as such in the report.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import platform
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from .fluid import FluidNetwork, PowerLoss, SharpLoss, integrate, integrate_batch
+from .sim.engine import Simulator
+
+
+def smoke_mode() -> bool:
+    """True when ``REPRO_BENCH_SMOKE=1`` caps the benchmark sizes."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+# -- fluid sweep -----------------------------------------------------------------
+
+def sweep_networks(n_points: int, seed: int = 0) -> List[FluidNetwork]:
+    """K scenario-style networks with randomised capacities and RTTs.
+
+    One multipath user (two APs) competing with three TCP users on the
+    second AP — the shape of most figure sweeps — with per-point
+    capacities and RTTs drawn from a seeded generator.
+    """
+    rng = np.random.default_rng(seed)
+    networks = []
+    for _ in range(n_points):
+        c1 = float(rng.uniform(100.0, 800.0))
+        c2 = float(rng.uniform(100.0, 800.0))
+        rtt1 = float(rng.uniform(0.02, 0.3))
+        rtt2 = float(rng.uniform(0.02, 0.3))
+        net = FluidNetwork()
+        ap1 = net.add_link(SharpLoss(capacity=c1), name="AP1")
+        ap2 = net.add_link(PowerLoss(capacity=c2, p_at_capacity=0.02),
+                           name="AP2")
+        mp = net.add_user("mp")
+        net.add_route(mp, [ap1], rtt=rtt1)
+        net.add_route(mp, [ap2], rtt=rtt2)
+        for i in range(3):
+            user = net.add_user(f"tcp{i}")
+            net.add_route(user, [ap2], rtt=rtt2)
+        networks.append(net)
+    return networks
+
+
+def bench_fluid_sweep(*, n_points: int = 64, t_end: float = 5.0,
+                      dt: float = 2e-3) -> Dict[str, object]:
+    """Time a fluid sweep on the loop and batch backends."""
+    rules = {0: "olia", 1: "tcp", 2: "tcp", 3: "tcp"}
+    networks = sweep_networks(n_points)
+
+    start = time.perf_counter()
+    sequential = [integrate(net, rules, t_end=t_end, dt=dt)
+                  for net in networks]
+    loop_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = integrate_batch(networks, rules, t_end=t_end, dt=dt)
+    batch_seconds = time.perf_counter() - start
+
+    bitwise_equal = all(
+        np.array_equal(sequential[k].rates, batch.trajectory(k).rates)
+        for k in range(n_points))
+    return {
+        "n_points": n_points,
+        "t_end": t_end,
+        "dt": dt,
+        "loop_seconds": round(loop_seconds, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "loop_points_per_sec": round(n_points / loop_seconds, 2),
+        "batch_points_per_sec": round(n_points / batch_seconds, 2),
+        "speedup": round(loop_seconds / batch_seconds, 2),
+        "bitwise_equal": bitwise_equal,
+    }
+
+
+# -- engine ---------------------------------------------------------------------
+
+class _SeedEvent:
+    """Event of the seed engine (pre free-list), kept for the baseline."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time, fn, args):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class _SeedSimulator:
+    """Frozen verbatim copy of the seed DES engine: one Event allocation
+    per schedule, heap entries ``(time, seq, event)`` dispatched via
+    attribute lookups.  Serves as the "before" in the engine benchmark.
+    """
+
+    def __init__(self):
+        self._heap = []
+        self._now = 0.0
+        self._counter = 0
+        self._processed = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    def schedule(self, delay, fn, *args):
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time, fn, *args):
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} before now ({self._now})")
+        event = _SeedEvent(time, fn, args)
+        self._counter += 1
+        heapq.heappush(self._heap, (time, self._counter, event))
+        return event
+
+    def run_until_empty(self, max_events=10_000_000):
+        heap = self._heap
+        budget = max_events
+        while heap and budget > 0:
+            time_, _, event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._now = time_
+            self._processed += 1
+            budget -= 1
+            event.fn(*event.args)
+
+
+def _engine_events_per_sec(sim_factory, n_events: int) -> float:
+    sim = sim_factory()
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+        if counter[0] < n_events:
+            sim.schedule(1e-6, tick)
+
+    sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run_until_empty()
+    elapsed = time.perf_counter() - start
+    assert counter[0] == n_events
+    return n_events / elapsed
+
+
+def bench_engine(*, n_events: int = 200_000,
+                 repeats: int = 3) -> Dict[str, object]:
+    """Events/sec of the seed engine ("before") vs the current one."""
+    before = max(_engine_events_per_sec(_SeedSimulator, n_events)
+                 for _ in range(repeats))
+    after = max(_engine_events_per_sec(Simulator, n_events)
+                for _ in range(repeats))
+    return {
+        "n_events": n_events,
+        "before_events_per_sec": round(before),
+        "after_events_per_sec": round(after),
+        "speedup": round(after / before, 3),
+    }
+
+
+# -- report ---------------------------------------------------------------------
+
+def run_bench(output_path: str | None = None, *,
+              smoke: bool | None = None) -> Dict[str, object]:
+    """Run both benchmarks and write ``BENCH_sweep.json``.
+
+    ``smoke`` (default: the ``REPRO_BENCH_SMOKE`` env var) caps the sweep
+    to 8 points and the engine run to 20k events.
+    """
+    if smoke is None:
+        smoke = smoke_mode()
+    if smoke:
+        fluid = bench_fluid_sweep(n_points=8, t_end=1.0)
+        engine = bench_engine(n_events=20_000, repeats=1)
+    else:
+        fluid = bench_fluid_sweep()
+        engine = bench_engine()
+    report = {
+        "benchmark": "BENCH_sweep",
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "fluid_sweep": fluid,
+        "engine": engine,
+    }
+    if output_path is not None:
+        with open(output_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    return report
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of :func:`run_bench` output."""
+    fluid = report["fluid_sweep"]
+    engine = report["engine"]
+    lines = [
+        f"fluid sweep ({fluid['n_points']} points, t_end={fluid['t_end']}s):",
+        f"  loop backend : {fluid['loop_points_per_sec']:>10} points/s",
+        f"  batch backend: {fluid['batch_points_per_sec']:>10} points/s"
+        f"  ({fluid['speedup']}x, bitwise_equal={fluid['bitwise_equal']})",
+        f"engine ({engine['n_events']} events):",
+        f"  before: {engine['before_events_per_sec']:>10} events/s",
+        f"  after : {engine['after_events_per_sec']:>10} events/s"
+        f"  ({engine['speedup']}x)",
+    ]
+    if report.get("smoke"):
+        lines.append("  (smoke mode: sizes capped by REPRO_BENCH_SMOKE)")
+    return "\n".join(lines)

@@ -4,16 +4,23 @@ Usage::
 
     python -m repro list
     python -m repro run fig1b table1 ...
-    python -m repro run all --fast
+    python -m repro run all --fast --jobs 4
+    python -m repro bench
 
 Every experiment prints its paper-style result table to stdout.  With
 ``--fast`` the simulated experiments run at reduced duration (useful for
-smoke checks); without it they use the benchmark defaults.
+smoke checks); without it they use the benchmark defaults.  ``--jobs N``
+fans sweep-shaped experiments out over N worker processes and
+``--backend {loop,batch}`` selects how fluid sweeps are integrated
+(one point at a time vs one vectorized batch) — neither changes any
+number in the tables.  ``bench`` measures both hot paths and writes
+``BENCH_sweep.json`` (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -36,7 +43,8 @@ def _sim_kwargs(fast: bool, slow: dict, quick: dict) -> dict:
     return quick if fast else slow
 
 
-def _experiments(fast: bool) -> Dict[str, Callable[[], object]]:
+def _experiments(fast: bool, jobs: int = 1,
+                 backend: str = "loop") -> Dict[str, Callable[[], object]]:
     """Experiment name -> zero-argument callable returning a table."""
     sim = dict(duration=20.0, warmup=10.0) if not fast else \
         dict(duration=8.0, warmup=5.0)
@@ -58,7 +66,7 @@ def _experiments(fast: bool) -> Dict[str, Callable[[], object]]:
         "fig9-10": lambda: scenario_a.figure9_10_table(
             n1_values=(10, 30), c1_over_c2=(0.75, 1.5), **sim),
         "fig11-12": lambda: scenario_c.figure11_12_table(
-            n1_values=(10, 30), c1_over_c2=(1.0, 2.0), **sim),
+            n1_values=(10, 30), c1_over_c2=(1.0, 2.0), jobs=jobs, **sim),
         "fig13a": lambda: fattree.figure13a_table(
             subflow_counts=(2, 4, 8) if not fast else (2, 4), **tree),
         "fig13b": lambda: fattree.figure13b_table(
@@ -66,15 +74,17 @@ def _experiments(fast: bool) -> Dict[str, Callable[[], object]]:
         "fig14": lambda: shortflows.figure14_table(**dyn),
         "table3": lambda: shortflows.table3(**dyn),
         "fig17": lambda: scenario_b.figure17_table(),
-        "ablation-epsilon": ablation.epsilon_sweep_table,
+        "ablation-epsilon": lambda: ablation.epsilon_sweep_table(jobs=jobs),
         "ablation-alpha": lambda: ablation.flappiness_table(
             duration=trace_len,
-            seeds=(1, 2, 3) if not fast else (1,)),
-        "ablation-queue": lambda: ablation.queue_discipline_table(**sim),
+            seeds=(1, 2, 3) if not fast else (1,), jobs=jobs),
+        "ablation-queue": lambda: ablation.queue_discipline_table(
+            jobs=jobs, **sim),
         "responsiveness":
             responsiveness.capacity_drop_settling_table,
-        "stability": responsiveness.stability_table,
-        "rtt-sweep": rtt_heterogeneity.rtt_sweep_table,
+        "stability": lambda: responsiveness.stability_table(
+            backend=backend),
+        "rtt-sweep": lambda: rtt_heterogeneity.rtt_sweep_table(jobs=jobs),
         "rtt-criterion": rtt_heterogeneity.best_path_criterion_table,
         "calibration": lambda: calibration.formula_validation_table(
             duration=40.0 if not fast else 15.0,
@@ -94,6 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment names (or 'all')")
     run.add_argument("--fast", action="store_true",
                      help="reduced durations for a quick smoke run")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for sweep-shaped experiments "
+                          "(default: 1, i.e. in-process)")
+    run.add_argument("--backend", choices=("loop", "batch"),
+                     default="loop",
+                     help="fluid sweep integration backend (results are "
+                          "identical; batch is faster)")
+    bench = sub.add_parser(
+        "bench", help="measure hot paths and write BENCH_sweep.json")
+    bench.add_argument("--output", default="BENCH_sweep.json",
+                       metavar="PATH",
+                       help="where to write the JSON report "
+                            "(default: ./BENCH_sweep.json)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="capped sizes (same as REPRO_BENCH_SMOKE=1)")
     return parser
 
 
@@ -104,7 +129,22 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
-    registry = _experiments(args.fast)
+    if args.command == "bench":
+        from .benchreport import format_report, run_bench
+        out_dir = os.path.dirname(os.path.abspath(args.output))
+        if not os.path.isdir(out_dir):
+            print(f"cannot write report: no such directory {out_dir}",
+                  file=sys.stderr)
+            return 2
+        report = run_bench(args.output, smoke=args.smoke or None)
+        print(format_report(report))
+        print(f"[report written to {args.output}]")
+        return 0
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
+        return 2
+    registry = _experiments(args.fast, jobs=args.jobs, backend=args.backend)
     names = list(registry) if "all" in args.experiments \
         else args.experiments
     unknown = [n for n in names if n not in registry]

@@ -16,13 +16,17 @@ from .results import ResultTable
 from .runner import (
     MeasureResult,
     RepeatedStat,
+    RunSpec,
     measure,
     repeat,
     staggered_starts,
     summarize_samples,
 )
+from .sweep import SweepRunner
 
 __all__ = [
+    "RunSpec",
+    "SweepRunner",
     "scenario_a",
     "scenario_b",
     "scenario_c",

@@ -10,6 +10,10 @@
 3. **RED vs drop-tail**: scenario C measured with both queue
    disciplines — the qualitative LIA/OLIA gap must survive the queue
    choice (the paper uses RED on the testbed, drop-tail in htsim).
+
+All three are parameter sweeps of pure point functions, dispatched
+through :class:`~repro.experiments.sweep.SweepRunner` so they can run on
+a worker pool (``jobs=N``) without changing any number in the tables.
 """
 
 from __future__ import annotations
@@ -18,53 +22,82 @@ from ..fluid import FluidNetwork, SharpLoss, solve_fixed_point
 from ..fluid.equilibrium import allocation_rule
 from ..units import mbps_to_pps
 from .results import ResultTable
+from .runner import RunSpec
+from .sweep import SweepRunner
 from .traces import run_two_path_trace
+
+
+def epsilon_sweep_point(*, epsilon: float, n1: int, n2: int,
+                        c1_mbps: float, c2_mbps: float,
+                        rtt: float) -> tuple:
+    """Fixed point of one epsilon value on the scenario C network."""
+    net = FluidNetwork()
+    ap1 = net.add_link(SharpLoss(capacity=n1 * mbps_to_pps(c1_mbps)))
+    ap2 = net.add_link(SharpLoss(capacity=n2 * mbps_to_pps(c2_mbps)))
+    rules = {}
+    for i in range(n1):
+        user = net.add_user(f"mp{i}")
+        net.add_route(user, [ap1], rtt=rtt)
+        net.add_route(user, [ap2], rtt=rtt)
+        rules[user] = allocation_rule("epsilon", epsilon=epsilon) \
+            if epsilon > 0 else allocation_rule("olia")
+    for i in range(n2):
+        user = net.add_user(f"sp{i}")
+        net.add_route(user, [ap2], rtt=rtt)
+        rules[user] = allocation_rule("tcp")
+    result = solve_fixed_point(net, rules, floor_packets=1.0)
+    totals = result.user_totals(net)
+    mp_rate = float(totals[:n1].mean())
+    sp_rate = float(totals[n1:].mean())
+    # Multipath traffic crossing AP2: every odd route of mp users.
+    mp_ap2 = sum(result.rates[2 * i + 1] for i in range(n1))
+    ap2_total = mp_ap2 + sum(
+        result.rates[2 * n1 + i] for i in range(n2))
+    return (epsilon, mp_rate, sp_rate, float(result.link_loss[1]),
+            100.0 * mp_ap2 / ap2_total)
 
 
 def epsilon_sweep_table(*, n1: int = 10, n2: int = 10,
                         c1_mbps: float = 1.0, c2_mbps: float = 1.0,
                         rtt: float = 0.15,
-                        epsilons=(0.0, 0.5, 1.0, 1.5, 2.0)) -> ResultTable:
+                        epsilons=(0.0, 0.5, 1.0, 1.5, 2.0),
+                        jobs: int = 1, cache_dir=None) -> ResultTable:
     """Fixed points of the epsilon-family on the scenario C network."""
     table = ResultTable(
         "Ablation - epsilon-family on scenario C "
         "(eps=0 ~ OLIA, eps=1 ~ LIA, eps=2 ~ uncoupled)",
         ["epsilon", "mp rate (pkt/s)", "sp rate (pkt/s)", "p2",
          "mp share of AP2 (%)"])
-    for epsilon in epsilons:
-        net = FluidNetwork()
-        ap1 = net.add_link(SharpLoss(capacity=n1 * mbps_to_pps(c1_mbps)))
-        ap2 = net.add_link(SharpLoss(capacity=n2 * mbps_to_pps(c2_mbps)))
-        rules = {}
-        for i in range(n1):
-            user = net.add_user(f"mp{i}")
-            net.add_route(user, [ap1], rtt=rtt)
-            net.add_route(user, [ap2], rtt=rtt)
-            rules[user] = allocation_rule("epsilon", epsilon=epsilon) \
-                if epsilon > 0 else allocation_rule("olia")
-        for i in range(n2):
-            user = net.add_user(f"sp{i}")
-            net.add_route(user, [ap2], rtt=rtt)
-            rules[user] = allocation_rule("tcp")
-        result = solve_fixed_point(net, rules, floor_packets=1.0)
-        totals = result.user_totals(net)
-        mp_rate = float(totals[:n1].mean())
-        sp_rate = float(totals[n1:].mean())
-        # Multipath traffic crossing AP2: every odd route of mp users.
-        mp_ap2 = sum(result.rates[2 * i + 1] for i in range(n1))
-        ap2_total = mp_ap2 + sum(
-            result.rates[2 * n1 + i] for i in range(n2))
-        table.add_row(epsilon, mp_rate, sp_rate,
-                      float(result.link_loss[1]),
-                      100.0 * mp_ap2 / ap2_total)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    rows = runner.run([
+        RunSpec.make(epsilon_sweep_point, epsilon=epsilon, n1=n1, n2=n2,
+                     c1_mbps=c1_mbps, c2_mbps=c2_mbps, rtt=rtt)
+        for epsilon in epsilons])
+    for row in rows:
+        table.add_row(*row)
     table.add_note("larger epsilon -> more multipath traffic parked on "
                    "the congested AP2 and lower single-path rates")
     return table
 
 
+def flappiness_point(*, algorithm: str, capacity_mbps: float,
+                     duration: float, seed: int) -> tuple:
+    """One seeded DES run of the alpha-term ablation."""
+    trace = run_two_path_trace(algorithm, competing=(5, 5),
+                               capacity_mbps=capacity_mbps,
+                               duration=duration, seed=seed)
+    w1, w2 = trace.mean_windows
+    tail = trace.windows[len(trace.windows) // 4:]
+    onesided = sum(
+        1 for a, b in tail
+        if a + b > 0 and abs(a - b) / (a + b) > 0.6) / len(tail)
+    return (w1, w2, trace.window_imbalance(), onesided)
+
+
 def flappiness_table(*, capacity_mbps: float = 10.0,
                      duration: float = 90.0,
-                     seeds=(1, 2, 3)) -> ResultTable:
+                     seeds=(1, 2, 3), jobs: int = 1,
+                     cache_dir=None) -> ResultTable:
     """OLIA vs the alpha-less coupled controller on symmetric paths.
 
     The coupled controller concentrates its window on one path and flips
@@ -76,44 +109,53 @@ def flappiness_table(*, capacity_mbps: float = 10.0,
         "Ablation - the role of OLIA's alpha term (symmetric two-path, "
         f"mean over {len(seeds)} seeds)",
         ["algorithm", "w1", "w2", "imbalance", "one-sided frac"])
-    for algorithm in ("olia", "coupled"):
-        w1s, w2s, imbalances, onesided = [], [], [], []
-        for seed in seeds:
-            trace = run_two_path_trace(algorithm, competing=(5, 5),
-                                       capacity_mbps=capacity_mbps,
-                                       duration=duration, seed=seed)
-            w1, w2 = trace.mean_windows
-            w1s.append(w1)
-            w2s.append(w2)
-            imbalances.append(trace.window_imbalance())
-            tail = trace.windows[len(trace.windows) // 4:]
-            onesided.append(sum(
-                1 for a, b in tail
-                if a + b > 0 and abs(a - b) / (a + b) > 0.6) / len(tail))
-        n_seeds = len(seeds)
-        table.add_row(algorithm, sum(w1s) / n_seeds, sum(w2s) / n_seeds,
-                      sum(imbalances) / n_seeds, sum(onesided) / n_seeds)
+    algorithms = ("olia", "coupled")
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    samples = runner.run([
+        RunSpec.make(flappiness_point, algorithm=algorithm,
+                     capacity_mbps=capacity_mbps, duration=duration,
+                     seed=seed)
+        for algorithm in algorithms for seed in seeds])
+    n_seeds = len(seeds)
+    for group, algorithm in enumerate(algorithms):
+        runs = samples[group * n_seeds:(group + 1) * n_seeds]
+        means = [sum(run[i] for run in runs) / n_seeds for i in range(4)]
+        table.add_row(algorithm, *means)
     table.add_note("without alpha the window imbalance grows: the "
                    "fully coupled rule starves one of two equal paths")
     return table
 
 
+def queue_discipline_point(*, queue: str, algorithm: str, n1: int, n2: int,
+                           c1_mbps: float, c2_mbps: float, duration: float,
+                           warmup: float, seed: int) -> tuple:
+    """One scenario C run under a given queue discipline."""
+    from .scenario_c import simulate
+    run = simulate(algorithm, n1=n1, n2=n2, c1_mbps=c1_mbps,
+                   c2_mbps=c2_mbps, duration=duration,
+                   warmup=warmup, seed=seed, queue=queue)
+    return (queue, algorithm, run.singlepath_normalized, run.p2)
+
+
 def queue_discipline_table(*, n1: int = 10, n2: int = 10,
                            c1_mbps: float = 1.0, c2_mbps: float = 1.0,
                            duration: float = 30.0, warmup: float = 15.0,
-                           seed: int = 1) -> ResultTable:
+                           seed: int = 1, jobs: int = 1,
+                           cache_dir=None) -> ResultTable:
     """Scenario C under RED (testbed) and drop-tail (htsim) queues."""
-    from .scenario_c import simulate
     table = ResultTable(
         "Ablation - queue discipline: scenario C, N1=N2, C1=C2",
         ["queue", "algorithm", "sp normalized", "p2"])
-    for queue in ("red", "droptail"):
-        for algorithm in ("lia", "olia"):
-            run = simulate(algorithm, n1=n1, n2=n2, c1_mbps=c1_mbps,
-                           c2_mbps=c2_mbps, duration=duration,
-                           warmup=warmup, seed=seed, queue=queue)
-            table.add_row(queue, algorithm, run.singlepath_normalized,
-                          run.p2)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    rows = runner.run([
+        RunSpec.make(queue_discipline_point, queue=queue,
+                     algorithm=algorithm, n1=n1, n2=n2, c1_mbps=c1_mbps,
+                     c2_mbps=c2_mbps, duration=duration, warmup=warmup,
+                     seed=seed)
+        for queue in ("red", "droptail")
+        for algorithm in ("lia", "olia")])
+    for row in rows:
+        table.add_row(*row)
     table.add_note("the OLIA > LIA ordering for single-path users holds "
                    "under both disciplines")
     return table

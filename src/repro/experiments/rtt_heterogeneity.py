@@ -19,6 +19,8 @@ import numpy as np
 
 from ..fluid import FluidNetwork, SharpLoss, solve_fixed_point, tcp_rate
 from .results import ResultTable
+from .runner import RunSpec
+from .sweep import SweepRunner
 
 
 def _network(rtt1: float, rtt2: float, *, c1: float = 400.0,
@@ -49,9 +51,23 @@ def _network(rtt1: float, rtt2: float, *, c1: float = 400.0,
     return net, rules
 
 
+def rtt_sweep_point(*, algorithm: str, base_rtt: float, ratio: float,
+                    n_tcp: int) -> tuple:
+    """One fixed-point evaluation of the RTT sweep (pure sweep point)."""
+    net, rules = _network(base_rtt * ratio, base_rtt, n_tcp=n_tcp)
+    rules[0] = algorithm
+    result = solve_fixed_point(net, rules, floor_packets=1.0)
+    totals = result.user_totals(net)
+    return (ratio, float(result.rates[0]), float(result.rates[1]),
+            float(totals[1:1 + n_tcp].mean()),
+            float(totals[1 + n_tcp:].mean()),
+            float(result.link_loss[1]))
+
+
 def rtt_sweep_table(*, algorithm: str = "olia", base_rtt: float = 0.1,
                     rtt_ratios=(0.25, 0.5, 1.0, 2.0, 4.0),
-                    n_tcp: int = 3) -> ResultTable:
+                    n_tcp: int = 3, jobs: int = 1,
+                    cache_dir=None) -> ResultTable:
     """Fluid fixed point as AP1's RTT varies relative to AP2's.
 
     With a *small* RTT on AP1, the TCP-compatible best-path criterion
@@ -65,16 +81,13 @@ def rtt_sweep_table(*, algorithm: str = "olia", base_rtt: float = 0.1,
         "(AP1 rtt = ratio * AP2 rtt, TCP users on both APs)",
         ["rtt1/rtt2", "mp rate on AP1", "mp rate on AP2",
          "tcp@AP1 rate", "tcp@AP2 rate", "p2"])
-    for ratio in rtt_ratios:
-        net, rules = _network(base_rtt * ratio, base_rtt, n_tcp=n_tcp)
-        rules[0] = algorithm
-        result = solve_fixed_point(net, rules, floor_packets=1.0)
-        totals = result.user_totals(net)
-        table.add_row(ratio, float(result.rates[0]),
-                      float(result.rates[1]),
-                      float(totals[1:1 + n_tcp].mean()),
-                      float(totals[1 + n_tcp:].mean()),
-                      float(result.link_loss[1]))
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    rows = runner.run([
+        RunSpec.make(rtt_sweep_point, algorithm=algorithm,
+                     base_rtt=base_rtt, ratio=ratio, n_tcp=n_tcp)
+        for ratio in rtt_ratios])
+    for row in rows:
+        table.add_row(*row)
     table.add_note("rising rtt1/rtt2 pushes the TCP-compatible optimum "
                    "towards the shared AP2, squeezing its TCP users")
     return table

@@ -9,11 +9,12 @@ window over which goodputs and loss probabilities are averaged.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.engine import Simulator
 from ..sim.link import Link
@@ -54,6 +55,12 @@ def measure(sim: Simulator, flows: Dict[str, object],
     """
     if warmup < 0 or duration <= 0:
         raise ValueError("need warmup >= 0 and duration > 0")
+    if warmup >= duration:
+        raise ValueError(
+            f"warmup ({warmup}s) must be smaller than the measurement "
+            f"duration ({duration}s) — a warmup at least as long as the "
+            "window almost always means swapped or mis-scaled arguments "
+            "and yields statistics over too few samples to mean anything")
     meter = FlowMeter(sim, flows)
     sim.run(until=sim.now + warmup)
     meter.reset()
@@ -68,6 +75,66 @@ def measure(sim: Simulator, flows: Dict[str, object],
             link.name: link.stats.utilization(sim.now, link.rate_bps)
             for link in links},
         duration=duration)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Pure-function run descriptor: a picklable, hashable experiment point.
+
+    A sweep point is fully described by a module-level callable, its
+    keyword arguments (stored as a sorted tuple so two specs with the
+    same content compare and hash equal) and an optional deterministic
+    seed.  Because the description is pure data, points can be shipped to
+    worker processes and their results cached by content hash.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    seed: Optional[int] = None
+
+    @classmethod
+    def make(cls, fn: Callable[..., Any], *, seed: Optional[int] = None,
+             **kwargs: Any) -> "RunSpec":
+        """Build a spec from a callable and plain keyword arguments."""
+        if fn.__name__ == "<lambda>" or fn.__qualname__ != fn.__name__:
+            raise ValueError(
+                "RunSpec needs a module-level function (picklable by "
+                f"reference); got {fn.__qualname__!r}")
+        return cls(fn=fn, kwargs=tuple(sorted(kwargs.items())), seed=seed)
+
+    def execute(self) -> Any:
+        """Run the point in-process and return its result."""
+        kwargs = dict(self.kwargs)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return self.fn(**kwargs)
+
+    def content_hash(self) -> str:
+        """Stable digest of (function identity+bytecode, arguments, seed).
+
+        Used as the result-cache key.  Hashing the function's bytecode
+        invalidates cached results when the point function itself is
+        edited; changes in functions it *calls* are not covered, so wipe
+        the cache directory after refactoring shared helpers.  Argument
+        values are hashed via ``repr``, which is stable for the plain
+        scalars/strings/tuples sweeps are built from.
+        """
+        code = getattr(self.fn, "__code__", None)
+        bytecode = code.co_code if code is not None else b""
+        payload = "|".join((self.fn.__module__, self.fn.__qualname__,
+                            repr(self.kwargs), repr(self.seed))).encode()
+        return hashlib.sha256(payload + b"|" + bytecode).hexdigest()
+
+    def derived_seed(self, base_seed: int = 0) -> int:
+        """Deterministic per-point seed from the spec content.
+
+        Independent of the point's position in the sweep, so inserting or
+        reordering points never reshuffles the randomness of the others.
+        """
+        payload = f"{base_seed}|{self.fn.__module__}.{self.fn.__qualname__}" \
+                  f"|{self.kwargs!r}"
+        digest = hashlib.sha256(payload.encode()).digest()
+        return int.from_bytes(digest[:4], "big")
 
 
 @dataclass

@@ -16,7 +16,8 @@ from ..sim.engine import Simulator
 from ..topology.scenarios import build_scenario_c
 from ..units import mbps_to_pps
 from .results import ResultTable
-from .runner import measure, staggered_starts
+from .runner import RunSpec, measure, staggered_starts
+from .sweep import SweepRunner
 
 
 @dataclass
@@ -125,29 +126,36 @@ def figure5cd_table(*, n1_values=(5, 10, 20, 30), n2: int = 10,
 def figure11_12_table(*, n1_values=(5, 10, 20, 30), n2: int = 10,
                       c1_over_c2=(1.0, 2.0), c2_mbps: float = 1.0,
                       rtt: float = 0.15, duration: float = 30.0,
-                      warmup: float = 15.0, seed: int = 1) -> ResultTable:
-    """Figures 11/12: measured LIA vs OLIA in scenario C."""
+                      warmup: float = 15.0, seed: int = 1,
+                      jobs: int = 1, cache_dir=None) -> ResultTable:
+    """Figures 11/12: measured LIA vs OLIA in scenario C.
+
+    Each (C1/C2, N1, algorithm) cell is an independent DES run, so the
+    grid is dispatched through :class:`SweepRunner`; ``jobs=N`` fans the
+    runs out over worker processes without changing any number.
+    """
     table = ResultTable(
         "Fig. 11/12 - Scenario C: measured LIA vs OLIA",
         ["C1/C2", "N1/N2", "sp LIA", "sp OLIA", "sp opt",
          "p2 LIA", "p2 OLIA", "p2 opt"])
-    for ratio in c1_over_c2:
-        c1_mbps = ratio * c2_mbps
-        for n1 in n1_values:
-            lia = simulate("lia", n1=n1, n2=n2, c1_mbps=c1_mbps,
-                           c2_mbps=c2_mbps, duration=duration,
-                           warmup=warmup, seed=seed)
-            olia = simulate("olia", n1=n1, n2=n2, c1_mbps=c1_mbps,
-                            c2_mbps=c2_mbps, duration=duration,
-                            warmup=warmup, seed=seed)
-            opt = analysis_c.optimum_with_probing(
-                n1=n1, n2=n2, c1=mbps_to_pps(c1_mbps),
-                c2=mbps_to_pps(c2_mbps), rtt=rtt)
-            table.add_row(ratio, n1 / n2,
-                          lia.singlepath_normalized,
-                          olia.singlepath_normalized,
-                          opt.singlepath_normalized,
-                          lia.p2, olia.p2, opt.p2)
+    grid = [(ratio, n1) for ratio in c1_over_c2 for n1 in n1_values]
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    runs = runner.run([
+        RunSpec.make(simulate, algorithm=algorithm, n1=n1, n2=n2,
+                     c1_mbps=ratio * c2_mbps, c2_mbps=c2_mbps,
+                     duration=duration, warmup=warmup, seed=seed)
+        for ratio, n1 in grid
+        for algorithm in ("lia", "olia")])
+    for cell, (ratio, n1) in enumerate(grid):
+        lia, olia = runs[2 * cell], runs[2 * cell + 1]
+        opt = analysis_c.optimum_with_probing(
+            n1=n1, n2=n2, c1=mbps_to_pps(ratio * c2_mbps),
+            c2=mbps_to_pps(c2_mbps), rtt=rtt)
+        table.add_row(ratio, n1 / n2,
+                      lia.singlepath_normalized,
+                      olia.singlepath_normalized,
+                      opt.singlepath_normalized,
+                      lia.p2, olia.p2, opt.p2)
     table.add_note("single-path users gain up to 2x with OLIA; p2 stays "
                    "4-6x lower (Figs. 11-12)")
     return table

@@ -20,7 +20,14 @@ from .equilibrium import (
     tcp_rate,
     verify_theorem1,
 )
-from .integrator import FluidTrajectory, integrate, integrate_to_equilibrium
+from .integrator import (
+    BatchFluidIntegrator,
+    BatchFluidTrajectory,
+    FluidTrajectory,
+    integrate,
+    integrate_batch,
+    integrate_to_equilibrium,
+)
 from .loss import (
     LossModel,
     PowerLoss,
@@ -28,7 +35,7 @@ from .loss import (
     SharpLoss,
     equilibrium_rate_for_tcp,
 )
-from .network import FluidNetwork
+from .network import BatchFluidNetwork, FluidNetwork
 from .utility import (
     KktReport,
     kkt_report,
@@ -40,6 +47,10 @@ from .utility import (
 
 __all__ = [
     "FluidNetwork",
+    "BatchFluidNetwork",
+    "BatchFluidIntegrator",
+    "BatchFluidTrajectory",
+    "integrate_batch",
     "LossModel",
     "PowerLoss",
     "SharpLoss",

@@ -16,24 +16,40 @@ maximizes ``1/(p_r rtt_r^2)`` and the set ``M`` maximizes the window
 ``x_r rtt_r``.  The sets are computed with a relative tolerance; a strictly
 positive tolerance yields a selection of the differential inclusion
 (Eqs. 8-9) in which near-ties share the alpha mass, avoiding chattering.
+
+Every derivative is written against the *last axis* of its inputs, so the
+same code serves the classic 1-D per-user call (``(n_routes,)`` vectors)
+and the batched integrator's ``(K, n_routes)`` matrices, where K sweep
+points advance in lock-step.  All reductions (``sum``, ``max``) happen
+along ``axis=-1``, which keeps a batched row bitwise-identical to the
+corresponding 1-D computation.
 """
 
 from __future__ import annotations
-
-from typing import List, Sequence
 
 import numpy as np
 
 _EPS = 1e-12
 
 
-def _argmax_set(scores: Sequence[float], rel_tol: float) -> List[int]:
-    """Indices whose score is within ``rel_tol`` (relative) of the max."""
-    best = max(scores)
-    if best <= 0:
-        return list(range(len(scores)))
-    threshold = best * (1.0 - rel_tol)
-    return [i for i, s in enumerate(scores) if s >= threshold]
+# The derivatives run thousands of times per trajectory on small arrays,
+# where numpy's np.sum/np.max convenience wrappers cost more than the
+# reductions themselves; the ufunc .reduce methods below perform the
+# identical reduction without the wrapper overhead.
+_sum = np.add.reduce
+_rowmax = np.maximum.reduce
+
+
+def _argmax_mask(scores: np.ndarray, rel_tol: float) -> np.ndarray:
+    """Boolean mask of entries within ``rel_tol`` (relative) of the row max.
+
+    Rows whose maximum is non-positive select every entry, mirroring the
+    historical set-based helper.  Works along the last axis.
+    """
+    best = _rowmax(scores, axis=-1, keepdims=True)
+    mask = scores >= best * (1.0 - rel_tol)
+    mask |= best <= 0
+    return mask
 
 
 class FluidAlgorithm:
@@ -41,12 +57,19 @@ class FluidAlgorithm:
 
     name = "base"
 
+    #: True when the derivative of each route depends only on that
+    #: route's own (x, p, rtt) — no per-user reductions — so the routes
+    #: of many users can be evaluated in a single call.
+    elementwise = False
+
     def derivative(self, x: np.ndarray, p: np.ndarray,
                    rtt: np.ndarray) -> np.ndarray:
         """``dx/dt`` for this user's routes.
 
-        Parameters are per-route vectors restricted to the user's routes:
-        current rates ``x`` (pkt/s), loss probabilities ``p``, RTTs ``rtt``.
+        Parameters are per-route arrays restricted to the user's routes:
+        current rates ``x`` (pkt/s), loss probabilities ``p``, RTTs
+        ``rtt``.  Shapes are ``(n_routes,)`` or batched
+        ``(K, n_routes)``; routes live on the last axis.
         """
         raise NotImplementedError
 
@@ -55,6 +78,7 @@ class TcpFluid(FluidAlgorithm):
     """Regular TCP on each route independently (uncoupled multipath)."""
 
     name = "tcp"
+    elementwise = True
 
     def derivative(self, x, p, rtt):
         return 1.0 / (rtt * rtt) - p * x * x / 2.0
@@ -66,13 +90,15 @@ class LiaFluid(FluidAlgorithm):
     name = "lia"
 
     def derivative(self, x, p, rtt):
-        total = float(np.sum(x))
-        if total <= _EPS:
-            return 1.0 / (rtt * rtt)
-        coupled = float(np.max(x / rtt)) / (total * total)
+        x = np.asarray(x, dtype=float)
+        total = _sum(x, axis=-1, keepdims=True)
+        safe_total = np.maximum(total, _EPS)
+        coupled = _rowmax(x / rtt, axis=-1, keepdims=True) \
+            / (safe_total * safe_total)
         cap = 1.0 / np.maximum(x * rtt, _EPS)
         increase = x * np.minimum(coupled, cap) / rtt
-        return increase - p * x * x / 2.0
+        dx = increase - p * x * x / 2.0
+        return np.where(total <= _EPS, 1.0 / (rtt * rtt), dx)
 
 
 class OliaFluid(FluidAlgorithm):
@@ -87,30 +113,32 @@ class OliaFluid(FluidAlgorithm):
 
     def alphas(self, x: np.ndarray, p: np.ndarray,
                rtt: np.ndarray) -> np.ndarray:
-        """``alpha_r`` of Eq. (6) with ``l_r = 1/p_r``."""
-        n_paths = len(x)
+        """``alpha_r`` of Eq. (6) with ``l_r = 1/p_r`` (last-axis batched)."""
+        x = np.asarray(x, dtype=float)
+        n_paths = x.shape[-1]
         windows = x * rtt
         best_scores = 1.0 / (np.maximum(p, _EPS) * rtt * rtt)
-        max_set = set(_argmax_set(list(windows), self.tie_tolerance))
-        best_set = set(_argmax_set(list(best_scores), self.tie_tolerance))
-        best_not_max = best_set - max_set
-        alphas = np.zeros(n_paths)
-        if not best_not_max:
-            return alphas
-        gain = (1.0 / n_paths) / len(best_not_max)
-        pain = -(1.0 / n_paths) / len(max_set)
-        for idx in best_not_max:
-            alphas[idx] = gain
-        for idx in max_set:
-            alphas[idx] = pain
-        return alphas
+        max_mask = _argmax_mask(windows, self.tie_tolerance)
+        best_mask = _argmax_mask(best_scores, self.tie_tolerance)
+        best_not_max = best_mask & ~max_mask
+        n_best_not_max = np.count_nonzero(best_not_max, axis=-1,
+                                          keepdims=True)
+        n_max = np.count_nonzero(max_mask, axis=-1, keepdims=True)
+        has_transfer = n_best_not_max > 0
+        gain = (1.0 / n_paths) / np.maximum(n_best_not_max, 1)
+        pain = -(1.0 / n_paths) / np.maximum(n_max, 1)
+        alphas = np.where(best_not_max, gain, 0.0)
+        alphas = np.where(max_mask, pain, alphas)
+        return np.where(has_transfer, alphas, 0.0)
 
     def derivative(self, x, p, rtt):
-        total = float(np.sum(x))
-        if total <= _EPS:
-            return 1.0 / (rtt * rtt)
-        kelly_voice = x * x * (1.0 / (rtt * rtt * total * total) - p / 2.0)
-        return kelly_voice + self.alphas(x, p, rtt) / (rtt * rtt)
+        x = np.asarray(x, dtype=float)
+        total = _sum(x, axis=-1, keepdims=True)
+        safe_total = np.maximum(total, _EPS)
+        kelly_voice = x * x * (
+            1.0 / (rtt * rtt * safe_total * safe_total) - p / 2.0)
+        dx = kelly_voice + self.alphas(x, p, rtt) / (rtt * rtt)
+        return np.where(total <= _EPS, 1.0 / (rtt * rtt), dx)
 
 
 class CoupledFluid(OliaFluid):
@@ -119,7 +147,7 @@ class CoupledFluid(OliaFluid):
     name = "coupled"
 
     def alphas(self, x, p, rtt):
-        return np.zeros(len(x))
+        return np.zeros(np.shape(x))
 
 
 class EwtcpFluid(FluidAlgorithm):
@@ -128,7 +156,8 @@ class EwtcpFluid(FluidAlgorithm):
     name = "ewtcp"
 
     def derivative(self, x, p, rtt):
-        n_paths = len(x)
+        x = np.asarray(x, dtype=float)
+        n_paths = x.shape[-1]
         weight = 1.0 / (n_paths * n_paths)
         return weight / (rtt * rtt) - p * x * x / 2.0
 

@@ -13,11 +13,55 @@ it.  Three families are provided:
 
 Every model also exposes :meth:`LossModel.cost`, the primitive
 ``int_0^y p(u) du`` used by the congestion cost ``C(x)`` of Theorem 3.
+
+Loss probabilities are evaluated through module-level formula functions
+(:func:`power_loss_probability`, :func:`red_loss_probability`) written in
+branch-free numpy so they accept scalars, 1-D rate vectors or batched
+``(K,)``/``(K, n)`` rate arrays — with the model parameters themselves
+optionally being per-point arrays.  The batched fluid backend stacks the
+parameters of K sweep points and calls the *same* functions, which keeps
+a batched evaluation bitwise-identical to K scalar ones.
 """
 
 from __future__ import annotations
 
 import math
+
+import numpy as np
+
+
+def power_loss_probability(rate, capacity, p_at_capacity, exponent,
+                           saturation):
+    """Vectorized ``min(1, p_c * (rate/C)**beta)`` with a floor at 0.
+
+    ``rate`` and the parameters broadcast against each other; scalars,
+    per-point ``(K,)`` arrays and full ``(K, n)`` matrices all work.
+    """
+    rate = np.asarray(rate, dtype=float)
+    clipped = np.minimum(rate, saturation)
+    p = p_at_capacity * (clipped / capacity) ** exponent
+    p = np.where(rate >= saturation, 1.0, p)
+    return np.where(rate <= 0.0, 0.0, p)
+
+
+def red_loss_probability(rate, p_max, low_rate, capacity, high_rate):
+    """Vectorized piecewise-linear RED curve (see :class:`RedLoss`)."""
+    rate = np.asarray(rate, dtype=float)
+    frac_low = (np.minimum(rate, capacity) - low_rate) \
+        / (capacity - low_rate)
+    p = p_max * frac_low
+    frac_high = (np.minimum(rate, high_rate) - capacity) \
+        / (high_rate - capacity)
+    p = np.where(rate > capacity, p_max + (1.0 - p_max) * frac_high, p)
+    p = np.where(rate > high_rate, 1.0, p)
+    return np.where(rate <= low_rate, 0.0, p)
+
+
+def _scalar_or_array(value, rate):
+    """Return a plain float for 0-d input, the array otherwise."""
+    if np.ndim(rate) == 0:
+        return float(value)
+    return value
 
 
 class LossModel:
@@ -26,8 +70,12 @@ class LossModel:
     #: Nominal capacity in pkt/s (used for reporting and utilization).
     capacity: float
 
-    def __call__(self, rate: float) -> float:
-        """Loss probability at total link ``rate``, in ``[0, 1]``."""
+    def __call__(self, rate):
+        """Loss probability at total link ``rate``, in ``[0, 1]``.
+
+        ``rate`` may be a scalar or an ndarray (any shape); the result has
+        the same shape (a plain float for scalar input).
+        """
         raise NotImplementedError
 
     def cost(self, rate: float) -> float:
@@ -53,12 +101,10 @@ class PowerLoss(LossModel):
         # Rate beyond which p saturates at 1.
         self._saturation = capacity * (1.0 / p_at_capacity) ** (1.0 / exponent)
 
-    def __call__(self, rate: float) -> float:
-        if rate <= 0:
-            return 0.0
-        if rate >= self._saturation:
-            return 1.0
-        return self.p_at_capacity * (rate / self.capacity) ** self.exponent
+    def __call__(self, rate):
+        p = power_loss_probability(rate, self.capacity, self.p_at_capacity,
+                                   self.exponent, self._saturation)
+        return _scalar_or_array(p, rate)
 
     def cost(self, rate: float) -> float:
         if rate <= 0:
@@ -103,16 +149,10 @@ class RedLoss(LossModel):
         self.low_rate = low * capacity
         self.high_rate = high * capacity
 
-    def __call__(self, rate: float) -> float:
-        if rate <= self.low_rate:
-            return 0.0
-        if rate <= self.capacity:
-            frac = (rate - self.low_rate) / (self.capacity - self.low_rate)
-            return self.p_max * frac
-        if rate <= self.high_rate:
-            frac = (rate - self.capacity) / (self.high_rate - self.capacity)
-            return self.p_max + (1.0 - self.p_max) * frac
-        return 1.0
+    def __call__(self, rate):
+        p = red_loss_probability(rate, self.p_max, self.low_rate,
+                                 self.capacity, self.high_rate)
+        return _scalar_or_array(p, rate)
 
     def cost(self, rate: float) -> float:
         # Integrate the piecewise-linear curve segment by segment.

@@ -1,20 +1,39 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event scheduler: a binary heap of ``(time, sequence,
-event)`` entries with O(log n) scheduling and lazy cancellation.  The
-sequence number makes event ordering deterministic for simultaneous
-events (FIFO within a timestamp), which keeps whole simulations exactly
-reproducible for a fixed seed.
+A minimal, fast event scheduler: a binary heap with O(log n) scheduling
+and lazy cancellation.  A sequence number makes event ordering
+deterministic for simultaneous events (FIFO within a timestamp), which
+keeps whole simulations exactly reproducible for a fixed seed.
+
+Two hot-path optimisations keep the event loop allocation-light:
+
+* **Pre-bound heap entries** — the heap stores ``(time, seq, fn, args,
+  event)`` tuples, so dispatching an event reads the callback and its
+  arguments straight out of the popped tuple instead of chasing
+  attributes on the :class:`Event` object.  The unique ``(time, seq)``
+  prefix means tuple comparison never reaches the callables.
+* **An Event free-list** — handle objects are recycled once their entry
+  leaves the heap, so steady-state simulation performs no per-event
+  allocations beyond the entry tuple itself.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, List
 
 
 class Event:
-    """A scheduled callback; cancel by calling :meth:`cancel`."""
+    """A scheduled callback; cancel by calling :meth:`cancel`.
+
+    Handle lifetime contract: a handle is valid from ``schedule`` until
+    its callback runs (or, for a cancelled event, until the engine pops
+    and discards it).  The engine then *recycles* the object for a later
+    ``schedule`` call, so holders must drop (or overwrite) their
+    reference when the callback fires and must not call :meth:`cancel`
+    afterwards — the idiom used throughout :mod:`repro.sim` is to null
+    the stored handle first thing in the callback.
+    """
 
     __slots__ = ("time", "fn", "args", "cancelled")
 
@@ -34,6 +53,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._heap: List[tuple] = []
+        self._free: List[Event] = []
         self._now = 0.0
         self._counter = 0
         self._processed = 0
@@ -57,45 +77,84 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` seconds; returns the event."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn, *args)
+        # Inlined schedule_at: this is the hottest API in the simulator,
+        # and a second Python call per event costs a measurable slice of
+        # the event loop.
+        time = self._now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, fn, args)
+        self._counter += 1
+        heappush(self._heap, (time, self._counter, fn, args, event))
+        return event
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute ``time``; returns the event."""
         if time < self._now:
             raise ValueError(
                 f"cannot schedule at {time} before now ({self._now})")
-        event = Event(time, fn, args)
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, fn, args)
         self._counter += 1
-        heapq.heappush(self._heap, (time, self._counter, event))
+        heappush(self._heap, (time, self._counter, fn, args, event))
         return event
 
     def run(self, until: float) -> None:
         """Process events in order until the clock reaches ``until``."""
         heap = self._heap
+        free = self._free
         while heap:
-            time, _, event = heap[0]
-            if time > until:
+            entry = heap[0]
+            if entry[0] > until:
                 break
-            heapq.heappop(heap)
+            heappop(heap)
+            event = entry[4]
             if event.cancelled:
+                event.fn = None
+                event.args = ()
+                free.append(event)
                 continue
-            self._now = time
+            self._now = entry[0]
             self._processed += 1
-            event.fn(*event.args)
+            entry[2](*entry[3])
+            event.fn = None
+            event.args = ()
+            free.append(event)
         self._now = until
 
     def run_until_empty(self, max_events: int = 10_000_000) -> None:
         """Process every queued event (bounded by ``max_events``)."""
         heap = self._heap
+        free = self._free
         budget = max_events
         while heap and budget > 0:
-            time, _, event = heapq.heappop(heap)
+            entry = heappop(heap)
+            event = entry[4]
             if event.cancelled:
+                event.fn = None
+                event.args = ()
+                free.append(event)
                 continue
-            self._now = time
+            self._now = entry[0]
             self._processed += 1
             budget -= 1
-            event.fn(*event.args)
+            entry[2](*entry[3])
+            event.fn = None
+            event.args = ()
+            free.append(event)
         if heap and budget == 0:
             raise RuntimeError(
                 f"run_until_empty exceeded {max_events} events")

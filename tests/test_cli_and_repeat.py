@@ -94,3 +94,27 @@ class TestCli:
         args = build_parser().parse_args(["run", "all", "--fast"])
         assert args.fast is True
         assert args.experiments == ["all"]
+
+    def test_jobs_and_backend_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "rtt-sweep", "--jobs", "4", "--backend", "batch"])
+        assert args.jobs == 4
+        assert args.backend == "batch"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x", "--backend", "turbo"])
+
+    def test_registry_accepts_jobs_and_backend(self):
+        registry = _experiments(fast=True, jobs=2, backend="batch")
+        assert "rtt-sweep" in registry and "stability" in registry
+
+    def test_bench_subcommand(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+        output = tmp_path / "BENCH_sweep.json"
+        assert main(["bench", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "batch backend" in out
+        import json
+        report = json.loads(output.read_text())
+        assert report["smoke"] is True
+        assert report["fluid_sweep"]["bitwise_equal"] is True
+        assert report["engine"]["after_events_per_sec"] > 0

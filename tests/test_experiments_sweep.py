@@ -1,0 +1,160 @@
+"""Tests for the parallel sweep runner, RunSpec and measure validation."""
+
+import pytest
+
+from repro.experiments.ablation import flappiness_point
+from repro.experiments.rtt_heterogeneity import rtt_sweep_point
+from repro.experiments.runner import RunSpec, measure
+from repro.experiments.sweep import SweepRunner
+from repro.sim.engine import Simulator
+
+
+def _rtt_specs():
+    return [RunSpec.make(rtt_sweep_point, algorithm="olia", base_rtt=0.1,
+                         ratio=ratio, n_tcp=2)
+            for ratio in (0.5, 1.0, 2.0, 4.0)]
+
+
+def _seeded_specs():
+    """DES points whose results depend on their seeds."""
+    return [RunSpec.make(flappiness_point, algorithm="olia",
+                         capacity_mbps=10.0, duration=3.0, seed=seed)
+            for seed in (1, 2, 3, 4)]
+
+
+class TestRunSpec:
+    def test_content_hash_ignores_kwarg_order(self):
+        a = RunSpec.make(rtt_sweep_point, algorithm="olia", base_rtt=0.1,
+                         ratio=1.0, n_tcp=2)
+        b = RunSpec.make(rtt_sweep_point, ratio=1.0, n_tcp=2,
+                         base_rtt=0.1, algorithm="olia")
+        assert a == b
+        assert a.content_hash() == b.content_hash()
+
+    def test_content_hash_sensitive_to_args_and_seed(self):
+        base = RunSpec.make(rtt_sweep_point, algorithm="olia",
+                            base_rtt=0.1, ratio=1.0, n_tcp=2)
+        other = RunSpec.make(rtt_sweep_point, algorithm="lia",
+                             base_rtt=0.1, ratio=1.0, n_tcp=2)
+        seeded = RunSpec.make(rtt_sweep_point, algorithm="olia",
+                              base_rtt=0.1, ratio=1.0, n_tcp=2, seed=3)
+        assert base.content_hash() != other.content_hash()
+        assert base.content_hash() != seeded.content_hash()
+
+    def test_rejects_non_module_level_functions(self):
+        with pytest.raises(ValueError):
+            RunSpec.make(lambda: None)
+
+        def nested():
+            return None
+
+        with pytest.raises(ValueError):
+            RunSpec.make(nested)
+
+    def test_execute_injects_seed(self):
+        spec = RunSpec.make(flappiness_point, algorithm="olia",
+                            capacity_mbps=10.0, duration=2.0, seed=5)
+        again = spec.execute()
+        assert again == flappiness_point(algorithm="olia",
+                                         capacity_mbps=10.0,
+                                         duration=2.0, seed=5)
+
+    def test_derived_seed_is_stable_and_content_dependent(self):
+        a = RunSpec.make(rtt_sweep_point, ratio=1.0)
+        b = RunSpec.make(rtt_sweep_point, ratio=1.0)
+        c = RunSpec.make(rtt_sweep_point, ratio=2.0)
+        assert a.derived_seed(0) == b.derived_seed(0)
+        assert a.derived_seed(0) != c.derived_seed(0)
+        assert a.derived_seed(0) != a.derived_seed(1)
+
+
+class TestSweepRunnerDeterminism:
+    def test_jobs2_matches_jobs1_order_fixed_seed(self):
+        """The PR's regression criterion: a pool of 2 workers returns the
+        exact same results in the exact same order as in-process runs."""
+        serial = SweepRunner(jobs=1).run(_seeded_specs())
+        parallel = SweepRunner(jobs=2).run(_seeded_specs())
+        assert parallel == serial
+
+    def test_jobs2_matches_jobs1_fluid_sweep(self):
+        serial = SweepRunner(jobs=1).run(_rtt_specs())
+        parallel = SweepRunner(jobs=2).run(_rtt_specs())
+        assert parallel == serial
+
+    def test_single_point_runs_in_process(self):
+        specs = _rtt_specs()[:1]
+        assert SweepRunner(jobs=4).run(specs) == \
+            SweepRunner(jobs=1).run(specs)
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+class TestSweepRunnerCache:
+    def test_second_run_is_all_hits(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        first = runner.run(_rtt_specs())
+        assert runner.cache_misses == 4
+        again = SweepRunner(jobs=1, cache_dir=tmp_path)
+        second = again.run(_rtt_specs())
+        assert again.cache_hits == 4
+        assert again.cache_misses == 0
+        assert second == first
+
+    def test_pool_run_populates_cache(self, tmp_path):
+        runner = SweepRunner(jobs=2, cache_dir=tmp_path)
+        first = runner.run(_seeded_specs())
+        again = SweepRunner(jobs=2, cache_dir=tmp_path)
+        second = again.run(_seeded_specs())
+        assert again.cache_hits == 4
+        assert second == first
+
+    def test_partial_cache_only_recomputes_missing(self, tmp_path):
+        specs = _rtt_specs()
+        SweepRunner(jobs=1, cache_dir=tmp_path).run(specs[:2])
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        results = runner.run(specs)
+        assert runner.cache_hits == 2
+        assert runner.cache_misses == 2
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_no_cache_dir_recomputes(self):
+        runner = SweepRunner(jobs=1)
+        runner.run(_rtt_specs()[:1])
+        runner.run(_rtt_specs()[:1])
+        assert runner.cache_hits == 0
+        assert runner.cache_misses == 2
+
+
+class TestSweepRunnerMap:
+    def test_map_preserves_point_order(self):
+        runner = SweepRunner(jobs=1)
+        points = [dict(algorithm="olia", base_rtt=0.1, ratio=r, n_tcp=2)
+                  for r in (2.0, 0.5, 1.0)]
+        results = runner.map(rtt_sweep_point, points)
+        assert [row[0] for row in results] == [2.0, 0.5, 1.0]
+
+    def test_map_base_seed_derives_per_point_seeds(self):
+        runner = SweepRunner(jobs=1)
+        points = [dict(algorithm="olia", capacity_mbps=10.0, duration=2.0)
+                  for _ in range(2)]
+        results = runner.map(flappiness_point, points, base_seed=7)
+        # Identical points derive identical seeds -> identical results.
+        assert results[0] == results[1]
+        other = runner.map(flappiness_point, points, base_seed=8)
+        assert other != results
+
+
+class TestMeasureValidation:
+    def test_warmup_must_be_smaller_than_duration(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="warmup"):
+            measure(sim, {}, [], warmup=5.0, duration=5.0)
+        with pytest.raises(ValueError, match="warmup"):
+            measure(sim, {}, [], warmup=10.0, duration=2.0)
+
+    def test_valid_warmup_still_accepted(self):
+        sim = Simulator()
+        result = measure(sim, {}, [], warmup=0.5, duration=1.0)
+        assert result.duration == 1.0

@@ -1,0 +1,208 @@
+"""Property tests for the batched fluid integrator.
+
+The contract of :class:`~repro.fluid.BatchFluidIntegrator` is strict:
+stacking K sweep points into one (K, n_routes) state matrix must produce
+*bitwise-identical* trajectories to integrating the K points one at a
+time.  Every test here builds randomised scenarios from a seeded
+generator and asserts exact equality (``np.array_equal``), not mere
+closeness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fluid import (
+    BatchFluidIntegrator,
+    BatchFluidNetwork,
+    FluidNetwork,
+    LossModel,
+    PowerLoss,
+    RedLoss,
+    SharpLoss,
+    integrate,
+    integrate_batch,
+)
+
+ALGORITHMS = ("olia", "lia", "tcp", "ewtcp", "coupled")
+
+
+def random_scenario_batch(rng, n_points, *, loss_family="power"):
+    """K networks sharing a topology drawn from ``rng``.
+
+    Topology (user/route/link structure) is shared across the batch —
+    that is the batching contract — while capacities, loss parameters
+    and RTTs differ per point.
+    """
+    n_tcp = int(rng.integers(1, 4))
+    n_mp_routes = int(rng.integers(2, 4))
+    networks = []
+    for _ in range(n_points):
+        net = FluidNetwork()
+        links = []
+        for _ in range(n_mp_routes):
+            capacity = float(rng.uniform(50.0, 900.0))
+            if loss_family == "red":
+                model = RedLoss(capacity=capacity,
+                                p_max=float(rng.uniform(0.05, 0.3)))
+            elif loss_family == "sharp":
+                model = SharpLoss(capacity=capacity)
+            else:
+                model = PowerLoss(capacity=capacity,
+                                  p_at_capacity=float(
+                                      rng.uniform(0.005, 0.05)))
+            links.append(net.add_link(model))
+        mp = net.add_user("mp")
+        for link in links:
+            net.add_route(mp, [link], rtt=float(rng.uniform(0.02, 0.4)))
+        shared_rtt = float(rng.uniform(0.02, 0.4))
+        for i in range(n_tcp):
+            user = net.add_user(f"tcp{i}")
+            net.add_route(user, [links[-1]], rtt=shared_rtt)
+        networks.append(net)
+    rules = {0: str(rng.choice(ALGORITHMS))}
+    for i in range(n_tcp):
+        rules[1 + i] = "tcp"
+    return networks, rules
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_k8_random_scenarios_match_sequential(self, seed):
+        """K=8 batched integration == 8 sequential 1-D integrations,
+        bit for bit (the PR's core property)."""
+        rng = np.random.default_rng(seed)
+        networks, rules = random_scenario_batch(rng, 8)
+        batch = integrate_batch(networks, rules, t_end=0.5, dt=1e-3)
+        for k, net in enumerate(networks):
+            solo = integrate(net, rules, t_end=0.5, dt=1e-3)
+            assert np.array_equal(batch.times, solo.times)
+            assert np.array_equal(batch.trajectory(k).rates, solo.rates)
+
+    @pytest.mark.parametrize("loss_family", ["sharp", "red"])
+    def test_other_loss_families(self, loss_family):
+        rng = np.random.default_rng(7)
+        networks, rules = random_scenario_batch(rng, 4,
+                                                loss_family=loss_family)
+        batch = integrate_batch(networks, rules, t_end=0.3, dt=1e-3)
+        for k, net in enumerate(networks):
+            solo = integrate(net, rules, t_end=0.3, dt=1e-3)
+            assert np.array_equal(batch.trajectory(k).rates, solo.rates)
+
+    def test_unknown_loss_model_falls_back_scalar(self):
+        """A custom LossModel class uses the per-point fallback loop and
+        still matches the sequential path exactly."""
+
+        class StepLoss(LossModel):
+            def __init__(self, capacity):
+                self.capacity = capacity
+
+            def __call__(self, rate):
+                return 0.0 if rate < self.capacity else 0.5
+
+        networks = []
+        for capacity in (100.0, 200.0, 400.0):
+            net = FluidNetwork()
+            link = net.add_link(StepLoss(capacity))
+            user = net.add_user()
+            net.add_route(user, [link], rtt=0.1)
+            networks.append(net)
+        batch = integrate_batch(networks, "tcp", t_end=0.2, dt=1e-3)
+        for k, net in enumerate(networks):
+            solo = integrate(net, "tcp", t_end=0.2, dt=1e-3)
+            assert np.array_equal(batch.trajectory(k).rates, solo.rates)
+
+    def test_explicit_x0_matches(self):
+        rng = np.random.default_rng(3)
+        networks, rules = random_scenario_batch(rng, 5)
+        n_routes = networks[0].n_routes
+        x0 = rng.uniform(1.0, 500.0, size=(5, n_routes))
+        batch = integrate_batch(networks, rules, t_end=0.3, dt=1e-3, x0=x0)
+        for k, net in enumerate(networks):
+            solo = integrate(net, rules, t_end=0.3, dt=1e-3, x0=x0[k])
+            assert np.array_equal(batch.trajectory(k).rates, solo.rates)
+
+    def test_mixed_per_user_algorithms(self):
+        rng = np.random.default_rng(11)
+        networks, _ = random_scenario_batch(rng, 4)
+        rules = {user: ALGORITHMS[user % len(ALGORITHMS)]
+                 for user in range(networks[0].n_users)}
+        batch = integrate_batch(networks, rules, t_end=0.3, dt=1e-3)
+        for k, net in enumerate(networks):
+            solo = integrate(net, rules, t_end=0.3, dt=1e-3)
+            assert np.array_equal(batch.trajectory(k).rates, solo.rates)
+
+
+class TestBatchApi:
+    def test_trajectory_shapes(self):
+        rng = np.random.default_rng(5)
+        networks, rules = random_scenario_batch(rng, 3)
+        batch = integrate_batch(networks, rules, t_end=0.2, dt=1e-3,
+                                record_every=50)
+        assert batch.n_points == 3
+        assert batch.rates.shape[1] == 3
+        assert batch.rates.shape[2] == networks[0].n_routes
+        assert batch.rates.shape[0] == len(batch.times)
+        assert batch.final_rates.shape == (3, networks[0].n_routes)
+        assert len(batch.trajectories()) == 3
+
+    def test_tail_average_per_point(self):
+        rng = np.random.default_rng(6)
+        networks, rules = random_scenario_batch(rng, 3)
+        batch = integrate_batch(networks, rules, t_end=0.2, dt=1e-3)
+        tails = batch.tail_average()
+        for k in range(3):
+            assert np.allclose(tails[k], batch.trajectory(k).tail_average())
+
+    def test_topology_mismatch_rejected(self):
+        net_a = FluidNetwork()
+        link = net_a.add_link(PowerLoss(capacity=100.0))
+        user = net_a.add_user()
+        net_a.add_route(user, [link], rtt=0.1)
+        net_b = FluidNetwork()
+        link_b = net_b.add_link(PowerLoss(capacity=100.0))
+        user_b = net_b.add_user()
+        net_b.add_route(user_b, [link_b], rtt=0.1)
+        net_b.add_route(user_b, [link_b], rtt=0.2)
+        with pytest.raises(ValueError):
+            BatchFluidNetwork([net_a, net_b])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchFluidNetwork([])
+
+    def test_invalid_arguments(self):
+        net = FluidNetwork()
+        link = net.add_link(PowerLoss(capacity=100.0))
+        user = net.add_user()
+        net.add_route(user, [link], rtt=0.1)
+        with pytest.raises(ValueError):
+            BatchFluidIntegrator([net], "tcp", dt=-1.0)
+        with pytest.raises(ValueError):
+            BatchFluidIntegrator([net], "tcp", record_every=0)
+        with pytest.raises(ValueError):
+            integrate_batch([net], "tcp", t_end=0.0)
+        with pytest.raises(ValueError):
+            integrate_batch([net], "tcp", t_end=1.0,
+                            x0=np.ones((3, 1)))
+
+    def test_x0_shape_validation(self):
+        rng = np.random.default_rng(9)
+        networks, rules = random_scenario_batch(rng, 2)
+        with pytest.raises(ValueError):
+            integrate_batch(networks, rules, t_end=0.1,
+                            x0=np.ones(networks[0].n_routes))
+
+
+class TestUserTotals:
+    def test_user_totals_matches_manual_sum(self):
+        """The vectorised user_totals (np.add.at) equals the per-route
+        Python loop it replaced."""
+        rng = np.random.default_rng(4)
+        networks, rules = random_scenario_batch(rng, 1)
+        solo = integrate(networks[0], rules, t_end=0.2, dt=1e-3)
+        totals = solo.user_totals()
+        expected = np.zeros_like(totals)
+        for route, user in enumerate(networks[0].user_of_route):
+            expected[:, user] += solo.rates[:, route]
+        assert np.array_equal(totals, expected)
+        assert totals.shape == (solo.rates.shape[0], networks[0].n_users)
