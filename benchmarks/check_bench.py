@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Fail CI when a bench report regresses against the committed baseline.
+
+Usage::
+
+    REPRO_BENCH_SMOKE=1 python -m repro bench --output BENCH_smoke.json
+    python benchmarks/check_bench.py BENCH_smoke.json \
+        --baseline BENCH_sweep.json [--factor 2.0]
+
+What is checked (and why it survives CI-runner variance):
+
+* ``bitwise_equal`` must be true for the fluid and equilibrium sweeps —
+  the batch backends are only allowed to be *faster*, never different.
+* The **speedup ratios** (batch vs loop, optimised engine vs seed
+  engine) are compared, not absolute points/sec: both sides of each
+  ratio run in the same process on the same machine, so the ratio is
+  stable across hardware while a >2x drop still means a real
+  regression (e.g. batching silently falling back to the scalar path).
+* When the new report's workload size matches the baseline's, the bound
+  is ``new_speedup >= baseline_speedup / factor``.  A smoke report
+  (``REPRO_BENCH_SMOKE=1``) uses smaller workloads where batching pays
+  off less, so against a full-size baseline the scaled bound is replaced
+  by documented absolute floors (:data:`SMOKE_FLOORS`).
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+#: Minimum acceptable speedups when the new report's workload size
+#: differs from the baseline's (the CI smoke case).  Chosen from the
+#: smoke-mode measurements in docs/PERFORMANCE.md with >2x headroom.
+SMOKE_FLOORS = {
+    "fluid_sweep": 2.0,
+    "equilibrium_sweep": 1.5,
+    "engine": 1.0,
+}
+
+#: Per-section key that defines "same workload size".
+SIZE_KEYS = {
+    "fluid_sweep": "n_points",
+    "equilibrium_sweep": "n_points",
+    "engine": "n_events",
+}
+
+
+def check_report(new: Dict, baseline: Dict,
+                 factor: float = 2.0) -> List[str]:
+    """Return a list of failure messages (empty when the report passes)."""
+    failures: List[str] = []
+    for section in ("fluid_sweep", "equilibrium_sweep"):
+        data = new.get(section)
+        if data is not None and not data.get("bitwise_equal", False):
+            failures.append(
+                f"{section}: batch backend is no longer bitwise-equal "
+                "to the loop backend")
+
+    for section, size_key in SIZE_KEYS.items():
+        data = new.get(section)
+        base = baseline.get(section)
+        if data is None or "speedup" not in data:
+            # A tracked section vanishing from the report is itself a
+            # regression — the gate must not pass by omission.
+            failures.append(
+                f"{section}: missing from the new report")
+            continue
+        if base is None or "speedup" not in base:
+            # Baseline predates this section; only the smoke floor holds.
+            bound, origin = SMOKE_FLOORS[section], "smoke floor"
+        elif data.get(size_key) == base.get(size_key):
+            bound = base["speedup"] / factor
+            origin = (f"baseline {base['speedup']}x / {factor} "
+                      f"(same {size_key}={data.get(size_key)})")
+        else:
+            bound, origin = SMOKE_FLOORS[section], (
+                f"smoke floor ({size_key} {data.get(size_key)} != "
+                f"baseline {base.get(size_key)})")
+        if data["speedup"] < bound:
+            failures.append(
+                f"{section}: speedup {data['speedup']}x below {bound:g}x "
+                f"[{origin}]")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Check a BENCH report for performance regressions")
+    parser.add_argument("report", help="freshly generated BENCH json")
+    parser.add_argument("--baseline", default="BENCH_sweep.json",
+                        help="committed baseline (default: "
+                             "./BENCH_sweep.json)")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed speedup shrink factor (default: 2.0, "
+                             "i.e. fail on >2x regression)")
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        new = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    failures = check_report(new, baseline, factor=args.factor)
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"bench check OK: {args.report} within {args.factor}x of "
+          f"{args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

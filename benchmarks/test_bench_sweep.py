@@ -5,7 +5,8 @@ track the *speed* of the two execution backends so regressions in the
 hot paths show up in ``pytest benchmarks/`` timings:
 
 * the batched fluid integrator vs the point-by-point loop, on the same
-  64-point sweep the ``BENCH_sweep.json`` report uses;
+  sweep shape the ``BENCH_sweep.json`` report uses;
+* the batched fixed-point solver vs point-by-point solving;
 * the DES engine event loop (free-list + pre-bound heap entries).
 
 ``REPRO_BENCH_SMOKE=1`` caps the sweep sizes so tier-1 test runs stay
@@ -17,7 +18,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.benchreport import smoke_mode, sweep_networks
-from repro.fluid import integrate, integrate_batch
+from repro.fluid import (
+    integrate,
+    integrate_batch,
+    solve_fixed_point,
+    solve_fixed_point_batch,
+)
 from repro.sim import Simulator
 
 N_POINTS = 8 if smoke_mode() else 32
@@ -61,6 +67,31 @@ def test_batch_matches_loop_bitwise(benchmark):
     for k in range(N_POINTS):
         assert np.array_equal(sequential[k].rates,
                               batch.trajectory(k).rates)
+
+
+def test_equilibrium_sweep_loop_backend(benchmark):
+    """Point-by-point fixed-point solving: the pre-batching baseline."""
+    networks = sweep_networks(N_POINTS)
+
+    def run():
+        return [solve_fixed_point(net, RULES, floor_packets=1.0)
+                for net in networks]
+
+    results = benchmark(run)
+    assert len(results) == N_POINTS
+    benchmark.extra_info["points"] = N_POINTS
+
+
+def test_equilibrium_sweep_batch_backend(benchmark):
+    """All sweep points solved in one lock-step batched iteration."""
+    networks = sweep_networks(N_POINTS)
+    sequential = [solve_fixed_point(net, RULES, floor_packets=1.0)
+                  for net in networks]
+    batch = benchmark(lambda: solve_fixed_point_batch(
+        networks, RULES, floor_packets=1.0))
+    for k in range(N_POINTS):
+        assert np.array_equal(sequential[k].rates, batch.rates[k])
+    benchmark.extra_info["points"] = N_POINTS
 
 
 def test_engine_event_throughput(benchmark):

@@ -1,6 +1,6 @@
 """Performance tracking: the ``BENCH_sweep.json`` report.
 
-Measures the two hot paths this repo optimises and writes a small JSON
+Measures the hot paths this repo optimises and writes a small JSON
 report so the performance trajectory is tracked commit over commit:
 
 * **fluid sweep throughput** — a 64-point parameter sweep integrated
@@ -8,6 +8,10 @@ report so the performance trajectory is tracked commit over commit:
   :class:`~repro.fluid.BatchFluidIntegrator` run (``batch`` backend),
   reported as sweep points per second.  The two backends must agree
   bitwise; the report records that check.
+* **equilibrium sweep throughput** — the same sweep solved to its fixed
+  point, point-by-point :func:`~repro.fluid.solve_fixed_point` vs. one
+  :func:`~repro.fluid.solve_fixed_point_batch` call; same bitwise
+  contract, same report shape.
 * **engine event throughput** — events per second of the DES event loop,
   measured for the current engine ("after") and for a frozen copy of the
   seed engine ("before", inlined below) so the effect of the free-list +
@@ -29,7 +33,15 @@ from typing import Dict, List
 
 import numpy as np
 
-from .fluid import FluidNetwork, PowerLoss, SharpLoss, integrate, integrate_batch
+from .fluid import (
+    FluidNetwork,
+    PowerLoss,
+    SharpLoss,
+    integrate,
+    integrate_batch,
+    solve_fixed_point,
+    solve_fixed_point_batch,
+)
 from .sim.engine import Simulator
 
 
@@ -90,6 +102,38 @@ def bench_fluid_sweep(*, n_points: int = 64, t_end: float = 5.0,
         "n_points": n_points,
         "t_end": t_end,
         "dt": dt,
+        "loop_seconds": round(loop_seconds, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "loop_points_per_sec": round(n_points / loop_seconds, 2),
+        "batch_points_per_sec": round(n_points / batch_seconds, 2),
+        "speedup": round(loop_seconds / batch_seconds, 2),
+        "bitwise_equal": bitwise_equal,
+    }
+
+
+def bench_equilibrium_sweep(*, n_points: int = 64,
+                            tol: float = 1e-8) -> Dict[str, object]:
+    """Time a fixed-point sweep on the loop and batch solvers."""
+    rules = {0: "olia", 1: "tcp", 2: "tcp", 3: "tcp"}
+    networks = sweep_networks(n_points)
+
+    start = time.perf_counter()
+    sequential = [solve_fixed_point(net, rules, floor_packets=1.0, tol=tol)
+                  for net in networks]
+    loop_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = solve_fixed_point_batch(networks, rules, floor_packets=1.0,
+                                    tol=tol)
+    batch_seconds = time.perf_counter() - start
+
+    bitwise_equal = all(
+        np.array_equal(sequential[k].rates, batch.rates[k])
+        and sequential[k].iterations == int(batch.iterations[k])
+        for k in range(n_points))
+    return {
+        "n_points": n_points,
+        "tol": tol,
         "loop_seconds": round(loop_seconds, 4),
         "batch_seconds": round(batch_seconds, 4),
         "loop_points_per_sec": round(n_points / loop_seconds, 2),
@@ -204,15 +248,18 @@ def run_bench(output_path: str | None = None, *,
         smoke = smoke_mode()
     if smoke:
         fluid = bench_fluid_sweep(n_points=8, t_end=1.0)
+        equilibrium = bench_equilibrium_sweep(n_points=8)
         engine = bench_engine(n_events=20_000, repeats=1)
     else:
         fluid = bench_fluid_sweep()
+        equilibrium = bench_equilibrium_sweep()
         engine = bench_engine()
     report = {
         "benchmark": "BENCH_sweep",
         "smoke": smoke,
         "python": platform.python_version(),
         "fluid_sweep": fluid,
+        "equilibrium_sweep": equilibrium,
         "engine": engine,
     }
     if output_path is not None:
@@ -225,12 +272,19 @@ def run_bench(output_path: str | None = None, *,
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable summary of :func:`run_bench` output."""
     fluid = report["fluid_sweep"]
+    equilibrium = report["equilibrium_sweep"]
     engine = report["engine"]
     lines = [
         f"fluid sweep ({fluid['n_points']} points, t_end={fluid['t_end']}s):",
         f"  loop backend : {fluid['loop_points_per_sec']:>10} points/s",
         f"  batch backend: {fluid['batch_points_per_sec']:>10} points/s"
         f"  ({fluid['speedup']}x, bitwise_equal={fluid['bitwise_equal']})",
+        f"equilibrium sweep ({equilibrium['n_points']} points, "
+        f"tol={equilibrium['tol']}):",
+        f"  loop backend : {equilibrium['loop_points_per_sec']:>10} points/s",
+        f"  batch backend: {equilibrium['batch_points_per_sec']:>10} points/s"
+        f"  ({equilibrium['speedup']}x, "
+        f"bitwise_equal={equilibrium['bitwise_equal']})",
         f"engine ({engine['n_events']} events):",
         f"  before: {engine['before_events_per_sec']:>10} events/s",
         f"  after : {engine['after_events_per_sec']:>10} events/s"

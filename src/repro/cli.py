@@ -11,10 +11,14 @@ Every experiment prints its paper-style result table to stdout.  With
 ``--fast`` the simulated experiments run at reduced duration (useful for
 smoke checks); without it they use the benchmark defaults.  ``--jobs N``
 fans sweep-shaped experiments out over N worker processes and
-``--backend {loop,batch}`` selects how fluid sweeps are integrated
-(one point at a time vs one vectorized batch) — neither changes any
-number in the tables.  ``bench`` measures both hot paths and writes
-``BENCH_sweep.json`` (see docs/PERFORMANCE.md).
+``--backend {loop,batch}`` selects how fluid sweeps are solved and
+integrated (one point at a time vs one vectorized batch) — neither
+changes any number in the tables.  ``--resume DIR`` caches every sweep
+point under DIR so an interrupted run picks up where it stopped, and
+``--shard I/N`` computes only every N-th point (cells owned by other
+shards print as PENDING until their shard has run against the same
+``--resume`` directory).  ``bench`` measures the hot paths and writes
+``BENCH_sweep.json`` (see docs/PERFORMANCE.md and docs/REPRODUCING.md).
 """
 
 from __future__ import annotations
@@ -43,8 +47,9 @@ def _sim_kwargs(fast: bool, slow: dict, quick: dict) -> dict:
     return quick if fast else slow
 
 
-def _experiments(fast: bool, jobs: int = 1,
-                 backend: str = "loop") -> Dict[str, Callable[[], object]]:
+def _experiments(fast: bool, jobs: int = 1, backend: str = "loop",
+                 cache_dir=None,
+                 shard=None) -> Dict[str, Callable[[], object]]:
     """Experiment name -> zero-argument callable returning a table."""
     sim = dict(duration=20.0, warmup=10.0) if not fast else \
         dict(duration=8.0, warmup=5.0)
@@ -53,6 +58,8 @@ def _experiments(fast: bool, jobs: int = 1,
     dyn = dict(k=4, duration=12.0, warmup=1.0) if not fast else \
         dict(k=4, duration=5.0, warmup=1.0)
     trace_len = 90.0 if not fast else 30.0
+    # Everything dispatched through SweepRunner accepts the queue knobs.
+    sweep = dict(jobs=jobs, cache_dir=cache_dir, shard=shard)
     return {
         "fig1b": lambda: scenario_a.figure1_table(simulate_lia=True, **sim),
         "fig1c": lambda: scenario_a.figure1_table(),
@@ -64,32 +71,48 @@ def _experiments(fast: bool, jobs: int = 1,
                                                      **sim),
         "fig7-8": lambda: traces.figure7_8_table(duration=trace_len),
         "fig9-10": lambda: scenario_a.figure9_10_table(
-            n1_values=(10, 30), c1_over_c2=(0.75, 1.5), **sim),
+            n1_values=(10, 30), c1_over_c2=(0.75, 1.5), **sim, **sweep),
         "fig11-12": lambda: scenario_c.figure11_12_table(
-            n1_values=(10, 30), c1_over_c2=(1.0, 2.0), jobs=jobs, **sim),
+            n1_values=(10, 30), c1_over_c2=(1.0, 2.0), **sim, **sweep),
         "fig13a": lambda: fattree.figure13a_table(
-            subflow_counts=(2, 4, 8) if not fast else (2, 4), **tree),
+            subflow_counts=(2, 4, 8) if not fast else (2, 4), **tree,
+            **sweep),
         "fig13b": lambda: fattree.figure13b_table(
-            n_subflows=8 if not fast else 4, **tree),
-        "fig14": lambda: shortflows.figure14_table(**dyn),
-        "table3": lambda: shortflows.table3(**dyn),
+            n_subflows=8 if not fast else 4, **tree, **sweep),
+        "fig14": lambda: shortflows.figure14_table(**dyn, **sweep),
+        "table3": lambda: shortflows.table3(**dyn, **sweep),
         "fig17": lambda: scenario_b.figure17_table(),
-        "ablation-epsilon": lambda: ablation.epsilon_sweep_table(jobs=jobs),
+        "ablation-epsilon": lambda: ablation.epsilon_sweep_table(**sweep),
         "ablation-alpha": lambda: ablation.flappiness_table(
             duration=trace_len,
-            seeds=(1, 2, 3) if not fast else (1,), jobs=jobs),
+            seeds=(1, 2, 3) if not fast else (1,), **sweep),
         "ablation-queue": lambda: ablation.queue_discipline_table(
-            jobs=jobs, **sim),
+            **sim, **sweep),
         "responsiveness":
             responsiveness.capacity_drop_settling_table,
         "stability": lambda: responsiveness.stability_table(
             backend=backend),
-        "rtt-sweep": lambda: rtt_heterogeneity.rtt_sweep_table(jobs=jobs),
+        "rtt-sweep": lambda: rtt_heterogeneity.rtt_sweep_table(
+            backend=backend, **sweep),
         "rtt-criterion": rtt_heterogeneity.best_path_criterion_table,
         "calibration": lambda: calibration.formula_validation_table(
             duration=40.0 if not fast else 15.0,
             warmup=15.0 if not fast else 8.0),
     }
+
+
+def _parse_shard(text: str):
+    """Parse ``--shard I/N`` into an ``(index, count)`` tuple."""
+    try:
+        index, count = text.split("/")
+        shard = (int(index), int(count))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected INDEX/COUNT (e.g. 0/4), got {text!r}")
+    if shard[1] < 1 or not 0 <= shard[0] < shard[1]:
+        raise argparse.ArgumentTypeError(
+            f"need 0 <= INDEX < COUNT, got {text!r}")
+    return shard
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,8 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: 1, i.e. in-process)")
     run.add_argument("--backend", choices=("loop", "batch"),
                      default="loop",
-                     help="fluid sweep integration backend (results are "
-                          "identical; batch is faster)")
+                     help="fluid sweep solve/integration backend (results "
+                          "are identical; batch is faster)")
+    run.add_argument("--resume", metavar="DIR", default=None,
+                     help="cache every sweep point under DIR; re-running "
+                          "with the same DIR skips completed points "
+                          "(resumable sweeps)")
+    run.add_argument("--shard", metavar="I/N", type=_parse_shard,
+                     default=None,
+                     help="compute only sweep points with index %% N == I; "
+                          "requires --resume so the N shards can merge "
+                          "their results")
     bench = sub.add_parser(
         "bench", help="measure hot paths and write BENCH_sweep.json")
     bench.add_argument("--output", default="BENCH_sweep.json",
@@ -144,7 +176,12 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
         return 2
-    registry = _experiments(args.fast, jobs=args.jobs, backend=args.backend)
+    if args.shard is not None and args.shard[1] > 1 and args.resume is None:
+        print("--shard requires --resume DIR: the shared cache is how the "
+              "shards' results are merged", file=sys.stderr)
+        return 2
+    registry = _experiments(args.fast, jobs=args.jobs, backend=args.backend,
+                            cache_dir=args.resume, shard=args.shard)
     names = list(registry) if "all" in args.experiments \
         else args.experiments
     unknown = [n for n in names if n not in registry]

@@ -23,7 +23,7 @@ from ..fluid.equilibrium import allocation_rule
 from ..units import mbps_to_pps
 from .results import ResultTable
 from .runner import RunSpec
-from .sweep import SweepRunner
+from .sweep import SWEEP_PENDING, SweepRunner, pending_row
 from .traces import run_two_path_trace
 
 
@@ -61,20 +61,21 @@ def epsilon_sweep_table(*, n1: int = 10, n2: int = 10,
                         c1_mbps: float = 1.0, c2_mbps: float = 1.0,
                         rtt: float = 0.15,
                         epsilons=(0.0, 0.5, 1.0, 1.5, 2.0),
-                        jobs: int = 1, cache_dir=None) -> ResultTable:
+                        jobs: int = 1, cache_dir=None,
+                        shard=None) -> ResultTable:
     """Fixed points of the epsilon-family on the scenario C network."""
     table = ResultTable(
         "Ablation - epsilon-family on scenario C "
         "(eps=0 ~ OLIA, eps=1 ~ LIA, eps=2 ~ uncoupled)",
         ["epsilon", "mp rate (pkt/s)", "sp rate (pkt/s)", "p2",
          "mp share of AP2 (%)"])
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
     rows = runner.run([
         RunSpec.make(epsilon_sweep_point, epsilon=epsilon, n1=n1, n2=n2,
                      c1_mbps=c1_mbps, c2_mbps=c2_mbps, rtt=rtt)
         for epsilon in epsilons])
     for row in rows:
-        table.add_row(*row)
+        table.add_row(*pending_row(row, len(table.columns)))
     table.add_note("larger epsilon -> more multipath traffic parked on "
                    "the congested AP2 and lower single-path rates")
     return table
@@ -97,7 +98,7 @@ def flappiness_point(*, algorithm: str, capacity_mbps: float,
 def flappiness_table(*, capacity_mbps: float = 10.0,
                      duration: float = 90.0,
                      seeds=(1, 2, 3), jobs: int = 1,
-                     cache_dir=None) -> ResultTable:
+                     cache_dir=None, shard=None) -> ResultTable:
     """OLIA vs the alpha-less coupled controller on symmetric paths.
 
     The coupled controller concentrates its window on one path and flips
@@ -110,7 +111,7 @@ def flappiness_table(*, capacity_mbps: float = 10.0,
         f"mean over {len(seeds)} seeds)",
         ["algorithm", "w1", "w2", "imbalance", "one-sided frac"])
     algorithms = ("olia", "coupled")
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
     samples = runner.run([
         RunSpec.make(flappiness_point, algorithm=algorithm,
                      capacity_mbps=capacity_mbps, duration=duration,
@@ -119,6 +120,9 @@ def flappiness_table(*, capacity_mbps: float = 10.0,
     n_seeds = len(seeds)
     for group, algorithm in enumerate(algorithms):
         runs = samples[group * n_seeds:(group + 1) * n_seeds]
+        if any(run is SWEEP_PENDING for run in runs):
+            table.add_row(algorithm, *(SWEEP_PENDING,) * 4)
+            continue
         means = [sum(run[i] for run in runs) / n_seeds for i in range(4)]
         table.add_row(algorithm, *means)
     table.add_note("without alpha the window imbalance grows: the "
@@ -141,12 +145,12 @@ def queue_discipline_table(*, n1: int = 10, n2: int = 10,
                            c1_mbps: float = 1.0, c2_mbps: float = 1.0,
                            duration: float = 30.0, warmup: float = 15.0,
                            seed: int = 1, jobs: int = 1,
-                           cache_dir=None) -> ResultTable:
+                           cache_dir=None, shard=None) -> ResultTable:
     """Scenario C under RED (testbed) and drop-tail (htsim) queues."""
     table = ResultTable(
         "Ablation - queue discipline: scenario C, N1=N2, C1=C2",
         ["queue", "algorithm", "sp normalized", "p2"])
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
     rows = runner.run([
         RunSpec.make(queue_discipline_point, queue=queue,
                      algorithm=algorithm, n1=n1, n2=n2, c1_mbps=c1_mbps,
@@ -155,7 +159,7 @@ def queue_discipline_table(*, n1: int = 10, n2: int = 10,
         for queue in ("red", "droptail")
         for algorithm in ("lia", "olia")])
     for row in rows:
-        table.add_row(*row)
+        table.add_row(*pending_row(row, len(table.columns)))
     table.add_note("the OLIA > LIA ordering for single-path users holds "
                    "under both disciplines")
     return table

@@ -20,6 +20,8 @@ from ..sim.monitors import FlowMeter
 from ..topology.fattree import FatTree
 from ..units import mbps_to_pps
 from .results import ResultTable
+from .runner import RunSpec
+from .sweep import SWEEP_PENDING, SweepRunner, pending_attr as _field
 
 
 @dataclass
@@ -84,21 +86,35 @@ def run_permutation(algorithm: str, *, n_subflows: int = 8, k: int = 8,
 def figure13a_table(*, k: int = 8, link_mbps: float = 10.0,
                     duration: float = 3.0, warmup: float = 1.0,
                     subflow_counts=(2, 4, 8), seed: int = 1,
-                    algorithms=("lia", "olia")) -> ResultTable:
-    """Figure 13(a): aggregate throughput vs number of subflows."""
+                    algorithms=("lia", "olia"), jobs: int = 1,
+                    cache_dir=None, shard=None) -> ResultTable:
+    """Figure 13(a): aggregate throughput vs number of subflows.
+
+    Every (algorithm, subflow-count) cell plus the TCP baseline is an
+    independent permutation run, dispatched through
+    :class:`SweepRunner` (``jobs``/``cache_dir``/``shard`` as usual).
+    """
     table = ResultTable(
         "Fig. 13(a) - FatTree permutation: throughput (% of optimal)",
         ["subflows", *[a.upper() for a in algorithms], "TCP"])
-    tcp = run_permutation("tcp", k=k, link_mbps=link_mbps,
-                          duration=duration, warmup=warmup, seed=seed)
-    for n_subflows in subflow_counts:
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    specs = [RunSpec.make(run_permutation, algorithm="tcp", k=k,
+                          link_mbps=link_mbps, duration=duration,
+                          warmup=warmup, seed=seed)]
+    specs += [
+        RunSpec.make(run_permutation, algorithm=algorithm,
+                     n_subflows=n_subflows, k=k, link_mbps=link_mbps,
+                     duration=duration, warmup=warmup, seed=seed)
+        for n_subflows in subflow_counts
+        for algorithm in algorithms]
+    runs = runner.run(specs)
+    tcp, rest = runs[0], runs[1:]
+    n_algos = len(algorithms)
+    for cell, n_subflows in enumerate(subflow_counts):
         row = [n_subflows]
-        for algorithm in algorithms:
-            run = run_permutation(algorithm, n_subflows=n_subflows, k=k,
-                                  link_mbps=link_mbps, duration=duration,
-                                  warmup=warmup, seed=seed)
-            row.append(run.percent_of_optimal)
-        row.append(tcp.percent_of_optimal)
+        row += [_field(run, "percent_of_optimal")
+                for run in rest[n_algos * cell:n_algos * (cell + 1)]]
+        row.append(_field(tcp, "percent_of_optimal"))
         table.add_row(*row)
     table.add_note("MPTCP exploits the path diversity; single-path TCP "
                    "collides on ECMP paths and performs poorly")
@@ -108,27 +124,35 @@ def figure13a_table(*, k: int = 8, link_mbps: float = 10.0,
 def figure13b_table(*, k: int = 8, link_mbps: float = 10.0,
                     duration: float = 3.0, warmup: float = 1.0,
                     n_subflows: int = 8, seed: int = 1,
-                    percentiles=(10, 25, 50, 75, 90)) -> ResultTable:
-    """Figure 13(b): ranked per-flow throughput, 8 subflows vs TCP."""
+                    percentiles=(10, 25, 50, 75, 90), jobs: int = 1,
+                    cache_dir=None, shard=None) -> ResultTable:
+    """Figure 13(b): ranked per-flow throughput, 8 subflows vs TCP.
+
+    The three runs (LIA, OLIA, TCP baseline) are independent, so they
+    go through :class:`SweepRunner` like every other grid.
+    """
     table = ResultTable(
         "Fig. 13(b) - FatTree: per-flow throughput percentiles "
         "(% of line rate)",
         ["percentile", "LIA", "OLIA", "TCP"])
-    runs = {
-        "LIA": run_permutation("lia", n_subflows=n_subflows, k=k,
-                               link_mbps=link_mbps, duration=duration,
-                               warmup=warmup, seed=seed),
-        "OLIA": run_permutation("olia", n_subflows=n_subflows, k=k,
-                                link_mbps=link_mbps, duration=duration,
-                                warmup=warmup, seed=seed),
-        "TCP": run_permutation("tcp", k=k, link_mbps=link_mbps,
-                               duration=duration, warmup=warmup,
-                               seed=seed),
-    }
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    names = ("LIA", "OLIA", "TCP")
+    results = runner.run([
+        RunSpec.make(run_permutation, algorithm=name.lower(),
+                     **({} if name == "TCP"
+                        else {"n_subflows": n_subflows}),
+                     k=k, link_mbps=link_mbps, duration=duration,
+                     warmup=warmup, seed=seed)
+        for name in names])
+    runs = dict(zip(names, results))
     for pct in percentiles:
         row = [pct]
-        for name in ("LIA", "OLIA", "TCP"):
-            ranked = runs[name].ranked()
+        for name in names:
+            run = runs[name]
+            if run is SWEEP_PENDING:
+                row.append(SWEEP_PENDING)
+                continue
+            ranked = run.ranked()
             index = min(int(len(ranked) * pct / 100), len(ranked) - 1)
             row.append(ranked[index])
         table.add_row(*row)

@@ -17,10 +17,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..fluid import FluidNetwork, SharpLoss, solve_fixed_point, tcp_rate
+from ..fluid import (
+    FluidNetwork,
+    SharpLoss,
+    solve_fixed_point,
+    solve_fixed_point_batch,
+    tcp_rate,
+)
 from .results import ResultTable
 from .runner import RunSpec
-from .sweep import SweepRunner
+from .sweep import SweepRunner, pending_row
 
 
 def _network(rtt1: float, rtt2: float, *, c1: float = 400.0,
@@ -64,10 +70,39 @@ def rtt_sweep_point(*, algorithm: str, base_rtt: float, ratio: float,
             float(result.link_loss[1]))
 
 
+def _batch_sweep_rows(*, algorithm: str, base_rtt: float, rtt_ratios,
+                      n_tcp: int):
+    """All sweep rows from one batched fixed-point solve.
+
+    The per-ratio networks share links/users/routes and differ only in
+    RTTs, so the whole grid stacks into a single
+    :func:`~repro.fluid.solve_fixed_point_batch` call; each row is
+    bitwise-identical to the sequential :func:`rtt_sweep_point` result.
+    """
+    networks = []
+    rules = None
+    for ratio in rtt_ratios:
+        net, point_rules = _network(base_rtt * ratio, base_rtt,
+                                    n_tcp=n_tcp)
+        point_rules[0] = algorithm
+        networks.append(net)
+        rules = point_rules
+    batch = solve_fixed_point_batch(networks, rules, floor_packets=1.0)
+    rows = []
+    for k, ratio in enumerate(rtt_ratios):
+        result = batch.result(k)
+        totals = result.user_totals(networks[k])
+        rows.append((ratio, float(result.rates[0]), float(result.rates[1]),
+                     float(totals[1:1 + n_tcp].mean()),
+                     float(totals[1 + n_tcp:].mean()),
+                     float(result.link_loss[1])))
+    return rows
+
+
 def rtt_sweep_table(*, algorithm: str = "olia", base_rtt: float = 0.1,
                     rtt_ratios=(0.25, 0.5, 1.0, 2.0, 4.0),
-                    n_tcp: int = 3, jobs: int = 1,
-                    cache_dir=None) -> ResultTable:
+                    n_tcp: int = 3, jobs: int = 1, cache_dir=None,
+                    shard=None, backend: str = "loop") -> ResultTable:
     """Fluid fixed point as AP1's RTT varies relative to AP2's.
 
     With a *small* RTT on AP1, the TCP-compatible best-path criterion
@@ -75,19 +110,40 @@ def rtt_sweep_table(*, algorithm: str = "olia", base_rtt: float = 0.1,
     congested link).  With a *large* RTT on AP1, the criterion pushes
     traffic towards the congested AP2 even though AP1 has free capacity
     — the residual unfairness Remark 3 attributes to TCP compatibility.
+
+    ``backend="batch"`` stacks the pending ratio points into one
+    :func:`~repro.fluid.solve_fixed_point_batch` call (the K networks
+    share a topology and differ only in RTTs); ``backend="loop"`` goes
+    point-by-point, optionally over a ``jobs``-wide pool.  Both
+    backends run through :class:`SweepRunner`, so ``cache_dir`` and
+    ``shard`` compose with either, the cache entries are
+    interchangeable, and the rows are bitwise-identical.  (``jobs`` is
+    a no-op under ``batch``: the whole batch is one vectorized call.)
     """
     table = ResultTable(
         f"RTT heterogeneity - {algorithm.upper()} fixed point "
         "(AP1 rtt = ratio * AP2 rtt, TCP users on both APs)",
         ["rtt1/rtt2", "mp rate on AP1", "mp rate on AP2",
          "tcp@AP1 rate", "tcp@AP2 rate", "p2"])
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
-    rows = runner.run([
-        RunSpec.make(rtt_sweep_point, algorithm=algorithm,
-                     base_rtt=base_rtt, ratio=ratio, n_tcp=n_tcp)
-        for ratio in rtt_ratios])
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    specs = [RunSpec.make(rtt_sweep_point, algorithm=algorithm,
+                          base_rtt=base_rtt, ratio=ratio, n_tcp=n_tcp)
+             for ratio in rtt_ratios]
+    if backend == "batch":
+        def solve_pending(pending):
+            ratios = [dict(spec.kwargs)["ratio"] for spec in pending]
+            return _batch_sweep_rows(algorithm=algorithm,
+                                     base_rtt=base_rtt,
+                                     rtt_ratios=ratios, n_tcp=n_tcp)
+
+        rows = runner.run_batched(specs, solve_pending)
+    elif backend == "loop":
+        rows = runner.run(specs)
+    else:
+        raise ValueError(f"unknown backend {backend!r} "
+                         "(expected 'loop' or 'batch')")
     for row in rows:
-        table.add_row(*row)
+        table.add_row(*pending_row(row, len(table.columns)))
     table.add_note("rising rtt1/rtt2 pushes the TCP-compatible optimum "
                    "towards the shared AP2, squeezing its TCP users")
     return table

@@ -19,7 +19,8 @@ from ..sim.engine import Simulator
 from ..topology.scenarios import build_scenario_a
 from ..units import mbps_to_pps
 from .results import ResultTable
-from .runner import measure, staggered_starts
+from .runner import RunSpec, measure, staggered_starts
+from .sweep import SweepRunner, pending_attr as _field
 
 
 @dataclass
@@ -116,29 +117,40 @@ def figure9_10_table(*, n1_values=(10, 20, 30), n2: int = 10,
                      c1_over_c2=(0.75, 1.0, 1.5), c2_mbps: float = 1.0,
                      rtt: float = 0.15, duration: float = 30.0,
                      warmup: float = 15.0, seed: int = 1,
-                     algorithms=("lia", "olia")) -> ResultTable:
-    """Figures 9/10: measured LIA vs OLIA vs optimum in scenario A."""
+                     algorithms=("lia", "olia"), jobs: int = 1,
+                     cache_dir=None, shard=None) -> ResultTable:
+    """Figures 9/10: measured LIA vs OLIA vs optimum in scenario A.
+
+    Each (C1/C2, N1, algorithm) cell is an independent DES run, so the
+    grid is dispatched through :class:`SweepRunner`; ``jobs=N`` fans the
+    runs out over worker processes, ``cache_dir`` makes the sweep
+    resumable and ``shard=(i, n)`` computes only one slice of the grid.
+    """
     table = ResultTable(
         "Fig. 9/10 - Scenario A: measured LIA vs OLIA",
         ["C1/C2", "N1/N2", "type2 LIA", "type2 OLIA", "type2 opt",
          "p2 LIA", "p2 OLIA", "p2 opt"])
-    for ratio in c1_over_c2:
-        c1_mbps = ratio * c2_mbps
-        for n1 in n1_values:
-            runs = {}
-            for algorithm in algorithms:
-                runs[algorithm] = simulate(
-                    algorithm, n1=n1, n2=n2, c1_mbps=c1_mbps,
-                    c2_mbps=c2_mbps, duration=duration, warmup=warmup,
-                    seed=seed)
-            opt = analysis_a.optimum_with_probing(
-                n1=n1, n2=n2, c1=mbps_to_pps(c1_mbps),
-                c2=mbps_to_pps(c2_mbps), rtt=rtt)
-            table.add_row(ratio, n1 / n2,
-                          runs["lia"].type2_normalized,
-                          runs["olia"].type2_normalized,
-                          opt.type2_normalized,
-                          runs["lia"].p2, runs["olia"].p2, opt.p2)
+    grid = [(ratio, n1) for ratio in c1_over_c2 for n1 in n1_values]
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runs = runner.run([
+        RunSpec.make(simulate, algorithm=algorithm, n1=n1, n2=n2,
+                     c1_mbps=ratio * c2_mbps, c2_mbps=c2_mbps,
+                     duration=duration, warmup=warmup, seed=seed)
+        for ratio, n1 in grid
+        for algorithm in algorithms])
+    n_algos = len(algorithms)
+    for cell, (ratio, n1) in enumerate(grid):
+        by_algo = dict(zip(algorithms, runs[n_algos * cell:
+                                            n_algos * (cell + 1)]))
+        lia, olia = by_algo["lia"], by_algo["olia"]
+        opt = analysis_a.optimum_with_probing(
+            n1=n1, n2=n2, c1=mbps_to_pps(ratio * c2_mbps),
+            c2=mbps_to_pps(c2_mbps), rtt=rtt)
+        table.add_row(ratio, n1 / n2,
+                      _field(lia, "type2_normalized"),
+                      _field(olia, "type2_normalized"),
+                      opt.type2_normalized,
+                      _field(lia, "p2"), _field(olia, "p2"), opt.p2)
     table.add_note("OLIA should track the optimum-with-probing column; "
                    "LIA depresses type2 throughput and inflates p2")
     return table

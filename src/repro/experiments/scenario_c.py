@@ -17,7 +17,7 @@ from ..topology.scenarios import build_scenario_c
 from ..units import mbps_to_pps
 from .results import ResultTable
 from .runner import RunSpec, measure, staggered_starts
-from .sweep import SweepRunner
+from .sweep import SweepRunner, pending_attr as _field
 
 
 @dataclass
@@ -127,7 +127,8 @@ def figure11_12_table(*, n1_values=(5, 10, 20, 30), n2: int = 10,
                       c1_over_c2=(1.0, 2.0), c2_mbps: float = 1.0,
                       rtt: float = 0.15, duration: float = 30.0,
                       warmup: float = 15.0, seed: int = 1,
-                      jobs: int = 1, cache_dir=None) -> ResultTable:
+                      jobs: int = 1, cache_dir=None,
+                      shard=None) -> ResultTable:
     """Figures 11/12: measured LIA vs OLIA in scenario C.
 
     Each (C1/C2, N1, algorithm) cell is an independent DES run, so the
@@ -139,7 +140,7 @@ def figure11_12_table(*, n1_values=(5, 10, 20, 30), n2: int = 10,
         ["C1/C2", "N1/N2", "sp LIA", "sp OLIA", "sp opt",
          "p2 LIA", "p2 OLIA", "p2 opt"])
     grid = [(ratio, n1) for ratio in c1_over_c2 for n1 in n1_values]
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
     runs = runner.run([
         RunSpec.make(simulate, algorithm=algorithm, n1=n1, n2=n2,
                      c1_mbps=ratio * c2_mbps, c2_mbps=c2_mbps,
@@ -152,10 +153,10 @@ def figure11_12_table(*, n1_values=(5, 10, 20, 30), n2: int = 10,
             n1=n1, n2=n2, c1=mbps_to_pps(ratio * c2_mbps),
             c2=mbps_to_pps(c2_mbps), rtt=rtt)
         table.add_row(ratio, n1 / n2,
-                      lia.singlepath_normalized,
-                      olia.singlepath_normalized,
+                      _field(lia, "singlepath_normalized"),
+                      _field(olia, "singlepath_normalized"),
                       opt.singlepath_normalized,
-                      lia.p2, olia.p2, opt.p2)
+                      _field(lia, "p2"), _field(olia, "p2"), opt.p2)
     table.add_note("single-path users gain up to 2x with OLIA; p2 stays "
                    "4-6x lower (Figs. 11-12)")
     return table

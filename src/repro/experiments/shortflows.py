@@ -21,6 +21,8 @@ from ..sim.apps import BulkTransfer, ShortFlowSource
 from ..sim.engine import Simulator
 from ..topology.fattree import FatTree
 from .results import ResultTable
+from .runner import RunSpec
+from .sweep import SWEEP_PENDING, SweepRunner, pending_attr as _field
 
 
 @dataclass
@@ -135,20 +137,30 @@ def run_dynamic(algorithm: str, *, k: int = 4, link_mbps: float = 40.0,
 def table3(*, k: int = 4, link_mbps: float = 40.0,
            duration: float = 10.0, warmup: float = 1.0,
            n_subflows: int = 8, seed: int = 1,
-           algorithms=("lia", "olia", "tcp")) -> ResultTable:
-    """Table III: short-flow FCT and core utilization per algorithm."""
+           algorithms=("lia", "olia", "tcp"), jobs: int = 1,
+           cache_dir=None, shard=None) -> ResultTable:
+    """Table III: short-flow FCT and core utilization per algorithm.
+
+    One independent dynamic run per algorithm, dispatched through
+    :class:`SweepRunner` (``jobs``/``cache_dir``/``shard`` as usual).
+    """
     table = ResultTable(
         "Table III - dynamic FatTree: short-flow completion times",
         ["long-flow algorithm", "FCT mean (ms)", "FCT std (ms)",
          "core utilization (%)", "short flows"])
-    for algorithm in algorithms:
-        run = run_dynamic(algorithm, k=k, link_mbps=link_mbps,
-                          duration=duration, warmup=warmup,
-                          n_subflows=n_subflows, seed=seed)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runs = runner.run([
+        RunSpec.make(run_dynamic, algorithm=algorithm, k=k,
+                     link_mbps=link_mbps, duration=duration,
+                     warmup=warmup, n_subflows=n_subflows, seed=seed)
+        for algorithm in algorithms])
+    for algorithm, run in zip(algorithms, runs):
+        util = (SWEEP_PENDING if run is SWEEP_PENDING
+                else 100.0 * run.core_utilization)
         table.add_row(algorithm.upper() if algorithm != "tcp" else
                       "Regular TCP",
-                      run.mean_fct_ms, run.std_fct_ms,
-                      100.0 * run.core_utilization, run.flows_started)
+                      _field(run, "mean_fct_ms"), _field(run, "std_fct_ms"),
+                      util, _field(run, "flows_started"))
     table.add_note("paper: OLIA cuts mean FCT ~10% vs LIA at equal "
                    "utilization; TCP has low FCT but poor utilization")
     return table
@@ -157,24 +169,33 @@ def table3(*, k: int = 4, link_mbps: float = 40.0,
 def figure14_table(*, k: int = 4, link_mbps: float = 40.0,
                    duration: float = 10.0, warmup: float = 1.0,
                    n_subflows: int = 8, seed: int = 1,
-                   bin_ms: float = 50.0,
-                   max_ms: float = 400.0) -> ResultTable:
-    """Figure 14: distribution of short-flow completion times."""
+                   bin_ms: float = 50.0, max_ms: float = 400.0,
+                   jobs: int = 1, cache_dir=None,
+                   shard=None) -> ResultTable:
+    """Figure 14: distribution of short-flow completion times.
+
+    The three runs (LIA, OLIA, TCP) are independent and share their
+    cache entries with :func:`table3` when the parameters match.
+    """
     table = ResultTable(
         "Fig. 14 - short-flow completion-time distribution (fraction)",
         ["FCT bin (ms)", "LIA", "OLIA", "TCP"])
-    hists = {}
-    for algorithm in ("lia", "olia", "tcp"):
-        run = run_dynamic(algorithm, k=k, link_mbps=link_mbps,
-                          duration=duration, warmup=warmup,
-                          n_subflows=n_subflows, seed=seed)
-        hists[algorithm] = dict(run.histogram(bin_ms=bin_ms,
-                                              max_ms=max_ms))
-    bins = sorted(hists["lia"])
-    for start in bins:
-        table.add_row(start, hists["lia"].get(start, 0.0),
-                      hists["olia"].get(start, 0.0),
-                      hists["tcp"].get(start, 0.0))
+    algorithms = ("lia", "olia", "tcp")
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runs = runner.run([
+        RunSpec.make(run_dynamic, algorithm=algorithm, k=k,
+                     link_mbps=link_mbps, duration=duration,
+                     warmup=warmup, n_subflows=n_subflows, seed=seed)
+        for algorithm in algorithms])
+    hists = {
+        algorithm: (None if run is SWEEP_PENDING
+                    else dict(run.histogram(bin_ms=bin_ms, max_ms=max_ms)))
+        for algorithm, run in zip(algorithms, runs)}
+    n_bins = int(max_ms / bin_ms)
+    for start in (i * bin_ms for i in range(n_bins + 1)):
+        table.add_row(start, *(
+            SWEEP_PENDING if hists[a] is None else hists[a].get(start, 0.0)
+            for a in algorithms))
     table.add_note("OLIA shifts the distribution left relative to LIA "
                    "(faster completions for both fast and slow flows)")
     return table

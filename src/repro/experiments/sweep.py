@@ -1,4 +1,4 @@
-"""Parallel sweep execution with deterministic ordering and caching.
+"""Parallel sweep execution: a shardable, resumable, cached point queue.
 
 Every figure of the paper is a parameter sweep: N independent runs of a
 pure function over a grid of scenario parameters.  :class:`SweepRunner`
@@ -10,8 +10,21 @@ executes such a sweep
   :class:`~repro.experiments.runner.RunSpec`, so ``jobs=8`` computes the
   exact same numbers as ``jobs=1``;
 * **incrementally** — results are cached on disk by the spec's content
-  hash, so re-running a sweep after editing one point only recomputes
-  that point.
+  hash *as each point completes*, so an interrupted sweep (Ctrl-C, OOM,
+  a killed worker box) resumes where it stopped: re-running only
+  recomputes the points whose results never made it to disk;
+* **sharded** — with ``shard=(i, n)`` a runner only computes the points
+  it owns (``index % n == i``); n runners pointed at the same
+  ``cache_dir`` (a shared filesystem) split a 10k-point grid between
+  them, and a final unsharded run assembles the full result list from
+  cache without recomputing anything;
+* **observably** — a ``progress`` callback fires after every completed
+  point, which is what makes 10k-point grids operable.
+
+For launching shards on machines that don't share the Python driver
+script, :func:`write_shards` spills the ``RunSpec`` queue itself to disk
+(a ``manifest.json`` plus one pickle per shard) and :func:`load_shard`
+reads one shard's specs back.
 
 Worker processes import the spec's function by module path (standard
 pickling of module-level callables), which is why ``RunSpec`` insists on
@@ -20,16 +33,70 @@ module-level functions.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import pickle
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .runner import RunSpec
 
 _CACHE_MISS = object()
+
+
+class _PendingType:
+    """Singleton placeholder for points owned by another shard."""
+
+    def __repr__(self) -> str:
+        return "PENDING"
+
+    __str__ = __repr__
+
+
+#: Returned in place of a result when a sharded run does not own the
+#: point and no cached result exists yet.
+SWEEP_PENDING = _PendingType()
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """Snapshot handed to the ``progress`` callback after each point.
+
+    Attributes
+    ----------
+    index : int
+        Position of the just-finished point in the input spec list.
+    done : int
+        Points finished so far (computed + cache hits), out of ``total``.
+    total : int
+        Number of points this runner is accountable for (cache hits plus
+        the points it owns; excludes points left to other shards).
+    cache_hits : int
+        How many of the finished points came from the cache.
+    from_cache : bool
+        Whether *this* point was a cache hit.
+    """
+
+    index: int
+    done: int
+    total: int
+    cache_hits: int
+    from_cache: bool
+
+
+ProgressCallback = Callable[[SweepProgress], None]
 
 
 def _execute_spec(spec: RunSpec) -> Any:
@@ -37,28 +104,64 @@ def _execute_spec(spec: RunSpec) -> Any:
     return spec.execute()
 
 
+def _execute_indexed(item: Tuple[int, RunSpec]) -> Tuple[int, Any]:
+    """Trampoline keeping the point's index attached to its result."""
+    index, spec = item
+    return index, spec.execute()
+
+
 class SweepRunner:
     """Dispatch independent experiment points over a process pool.
 
     Parameters
     ----------
-    jobs:
+    jobs : int
         Number of worker processes; ``1`` (the default) runs everything
         in-process, which is also the fallback when a sweep has a single
         uncached point.
-    cache_dir:
+    cache_dir : str or path-like, optional
         Directory for the content-hash result cache; ``None`` disables
-        caching.  Entries are small pickles named ``<sha256>.pkl``.
+        caching.  Entries are small pickles named ``<sha256>.pkl``,
+        written atomically as each point completes — this doubles as the
+        resume journal and as the result store sharded runs merge
+        through.
+    shard : tuple of (int, int), optional
+        ``(shard_index, shard_count)``: this runner computes only the
+        points whose position satisfies ``index % shard_count ==
+        shard_index``.  Requires ``cache_dir`` (otherwise the shards
+        could never be merged); points owned by other shards come back
+        as :data:`SWEEP_PENDING` unless already cached.
+
+    Attributes
+    ----------
+    cache_hits, cache_misses : int
+        Running counters over all :meth:`run` calls.
+    skipped : int
+        Points left to other shards (uncached, not owned) so far.
     """
 
     def __init__(self, jobs: int = 1,
-                 cache_dir: "str | os.PathLike | None" = None) -> None:
+                 cache_dir: "str | os.PathLike | None" = None,
+                 shard: Optional[Tuple[int, int]] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if shard is not None:
+            index, count = shard
+            if count < 1 or not 0 <= index < count:
+                raise ValueError(
+                    f"shard must be (index, count) with 0 <= index < "
+                    f"count, got {shard}")
+            if count > 1 and cache_dir is None:
+                raise ValueError(
+                    "sharded sweeps need a cache_dir: it is the shared "
+                    "store the shards' results are merged through")
+            shard = (index, count)
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.shard = shard
         self.cache_hits = 0
         self.cache_misses = 0
+        self.skipped = 0
 
     # -- cache ------------------------------------------------------------------
     def _cache_path(self, spec: RunSpec) -> Optional[Path]:
@@ -95,41 +198,159 @@ class SweepRunner:
             except OSError:
                 pass
 
+    def _owns(self, index: int) -> bool:
+        if self.shard is None:
+            return True
+        shard_index, shard_count = self.shard
+        return index % shard_count == shard_index
+
     # -- execution --------------------------------------------------------------
-    def run(self, specs: Iterable[RunSpec]) -> List[Any]:
-        """Execute all ``specs``; results in input order."""
-        specs = list(specs)
+    def run(self, specs: Iterable[RunSpec], *,
+            progress: Optional[ProgressCallback] = None) -> List[Any]:
+        """Execute all ``specs``; results in input order.
+
+        Cached points are served from ``cache_dir``; the rest run
+        in-process or on a pool of ``jobs`` workers.  Every computed
+        result is written to the cache *before* the next progress tick,
+        so interrupting a run never loses completed points.
+
+        Parameters
+        ----------
+        specs : iterable of RunSpec
+            The sweep points, in the order results should come back.
+        progress : callable, optional
+            Called with a :class:`SweepProgress` after each point
+            finishes (including cache hits).  Exceptions raised by the
+            callback abort the sweep — completed points stay cached.
+
+        Returns
+        -------
+        list
+            One result per spec, in input order.  In a sharded run,
+            uncached points owned by other shards are
+            :data:`SWEEP_PENDING`.
+        """
+        return self._run(list(specs), progress=progress, batch_fn=None)
+
+    def run_batched(self, specs: Iterable[RunSpec],
+                    batch_fn: Callable[[List[RunSpec]], Sequence[Any]], *,
+                    progress: Optional[ProgressCallback] = None
+                    ) -> List[Any]:
+        """Like :meth:`run`, but pending points compute as one batch.
+
+        For sweeps whose points can be evaluated vectorized (e.g. a
+        grid stacked into one
+        :func:`~repro.fluid.solve_fixed_point_batch` call), this keeps
+        the queue semantics — content-hash caching, shard ownership,
+        progress ticks — while replacing per-point execution with a
+        single ``batch_fn`` call over exactly the points that are
+        uncached and owned by this shard.  ``jobs`` is irrelevant here
+        (the batch call is expected to be vectorized internally).
+
+        Parameters
+        ----------
+        specs : iterable of RunSpec
+            The sweep points, in the order results should come back.
+        batch_fn : callable
+            Receives the pending specs (a subset of ``specs``, input
+            order preserved) and must return one result per spec, in
+            the same order, each bitwise-identical to what
+            ``spec.execute()`` would return so cache entries stay
+            interchangeable with the per-point backends.
+        progress : callable, optional
+            As in :meth:`run`; computed points tick after the batch
+            call returns.
+
+        Returns
+        -------
+        list
+            One result per spec, in input order (``SWEEP_PENDING`` for
+            uncached points owned by other shards).
+        """
+        return self._run(list(specs), progress=progress, batch_fn=batch_fn)
+
+    def _run(self, specs: List[RunSpec],
+             progress: Optional[ProgressCallback],
+             batch_fn) -> List[Any]:
         results: List[Any] = [None] * len(specs)
         pending: List[int] = []
+        hits: List[int] = []
         for index, spec in enumerate(specs):
             cached = self._load_cached(spec)
             if cached is _CACHE_MISS:
-                pending.append(index)
+                if self._owns(index):
+                    pending.append(index)
+                else:
+                    self.skipped += 1
+                    results[index] = SWEEP_PENDING
             else:
                 self.cache_hits += 1
                 results[index] = cached
+                hits.append(index)
         self.cache_misses += len(pending)
 
+        total = len(hits) + len(pending)
+        done = 0
+        if progress is not None:
+            for index in hits:
+                done += 1
+                progress(SweepProgress(index=index, done=done, total=total,
+                                       cache_hits=len(hits),
+                                       from_cache=True))
+
+        def finish(index: int, value: Any) -> None:
+            nonlocal done
+            results[index] = value
+            self._store_cached(specs[index], value)
+            done += 1
+            if progress is not None:
+                progress(SweepProgress(index=index, done=done, total=total,
+                                       cache_hits=len(hits),
+                                       from_cache=False))
+
         if pending:
-            todo = [specs[i] for i in pending]
-            if self.jobs == 1 or len(todo) == 1:
-                values = [_execute_spec(spec) for spec in todo]
+            if batch_fn is not None:
+                values = list(batch_fn([specs[i] for i in pending]))
+                if len(values) != len(pending):
+                    raise ValueError(
+                        f"batch_fn returned {len(values)} results for "
+                        f"{len(pending)} pending specs")
+                for index, value in zip(pending, values):
+                    finish(index, value)
+            elif self.jobs == 1 or len(pending) == 1:
+                for index in pending:
+                    finish(index, _execute_spec(specs[index]))
             else:
+                todo = [(index, specs[index]) for index in pending]
                 with multiprocessing.Pool(min(self.jobs, len(todo))) as pool:
-                    values = pool.map(_execute_spec, todo)
-            for index, value in zip(pending, values):
-                results[index] = value
-                self._store_cached(specs[index], value)
+                    for index, value in pool.imap_unordered(
+                            _execute_indexed, todo):
+                        finish(index, value)
         return results
 
     def map(self, fn: Callable[..., Any],
             points: Sequence[Dict[str, Any]], *,
-            base_seed: Optional[int] = None) -> List[Any]:
+            base_seed: Optional[int] = None,
+            progress: Optional[ProgressCallback] = None) -> List[Any]:
         """Convenience: run ``fn(**point)`` for every point, in order.
 
-        With ``base_seed`` set, each point additionally receives a
-        ``seed=`` keyword derived deterministically from the point's
-        content (stable under reordering and insertion of points).
+        Parameters
+        ----------
+        fn : callable
+            Module-level function executed per point.
+        points : sequence of dict
+            Keyword arguments of each point.
+        base_seed : int, optional
+            When set, each point additionally receives a ``seed=``
+            keyword derived deterministically from the point's content
+            (stable under reordering and insertion of points).
+        progress : callable, optional
+            Forwarded to :meth:`run`.
+
+        Returns
+        -------
+        list
+            One result per point, in input order.
         """
         specs = []
         for point in points:
@@ -138,4 +359,109 @@ class SweepRunner:
                 spec = RunSpec(fn=spec.fn, kwargs=spec.kwargs,
                                seed=spec.derived_seed(base_seed))
             specs.append(spec)
-        return self.run(specs)
+        return self.run(specs, progress=progress)
+
+
+def pending_attr(result: Any, name: str) -> Any:
+    """``getattr`` that passes :data:`SWEEP_PENDING` through unchanged.
+
+    Table builders use this to render partial (sharded) sweeps: cells
+    whose point another shard owns print as ``PENDING`` instead of
+    crashing the table assembly.
+    """
+    return result if result is SWEEP_PENDING else getattr(result, name)
+
+
+def pending_row(row: Any, width: int) -> Sequence[Any]:
+    """Expand :data:`SWEEP_PENDING` into ``width`` PENDING cells.
+
+    For sweeps whose points return whole table rows as tuples: a point
+    another shard owns becomes a row of ``PENDING`` placeholders.
+    """
+    return (SWEEP_PENDING,) * width if row is SWEEP_PENDING else row
+
+
+# -- spec spill: shard files on disk -----------------------------------------
+
+def write_shards(specs: Sequence[RunSpec], directory: "str | os.PathLike",
+                 shard_count: int) -> List[Path]:
+    """Spill a sweep's spec queue to ``directory`` as shard files.
+
+    Writes ``shard-NNNN.pkl`` (a pickled list of this shard's specs,
+    round-robin by position so shards stay balanced even when cost
+    correlates with grid position) plus a ``manifest.json`` recording
+    the sweep's size, shard layout and per-spec content hashes — enough
+    for any machine to pick up one shard with :func:`load_shard`, run it
+    against the shared cache, and for a merge run to verify
+    completeness.
+
+    Parameters
+    ----------
+    specs : sequence of RunSpec
+        The full sweep, in result order.
+    directory : str or path-like
+        Created if missing.
+    shard_count : int
+        Number of shard files to write (>= 1).
+
+    Returns
+    -------
+    list of Path
+        The shard file paths, indexed by shard number.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    specs = list(specs)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for shard_index in range(shard_count):
+        owned = [spec for index, spec in enumerate(specs)
+                 if index % shard_count == shard_index]
+        path = directory / f"shard-{shard_index:04d}.pkl"
+        with path.open("wb") as fh:
+            pickle.dump(owned, fh)
+        paths.append(path)
+    manifest = {
+        "total": len(specs),
+        "shard_count": shard_count,
+        "shards": [p.name for p in paths],
+        "spec_hashes": [spec.content_hash() for spec in specs],
+    }
+    with (directory / "manifest.json").open("w") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.write("\n")
+    return paths
+
+
+def load_manifest(directory: "str | os.PathLike") -> Dict[str, Any]:
+    """Read the ``manifest.json`` written by :func:`write_shards`."""
+    with (Path(directory) / "manifest.json").open() as fh:
+        return json.load(fh)
+
+
+def load_shard(directory: "str | os.PathLike",
+               shard_index: int) -> List[RunSpec]:
+    """Read one shard's specs back from a :func:`write_shards` spill.
+
+    Parameters
+    ----------
+    directory : str or path-like
+        The spill directory holding ``manifest.json``.
+    shard_index : int
+        Which shard to load, ``0 <= shard_index < shard_count``.
+
+    Returns
+    -------
+    list of RunSpec
+        The specs owned by that shard; run them with a
+        :class:`SweepRunner` pointed at the sweep's shared ``cache_dir``.
+    """
+    manifest = load_manifest(directory)
+    if not 0 <= shard_index < manifest["shard_count"]:
+        raise ValueError(
+            f"shard_index must be in [0, {manifest['shard_count']}), "
+            f"got {shard_index}")
+    path = Path(directory) / manifest["shards"][shard_index]
+    with path.open("rb") as fh:
+        return pickle.load(fh)

@@ -12,6 +12,16 @@ Two complementary tools:
 * a damped *fixed-point solver* that iterates allocation rules against the
   network's loss models until rates and losses agree — the analytical
   counterpart of running the testbed to equilibrium.
+
+Batching: every allocation rule works along the **last axis** of its
+arguments, so the same code evaluates one scenario (``(n_routes,)``
+vectors) or K stacked sweep points (``(K, n_routes)`` matrices).
+:func:`solve_fixed_point_batch` exploits this to iterate all K points of
+a parameter sweep in lock-step, freezing each point the moment it
+converges so every row is **bitwise-identical** to what a sequential
+:func:`solve_fixed_point` call on that point alone would return (the
+same contract :class:`~repro.fluid.BatchFluidIntegrator` keeps for the
+time-domain integrator).
 """
 
 from __future__ import annotations
@@ -21,79 +31,170 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from .network import BatchFluidNetwork, FluidNetwork
+
 _EPS = 1e-15
 
 
-def tcp_rate(p: float, rtt: float) -> float:
-    """TCP loss-throughput formula ``x = sqrt(2/p) / rtt`` (pkt/s)."""
-    return float(np.sqrt(2.0 / max(p, _EPS)) / rtt)
+def tcp_rate(p, rtt):
+    """TCP loss-throughput formula ``x = sqrt(2/p) / rtt`` (pkt/s).
+
+    Parameters
+    ----------
+    p : float or ndarray
+        Loss probability (clamped below at a tiny positive value).
+    rtt : float or ndarray
+        Round-trip time in seconds; broadcast against ``p``.
+
+    Returns
+    -------
+    float or ndarray
+        The equilibrium rate; a plain ``float`` for scalar inputs, an
+        array of the broadcast shape otherwise.
+    """
+    rates = np.sqrt(2.0 / np.maximum(p, _EPS)) / np.asarray(rtt, dtype=float)
+    if np.ndim(rates) == 0:
+        return float(rates)
+    return rates
 
 
-def best_path_rate(p: Sequence[float], rtt: Sequence[float]) -> float:
-    """Rate of a regular TCP user on the best of the given paths."""
-    return max(tcp_rate(pi, ri) for pi, ri in zip(p, rtt))
+def best_path_rate(p, rtt):
+    """Rate of a regular TCP user on the best of the given paths.
+
+    Parameters
+    ----------
+    p, rtt : array_like, shape ``(..., n_paths)``
+        Per-path loss probabilities and RTTs; paths live on the last
+        axis.
+
+    Returns
+    -------
+    float or ndarray, shape ``(...)``
+        ``max_r sqrt(2/p_r)/rtt_r`` reduced along the last axis; a
+        ``float`` for 1-D input.
+    """
+    rates = np.max(_tcp_rates(p, rtt), axis=-1)
+    if np.ndim(rates) == 0:
+        return float(rates)
+    return rates
 
 
-def lia_allocation(p: Sequence[float], rtt: Sequence[float]) -> np.ndarray:
+def _tcp_rates(p, rtt) -> np.ndarray:
+    """Per-path TCP rates with the loss floor applied (vectorized)."""
+    p = np.maximum(np.asarray(p, dtype=float), _EPS)
+    rtt = np.asarray(rtt, dtype=float)
+    return np.sqrt(2.0 / p) / rtt
+
+
+def lia_allocation(p, rtt) -> np.ndarray:
     """LIA's fixed-point allocation, Eq. (2) of the paper.
 
     Windows are proportional to ``1/p_r`` and the total rate equals the
     TCP rate on the best path: ``w_r = (1/p_r) * best / sum_p 1/(rtt_p p_p)``
     with ``x_r = w_r / rtt_r``.
+
+    Parameters
+    ----------
+    p, rtt : array_like, shape ``(..., n_routes)``
+        Route loss probabilities and RTTs; routes live on the last axis,
+        leading axes are independent sweep points.
+
+    Returns
+    -------
+    ndarray, shape ``(..., n_routes)``
+        Per-route rates; each leading-axis row is computed exactly as a
+        1-D call on that row would.
     """
     p = np.maximum(np.asarray(p, dtype=float), _EPS)
     rtt = np.asarray(rtt, dtype=float)
-    best = best_path_rate(p, rtt)
-    denom = float(np.sum(1.0 / (rtt * p)))
+    best = np.max(np.sqrt(2.0 / p) / rtt, axis=-1, keepdims=True)
+    denom = np.sum(1.0 / (rtt * p), axis=-1, keepdims=True)
     windows = (1.0 / p) * best / denom
     return windows / rtt
 
 
-def olia_allocation(p: Sequence[float], rtt: Sequence[float],
-                    floor: Sequence[float] | None = None,
-                    tie_tolerance: float = 1e-6) -> np.ndarray:
+def olia_allocation(p, rtt, floor=None, tie_tolerance: float = 1e-6
+                    ) -> np.ndarray:
     """OLIA's fixed point per Theorem 1: best paths only.
 
     Only the routes maximizing ``sqrt(2/p_r)/rtt_r`` carry traffic; the
     total equals the TCP rate on the best path, split equally among tied
     best paths.  Non-best routes receive the probing ``floor`` (0 by
     default), matching the minimum-window behaviour of the implementation.
+
+    Parameters
+    ----------
+    p, rtt : array_like, shape ``(..., n_routes)``
+        Route loss probabilities and RTTs (routes on the last axis).
+    floor : array_like, optional
+        Probing rate assigned to non-best routes; broadcast against
+        ``p``.  ``None`` means zero.
+    tie_tolerance : float
+        Relative tolerance for counting a path as tied-best.
+
+    Returns
+    -------
+    ndarray, shape ``(..., n_routes)``
+        Per-route rates.
     """
     p = np.maximum(np.asarray(p, dtype=float), _EPS)
     rtt = np.asarray(rtt, dtype=float)
-    rates = np.array([tcp_rate(pi, ri) for pi, ri in zip(p, rtt)])
-    best = float(np.max(rates))
+    rates = np.sqrt(2.0 / p) / rtt
+    best = np.max(rates, axis=-1, keepdims=True)
     best_set = rates >= best * (1.0 - tie_tolerance)
-    x = np.zeros(len(p))
-    if floor is not None:
-        x = np.asarray(floor, dtype=float).copy()
-    x[best_set] = best / int(np.sum(best_set))
-    return x
+    n_best = np.sum(best_set, axis=-1, keepdims=True)
+    if floor is None:
+        base = np.zeros_like(p)
+    else:
+        base = np.broadcast_to(np.asarray(floor, dtype=float), p.shape)
+    return np.where(best_set, best / n_best, base)
 
 
-def epsilon_family_allocation(p: Sequence[float], rtt: Sequence[float],
-                              epsilon: float) -> np.ndarray:
+def epsilon_family_allocation(p, rtt, epsilon: float) -> np.ndarray:
     """The ``epsilon``-family of Section II: ``x_r ~ p_r**(-1/epsilon)``.
 
     The total rate is normalised to the TCP rate on the best path (design
     goals 1-2).  ``epsilon = 1`` reproduces LIA's Eq. (2) when RTTs are
     equal; ``epsilon -> 0`` concentrates on the least-lossy path (fully
     coupled); ``epsilon = 2`` spreads like uncoupled TCP.
+
+    Parameters
+    ----------
+    p, rtt : array_like, shape ``(..., n_routes)``
+        Route loss probabilities and RTTs (routes on the last axis).
+    epsilon : float
+        Coupling parameter, must be non-negative.
+
+    Returns
+    -------
+    ndarray, shape ``(..., n_routes)``
+        Per-route rates.
     """
     if epsilon < 0:
         raise ValueError("epsilon must be non-negative")
     p = np.maximum(np.asarray(p, dtype=float), _EPS)
     rtt = np.asarray(rtt, dtype=float)
-    total = best_path_rate(p, rtt)
     if epsilon == 0:
         return olia_allocation(p, rtt)
+    total = np.max(np.sqrt(2.0 / p) / rtt, axis=-1, keepdims=True)
     weights = p ** (-1.0 / epsilon)
-    return total * weights / float(np.sum(weights))
+    return total * weights / np.sum(weights, axis=-1, keepdims=True)
 
 
-def tcp_allocation(p: Sequence[float], rtt: Sequence[float]) -> np.ndarray:
-    """Uncoupled: every route gets the full TCP rate for its own loss."""
-    return np.array([tcp_rate(pi, ri) for pi, ri in zip(p, rtt)])
+def tcp_allocation(p, rtt) -> np.ndarray:
+    """Uncoupled: every route gets the full TCP rate for its own loss.
+
+    Parameters
+    ----------
+    p, rtt : array_like, shape ``(..., n_routes)``
+        Route loss probabilities and RTTs.
+
+    Returns
+    -------
+    ndarray, shape ``(..., n_routes)``
+        ``sqrt(2/p_r)/rtt_r`` elementwise.
+    """
+    return _tcp_rates(p, rtt)
 
 
 AllocationRule = Callable[[Sequence[float], Sequence[float]], np.ndarray]
@@ -102,7 +203,18 @@ AllocationRule = Callable[[Sequence[float], Sequence[float]], np.ndarray]
 def allocation_rule(name: str, **kwargs) -> AllocationRule:
     """Look up an allocation rule by algorithm name.
 
-    ``epsilon`` selects the epsilon-family and requires ``epsilon=...``.
+    Parameters
+    ----------
+    name : str
+        One of ``"tcp"``/``"reno"``/``"uncoupled"``, ``"lia"``,
+        ``"olia"``/``"coupled"`` (accepts ``floor`` and
+        ``tie_tolerance``), or ``"epsilon"`` (requires ``epsilon=...``).
+
+    Returns
+    -------
+    AllocationRule
+        A callable ``rule(p, rtt) -> rates`` operating along the last
+        axis of its arguments.
     """
     name = name.lower()
     if name in ("tcp", "reno", "uncoupled"):
@@ -122,7 +234,7 @@ def allocation_rule(name: str, **kwargs) -> AllocationRule:
 
 @dataclass
 class FixedPointResult:
-    """Outcome of the damped fixed-point iteration."""
+    """Outcome of the damped fixed-point iteration (one sweep point)."""
 
     rates: np.ndarray
     route_loss: np.ndarray
@@ -135,6 +247,159 @@ class FixedPointResult:
         return network.user_totals(self.rates)
 
 
+@dataclass
+class BatchFixedPointResult:
+    """Fixed points of K batched sweep points, solved in lock-step.
+
+    All arrays carry the sweep point on the first axis; ``result(k)``
+    unpacks one point into the classic :class:`FixedPointResult`.
+    """
+
+    batch_network: BatchFluidNetwork
+    rates: np.ndarray       # (K, n_routes)
+    route_loss: np.ndarray  # (K, n_routes)
+    link_loss: np.ndarray   # (K, n_links)
+    iterations: np.ndarray  # (K,) int
+    converged: np.ndarray   # (K,) bool
+    residual: np.ndarray    # (K,)
+
+    @property
+    def n_points(self) -> int:
+        return self.rates.shape[0]
+
+    def result(self, point: int) -> FixedPointResult:
+        """The classic per-point result of one sweep point."""
+        return FixedPointResult(
+            rates=self.rates[point], route_loss=self.route_loss[point],
+            link_loss=self.link_loss[point],
+            iterations=int(self.iterations[point]),
+            converged=bool(self.converged[point]),
+            residual=float(self.residual[point]))
+
+    def results(self) -> List[FixedPointResult]:
+        """All K per-point results."""
+        return [self.result(k) for k in range(self.n_points)]
+
+    def user_totals(self) -> np.ndarray:
+        """Per-user total rates, shape ``(K, n_users)``."""
+        return self.batch_network.networks[0].user_totals(self.rates)
+
+
+def _resolve_rules(n_users: int, rules) -> List[AllocationRule]:
+    """Normalise ``rules`` to one allocation callable per user."""
+    if isinstance(rules, str) or callable(rules):
+        rules = {user: rules for user in range(n_users)}
+    per_user: List[AllocationRule] = []
+    for user in range(n_users):
+        rule = rules[user]
+        per_user.append(allocation_rule(rule) if isinstance(rule, str)
+                        else rule)
+    return per_user
+
+
+def solve_fixed_point_batch(networks, rules, *,
+                            floor_packets: float = 0.0,
+                            damping: float = 0.15,
+                            tol: float = 1e-8,
+                            max_iter: int = 20000,
+                            x0: np.ndarray | None = None
+                            ) -> BatchFixedPointResult:
+    """Damped fixed-point iteration over K stacked sweep points.
+
+    Iterates ``x <- (1-g) x + g f(p(x))`` on a ``(K, n_routes)`` state
+    matrix until every point's relative residual drops below ``tol``.
+    Each point is *frozen* at the iteration where it first converges —
+    its recorded rates, iteration count and residual are exactly what a
+    sequential :func:`solve_fixed_point` call on that point alone
+    returns, bit for bit, because every operation is row-wise along the
+    last axis and the points are independent.
+
+    Parameters
+    ----------
+    networks : BatchFluidNetwork or sequence of FluidNetwork
+        K topologically-identical networks (same links/users/routes;
+        RTTs and loss parameters may differ per point).
+    rules : str, callable or mapping
+        A single rule/name shared by every user, or a mapping
+        ``user -> rule/name``; shared across all K points.
+    floor_packets : float
+        Probing floor in packets per RTT, applied after each step.
+    damping : float
+        Step size ``g`` of the damped iteration.
+    tol : float
+        Relative convergence tolerance on the rate update.
+    max_iter : int
+        Iteration budget; points still moving at the end are flagged
+        ``converged=False``.
+    x0 : ndarray, optional
+        Start state of shape ``(K, n_routes)``; defaults to one packet
+        per RTT on every route.
+
+    Returns
+    -------
+    BatchFixedPointResult
+        Per-point rates, losses and convergence diagnostics.
+    """
+    net = (networks if isinstance(networks, BatchFluidNetwork)
+           else BatchFluidNetwork(networks))
+    per_user = _resolve_rules(net.n_users, rules)
+    user_routes = [np.asarray(r, dtype=int) for r in net.routes_of_user]
+
+    rtts = net.rtts  # (K, n_routes)
+    floor = (floor_packets / rtts if floor_packets > 0
+             else np.zeros_like(rtts))
+    if x0 is None:
+        x = np.maximum(1.0 / rtts, floor)
+    else:
+        x0 = np.asarray(x0, dtype=float)
+        if x0.shape != rtts.shape:
+            raise ValueError(
+                f"x0 must have shape {rtts.shape}, got {x0.shape}")
+        x = np.maximum(x0, floor)
+
+    n_points = rtts.shape[0]
+    final_x = x.copy()
+    iterations = np.full(n_points, max_iter, dtype=int)
+    converged = np.zeros(n_points, dtype=bool)
+    final_residual = np.full(n_points, np.inf)
+    active = np.ones(n_points, dtype=bool)
+    residual = np.full(n_points, np.inf)
+
+    for iteration in range(1, max_iter + 1):
+        p_routes = net.route_loss_probs(x)
+        target = np.zeros_like(x)
+        for user, rule in enumerate(per_user):
+            idx = user_routes[user]
+            if len(idx) == 0:   # routeless users contribute nothing
+                continue
+            target[..., idx] = rule(p_routes[..., idx], rtts[..., idx])
+        target = np.maximum(target, floor)
+        new_x = (1.0 - damping) * x + damping * target
+        scale = np.maximum(np.max(np.abs(new_x), axis=-1), 1e-9)
+        residual = np.max(np.abs(new_x - x), axis=-1) / scale
+        x = new_x
+        newly = active & (residual < tol)
+        if newly.any():
+            final_x[newly] = new_x[newly]
+            iterations[newly] = iteration
+            converged[newly] = True
+            final_residual[newly] = residual[newly]
+            active &= ~newly
+            if not active.any():
+                break
+
+    if active.any():
+        final_x[active] = x[active]
+        final_residual[active] = residual[active]
+
+    return BatchFixedPointResult(
+        batch_network=net, rates=final_x,
+        route_loss=net.route_loss_probs(final_x),
+        link_loss=net.link_loss_probs(final_x),
+        iterations=iterations, converged=converged,
+        residual=final_residual)
+
+
 def solve_fixed_point(network, rules, *,
                       floor_packets: float = 0.0,
                       damping: float = 0.15,
@@ -143,45 +408,33 @@ def solve_fixed_point(network, rules, *,
                       x0: np.ndarray | None = None) -> FixedPointResult:
     """Damped iteration ``x <- (1-g) x + g f(p(x))`` to a fixed point.
 
-    ``rules`` is a single rule/name or a mapping ``user -> rule/name``.
-    The probing floor (in packets per RTT) is applied after each step.
+    A thin K=1 wrapper over :func:`solve_fixed_point_batch`, so
+    sequential and batched sweeps share one code path (and produce
+    bitwise-equal fixed points).
+
+    Parameters
+    ----------
+    network : FluidNetwork
+        The scenario to solve.
+    rules : str, callable or mapping
+        A single rule/name shared by every user, or a mapping
+        ``user -> rule/name``.
+    floor_packets : float
+        Probing floor in packets per RTT, applied after each step.
+    damping, tol, max_iter, x0
+        As in :func:`solve_fixed_point_batch`; ``x0`` has shape
+        ``(n_routes,)`` here.
+
+    Returns
+    -------
+    FixedPointResult
+        Rates, losses and convergence diagnostics of the single point.
     """
-    if isinstance(rules, (str,)) or callable(rules):
-        rules = {user: rules for user in range(network.n_users)}
-    per_user: List[AllocationRule] = []
-    for user in range(network.n_users):
-        rule = rules[user]
-        per_user.append(allocation_rule(rule) if isinstance(rule, str)
-                        else rule)
-
-    rtts = network.rtt_array()
-    floor = (floor_packets / rtts if floor_packets > 0
-             else np.zeros_like(rtts))
-    x = (np.maximum(1.0 / rtts, floor) if x0 is None
-         else np.maximum(np.asarray(x0, dtype=float), floor))
-    user_routes = [np.asarray(r, dtype=int) for r in network.routes_of_user]
-
-    residual = np.inf
-    for iteration in range(1, max_iter + 1):
-        p_routes = network.route_loss_probs(x)
-        target = np.zeros_like(x)
-        for user, rule in enumerate(per_user):
-            idx = user_routes[user]
-            target[idx] = rule(p_routes[idx], rtts[idx])
-        target = np.maximum(target, floor)
-        new_x = (1.0 - damping) * x + damping * target
-        scale = max(float(np.max(np.abs(new_x))), 1e-9)
-        residual = float(np.max(np.abs(new_x - x))) / scale
-        x = new_x
-        if residual < tol:
-            return FixedPointResult(
-                rates=x, route_loss=network.route_loss_probs(x),
-                link_loss=network.link_loss_probs(x),
-                iterations=iteration, converged=True, residual=residual)
-    return FixedPointResult(
-        rates=x, route_loss=network.route_loss_probs(x),
-        link_loss=network.link_loss_probs(x),
-        iterations=max_iter, converged=False, residual=residual)
+    batch = solve_fixed_point_batch(
+        [network], rules, floor_packets=floor_packets, damping=damping,
+        tol=tol, max_iter=max_iter,
+        x0=None if x0 is None else np.asarray(x0, dtype=float)[None, :])
+    return batch.result(0)
 
 
 def verify_theorem1(network, x: np.ndarray, *,
@@ -200,7 +453,7 @@ def verify_theorem1(network, x: np.ndarray, *,
     for user, routes in enumerate(network.routes_of_user):
         idx = np.asarray(routes, dtype=int)
         p, rtt, rates = p_routes[idx], rtts[idx], x[idx]
-        tcp_rates = np.array([tcp_rate(pi, ri) for pi, ri in zip(p, rtt)])
+        tcp_rates = _tcp_rates(p, rtt)
         best = float(np.max(tcp_rates))
         floor = floor_packets / rtt
         for rate, path_rate, f in zip(rates, tcp_rates, floor):

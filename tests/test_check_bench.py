@@ -1,0 +1,97 @@
+"""Tests for the CI bench regression checker (benchmarks/check_bench.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench",
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "check_bench.py")
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+def _report(*, fluid_speedup=30.0, eq_speedup=4.0, engine_speedup=1.4,
+            n_points=64, n_events=200_000, bitwise=True):
+    return {
+        "fluid_sweep": {"n_points": n_points, "speedup": fluid_speedup,
+                        "bitwise_equal": bitwise},
+        "equilibrium_sweep": {"n_points": n_points, "speedup": eq_speedup,
+                              "bitwise_equal": bitwise},
+        "engine": {"n_events": n_events, "speedup": engine_speedup},
+    }
+
+
+class TestCheckReport:
+    def test_identical_reports_pass(self):
+        assert check_bench.check_report(_report(), _report()) == []
+
+    def test_halved_speedup_at_same_size_still_passes(self):
+        new = _report(fluid_speedup=15.1)
+        assert check_bench.check_report(new, _report(), factor=2.0) == []
+
+    def test_more_than_2x_regression_fails(self):
+        new = _report(fluid_speedup=14.0)
+        failures = check_bench.check_report(new, _report(), factor=2.0)
+        assert len(failures) == 1
+        assert "fluid_sweep" in failures[0]
+
+    def test_bitwise_mismatch_fails(self):
+        new = _report(bitwise=False)
+        failures = check_bench.check_report(new, _report())
+        assert len(failures) == 2
+        assert all("bitwise" in f for f in failures)
+
+    def test_smoke_sizes_use_absolute_floors(self):
+        """A smoke report (smaller workloads) is not held to the
+        full-size baseline's speedup, only to the documented floors."""
+        new = _report(fluid_speedup=5.0, eq_speedup=2.0, n_points=8,
+                      n_events=20_000)
+        assert check_bench.check_report(new, _report()) == []
+        too_slow = _report(fluid_speedup=1.5, n_points=8, n_events=20_000)
+        failures = check_bench.check_report(too_slow, _report())
+        assert len(failures) == 1
+        assert "smoke floor" in failures[0]
+
+    def test_missing_section_in_new_report_fails(self):
+        new = _report()
+        del new["equilibrium_sweep"]
+        failures = check_bench.check_report(new, _report())
+        assert any("missing" in f for f in failures)
+
+    def test_missing_engine_section_fails(self):
+        """Every tracked section must be present — the gate must not
+        pass because a benchmark stopped being emitted."""
+        new = _report()
+        del new["engine"]
+        failures = check_bench.check_report(new, _report())
+        assert any("engine" in f and "missing" in f for f in failures)
+
+    def test_section_without_speedup_fails(self):
+        new = _report()
+        del new["engine"]["speedup"]
+        failures = check_bench.check_report(new, _report())
+        assert any("engine" in f and "missing" in f for f in failures)
+
+    def test_baseline_without_section_falls_back_to_floor(self):
+        """Old committed baselines predate the equilibrium section."""
+        baseline = _report()
+        del baseline["equilibrium_sweep"]
+        assert check_bench.check_report(_report(), baseline) == []
+
+
+class TestMain:
+    def test_cli_round_trip(self, tmp_path, capsys):
+        new_path = tmp_path / "new.json"
+        base_path = tmp_path / "base.json"
+        new_path.write_text(json.dumps(_report()))
+        base_path.write_text(json.dumps(_report()))
+        assert check_bench.main([str(new_path),
+                                 "--baseline", str(base_path)]) == 0
+        bad = _report(fluid_speedup=1.0)
+        new_path.write_text(json.dumps(bad))
+        assert check_bench.main([str(new_path),
+                                 "--baseline", str(base_path)]) == 1
+        assert "FAIL" in capsys.readouterr().err

@@ -149,6 +149,35 @@ class TestRttHeterogeneity:
         ap2 = table.column("mp rate on AP2")[0]
         assert ap1 == pytest.approx(ap2, rel=0.2)
 
+    def test_batch_backend_matches_loop_bitwise(self):
+        ratios = (0.25, 0.5, 1.0, 2.0)
+        loop = rtt_heterogeneity.rtt_sweep_table(
+            algorithm="olia", rtt_ratios=ratios, backend="loop")
+        batch = rtt_heterogeneity.rtt_sweep_table(
+            algorithm="olia", rtt_ratios=ratios, backend="batch")
+        assert [tuple(r) for r in batch.rows] == \
+            [tuple(r) for r in loop.rows]
+
+    def test_batch_backend_composes_with_shard_and_cache(self, tmp_path):
+        """--backend batch --shard I/N --resume DIR must honour shard
+        ownership and fill the shared cache like the loop backend."""
+        ratios = (0.25, 0.5, 1.0, 2.0)
+        for index in range(2):
+            rtt_heterogeneity.rtt_sweep_table(
+                algorithm="olia", rtt_ratios=ratios, backend="batch",
+                cache_dir=tmp_path, shard=(index, 2))
+        merged = rtt_heterogeneity.rtt_sweep_table(
+            algorithm="olia", rtt_ratios=ratios, backend="loop",
+            cache_dir=tmp_path)
+        direct = rtt_heterogeneity.rtt_sweep_table(
+            algorithm="olia", rtt_ratios=ratios, backend="loop")
+        assert [tuple(r) for r in merged.rows] == \
+            [tuple(r) for r in direct.rows]
+
+    def test_batch_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="backend"):
+            rtt_heterogeneity.rtt_sweep_table(backend="gpu")
+
 
 class TestCalibration:
     def test_formula_validation_ratios_near_one(self):

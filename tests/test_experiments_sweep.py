@@ -5,7 +5,15 @@ import pytest
 from repro.experiments.ablation import flappiness_point
 from repro.experiments.rtt_heterogeneity import rtt_sweep_point
 from repro.experiments.runner import RunSpec, measure
-from repro.experiments.sweep import SweepRunner
+from repro.experiments.sweep import (
+    SWEEP_PENDING,
+    SweepRunner,
+    load_manifest,
+    load_shard,
+    pending_attr,
+    pending_row,
+    write_shards,
+)
 from repro.sim.engine import Simulator
 
 
@@ -144,6 +152,190 @@ class TestSweepRunnerMap:
         assert results[0] == results[1]
         other = runner.map(flappiness_point, points, base_seed=8)
         assert other != results
+
+
+class TestRunBatched:
+    @staticmethod
+    def _batch_eval(pending):
+        return [spec.execute() for spec in pending]
+
+    def test_matches_per_point_run(self):
+        specs = _rtt_specs()
+        batched = SweepRunner(jobs=1).run_batched(specs, self._batch_eval)
+        assert batched == SweepRunner(jobs=1).run(specs)
+
+    def test_batch_fn_sees_only_pending_owned_points(self, tmp_path):
+        specs = _rtt_specs()
+        SweepRunner(jobs=1, cache_dir=tmp_path).run(specs[:1])
+        seen = []
+
+        def spy(pending):
+            seen.extend(pending)
+            return self._batch_eval(pending)
+
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, shard=(0, 2))
+        results = runner.run_batched(specs, spy)
+        # Point 0 was cached, point 1 and 3 belong to shard 1: only
+        # point 2 reaches the batch call.
+        assert seen == [specs[2]]
+        assert results[3] is SWEEP_PENDING
+        assert runner.cache_hits == 1
+
+    def test_batch_fn_fills_cache_for_later_runs(self, tmp_path):
+        specs = _rtt_specs()
+        SweepRunner(jobs=1, cache_dir=tmp_path).run_batched(
+            specs, self._batch_eval)
+        again = SweepRunner(jobs=1, cache_dir=tmp_path)
+        assert again.run(specs) == SweepRunner(jobs=1).run(specs)
+        assert again.cache_hits == len(specs)
+
+    def test_wrong_result_count_rejected(self):
+        with pytest.raises(ValueError, match="batch_fn"):
+            SweepRunner(jobs=1).run_batched(
+                _rtt_specs(), lambda pending: pending[:-1])
+
+
+class _StopSweep(Exception):
+    """Stand-in for Ctrl-C during a long sweep."""
+
+
+class TestSweepResumeAfterInterrupt:
+    def test_interrupted_run_keeps_completed_points(self, tmp_path):
+        """The PR's resume criterion: a sweep killed mid-flight resumes
+        from the on-disk cache and recomputes only the missing points."""
+        specs = _rtt_specs()
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+
+        def interrupt(progress):
+            if progress.done == 2:
+                raise _StopSweep()
+
+        with pytest.raises(_StopSweep):
+            runner.run(specs, progress=interrupt)
+
+        resumed = SweepRunner(jobs=1, cache_dir=tmp_path)
+        results = resumed.run(specs)
+        assert resumed.cache_hits == 2
+        assert resumed.cache_misses == 2
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_pool_run_stores_incrementally(self, tmp_path):
+        """Worker results hit the cache as they complete, not at the
+        end, so a crashed pool run is resumable too."""
+        specs = _seeded_specs()
+        seen = []
+
+        def watch(progress):
+            # Every completed point is already on disk by the time the
+            # progress callback observes it.
+            seen.append(len(list(tmp_path.glob("*.pkl"))))
+
+        SweepRunner(jobs=2, cache_dir=tmp_path).run(specs, progress=watch)
+        assert seen == [1, 2, 3, 4]
+
+
+class TestSweepProgress:
+    def test_progress_counts_all_points(self):
+        ticks = []
+        SweepRunner(jobs=1).run(_rtt_specs(),
+                                progress=lambda p: ticks.append(p))
+        assert [p.done for p in ticks] == [1, 2, 3, 4]
+        assert all(p.total == 4 for p in ticks)
+        assert sorted(p.index for p in ticks) == [0, 1, 2, 3]
+        assert not any(p.from_cache for p in ticks)
+
+    def test_progress_reports_cache_hits(self, tmp_path):
+        specs = _rtt_specs()
+        SweepRunner(jobs=1, cache_dir=tmp_path).run(specs[:2])
+        ticks = []
+        SweepRunner(jobs=1, cache_dir=tmp_path).run(
+            specs, progress=lambda p: ticks.append(p))
+        assert [p.from_cache for p in ticks] == [True, True, False, False]
+        assert ticks[-1].cache_hits == 2
+
+
+class TestShardedSweep:
+    def test_shards_split_and_merge_through_cache(self, tmp_path):
+        specs = _rtt_specs()
+        first = SweepRunner(jobs=1, cache_dir=tmp_path, shard=(0, 2))
+        partial = first.run(specs)
+        assert first.cache_misses == 2
+        assert first.skipped == 2
+        assert partial[0] is not SWEEP_PENDING
+        assert partial[1] is SWEEP_PENDING
+
+        second = SweepRunner(jobs=1, cache_dir=tmp_path, shard=(1, 2))
+        second.run(specs)
+
+        merged = SweepRunner(jobs=1, cache_dir=tmp_path)
+        results = merged.run(specs)
+        assert merged.cache_hits == 4
+        assert merged.cache_misses == 0
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_shard_serves_cached_points_it_does_not_own(self, tmp_path):
+        specs = _rtt_specs()
+        SweepRunner(jobs=1, cache_dir=tmp_path).run(specs[:2])
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, shard=(0, 2))
+        results = runner.run(specs)
+        # Point 1 belongs to shard 1 but is already cached.
+        assert results[1] is not SWEEP_PENDING
+        assert results[3] is SWEEP_PENDING
+
+    def test_shard_requires_cache_dir(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            SweepRunner(jobs=1, shard=(0, 2))
+
+    def test_invalid_shard_rejected(self, tmp_path):
+        for shard in ((2, 2), (-1, 2), (0, 0)):
+            with pytest.raises(ValueError, match="shard"):
+                SweepRunner(jobs=1, cache_dir=tmp_path, shard=shard)
+
+    def test_pending_helpers(self):
+        class Thing:
+            value = 7
+
+        assert pending_attr(Thing(), "value") == 7
+        assert pending_attr(SWEEP_PENDING, "value") is SWEEP_PENDING
+        assert pending_row((1, 2), 5) == (1, 2)
+        assert pending_row(SWEEP_PENDING, 3) == (SWEEP_PENDING,) * 3
+        assert str(SWEEP_PENDING) == "PENDING"
+
+
+class TestSpecSpill:
+    def test_write_and_load_shards_round_trip(self, tmp_path):
+        specs = _rtt_specs()
+        paths = write_shards(specs, tmp_path / "spill", shard_count=3)
+        assert len(paths) == 3
+        manifest = load_manifest(tmp_path / "spill")
+        assert manifest["total"] == 4
+        assert manifest["shard_count"] == 3
+        assert manifest["spec_hashes"] == [s.content_hash() for s in specs]
+        loaded = [spec for i in range(3)
+                  for spec in load_shard(tmp_path / "spill", i)]
+        assert sorted(s.content_hash() for s in loaded) == \
+            sorted(s.content_hash() for s in specs)
+
+    def test_spilled_shards_fill_a_shared_cache(self, tmp_path):
+        specs = _rtt_specs()
+        write_shards(specs, tmp_path / "spill", shard_count=2)
+        cache = tmp_path / "cache"
+        for shard_index in range(2):
+            SweepRunner(jobs=1, cache_dir=cache).run(
+                load_shard(tmp_path / "spill", shard_index))
+        merged = SweepRunner(jobs=1, cache_dir=cache)
+        results = merged.run(specs)
+        assert merged.cache_hits == 4
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_load_shard_validates_index(self, tmp_path):
+        write_shards(_rtt_specs(), tmp_path, shard_count=2)
+        with pytest.raises(ValueError, match="shard_index"):
+            load_shard(tmp_path, 2)
+
+    def test_write_shards_rejects_bad_count(self, tmp_path):
+        with pytest.raises(ValueError, match="shard_count"):
+            write_shards(_rtt_specs(), tmp_path, shard_count=0)
 
 
 class TestMeasureValidation:
