@@ -12,10 +12,13 @@ What is checked (and why it survives CI-runner variance):
 * ``bitwise_equal`` must be true for the fluid and equilibrium sweeps —
   the batch backends are only allowed to be *faster*, never different.
 * The **speedup ratios** (batch vs loop, optimised engine vs seed
-  engine) are compared, not absolute points/sec: both sides of each
-  ratio run in the same process on the same machine, so the ratio is
-  stable across hardware while a >2x drop still means a real
-  regression (e.g. batching silently falling back to the scalar path).
+  engine — including the loaded-engine and timer-churn microbenches
+  that track the wheel scheduler and Timer API) are compared, not
+  absolute points/sec: both sides of each ratio run in the same process
+  on the same machine, so the ratio is stable across hardware while a
+  >2x drop still means a real regression (e.g. batching silently
+  falling back to the scalar path, or the wheel degenerating to heap
+  behaviour).
 * When the new report's workload size matches the baseline's, the bound
   is ``new_speedup >= baseline_speedup / factor``.  A smoke report
   (``REPRO_BENCH_SMOKE=1``) uses smaller workloads where batching pays
@@ -35,10 +38,22 @@ from typing import Dict, List
 #: Minimum acceptable speedups when the new report's workload size
 #: differs from the baseline's (the CI smoke case).  Chosen from the
 #: smoke-mode measurements in docs/PERFORMANCE.md with >2x headroom.
+#:
+#: The ``engine`` floor dropped from 1.0 to 0.8 in PR 3 *by design*:
+#: the wheel scheduler trades bare-chain constants (the ``engine``
+#: workload, ~1.1-1.4x vs seed across runs, previously ~1.5x on the
+#: heap) for cost that is flat in the pending population.  0.8 still
+#: rejects an engine meaningfully slower than the seed on the bare
+#: chain, while the two sections added alongside it — ``engine_loaded``
+#: (~2.8x vs seed full-size) and ``timer_churn`` (~5.8x) — catch the
+#: wheel or the Timer degenerating to heap/churn behaviour long before
+#: the bare chain would.  See docs/PERFORMANCE.md "Engine hot path".
 SMOKE_FLOORS = {
     "fluid_sweep": 2.0,
     "equilibrium_sweep": 1.5,
-    "engine": 1.0,
+    "engine": 0.8,
+    "engine_loaded": 1.2,
+    "timer_churn": 2.0,
 }
 
 #: Per-section key that defines "same workload size".
@@ -46,6 +61,8 @@ SIZE_KEYS = {
     "fluid_sweep": "n_points",
     "equilibrium_sweep": "n_points",
     "engine": "n_events",
+    "engine_loaded": "n_events",
+    "timer_churn": "n_ticks",
 }
 
 

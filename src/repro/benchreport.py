@@ -15,7 +15,23 @@ report so the performance trajectory is tracked commit over commit:
 * **engine event throughput** — events per second of the DES event loop,
   measured for the current engine ("after") and for a frozen copy of the
   seed engine ("before", inlined below) so the effect of the free-list +
-  pre-bound-tuple optimisation stays visible.
+  pre-bound-tuple optimisation stays visible.  Three workloads:
+
+  - ``engine`` — a bare self-rescheduling event chain with an empty
+    pending set (the seed microbench, kept for trajectory continuity);
+  - ``engine_loaded`` — the same chain with tens of thousands of
+    far-future timers pending, the realistic regime of a large DES
+    sweep: a binary heap pays ``O(log n)`` per operation against that
+    population, the timer wheel does not;
+  - ``timer_churn`` — RTO-style deadline rearming: N concurrent timers
+    each pushed out on every driver tick.  "Before" is the naive
+    cancel-and-reschedule idiom on the seed engine — the cost any
+    client pays unless it hand-rolls the deadline-move trick (as the
+    seed's ``tcp.py`` did, locally, for its one timer); "after" is
+    ``Timer.arm_at``, which builds that trick into the engine so every
+    timer gets it (a monotone rearm is two attribute writes).  The
+    speedup therefore measures what the Timer API saves a straight-
+    forward client, not a regression the seed's TCP actually suffered.
 
 Run via ``python -m repro bench`` (or ``benchmarks/bench_report.py``).
 ``REPRO_BENCH_SMOKE=1`` caps the workload sizes so CI smoke runs stay
@@ -190,6 +206,17 @@ class _SeedSimulator:
         heapq.heappush(self._heap, (time, self._counter, event))
         return event
 
+    def run(self, until):
+        heap = self._heap
+        while heap and heap[0][0] <= until:
+            time_, _, event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._now = time_
+            self._processed += 1
+            event.fn(*event.args)
+        self._now = until
+
     def run_until_empty(self, max_events=10_000_000):
         heap = self._heap
         budget = max_events
@@ -203,8 +230,19 @@ class _SeedSimulator:
             event.fn(*event.args)
 
 
-def _engine_events_per_sec(sim_factory, n_events: int) -> float:
+def _noop():
+    pass
+
+
+def _engine_events_per_sec(sim_factory, n_events: int,
+                           n_pending: int = 0) -> float:
     sim = sim_factory()
+    # Optional background load: far-future timers that never fire inside
+    # the measured window (they sit between 1 s and 60 s; the chain ends
+    # well before).  A heap pays O(log n_pending) per chain operation
+    # against them; the wheel parks them in its outer levels.
+    for i in range(n_pending):
+        sim.schedule(1.0 + i * (59.0 / n_pending), _noop)
     counter = [0]
 
     def tick():
@@ -214,7 +252,10 @@ def _engine_events_per_sec(sim_factory, n_events: int) -> float:
 
     sim.schedule(0.0, tick)
     start = time.perf_counter()
-    sim.run_until_empty()
+    if n_pending:
+        sim.run(until=0.99)
+    else:
+        sim.run_until_empty()
     elapsed = time.perf_counter() - start
     assert counter[0] == n_events
     return n_events / elapsed
@@ -235,6 +276,110 @@ def bench_engine(*, n_events: int = 200_000,
     }
 
 
+def bench_engine_loaded(*, n_events: int = 200_000,
+                        n_pending: int = 20_000,
+                        repeats: int = 3) -> Dict[str, object]:
+    """Events/sec with ``n_pending`` far-future timers parked.
+
+    The regime of every large DES run: thousands of RTO/pacing timers
+    pending while the hot ACK-clock churns.  The chain workload is the
+    same as :func:`bench_engine`; only the pending population differs.
+    """
+    before = max(
+        _engine_events_per_sec(_SeedSimulator, n_events, n_pending)
+        for _ in range(repeats))
+    after = max(_engine_events_per_sec(Simulator, n_events, n_pending)
+                for _ in range(repeats))
+    return {
+        "n_events": n_events,
+        "n_pending": n_pending,
+        "before_events_per_sec": round(before),
+        "after_events_per_sec": round(after),
+        "speedup": round(after / before, 3),
+    }
+
+
+_CHURN_PERIOD = 1e-3   # driver tick: one "ACK" per ms
+_CHURN_RTO = 0.3       # deadline pushed this far out on every tick
+
+
+def _timer_churn_seed_ops_per_sec(n_timers: int, n_ticks: int) -> float:
+    """Seed engine, naive idiom: schedule fresh + lazily cancel old."""
+    sim = _SeedSimulator()
+    events = [None] * n_timers
+    counter = [0]
+
+    def tick():
+        now = sim.now
+        deadline = now + _CHURN_RTO
+        for i in range(n_timers):
+            event = events[i]
+            if event is not None:
+                event.cancel()
+            events[i] = sim.schedule_at(deadline, _noop)
+        counter[0] += 1
+        if counter[0] < n_ticks:
+            sim.schedule(_CHURN_PERIOD, tick)
+
+    sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run_until_empty()
+    elapsed = time.perf_counter() - start
+    assert counter[0] == n_ticks
+    return n_timers * n_ticks / elapsed
+
+
+def _timer_churn_timer_ops_per_sec(n_timers: int, n_ticks: int) -> float:
+    """Current engine: one rearmable Timer per deadline."""
+    sim = Simulator()
+    timers = [sim.timer(_noop) for _ in range(n_timers)]
+    counter = [0]
+
+    def tick():
+        deadline = sim.now + _CHURN_RTO
+        for timer in timers:
+            timer.arm_at(deadline)
+        counter[0] += 1
+        if counter[0] < n_ticks:
+            sim.schedule(_CHURN_PERIOD, tick)
+
+    sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run_until_empty()
+    elapsed = time.perf_counter() - start
+    assert counter[0] == n_ticks
+    return n_timers * n_ticks / elapsed
+
+
+def bench_timer_churn(*, n_timers: int = 32, n_ticks: int = 2000,
+                      repeats: int = 3) -> Dict[str, object]:
+    """Rearms/sec of RTO-style deadline churn, naive idiom vs Timer.
+
+    Every driver tick (1 ms, the ACK clock) pushes all ``n_timers``
+    deadlines out by 300 ms — the exact shape of TCP's retransmission
+    timer under steady ACKs.  "Before" is the naive idiom on the seed
+    engine — schedule a fresh event, lazily cancel the old one — which
+    leaves ~300 ticks' worth of tombstones per timer in the heap.  The
+    seed's own tcp.py dodged that cost by hand-rolling a deadline-move
+    dance for its single RTO timer; ``Timer.arm_at`` is that dance
+    promoted into the engine (a monotone rearm is two attribute writes,
+    the scheduler is only touched when a wakeup expires), so the ratio
+    quantifies what the Timer API gives every client for free rather
+    than a cost the seed TCP itself paid.
+    """
+    before = max(_timer_churn_seed_ops_per_sec(n_timers, n_ticks)
+                 for _ in range(repeats))
+    after = max(_timer_churn_timer_ops_per_sec(n_timers, n_ticks)
+                for _ in range(repeats))
+    return {
+        "n_timers": n_timers,
+        "n_ticks": n_ticks,
+        "before_rearms_per_sec": round(before),
+        "after_rearms_per_sec": round(after),
+        "speedup": round(after / before, 3),
+    }
+
+
 # -- report ---------------------------------------------------------------------
 
 def run_bench(output_path: str | None = None, *,
@@ -250,10 +395,15 @@ def run_bench(output_path: str | None = None, *,
         fluid = bench_fluid_sweep(n_points=8, t_end=1.0)
         equilibrium = bench_equilibrium_sweep(n_points=8)
         engine = bench_engine(n_events=20_000, repeats=1)
+        loaded = bench_engine_loaded(n_events=20_000, n_pending=5_000,
+                                     repeats=1)
+        churn = bench_timer_churn(n_timers=32, n_ticks=300, repeats=1)
     else:
         fluid = bench_fluid_sweep()
         equilibrium = bench_equilibrium_sweep()
         engine = bench_engine()
+        loaded = bench_engine_loaded()
+        churn = bench_timer_churn()
     report = {
         "benchmark": "BENCH_sweep",
         "smoke": smoke,
@@ -261,6 +411,8 @@ def run_bench(output_path: str | None = None, *,
         "fluid_sweep": fluid,
         "equilibrium_sweep": equilibrium,
         "engine": engine,
+        "engine_loaded": loaded,
+        "timer_churn": churn,
     }
     if output_path is not None:
         with open(output_path, "w") as fh:
@@ -274,6 +426,8 @@ def format_report(report: Dict[str, object]) -> str:
     fluid = report["fluid_sweep"]
     equilibrium = report["equilibrium_sweep"]
     engine = report["engine"]
+    loaded = report["engine_loaded"]
+    churn = report["timer_churn"]
     lines = [
         f"fluid sweep ({fluid['n_points']} points, t_end={fluid['t_end']}s):",
         f"  loop backend : {fluid['loop_points_per_sec']:>10} points/s",
@@ -285,10 +439,20 @@ def format_report(report: Dict[str, object]) -> str:
         f"  batch backend: {equilibrium['batch_points_per_sec']:>10} points/s"
         f"  ({equilibrium['speedup']}x, "
         f"bitwise_equal={equilibrium['bitwise_equal']})",
-        f"engine ({engine['n_events']} events):",
+        f"engine ({engine['n_events']} events, empty pending set):",
         f"  before: {engine['before_events_per_sec']:>10} events/s",
         f"  after : {engine['after_events_per_sec']:>10} events/s"
         f"  ({engine['speedup']}x)",
+        f"engine loaded ({loaded['n_events']} events, "
+        f"{loaded['n_pending']} pending timers):",
+        f"  before: {loaded['before_events_per_sec']:>10} events/s",
+        f"  after : {loaded['after_events_per_sec']:>10} events/s"
+        f"  ({loaded['speedup']}x)",
+        f"timer churn ({churn['n_timers']} timers x "
+        f"{churn['n_ticks']} ticks):",
+        f"  before: {churn['before_rearms_per_sec']:>10} rearms/s",
+        f"  after : {churn['after_rearms_per_sec']:>10} rearms/s"
+        f"  ({churn['speedup']}x)",
     ]
     if report.get("smoke"):
         lines.append("  (smoke mode: sizes capped by REPRO_BENCH_SMOKE)")

@@ -17,8 +17,11 @@ changes any number in the tables.  ``--resume DIR`` caches every sweep
 point under DIR so an interrupted run picks up where it stopped, and
 ``--shard I/N`` computes only every N-th point (cells owned by other
 shards print as PENDING until their shard has run against the same
-``--resume`` directory).  ``bench`` measures the hot paths and writes
-``BENCH_sweep.json`` (see docs/PERFORMANCE.md and docs/REPRODUCING.md).
+``--resume`` directory); ``--shard steal`` claims cache-missing points
+dynamically through lock files in the resume directory, so any number
+of concurrent runs balance a grid of unevenly expensive points.
+``bench`` measures the hot paths and writes ``BENCH_sweep.json`` (see
+docs/PERFORMANCE.md and docs/REPRODUCING.md).
 """
 
 from __future__ import annotations
@@ -82,7 +85,8 @@ def _experiments(fast: bool, jobs: int = 1, backend: str = "loop",
         "fig14": lambda: shortflows.figure14_table(**dyn, **sweep),
         "table3": lambda: shortflows.table3(**dyn, **sweep),
         "fig17": lambda: scenario_b.figure17_table(),
-        "ablation-epsilon": lambda: ablation.epsilon_sweep_table(**sweep),
+        "ablation-epsilon": lambda: ablation.epsilon_sweep_table(
+            backend=backend, **sweep),
         "ablation-alpha": lambda: ablation.flappiness_table(
             duration=trace_len,
             seeds=(1, 2, 3) if not fast else (1,), **sweep),
@@ -102,13 +106,15 @@ def _experiments(fast: bool, jobs: int = 1, backend: str = "loop",
 
 
 def _parse_shard(text: str):
-    """Parse ``--shard I/N`` into an ``(index, count)`` tuple."""
+    """Parse ``--shard I/N`` (or ``--shard steal``)."""
+    if text == "steal":
+        return "steal"
     try:
         index, count = text.split("/")
         shard = (int(index), int(count))
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"expected INDEX/COUNT (e.g. 0/4), got {text!r}")
+            f"expected INDEX/COUNT (e.g. 0/4) or 'steal', got {text!r}")
     if shard[1] < 1 or not 0 <= shard[0] < shard[1]:
         raise argparse.ArgumentTypeError(
             f"need 0 <= INDEX < COUNT, got {text!r}")
@@ -140,9 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "(resumable sweeps)")
     run.add_argument("--shard", metavar="I/N", type=_parse_shard,
                      default=None,
-                     help="compute only sweep points with index %% N == I; "
-                          "requires --resume so the N shards can merge "
-                          "their results")
+                     help="compute only sweep points with index %% N == I "
+                          "('steal' claims cache-missing points "
+                          "dynamically via lock files instead — best "
+                          "when point costs vary wildly); requires "
+                          "--resume so the shards can merge their "
+                          "results")
     bench = sub.add_parser(
         "bench", help="measure hot paths and write BENCH_sweep.json")
     bench.add_argument("--output", default="BENCH_sweep.json",
@@ -176,7 +185,8 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
         return 2
-    if args.shard is not None and args.shard[1] > 1 and args.resume is None:
+    if args.shard is not None and args.resume is None and (
+            args.shard == "steal" or args.shard[1] > 1):
         print("--shard requires --resume DIR: the shared cache is how the "
               "shards' results are merged", file=sys.stderr)
         return 2

@@ -18,8 +18,13 @@ a worker pool (``jobs=N``) without changing any number in the tables.
 
 from __future__ import annotations
 
-from ..fluid import FluidNetwork, SharpLoss, solve_fixed_point
-from ..fluid.equilibrium import allocation_rule
+from ..fluid import (
+    FluidNetwork,
+    SharpLoss,
+    solve_fixed_point,
+    solve_fixed_point_batch,
+)
+from ..fluid.equilibrium import PerPointEpsilonRule, allocation_rule
 from ..units import mbps_to_pps
 from .results import ResultTable
 from .runner import RunSpec
@@ -27,25 +32,25 @@ from .sweep import SWEEP_PENDING, SweepRunner, pending_row
 from .traces import run_two_path_trace
 
 
-def epsilon_sweep_point(*, epsilon: float, n1: int, n2: int,
-                        c1_mbps: float, c2_mbps: float,
-                        rtt: float) -> tuple:
-    """Fixed point of one epsilon value on the scenario C network."""
+def _epsilon_network(*, n1: int, n2: int, c1_mbps: float, c2_mbps: float,
+                     rtt: float) -> FluidNetwork:
+    """The scenario C network every epsilon point shares."""
     net = FluidNetwork()
     ap1 = net.add_link(SharpLoss(capacity=n1 * mbps_to_pps(c1_mbps)))
     ap2 = net.add_link(SharpLoss(capacity=n2 * mbps_to_pps(c2_mbps)))
-    rules = {}
     for i in range(n1):
         user = net.add_user(f"mp{i}")
         net.add_route(user, [ap1], rtt=rtt)
         net.add_route(user, [ap2], rtt=rtt)
-        rules[user] = allocation_rule("epsilon", epsilon=epsilon) \
-            if epsilon > 0 else allocation_rule("olia")
     for i in range(n2):
         user = net.add_user(f"sp{i}")
         net.add_route(user, [ap2], rtt=rtt)
-        rules[user] = allocation_rule("tcp")
-    result = solve_fixed_point(net, rules, floor_packets=1.0)
+    return net
+
+
+def _epsilon_row(epsilon: float, result, n1: int, n2: int,
+                 net: FluidNetwork) -> tuple:
+    """Assemble one table row from a per-point fixed-point result."""
     totals = result.user_totals(net)
     mp_rate = float(totals[:n1].mean())
     sp_rate = float(totals[n1:].mean())
@@ -57,23 +62,101 @@ def epsilon_sweep_point(*, epsilon: float, n1: int, n2: int,
             100.0 * mp_ap2 / ap2_total)
 
 
+def epsilon_sweep_point(*, epsilon: float, n1: int, n2: int,
+                        c1_mbps: float, c2_mbps: float,
+                        rtt: float) -> tuple:
+    """Fixed point of one epsilon value on the scenario C network."""
+    net = _epsilon_network(n1=n1, n2=n2, c1_mbps=c1_mbps,
+                           c2_mbps=c2_mbps, rtt=rtt)
+    mp_rule = allocation_rule("epsilon", epsilon=epsilon) \
+        if epsilon > 0 else allocation_rule("olia")
+    rules = {user: (mp_rule if user < n1 else allocation_rule("tcp"))
+             for user in range(n1 + n2)}
+    result = solve_fixed_point(net, rules, floor_packets=1.0)
+    return _epsilon_row(epsilon, result, n1, n2, net)
+
+
+def _epsilon_batch_rows(epsilons, *, n1: int, n2: int, c1_mbps: float,
+                        c2_mbps: float, rtt: float) -> list:
+    """All epsilon rows from (at most) two batched fixed-point solves.
+
+    Every point shares the scenario C topology, so the grid stacks into
+    :func:`~repro.fluid.solve_fixed_point_batch` with a
+    :class:`~repro.fluid.equilibrium.PerPointEpsilonRule` carrying one
+    epsilon per point.  ``epsilon = 0`` points use the OLIA rule (a
+    structurally different formula), so they batch separately; each row
+    is bitwise-identical to the sequential :func:`epsilon_sweep_point`.
+    """
+    epsilons = list(epsilons)
+    if any(e < 0 for e in epsilons):
+        # Same validation (and exception type) as the loop backend's
+        # epsilon_family_allocation call.
+        raise ValueError("epsilon must be non-negative")
+    rows = {}
+    groups = [([e for e in epsilons if e > 0], "eps"),
+              ([e for e in epsilons if e == 0], "olia")]
+    for group, kind in groups:
+        if not group:
+            continue
+        networks = [_epsilon_network(n1=n1, n2=n2, c1_mbps=c1_mbps,
+                                     c2_mbps=c2_mbps, rtt=rtt)
+                    for _ in group]
+        mp_rule = (PerPointEpsilonRule(group) if kind == "eps"
+                   else allocation_rule("olia"))
+        rules = {user: (mp_rule if user < n1 else allocation_rule("tcp"))
+                 for user in range(n1 + n2)}
+        batch = solve_fixed_point_batch(networks, rules,
+                                        floor_packets=1.0)
+        for k, epsilon in enumerate(group):
+            rows[epsilon] = _epsilon_row(epsilon, batch.result(k),
+                                         n1, n2, networks[k])
+    return [rows[epsilon] for epsilon in epsilons]
+
+
 def epsilon_sweep_table(*, n1: int = 10, n2: int = 10,
                         c1_mbps: float = 1.0, c2_mbps: float = 1.0,
                         rtt: float = 0.15,
                         epsilons=(0.0, 0.5, 1.0, 1.5, 2.0),
                         jobs: int = 1, cache_dir=None,
-                        shard=None) -> ResultTable:
-    """Fixed points of the epsilon-family on the scenario C network."""
+                        shard=None, backend: str = "loop") -> ResultTable:
+    """Fixed points of the epsilon-family on the scenario C network.
+
+    ``backend="batch"`` solves all pending epsilon points in one
+    :func:`~repro.fluid.solve_fixed_point_batch` call per rule family
+    (per-point epsilons ride a
+    :class:`~repro.fluid.equilibrium.PerPointEpsilonRule`); ``"loop"``
+    goes point-by-point, optionally over a ``jobs``-wide pool.  Both run
+    through :class:`SweepRunner` — ``cache_dir``/``shard`` compose with
+    either, and the rows are bitwise-identical.
+    """
+    if any(e < 0 for e in epsilons):
+        # Validate up front on both backends: the loop point function
+        # would silently treat a negative as OLIA (its eps > 0 test)
+        # and the batch grouping would KeyError at row assembly.
+        raise ValueError("epsilon must be non-negative")
     table = ResultTable(
         "Ablation - epsilon-family on scenario C "
         "(eps=0 ~ OLIA, eps=1 ~ LIA, eps=2 ~ uncoupled)",
         ["epsilon", "mp rate (pkt/s)", "sp rate (pkt/s)", "p2",
          "mp share of AP2 (%)"])
     runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
-    rows = runner.run([
-        RunSpec.make(epsilon_sweep_point, epsilon=epsilon, n1=n1, n2=n2,
-                     c1_mbps=c1_mbps, c2_mbps=c2_mbps, rtt=rtt)
-        for epsilon in epsilons])
+    specs = [RunSpec.make(epsilon_sweep_point, epsilon=epsilon, n1=n1,
+                          n2=n2, c1_mbps=c1_mbps, c2_mbps=c2_mbps,
+                          rtt=rtt)
+             for epsilon in epsilons]
+    if backend == "batch":
+        def solve_pending(pending):
+            eps = [dict(spec.kwargs)["epsilon"] for spec in pending]
+            return _epsilon_batch_rows(eps, n1=n1, n2=n2,
+                                       c1_mbps=c1_mbps,
+                                       c2_mbps=c2_mbps, rtt=rtt)
+
+        rows = runner.run_batched(specs, solve_pending)
+    elif backend == "loop":
+        rows = runner.run(specs)
+    else:
+        raise ValueError(f"unknown backend {backend!r} "
+                         "(expected 'loop' or 'batch')")
     for row in rows:
         table.add_row(*pending_row(row, len(table.columns)))
     table.add_note("larger epsilon -> more multipath traffic parked on "

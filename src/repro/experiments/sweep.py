@@ -18,6 +18,12 @@ executes such a sweep
   ``cache_dir`` (a shared filesystem) split a 10k-point grid between
   them, and a final unsharded run assembles the full result list from
   cache without recomputing anything;
+* **work-stealing** — with ``shard="steal"`` ownership is dynamic
+  instead of positional: each runner *claims* cache-missing points one
+  by one through ``O_EXCL`` lock files in the shared ``cache_dir``, so
+  any number of runners started against the same directory balance a
+  grid whose point costs vary wildly (a modular split would leave the
+  unlucky shard running long after the others finished);
 * **observably** — a ``progress`` callback fires after every completed
   point, which is what makes 10k-point grids operable.
 
@@ -38,6 +44,11 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -82,7 +93,10 @@ class SweepProgress:
         Points finished so far (computed + cache hits), out of ``total``.
     total : int
         Number of points this runner is accountable for (cache hits plus
-        the points it owns; excludes points left to other shards).
+        the points it owns; excludes points left to other shards).  In a
+        work-stealing run, ownership is decided point by point, so
+        ``total`` shrinks across ticks as points are lost to other
+        runners.
     cache_hits : int
         How many of the finished points came from the cache.
     from_cache : bool
@@ -125,27 +139,52 @@ class SweepRunner:
         written atomically as each point completes — this doubles as the
         resume journal and as the result store sharded runs merge
         through.
-    shard : tuple of (int, int), optional
+    shard : tuple of (int, int) or "steal", optional
         ``(shard_index, shard_count)``: this runner computes only the
         points whose position satisfies ``index % shard_count ==
-        shard_index``.  Requires ``cache_dir`` (otherwise the shards
-        could never be merged); points owned by other shards come back
-        as :data:`SWEEP_PENDING` unless already cached.
+        shard_index``.  ``"steal"``: ownership is decided at run time —
+        immediately before computing each cache-missing point the
+        runner claims it by atomically creating ``<hash>.claim`` in
+        ``cache_dir`` (at most ``jobs`` claims are held at any moment —
+        except under :meth:`run_batched`, whose single vectorized call
+        claims its whole batch — so concurrent runners always find work
+        and split the grid by actual point cost rather than position);
+        points another runner already claimed are skipped.  Claims are
+        removed once the point's result is stored (and any still-held
+        claims are released when a run raises), so re-running an
+        interrupted stealer resumes cleanly; a *hard-killed* runner
+        leaves its in-flight claims stale — those points stay PENDING
+        for stealers, and an unsharded merge run (which ignores claims)
+        computes whatever is missing.  Both modes require
+        ``cache_dir`` (it is the store shards merge through); points
+        owned by another shard come back as :data:`SWEEP_PENDING`
+        unless already cached.
 
     Attributes
     ----------
     cache_hits, cache_misses : int
         Running counters over all :meth:`run` calls.
     skipped : int
-        Points left to other shards (uncached, not owned) so far.
+        Points left to other shards (uncached, not owned/claimed) so
+        far.
     """
 
     def __init__(self, jobs: int = 1,
                  cache_dir: "str | os.PathLike | None" = None,
-                 shard: Optional[Tuple[int, int]] = None) -> None:
+                 shard: "Tuple[int, int] | str | None" = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
-        if shard is not None:
+        if isinstance(shard, str):
+            if shard != "steal":
+                raise ValueError(
+                    f"shard must be (index, count) or 'steal', "
+                    f"got {shard!r}")
+            if cache_dir is None:
+                raise ValueError(
+                    "work-stealing sweeps need a cache_dir: it holds "
+                    "the claim files and the results the stealers "
+                    "merge through")
+        elif shard is not None:
             index, count = shard
             if count < 1 or not 0 <= index < count:
                 raise ValueError(
@@ -203,6 +242,33 @@ class SweepRunner:
             return True
         shard_index, shard_count = self.shard
         return index % shard_count == shard_index
+
+    # -- work stealing ----------------------------------------------------------
+    def _claim_path(self, spec: RunSpec) -> Path:
+        return self.cache_dir / f"{spec.content_hash()}.claim"
+
+    def _try_claim(self, spec: RunSpec) -> bool:
+        """Atomically claim a point; False when another runner holds it.
+
+        ``O_CREAT | O_EXCL`` is atomic on POSIX filesystems (including
+        NFS v3+), which is all the coordination work stealing needs —
+        no daemon, no queue service, just the shared ``cache_dir``.
+        """
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(self._claim_path(spec),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as fh:
+            fh.write(f"pid={os.getpid()}\n")
+        return True
+
+    def _release_claim(self, spec: RunSpec) -> None:
+        try:
+            os.unlink(self._claim_path(spec))
+        except OSError:
+            pass
 
     # -- execution --------------------------------------------------------------
     def run(self, specs: Iterable[RunSpec], *,
@@ -274,11 +340,16 @@ class SweepRunner:
              batch_fn) -> List[Any]:
         results: List[Any] = [None] * len(specs)
         pending: List[int] = []
-        hits: List[int] = []
+        hit_indices: List[int] = []
+        stealing = self.shard == "steal"
         for index, spec in enumerate(specs):
             cached = self._load_cached(spec)
             if cached is _CACHE_MISS:
-                if self._owns(index):
+                # In steal mode every miss stays a *candidate*: claims
+                # are taken one point at a time right before execution
+                # (an upfront claim sweep would hand this runner the
+                # whole grid and starve concurrent stealers).
+                if stealing or self._owns(index):
                     pending.append(index)
                 else:
                     self.skipped += 1
@@ -286,38 +357,150 @@ class SweepRunner:
             else:
                 self.cache_hits += 1
                 results[index] = cached
-                hits.append(index)
-        self.cache_misses += len(pending)
+                hit_indices.append(index)
 
-        total = len(hits) + len(pending)
+        # ``total`` shrinks in a stealing run as candidates are lost to
+        # other runners; each tick snapshots the current value.
+        hits = len(hit_indices)
+        total = hits + len(pending)
         done = 0
         if progress is not None:
-            for index in hits:
+            for index in hit_indices:
                 done += 1
-                progress(SweepProgress(index=index, done=done, total=total,
-                                       cache_hits=len(hits),
+                progress(SweepProgress(index=index, done=done,
+                                       total=total, cache_hits=hits,
                                        from_cache=True))
+
+        # Claims this runner holds for points whose results are not on
+        # disk yet; the steal paths release any leftovers in a finally,
+        # so an aborted stealer never parks its unfinished points.
+        held_claims: set = set()
 
         def finish(index: int, value: Any) -> None:
             nonlocal done
             results[index] = value
             self._store_cached(specs[index], value)
+            if stealing:
+                # Result is on disk: drop the claim so other runners
+                # (and future resumes) see a completed, unclaimed point.
+                self._release_claim(specs[index])
+                held_claims.discard(index)
             done += 1
             if progress is not None:
                 progress(SweepProgress(index=index, done=done, total=total,
-                                       cache_hits=len(hits),
+                                       cache_hits=hits,
                                        from_cache=False))
 
-        if pending:
-            if batch_fn is not None:
-                values = list(batch_fn([specs[i] for i in pending]))
-                if len(values) != len(pending):
-                    raise ValueError(
-                        f"batch_fn returned {len(values)} results for "
-                        f"{len(pending)} pending specs")
-                for index, value in zip(pending, values):
-                    finish(index, value)
-            elif self.jobs == 1 or len(pending) == 1:
+        def lose(index: int) -> None:
+            nonlocal total
+            self.skipped += 1
+            results[index] = SWEEP_PENDING
+            total -= 1
+
+        def serve_cached(index: int, value: Any) -> None:
+            nonlocal done, hits
+            self.cache_hits += 1
+            hits += 1
+            results[index] = value
+            done += 1
+            if progress is not None:
+                progress(SweepProgress(index=index, done=done, total=total,
+                                       cache_hits=hits, from_cache=True))
+
+        queue_pos = 0
+
+        def claim_chunk(limit: int) -> List[int]:
+            """Claim up to ``limit`` still-missing points to compute now.
+
+            Re-checks the cache before claiming (another stealer may
+            have completed — and unclaimed — the point meanwhile) and
+            leaves points whose claim is held elsewhere as PENDING.
+            """
+            nonlocal queue_pos
+            chunk: List[int] = []
+            while queue_pos < len(pending) and len(chunk) < limit:
+                index = pending[queue_pos]
+                queue_pos += 1
+                cached = self._load_cached(specs[index])
+                if cached is not _CACHE_MISS:
+                    serve_cached(index, cached)
+                elif self._try_claim(specs[index]):
+                    self.cache_misses += 1
+                    held_claims.add(index)
+                    chunk.append(index)
+                else:
+                    lose(index)
+            return chunk
+
+        def release_held_claims() -> None:
+            for index in held_claims:
+                self._release_claim(specs[index])
+            held_claims.clear()
+
+        if not pending:
+            return results
+
+        if batch_fn is not None:
+            try:
+                if stealing:
+                    # Deviation from the loop path's claim-as-you-go:
+                    # one vectorized call computes every point at once,
+                    # so the whole batch is claimed together (concurrent
+                    # batch stealers therefore race for the batch, not
+                    # for points).
+                    pending = claim_chunk(len(pending))
+                else:
+                    self.cache_misses += len(pending)
+                if pending:
+                    values = list(batch_fn([specs[i] for i in pending]))
+                    if len(values) != len(pending):
+                        raise ValueError(
+                            f"batch_fn returned {len(values)} results "
+                            f"for {len(pending)} pending specs")
+                    for index, value in zip(pending, values):
+                        finish(index, value)
+            finally:
+                release_held_claims()
+        elif stealing and self.jobs == 1:
+            # Claim-as-you-go: exactly one point is held by this runner
+            # at any moment, so concurrent stealers always find work and
+            # an interrupted run leaves at most one claim stale.
+            try:
+                while queue_pos < len(pending):
+                    for index in claim_chunk(1):
+                        finish(index, _execute_spec(specs[index]))
+            finally:
+                release_held_claims()
+        elif stealing:
+            # Rolling claim window over a process pool: a new point is
+            # claimed only as a worker frees up, so at most ``jobs``
+            # claims are held at any moment and no worker idles behind a
+            # chunk barrier waiting for a slow point.
+            executor = None
+            in_flight: Dict[Any, int] = {}
+            try:
+                while True:
+                    while len(in_flight) < self.jobs \
+                            and queue_pos < len(pending):
+                        for index in claim_chunk(1):
+                            if executor is None:
+                                executor = ProcessPoolExecutor(self.jobs)
+                            future = executor.submit(_execute_spec,
+                                                     specs[index])
+                            in_flight[future] = index
+                    if not in_flight:
+                        break
+                    completed, _ = futures_wait(
+                        in_flight, return_when=FIRST_COMPLETED)
+                    for future in completed:
+                        finish(in_flight.pop(future), future.result())
+            finally:
+                release_held_claims()
+                if executor is not None:
+                    executor.shutdown()
+        else:
+            self.cache_misses += len(pending)
+            if self.jobs == 1 or len(pending) == 1:
                 for index in pending:
                     finish(index, _execute_spec(specs[index]))
             else:

@@ -150,7 +150,7 @@ def olia_allocation(p, rtt, floor=None, tie_tolerance: float = 1e-6
     return np.where(best_set, best / n_best, base)
 
 
-def epsilon_family_allocation(p, rtt, epsilon: float) -> np.ndarray:
+def epsilon_family_allocation(p, rtt, epsilon) -> np.ndarray:
     """The ``epsilon``-family of Section II: ``x_r ~ p_r**(-1/epsilon)``.
 
     The total rate is normalised to the TCP rate on the best path (design
@@ -162,23 +162,58 @@ def epsilon_family_allocation(p, rtt, epsilon: float) -> np.ndarray:
     ----------
     p, rtt : array_like, shape ``(..., n_routes)``
         Route loss probabilities and RTTs (routes on the last axis).
-    epsilon : float
-        Coupling parameter, must be non-negative.
+    epsilon : float or array_like
+        Coupling parameter, non-negative.  An array (broadcast against
+        ``p``, e.g. shape ``(K, 1)`` for per-sweep-point epsilons) must
+        be strictly positive — per-point batches handle the
+        ``epsilon = 0`` (OLIA) points through :func:`olia_allocation`
+        separately, because the two formulas do not mix row-wise.
 
     Returns
     -------
     ndarray, shape ``(..., n_routes)``
-        Per-route rates.
+        Per-route rates; each row is bitwise-identical to a scalar call
+        with that row's epsilon.
     """
-    if epsilon < 0:
+    epsilon = np.asarray(epsilon, dtype=float)
+    if np.any(epsilon < 0):
         raise ValueError("epsilon must be non-negative")
     p = np.maximum(np.asarray(p, dtype=float), _EPS)
     rtt = np.asarray(rtt, dtype=float)
-    if epsilon == 0:
-        return olia_allocation(p, rtt)
+    if epsilon.ndim == 0:
+        if epsilon == 0:
+            return olia_allocation(p, rtt)
+    elif np.any(epsilon == 0):
+        raise ValueError(
+            "per-point epsilon arrays must be strictly positive "
+            "(route epsilon=0 points through the OLIA rule instead)")
     total = np.max(np.sqrt(2.0 / p) / rtt, axis=-1, keepdims=True)
     weights = p ** (-1.0 / epsilon)
     return total * weights / np.sum(weights, axis=-1, keepdims=True)
+
+
+class PerPointEpsilonRule:
+    """An epsilon-family rule with one epsilon per batched sweep point.
+
+    Lets a whole epsilon grid solve as a single
+    :func:`solve_fixed_point_batch` call: the rule broadcasts its
+    ``(K,)`` epsilon vector against the ``(K, n_routes)`` state, so row
+    ``k`` computes exactly what a scalar ``epsilon=epsilons[k]`` rule
+    would.  Implements the ``take_points`` protocol so the solver can
+    compact frozen rows out of the iteration.
+    """
+
+    def __init__(self, epsilons) -> None:
+        self.epsilons = np.atleast_1d(np.asarray(epsilons, dtype=float))
+        if np.any(self.epsilons <= 0):
+            raise ValueError("per-point epsilons must be positive")
+
+    def __call__(self, p, rtt) -> np.ndarray:
+        return epsilon_family_allocation(p, rtt, self.epsilons[:, None])
+
+    def take_points(self, points) -> "PerPointEpsilonRule":
+        """The same rule restricted to a subset of batch points."""
+        return PerPointEpsilonRule(self.epsilons[points])
 
 
 def tcp_allocation(p, rtt) -> np.ndarray:
@@ -314,6 +349,18 @@ def solve_fixed_point_batch(networks, rules, *,
     returns, bit for bit, because every operation is row-wise along the
     last axis and the points are independent.
 
+    Frozen points also leave the *compute*: the iteration state is
+    compacted to the still-active rows whenever points converge, so on
+    heterogeneous grids (a few slow points, many fast ones) the per
+    iteration cost shrinks with the active set instead of staying K-wide
+    until the slowest point finishes.  Row-wise bitwise equality makes
+    the compaction invisible in the results.
+
+    A user rule may carry *per-point* parameters (e.g.
+    :class:`PerPointEpsilonRule`); such rules expose
+    ``take_points(points)`` returning the rule restricted to a subset of
+    batch points, which the solver calls as the active set shrinks.
+
     Parameters
     ----------
     networks : BatchFluidNetwork or sequence of FluidNetwork
@@ -362,35 +409,55 @@ def solve_fixed_point_batch(networks, rules, *,
     iterations = np.full(n_points, max_iter, dtype=int)
     converged = np.zeros(n_points, dtype=bool)
     final_residual = np.full(n_points, np.inf)
-    active = np.ones(n_points, dtype=bool)
+
+    # Compacted iteration state: only the still-active rows.  ``active``
+    # maps each compact row back to its batch point, which is also what
+    # per-point loss parameters and rules are indexed by.
+    active = np.arange(n_points)
+    rtts_act = rtts
+    floor_act = floor
+    rules_act = per_user
     residual = np.full(n_points, np.inf)
 
     for iteration in range(1, max_iter + 1):
-        p_routes = net.route_loss_probs(x)
+        points = None if len(active) == n_points else active
+        p_routes = net.route_loss_probs(x, points)
         target = np.zeros_like(x)
-        for user, rule in enumerate(per_user):
+        for user, rule in enumerate(rules_act):
             idx = user_routes[user]
             if len(idx) == 0:   # routeless users contribute nothing
                 continue
-            target[..., idx] = rule(p_routes[..., idx], rtts[..., idx])
-        target = np.maximum(target, floor)
+            target[..., idx] = rule(p_routes[..., idx],
+                                    rtts_act[..., idx])
+        target = np.maximum(target, floor_act)
         new_x = (1.0 - damping) * x + damping * target
         scale = np.maximum(np.max(np.abs(new_x), axis=-1), 1e-9)
         residual = np.max(np.abs(new_x - x), axis=-1) / scale
         x = new_x
-        newly = active & (residual < tol)
+        newly = residual < tol
         if newly.any():
-            final_x[newly] = new_x[newly]
-            iterations[newly] = iteration
-            converged[newly] = True
-            final_residual[newly] = residual[newly]
-            active &= ~newly
-            if not active.any():
+            done = active[newly]
+            final_x[done] = new_x[newly]
+            iterations[done] = iteration
+            converged[done] = True
+            final_residual[done] = residual[newly]
+            keep = ~newly
+            active = active[keep]
+            if len(active) == 0:
                 break
+            # Shrink the compute to the surviving rows (bitwise no-op
+            # for them: every operation above is row-wise).
+            x = x[keep]
+            rtts_act = rtts_act[keep]
+            floor_act = floor_act[keep]
+            residual = residual[keep]
+            rules_act = [rule.take_points(active)
+                         if hasattr(rule, "take_points") else rule
+                         for rule in per_user]
 
-    if active.any():
-        final_x[active] = x[active]
-        final_residual[active] = residual[active]
+    if len(active):
+        final_x[active] = x
+        final_residual[active] = residual
 
     return BatchFixedPointResult(
         batch_network=net, rates=final_x,

@@ -307,27 +307,48 @@ class BatchFluidNetwork:
                 x[..., self._link_gather], self._link_starts, axis=-1)
         return rates
 
-    def link_loss_probs(self, x: np.ndarray) -> np.ndarray:
-        """Per-link loss probabilities, ``(K, n_routes) -> (K, n_links)``."""
+    def link_loss_probs(self, x: np.ndarray,
+                        points: "np.ndarray | None" = None) -> np.ndarray:
+        """Per-link loss probabilities, ``(K, n_routes) -> (K, n_links)``.
+
+        ``points`` selects a *subset* of the batch: ``x`` then has shape
+        ``(len(points), n_routes)`` and each row is evaluated with the
+        per-point loss parameters of batch member ``points[i]``.  Every
+        operation is row-wise, so a subset row is bitwise-identical to
+        the same row of a full-batch evaluation — this is what lets the
+        fixed-point solver drop converged rows from the compute without
+        perturbing the still-active ones.
+        """
         rates = self.link_rates(x)
         probs = np.empty_like(rates)
         if len(self._power_links):
+            params = self._power_params if points is None else tuple(
+                p[points] for p in self._power_params)
             probs[..., self._power_links] = power_loss_probability(
-                rates[..., self._power_links], *self._power_params)
+                rates[..., self._power_links], *params)
         if len(self._red_links):
+            params = self._red_params if points is None else tuple(
+                p[points] for p in self._red_params)
             probs[..., self._red_links] = red_loss_probability(
-                rates[..., self._red_links], *self._red_params)
+                rates[..., self._red_links], *params)
         for link in self._fallback_links:
             models = self._fallback_models[link]
+            if points is not None:
+                models = [models[point] for point in points]
             column = rates[..., link]
             probs[..., link] = np.array(
                 [float(model(float(rate)))
                  for model, rate in zip(models, np.atleast_1d(column))])
         return probs
 
-    def route_loss_probs(self, x: np.ndarray) -> np.ndarray:
-        """Per-route loss ``p_r = min(1, sum_{l in r} p_l)``, batched."""
-        link_probs = self.link_loss_probs(x)
+    def route_loss_probs(self, x: np.ndarray,
+                         points: "np.ndarray | None" = None) -> np.ndarray:
+        """Per-route loss ``p_r = min(1, sum_{l in r} p_l)``, batched.
+
+        ``points`` restricts the evaluation to a subset of the batch, as
+        in :meth:`link_loss_probs`.
+        """
+        link_probs = self.link_loss_probs(x, points)
         route_probs = np.add.reduceat(
             link_probs[..., self._route_gather], self._route_starts,
             axis=-1)

@@ -1,8 +1,9 @@
 """Packet-level discrete-event simulator (testbed / htsim substitute)."""
 
 from .apps import BackgroundTraffic, BulkTransfer, ShortFlowSource
-from .engine import Event, Simulator
+from .engine import Event, Simulator, Timer
 from .link import Link, LinkStats
+from .scheduler import HeapScheduler, WheelScheduler
 from .monitors import FlowMeter, WindowTracer
 from .mptcp import MptcpConnection, PathSpec
 from .packet import Packet
@@ -12,6 +13,9 @@ from .tcp import TcpSubflow, single_path_tcp
 __all__ = [
     "Simulator",
     "Event",
+    "Timer",
+    "HeapScheduler",
+    "WheelScheduler",
     "Packet",
     "DropTailQueue",
     "REDQueue",

@@ -87,16 +87,19 @@ class ShortFlowSource:
         self.flows_started = 0
         self._running = False
         self._flow_counter = 0
+        # One rearmable spawn timer drives the whole arrival process.
+        self._spawn_timer = sim.timer(self._spawn_flow)
 
     def start(self, at: float | None = None) -> None:
         """Begin generating flows at ``at`` (defaults to now)."""
         self._running = True
         when = self.sim.now if at is None else at
-        self.sim.schedule_at(when + self._next_gap(), self._spawn_flow)
+        self._spawn_timer.arm_at(when + self._next_gap())
 
     def stop(self) -> None:
         """Stop creating new flows (in-flight flows run to completion)."""
         self._running = False
+        self._spawn_timer.cancel()
 
     def _next_gap(self) -> float:
         return self.rng.expovariate(1.0 / self.mean_interarrival)
@@ -113,7 +116,7 @@ class ShortFlowSource:
             on_complete=self.completion_times.append,
             name=f"{self.name}.{self._flow_counter}")
         flow.start()
-        self.sim.schedule(self._next_gap(), self._spawn_flow)
+        self._spawn_timer.arm(self._next_gap())
 
     def mean_fct(self) -> float:
         """Mean completion time of finished flows (seconds)."""
@@ -150,14 +153,17 @@ class BackgroundTraffic:
         self.packets_delivered = 0
         self._running = False
         self._seq = 0
+        # Pacing tick: one rearmable timer instead of an event per packet.
+        self._pacer = sim.timer(self._emit)
 
     def start(self, at: float | None = None) -> None:
         self._running = True
         when = self.sim.now if at is None else at
-        self.sim.schedule_at(when + self._gap(), self._emit)
+        self._pacer.arm_at(when + self._gap())
 
     def stop(self) -> None:
         self._running = False
+        self._pacer.cancel()
 
     def _gap(self) -> float:
         if self.poisson:
@@ -172,7 +178,7 @@ class BackgroundTraffic:
         self._seq += 1
         self.packets_sent += 1
         self.path[0].receive(packet)
-        self.sim.schedule(self._gap(), self._emit)
+        self._pacer.arm(self._gap())
 
     def on_data(self, packet: Packet) -> None:
         """Terminal endpoint: count the delivery, nothing to ACK."""

@@ -1,26 +1,49 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event scheduler: a binary heap with O(log n) scheduling
-and lazy cancellation.  A sequence number makes event ordering
+The :class:`Simulator` owns a virtual clock and dispatches callbacks in
+exact ``(time, seq)`` order: a sequence number makes event ordering
 deterministic for simultaneous events (FIFO within a timestamp), which
-keeps whole simulations exactly reproducible for a fixed seed.
+keeps whole simulations exactly reproducible for a fixed seed.  Event
+*storage* is delegated to a scheduler backend
+(:mod:`repro.sim.scheduler`):
+
+* ``"wheel"`` (the default) — a hierarchical timer wheel with an
+  overflow heap: O(1) inserts for the near-future bulk (link service,
+  propagation, ACK clocks, RTO wakeups) regardless of how many events
+  are pending;
+* ``"heap"`` — the classic binary heap, kept as the reference backend.
+
+Both pop in the same total order, so a simulation's trace is
+backend-independent (property-tested in
+``tests/test_sim_scheduler_equivalence.py``); ``REPRO_SIM_SCHEDULER``
+overrides the default for a whole process.
 
 Two hot-path optimisations keep the event loop allocation-light:
 
-* **Pre-bound heap entries** — the heap stores ``(time, seq, fn, args,
+* **Pre-bound heap entries** — schedulers store ``(time, seq, fn, args,
   event)`` tuples, so dispatching an event reads the callback and its
   arguments straight out of the popped tuple instead of chasing
   attributes on the :class:`Event` object.  The unique ``(time, seq)``
   prefix means tuple comparison never reaches the callables.
 * **An Event free-list** — handle objects are recycled once their entry
-  leaves the heap, so steady-state simulation performs no per-event
+  leaves the queue, so steady-state simulation performs no per-event
   allocations beyond the entry tuple itself.
+
+For repeating deadlines, :meth:`Simulator.timer` returns a rearmable
+:class:`Timer`: re-arming one to a later deadline is a pair of
+attribute writes — no scheduler traffic at all — which is what removes
+the schedule-then-lazy-cancel churn of RTO-style timers.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-from typing import Any, Callable, List
+import os
+from typing import Any, Callable, List, Optional
+
+from .scheduler import HeapScheduler, WheelScheduler
+
+#: Environment override for the default scheduler backend.
+SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
 
 
 class Event:
@@ -32,7 +55,9 @@ class Event:
     ``schedule`` call, so holders must drop (or overwrite) their
     reference when the callback fires and must not call :meth:`cancel`
     afterwards — the idiom used throughout :mod:`repro.sim` is to null
-    the stored handle first thing in the callback.
+    the stored handle first thing in the callback.  (A :class:`Timer` is
+    the safer alternative for recurring deadlines: it is owned by its
+    holder and never recycled.)
     """
 
     __slots__ = ("time", "fn", "args", "cancelled")
@@ -48,15 +73,132 @@ class Event:
         self.cancelled = True
 
 
-class Simulator:
-    """Event loop with a virtual clock (seconds)."""
+class Timer:
+    """A rearmable deadline callback bound to one :class:`Simulator`.
 
-    def __init__(self) -> None:
-        self._heap: List[tuple] = []
+    Unlike a raw :class:`Event`, a Timer is a *persistent* handle: the
+    holder owns it for the lifetime of the component, re-arming it as
+    deadlines move instead of scheduling a fresh event (and lazily
+    cancelling the old one) on every rearm.  It keeps at most one
+    pending wakeup in the scheduler and tracks the live deadline in an
+    attribute, so
+
+    * extending the deadline (``arm``/``arm_at`` past the pending
+      wakeup — the RTO pattern, where every ACK pushes the deadline
+      out) is two attribute writes and costs the scheduler nothing;
+    * when the wakeup fires early (the deadline moved), the timer
+      silently re-inserts itself at the live deadline;
+    * ``cancel`` clears the deadline and lets any pending wakeup pop as
+      a no-op.
+
+    Firing contract: the callback runs at the first wakeup whose time is
+    at-or-after the live deadline.  For the monotone-deadline pattern
+    this is exact; re-arming *earlier* than an already-pending wakeup
+    takes effect only at that wakeup (the timer never fires before the
+    live deadline, but may fire late by the difference).  Components
+    that need exact earlier deadlines should use a fresh timer.
+
+    After firing, the timer is disarmed and may be re-armed — including
+    from inside its own callback (periodic pacing/spawn loops).
+    """
+
+    __slots__ = ("_sim", "fn", "args", "_deadline", "_wakeup")
+
+    def __init__(self, sim: "Simulator", fn: Callable, args: tuple) -> None:
+        self._sim = sim
+        self.fn = fn
+        self.args = args
+        self._deadline: Optional[float] = None
+        self._wakeup: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while a deadline is set (callback will eventually run)."""
+        return self._deadline is not None
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The live deadline, or None when disarmed."""
+        return self._deadline
+
+    def arm(self, delay: float) -> None:
+        """(Re-)arm to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot arm a timer in the past ({delay})")
+        self.arm_at(self._sim.now + delay)
+
+    def arm_at(self, time: float) -> None:
+        """(Re-)arm to fire at absolute ``time``."""
+        sim = self._sim
+        if time < sim.now:
+            raise ValueError(
+                f"cannot arm a timer at {time} before now ({sim.now})")
+        self._deadline = time
+        if self._wakeup is None:
+            self._wakeup = sim.schedule_at(time, self._on_wakeup)
+
+    def cancel(self) -> None:
+        """Disarm; a pending wakeup (if any) pops as a no-op."""
+        self._deadline = None
+
+    def _on_wakeup(self) -> None:
+        self._wakeup = None
+        deadline = self._deadline
+        if deadline is None:
+            return
+        if self._sim.now < deadline - 1e-12:
+            # The deadline moved forward since this wakeup was
+            # scheduled; chase it.
+            self._wakeup = self._sim.schedule_at(deadline, self._on_wakeup)
+            return
+        self._deadline = None
+        self.fn(*self.args)
+
+
+def _make_scheduler(name: str, wheel_tick: float):
+    if name == "wheel":
+        return WheelScheduler(tick=wheel_tick)
+    if name == "heap":
+        return HeapScheduler()
+    raise ValueError(
+        f"unknown scheduler {name!r} (expected 'wheel' or 'heap')")
+
+
+class Simulator:
+    """Event loop with a virtual clock (seconds).
+
+    Parameters
+    ----------
+    scheduler : str, optional
+        Event-store backend, ``"wheel"`` or ``"heap"``.  Defaults to the
+        ``REPRO_SIM_SCHEDULER`` environment variable, else ``"wheel"``.
+        Both backends dispatch in identical ``(time, seq)`` order, so
+        the choice is purely speed: the wheel's cost is flat in the
+        pending-event population (the scaling target of this repo's
+        roadmap — 10k+ flow scenarios), at ~10% worse constants on the
+        small shipped figure scenarios, where ``"heap"`` is the faster
+        pick.
+    wheel_tick : float
+        Level-0 slot width of the wheel backend in seconds (default
+        1 ms); ignored by the heap backend.
+    trace : callable, optional
+        Debug hook called as ``trace(time, fn, args)`` before each
+        dispatched event — the instrumentation used by the
+        wheel-vs-heap equivalence tests.  Slows the loop; leave None in
+        production runs.
+    """
+
+    def __init__(self, scheduler: Optional[str] = None, *,
+                 wheel_tick: float = 1e-3,
+                 trace: Optional[Callable] = None) -> None:
+        name = scheduler or os.environ.get(SCHEDULER_ENV) or "wheel"
+        self._sched = _make_scheduler(name, wheel_tick)
+        self.scheduler_name = name
         self._free: List[Event] = []
         self._now = 0.0
         self._counter = 0
         self._processed = 0
+        self._trace = trace
 
     @property
     def now(self) -> float:
@@ -71,7 +213,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        return len(self._sched)
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
         """Run ``fn(*args)`` after ``delay`` seconds; returns the event."""
@@ -91,7 +233,7 @@ class Simulator:
         else:
             event = Event(time, fn, args)
         self._counter += 1
-        heappush(self._heap, (time, self._counter, fn, args, event))
+        self._sched.push((time, self._counter, fn, args, event))
         return event
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
@@ -109,18 +251,22 @@ class Simulator:
         else:
             event = Event(time, fn, args)
         self._counter += 1
-        heappush(self._heap, (time, self._counter, fn, args, event))
+        self._sched.push((time, self._counter, fn, args, event))
         return event
+
+    def timer(self, fn: Callable, *args: Any) -> Timer:
+        """A disarmed :class:`Timer` that will run ``fn(*args)``."""
+        return Timer(self, fn, args)
 
     def run(self, until: float) -> None:
         """Process events in order until the clock reaches ``until``."""
-        heap = self._heap
+        pop = self._sched.pop_due
         free = self._free
-        while heap:
-            entry = heap[0]
-            if entry[0] > until:
+        trace = self._trace
+        while True:
+            entry = pop(until)
+            if entry is None:
                 break
-            heappop(heap)
             event = entry[4]
             if event.cancelled:
                 event.fn = None
@@ -129,6 +275,8 @@ class Simulator:
                 continue
             self._now = entry[0]
             self._processed += 1
+            if trace is not None:
+                trace(entry[0], entry[2], entry[3])
             entry[2](*entry[3])
             event.fn = None
             event.args = ()
@@ -137,11 +285,14 @@ class Simulator:
 
     def run_until_empty(self, max_events: int = 10_000_000) -> None:
         """Process every queued event (bounded by ``max_events``)."""
-        heap = self._heap
+        pop = self._sched.pop_next
         free = self._free
+        trace = self._trace
         budget = max_events
-        while heap and budget > 0:
-            entry = heappop(heap)
+        while budget > 0:
+            entry = pop()
+            if entry is None:
+                return
             event = entry[4]
             if event.cancelled:
                 event.fn = None
@@ -151,10 +302,12 @@ class Simulator:
             self._now = entry[0]
             self._processed += 1
             budget -= 1
+            if trace is not None:
+                trace(entry[0], entry[2], entry[3])
             entry[2](*entry[3])
             event.fn = None
             event.args = ()
             free.append(event)
-        if heap and budget == 0:
+        if len(self._sched):
             raise RuntimeError(
                 f"run_until_empty exceeded {max_events} events")

@@ -5,11 +5,23 @@ then hands the packet to the next hop of its path after the propagation
 delay.  Arriving packets go through the queue discipline when the
 transmitter is busy; queue drops are the (only) loss mechanism in the
 simulator, exactly as in the paper's testbed.
+
+Scheduling shape: a link is a *self-scheduling service loop*.  However
+many packets are queued or propagating, it keeps at most **two** pending
+events in the engine — one wakeup for the transmission currently on the
+wire, and one for the head of the propagation pipe (a FIFO of
+``(deliver_time, packet)`` pairs; propagation delay is constant per
+link, so completion order is arrival order).  The seed engine instead
+held one pending event per packet in flight, which on a long-delay link
+is a bandwidth-delay product's worth of heap entries per link; the
+service-loop shape keeps the scheduler's pending set proportional to
+the number of *links*, not packets.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import deque
+from typing import Deque, Optional, Tuple
 
 from .engine import Simulator
 from .packet import Packet
@@ -53,7 +65,7 @@ class Link:
     """Unidirectional link: rate (bits/s), propagation delay, queue."""
 
     __slots__ = ("sim", "rate_bps", "delay", "queue", "stats", "name",
-                 "_busy")
+                 "_busy", "_pipe", "_pipe_idle")
 
     def __init__(self, sim: Simulator, rate_bps: float, delay: float,
                  queue: Optional[DropTailQueue] = None,
@@ -69,6 +81,10 @@ class Link:
         self.stats = LinkStats()
         self.name = name
         self._busy = False
+        # Packets on the wire: (delivery_time, packet), delivery order ==
+        # transmission order because the propagation delay is constant.
+        self._pipe: Deque[Tuple[float, Packet]] = deque()
+        self._pipe_idle = True
 
     def receive(self, packet: Packet) -> None:
         """Packet arrives at this link's ingress."""
@@ -92,19 +108,40 @@ class Link:
 
     def _transmission_done(self, packet: Packet) -> None:
         self.stats.bytes_sent += packet.size_bytes
-        self.sim.schedule(self.delay, self._deliver, packet)
+        now = self.sim.now
+        self._pipe.append((now + self.delay, packet))
+        if self._pipe_idle:
+            # First packet on an idle wire: start the delivery loop.
+            self._pipe_idle = False
+            self.sim.schedule(self.delay, self._deliver)
+        # Drain the queue: keep the service loop going with the next
+        # packet (one pending service event per busy link).
         next_packet = self.queue.dequeue()
         if next_packet is not None:
             self._start_transmission(next_packet)
         else:
             self._busy = False
 
-    def _deliver(self, packet: Packet) -> None:
-        packet.hop += 1
-        if packet.hop < len(packet.path):
-            packet.path[packet.hop].receive(packet)
+    def _deliver(self) -> None:
+        """Deliver every packet whose propagation has completed.
+
+        One wakeup per delivery in the common case, but a single pending
+        event however many packets are mid-flight: after handing over
+        the due packets, the loop re-arms itself for the new pipe head.
+        """
+        pipe = self._pipe
+        now = self.sim.now
+        while pipe and pipe[0][0] <= now:
+            packet = pipe.popleft()[1]
+            packet.hop += 1
+            if packet.hop < len(packet.path):
+                packet.path[packet.hop].receive(packet)
+            else:
+                packet.endpoint.on_data(packet)
+        if pipe:
+            self.sim.schedule_at(pipe[0][0], self._deliver)
         else:
-            packet.endpoint.on_data(packet)
+            self._pipe_idle = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Link({self.name}, {self.rate_bps / 1e6:.1f} Mbps, "

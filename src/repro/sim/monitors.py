@@ -62,13 +62,16 @@ class WindowTracer:
         self.windows: List[List[float]] = []
         self.alphas: List[List[float]] = []
         self._running = False
+        # Sampling clock: one rearmable timer for the whole trace.
+        self._sample_timer = sim.timer(self._sample)
 
     def start(self) -> None:
         self._running = True
-        self.sim.schedule(0.0, self._sample)
+        self._sample_timer.arm(0.0)
 
     def stop(self) -> None:
         self._running = False
+        self._sample_timer.cancel()
 
     def _sample(self) -> None:
         if not self._running:
@@ -76,7 +79,7 @@ class WindowTracer:
         self.times.append(self.sim.now)
         self.windows.append(list(self.connection.windows()))
         self.alphas.append(list(self.connection.alphas()))
-        self.sim.schedule(self.period, self._sample)
+        self._sample_timer.arm(self.period)
 
     def mean_windows(self, skip_fraction: float = 0.25) -> List[float]:
         """Time-averaged windows, skipping the first ``skip_fraction``."""

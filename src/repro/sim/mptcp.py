@@ -96,6 +96,18 @@ class MptcpConnection:
         self.subflows.remove(subflow)
         self._closed_acked += subflow.acked_packets
 
+    def stop(self) -> None:
+        """Tear the whole connection down (all paths at once).
+
+        Stops every subflow, which disarms its RTO timer and detaches it
+        from the shared controller; in-flight packets are abandoned.
+        The connection keeps its acked-packet history for monitors.
+        """
+        for subflow in self.subflows:
+            subflow.stop()
+        self._closed_acked += sum(sf.acked_packets for sf in self.subflows)
+        self.subflows.clear()
+
     @property
     def acked_packets(self) -> int:
         """Total packets acknowledged across subflows (closed included)."""

@@ -1,0 +1,333 @@
+"""Event schedulers for the DES engine: binary heap and timer wheel.
+
+The :class:`~repro.sim.engine.Simulator` delegates event storage to a
+*scheduler* — an ordered multiset of pending entries with two
+operations: ``push(entry)`` and ``pop_due(until)`` / ``pop_next()``.
+An entry is the engine's pre-bound tuple ``(time, seq, fn, args,
+event)``; the unique ``(time, seq)`` prefix totally orders entries, so
+any scheduler that pops in that order yields *exactly* the same
+simulation as any other — event-order determinism (FIFO within a
+timestamp) and seed reproducibility are properties of the entry
+ordering, not of the data structure.
+
+Two implementations:
+
+* :class:`HeapScheduler` — the classic binary heap: ``O(log n)`` per
+  operation, no assumptions about event horizons.  This is the seed
+  engine's structure, kept as the reference backend (the wheel is
+  property-tested against it).
+
+* :class:`WheelScheduler` — a three-level hierarchical timer wheel with
+  an overflow heap.  Near-future entries (the bulk of DES traffic: link
+  service completions, propagation, ACK clocks, RTO rearms) cost
+  ``O(1)`` amortized to insert — a list append into the slot of their
+  quantized tick — independent of how many events are pending, where a
+  heap pays ``O(log n)`` comparisons.  Ticks are drained through a tiny
+  ``due`` heap so entries sharing a slot still pop in exact
+  ``(time, seq)`` order; per-level occupancy bitmasks make empty-slot
+  skipping a couple of integer operations.
+
+Wheel geometry (``tick`` defaults to 1 ms):
+
+========  =================  ==========================================
+level     slot width         horizon ahead of the cursor
+========  =================  ==========================================
+0         1 tick             256 ticks      (0.256 s)
+1         256 ticks          65 536 ticks   (~65 s)
+2         65 536 ticks       16 777 216 ticks (~4.6 h)
+overflow  —                  everything beyond level 2
+========  =================  ==========================================
+
+Entries are placed by their distance from the cursor at push time and
+cascade down one level whenever the cursor crosses the corresponding
+slot boundary; overflow entries re-enter the wheel when the cursor
+reaches their level-2 window (or immediately, when the wheel runs dry
+and the cursor jumps).
+
+One deliberate degeneration: the cursor only moves forward.  If a
+``run(until)`` hunts far ahead (a lone far-future timer) and the
+simulation then resumes scheduling near ``now``, the new entries land
+in the ``due`` heap behind the cursor and the scheduler temporarily
+behaves like a plain heap — correct, just without the O(1) insert —
+until the backlog drains past the cursor again.  Continuous workloads
+(every figure sweep in this repo) never enter that regime.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import List, Optional
+
+
+class HeapScheduler:
+    """Binary-heap scheduler: the reference (and seed) event store."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: tuple) -> None:
+        heappush(self._heap, entry)
+
+    def pop_due(self, until: float) -> Optional[tuple]:
+        """Pop the earliest entry with ``time <= until`` (else None)."""
+        heap = self._heap
+        if heap and heap[0][0] <= until:
+            return heappop(heap)
+        return None
+
+    def pop_next(self) -> Optional[tuple]:
+        """Pop the earliest entry regardless of time (else None)."""
+        heap = self._heap
+        if heap:
+            return heappop(heap)
+        return None
+
+
+_SLOT_BITS = 8
+_SLOTS = 1 << _SLOT_BITS           # 256 slots per level
+_MASK = _SLOTS - 1
+_L1_SPAN = 1 << (2 * _SLOT_BITS)   # ticks covered by levels 0+1
+_L2_SPAN = 1 << (3 * _SLOT_BITS)   # ticks covered by levels 0+1+2
+
+
+class WheelScheduler:
+    """Hierarchical timer wheel + overflow heap (see module docstring).
+
+    Invariants (``cursor`` is ``_next_tick``, the first un-drained tick):
+
+    * every entry in a wheel level has ``tick >= cursor``, and each
+      populated slot holds exactly one tick's entries (ticks 256 slots
+      apart can never coexist in a level, by the push-window bound);
+    * the ``due`` heap holds entries at ticks ``< cursor`` (the tick
+      being drained plus any stragglers pushed behind the cursor);
+    * ``pop`` order is globally exact ``(time, seq)``: slots are
+      heapified into ``due`` one tick at a time, and any entry pushed
+      at-or-behind the cursor goes straight into ``due``.
+    """
+
+    __slots__ = ("_tick", "_inv_tick", "_l0", "_l1", "_l2",
+                 "_occ0", "_occ1", "_occ2", "_overflow", "_due",
+                 "_next_tick", "_count", "_wheel_count",
+                 "_block_end", "_span1_end", "_span2_end")
+
+    def __init__(self, tick: float = 1e-3) -> None:
+        if tick <= 0:
+            raise ValueError("wheel tick must be positive")
+        self._tick = tick
+        self._inv_tick = 1.0 / tick
+        self._l0: List[List[tuple]] = [[] for _ in range(_SLOTS)]
+        self._l1: List[List[tuple]] = [[] for _ in range(_SLOTS)]
+        self._l2: List[List[tuple]] = [[] for _ in range(_SLOTS)]
+        self._occ0 = 0
+        self._occ1 = 0
+        self._occ2 = 0
+        self._overflow: List[tuple] = []
+        self._due: List[tuple] = []
+        self._next_tick = 0
+        self._count = 0
+        self._wheel_count = 0
+        # Cascade markers: the first tick at which the cursor will enter
+        # a block / level-1 window / level-2 window whose parent slot has
+        # not been cascaded yet.  All start at 0 so the first _advance
+        # opens the initial windows.
+        self._block_end = 0
+        self._span1_end = 0
+        self._span2_end = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- insertion ---------------------------------------------------------------
+    def push(self, entry: tuple) -> None:
+        self._count += 1
+        it = int(entry[0] * self._inv_tick)
+        delta = it - self._next_tick
+        if delta < 0:
+            # Behind the cursor: joins the drain heap directly.
+            heappush(self._due, entry)
+            return
+        self._wheel_count += 1
+        if delta < _SLOTS:
+            slot = it & _MASK
+            self._l0[slot].append(entry)
+            self._occ0 |= 1 << slot
+        elif delta < _L1_SPAN:
+            slot = (it >> _SLOT_BITS) & _MASK
+            self._l1[slot].append(entry)
+            self._occ1 |= 1 << slot
+        elif delta < _L2_SPAN:
+            slot = (it >> (2 * _SLOT_BITS)) & _MASK
+            self._l2[slot].append(entry)
+            self._occ2 |= 1 << slot
+        else:
+            self._wheel_count -= 1
+            heappush(self._overflow, entry)
+
+    def _place(self, entry: tuple) -> None:
+        """Re-place a cascaded/overflow entry (count already included)."""
+        it = int(entry[0] * self._inv_tick)
+        delta = it - self._next_tick
+        self._wheel_count += 1
+        if delta < _SLOTS:
+            slot = it & _MASK
+            self._l0[slot].append(entry)
+            self._occ0 |= 1 << slot
+        elif delta < _L1_SPAN:
+            slot = (it >> _SLOT_BITS) & _MASK
+            self._l1[slot].append(entry)
+            self._occ1 |= 1 << slot
+        else:
+            slot = (it >> (2 * _SLOT_BITS)) & _MASK
+            self._l2[slot].append(entry)
+            self._occ2 |= 1 << slot
+
+    # -- drain -------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Move the next populated tick's slot into the ``due`` heap.
+
+        Only called with ``due`` empty and at least one entry pending in
+        the wheel or the overflow heap.
+        """
+        while True:
+            base = self._next_tick
+            if base >= self._block_end:
+                self._enter_block(base)
+            rel = base & _MASK
+            bits = self._occ0 >> rel
+            if bits:
+                low = bits & -bits
+                slot = rel + low.bit_length() - 1
+                self._next_tick = (base - rel) + slot + 1
+                bucket = self._l0[slot]
+                self._l0[slot] = []
+                self._occ0 &= ~(1 << slot)
+                self._wheel_count -= len(bucket)
+                heapify(bucket)
+                self._due = bucket
+                return
+            # The rest of this 256-tick block is empty.
+            if self._wheel_count == 0:
+                # Wheel dry: jump the cursor straight to the overflow
+                # head and pull its level-2 span into the wheel (the
+                # jump cannot skip wheel entries — there are none).
+                head = self._overflow[0]
+                self._next_tick = int(head[0] * self._inv_tick)
+                self._refill_overflow()
+            elif self._occ0:
+                # Level 0 still holds next-block entries (slots below
+                # the cursor's): cross one block and rescan.
+                self._next_tick = self._block_end
+            elif self._block_end >= self._span1_end:
+                # Crossing into a new level-1 window: enter it plainly
+                # so its level-2 slot cascades before any
+                # occupancy-based jumping (a jump here could overshoot
+                # entries still parked in that slot).
+                self._next_tick = self._block_end
+            else:
+                # Level 0 drained and mid-window: use the parent
+                # occupancy masks to skip runs of empty blocks in O(1)
+                # instead of walking them one at a time.
+                nb = self._block_end
+                s1 = (nb >> _SLOT_BITS) & _MASK
+                bits1 = self._occ1 >> s1
+                if bits1:
+                    # Slots >= s1 always belong to the current level-1
+                    # window (a next-window alias would need delta >=
+                    # the window span and lands in level 2): jump to
+                    # the first populated block.
+                    low = bits1 & -bits1
+                    block = (nb >> _SLOT_BITS) + low.bit_length() - 1
+                    self._next_tick = block << _SLOT_BITS
+                elif self._occ1:
+                    # Remaining level-1 bits sit below s1 — wrapped
+                    # slots of the *next* window.  They are invisible
+                    # to level 2, so advance exactly one window
+                    # boundary and rescan from there.
+                    self._next_tick = self._span1_end
+                else:
+                    # Nothing in levels 0/1: hop whole level-1 windows
+                    # on the level-2 occupancy.  The current window's
+                    # level-2 slot was cascaded on entry (nb is
+                    # mid-window here), so a bit at its own slot is a
+                    # next-span alias — scan strictly past it.
+                    s2 = (nb >> (2 * _SLOT_BITS)) & _MASK
+                    bits2 = self._occ2 >> (s2 + 1)
+                    if bits2:
+                        low = bits2 & -bits2
+                        window = (nb >> (2 * _SLOT_BITS)) \
+                            + low.bit_length()
+                        self._next_tick = window << (2 * _SLOT_BITS)
+                    else:
+                        # Only wrapped next-span aliases (or nothing)
+                        # remain: advance one span boundary, which
+                        # also refills from the overflow heap.
+                        self._next_tick = self._span2_end
+
+    def _enter_block(self, base: int) -> None:
+        """Cascade parent slots when the cursor enters a new block.
+
+        Outer windows cascade first: a refilled overflow entry may land
+        in the level-2 slot about to cascade, and a cascaded level-2
+        entry may land in the level-1 slot about to cascade.
+        """
+        if base >= self._span2_end:
+            self._span2_end = ((base >> (3 * _SLOT_BITS)) + 1) \
+                << (3 * _SLOT_BITS)
+            self._refill_overflow()
+        if base >= self._span1_end:
+            self._span1_end = ((base >> (2 * _SLOT_BITS)) + 1) \
+                << (2 * _SLOT_BITS)
+            slot2 = (base >> (2 * _SLOT_BITS)) & _MASK
+            if self._occ2 & (1 << slot2):
+                bucket = self._l2[slot2]
+                self._l2[slot2] = []
+                self._occ2 &= ~(1 << slot2)
+                self._wheel_count -= len(bucket)
+                for entry in bucket:
+                    self._place(entry)
+        self._block_end = ((base >> _SLOT_BITS) + 1) << _SLOT_BITS
+        slot1 = (base >> _SLOT_BITS) & _MASK
+        if self._occ1 & (1 << slot1):
+            bucket = self._l1[slot1]
+            self._l1[slot1] = []
+            self._occ1 &= ~(1 << slot1)
+            self._wheel_count -= len(bucket)
+            for entry in bucket:
+                self._place(entry)
+
+    def _refill_overflow(self) -> None:
+        """Pull overflow entries inside the cursor's level-2 span."""
+        horizon = self._next_tick + _L2_SPAN
+        overflow = self._overflow
+        inv_tick = self._inv_tick
+        while overflow and int(overflow[0][0] * inv_tick) < horizon:
+            self._place(heappop(overflow))
+
+    def pop_due(self, until: float) -> Optional[tuple]:
+        """Pop the earliest entry with ``time <= until`` (else None)."""
+        due = self._due
+        if not due:
+            if self._count == 0:
+                return None
+            self._advance()
+            due = self._due
+        if due[0][0] > until:
+            return None
+        self._count -= 1
+        return heappop(due)
+
+    def pop_next(self) -> Optional[tuple]:
+        """Pop the earliest entry regardless of time (else None)."""
+        due = self._due
+        if not due:
+            if self._count == 0:
+                return None
+            self._advance()
+            due = self._due
+        self._count -= 1
+        return heappop(due)

@@ -87,8 +87,11 @@ class TcpSubflow:
         # can never produce bogus multi-second samples.
         self._timed_seq: Optional[int] = None
         self._timed_at = 0.0
-        self._timer_event = None
-        self._timer_deadline = 0.0
+        # Retransmission timer: one rearmable engine Timer for the whole
+        # connection.  Every transmission/ACK pushes its deadline out
+        # (two attribute writes, no scheduler traffic); only genuine
+        # expiry reaches _on_rto.
+        self._rto_timer = sim.timer(self._on_rto)
 
         # Receiver state.
         self.rcv_nxt = 0
@@ -257,19 +260,12 @@ class TcpSubflow:
         return self.rtt_estimator.rto * self.backoff
 
     def _arm_timer(self) -> None:
-        self._timer_deadline = self.sim.now + self._rto()
-        if self._timer_event is None:
-            self._timer_event = self.sim.schedule_at(
-                self._timer_deadline, self._timer_fired)
+        self._rto_timer.arm_at(self.sim.now + self._rto())
 
-    def _timer_fired(self) -> None:
-        self._timer_event = None
+    def _on_rto(self) -> None:
+        # The Timer already filtered deadline-moved wakeups; only a
+        # genuinely expired RTO lands here.
         if self.completed or self.in_flight == 0:
-            return
-        if self.sim.now < self._timer_deadline - 1e-12:
-            # The deadline moved forward since this event was scheduled.
-            self._timer_event = self.sim.schedule_at(
-                self._timer_deadline, self._timer_fired)
             return
         self._on_timeout()
 
@@ -299,9 +295,7 @@ class TcpSubflow:
         if self.completed:
             return
         self.completed = True
-        if self._timer_event is not None:
-            self._timer_event.cancel()
-            self._timer_event = None
+        self._rto_timer.cancel()
         self.controller.remove_subflow(self.key)
 
     def _complete(self) -> None:

@@ -14,13 +14,18 @@ _SPEC.loader.exec_module(check_bench)
 
 
 def _report(*, fluid_speedup=30.0, eq_speedup=4.0, engine_speedup=1.4,
-            n_points=64, n_events=200_000, bitwise=True):
+            loaded_speedup=3.0, churn_speedup=8.0,
+            n_points=64, n_events=200_000, n_ticks=2000, bitwise=True):
     return {
         "fluid_sweep": {"n_points": n_points, "speedup": fluid_speedup,
                         "bitwise_equal": bitwise},
         "equilibrium_sweep": {"n_points": n_points, "speedup": eq_speedup,
                               "bitwise_equal": bitwise},
         "engine": {"n_events": n_events, "speedup": engine_speedup},
+        "engine_loaded": {"n_events": n_events, "n_pending": 20_000,
+                          "speedup": loaded_speedup},
+        "timer_churn": {"n_timers": 32, "n_ticks": n_ticks,
+                        "speedup": churn_speedup},
     }
 
 
@@ -47,13 +52,28 @@ class TestCheckReport:
     def test_smoke_sizes_use_absolute_floors(self):
         """A smoke report (smaller workloads) is not held to the
         full-size baseline's speedup, only to the documented floors."""
-        new = _report(fluid_speedup=5.0, eq_speedup=2.0, n_points=8,
-                      n_events=20_000)
+        new = _report(fluid_speedup=5.0, eq_speedup=2.0,
+                      loaded_speedup=1.5, churn_speedup=4.0,
+                      n_points=8, n_events=20_000, n_ticks=300)
         assert check_bench.check_report(new, _report()) == []
-        too_slow = _report(fluid_speedup=1.5, n_points=8, n_events=20_000)
+        too_slow = _report(fluid_speedup=1.5, n_points=8,
+                           n_events=20_000, n_ticks=300)
         failures = check_bench.check_report(too_slow, _report())
         assert len(failures) == 1
         assert "smoke floor" in failures[0]
+
+    def test_timer_churn_regression_fails(self):
+        new = _report(churn_speedup=3.0)
+        failures = check_bench.check_report(new, _report(), factor=2.0)
+        assert len(failures) == 1
+        assert "timer_churn" in failures[0]
+
+    def test_engine_loaded_below_smoke_floor_fails(self):
+        new = _report(loaded_speedup=1.0, n_points=8,
+                      n_events=20_000, n_ticks=300)
+        failures = check_bench.check_report(new, _report())
+        assert len(failures) == 1
+        assert "engine_loaded" in failures[0]
 
     def test_missing_section_in_new_report_fails(self):
         new = _report()

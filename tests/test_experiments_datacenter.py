@@ -125,6 +125,45 @@ class TestAblation:
         sp_rates = table.column("sp rate (pkt/s)")
         assert sp_rates[0] > sp_rates[2]
 
+    def test_epsilon_batch_backend_matches_loop_bitwise(self):
+        """The whole epsilon grid solved as one per-point-rule batch
+        (plus an OLIA batch for eps=0) must reproduce the sequential
+        rows exactly — same floats, not approximately."""
+        epsilons = (0.0, 0.5, 1.0, 1.5, 2.0)
+        loop = ablation.epsilon_sweep_table(epsilons=epsilons,
+                                            backend="loop")
+        batch = ablation.epsilon_sweep_table(epsilons=epsilons,
+                                             backend="batch")
+        assert [tuple(r) for r in batch.rows] == \
+            [tuple(r) for r in loop.rows]
+
+    def test_epsilon_batch_composes_with_shard_and_cache(self, tmp_path):
+        epsilons = (0.5, 1.0, 1.5, 2.0)
+        for index in range(2):
+            ablation.epsilon_sweep_table(epsilons=epsilons,
+                                         backend="batch",
+                                         cache_dir=tmp_path,
+                                         shard=(index, 2))
+        merged = ablation.epsilon_sweep_table(epsilons=epsilons,
+                                              backend="loop",
+                                              cache_dir=tmp_path)
+        direct = ablation.epsilon_sweep_table(epsilons=epsilons,
+                                              backend="loop")
+        assert [tuple(r) for r in merged.rows] == \
+            [tuple(r) for r in direct.rows]
+
+    def test_epsilon_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="backend"):
+            ablation.epsilon_sweep_table(backend="gpu")
+
+    def test_epsilon_batch_rejects_negative_like_loop(self):
+        """Backend parity extends to validation: both raise ValueError
+        on a negative epsilon (not a KeyError from the batch grouping)."""
+        for backend in ("loop", "batch"):
+            with pytest.raises(ValueError, match="non-negative"):
+                ablation.epsilon_sweep_table(epsilons=(-1.0, 0.5),
+                                             backend=backend)
+
     def test_flappiness_coupled_worse(self):
         table = ablation.flappiness_table(duration=60.0, seeds=(1, 2, 3))
         rows = {row[0]: row for row in table.rows}

@@ -302,6 +302,189 @@ class TestShardedSweep:
         assert str(SWEEP_PENDING) == "PENDING"
 
 
+class TestWorkStealingSweep:
+    def test_single_stealer_computes_everything(self, tmp_path):
+        specs = _rtt_specs()
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        results = runner.run(specs)
+        assert runner.cache_misses == 4
+        assert runner.skipped == 0
+        assert results == SweepRunner(jobs=1).run(specs)
+        # Completed claims are released: only result pickles remain.
+        assert list(tmp_path.glob("*.claim")) == []
+        assert len(list(tmp_path.glob("*.pkl"))) == 4
+
+    def test_claimed_points_are_left_to_their_owner(self, tmp_path):
+        """A point whose claim file exists belongs to another runner:
+        the stealer skips it and reports it PENDING."""
+        specs = _rtt_specs()
+        other = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        assert other._try_claim(specs[1])
+        assert other._try_claim(specs[3])
+
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        results = runner.run(specs)
+        assert runner.cache_misses == 2
+        assert runner.skipped == 2
+        assert results[0] is not SWEEP_PENDING
+        assert results[1] is SWEEP_PENDING
+        assert results[2] is not SWEEP_PENDING
+        assert results[3] is SWEEP_PENDING
+
+    def test_stealers_merge_through_the_shared_cache(self, tmp_path):
+        """Two stealers (sequenced here; concurrent in production) plus
+        an unsharded merge run reproduce the full sweep."""
+        specs = _rtt_specs()
+        first = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        # Simulate contention: the second stealer already holds 2 and 3.
+        second = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        assert second._try_claim(specs[2])
+        assert second._try_claim(specs[3])
+        first.run(specs)
+        second._release_claim(specs[2])
+        second._release_claim(specs[3])
+        second.run(specs)
+        assert first.cache_misses == 2
+        assert second.cache_misses == 2
+
+        merged = SweepRunner(jobs=1, cache_dir=tmp_path)
+        results = merged.run(specs)
+        assert merged.cache_hits == 4
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_claims_are_taken_per_point_not_upfront(self, tmp_path):
+        """Claims must be created immediately before computing each
+        point — an upfront claim sweep would hand one runner the whole
+        grid and starve every concurrent stealer."""
+        claim_snapshots = []
+
+        def watch(progress):
+            if not progress.from_cache:
+                claim_snapshots.append(
+                    len(list(tmp_path.glob("*.claim"))))
+
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        runner.run(_rtt_specs(), progress=watch)
+        # By each computed point's tick, its own claim was released and
+        # no other point had been claimed yet.
+        assert claim_snapshots == [0, 0, 0, 0]
+
+    def test_interrupted_steal_run_resumes_itself(self, tmp_path):
+        """A stealer killed mid-grid must be able to finish its own
+        sweep on re-run: completed points' claims were released, and
+        the surviving claims cover at most the in-flight points."""
+        specs = _rtt_specs()
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+
+        def interrupt(progress):
+            if progress.done == 2:
+                raise _StopSweep()
+
+        with pytest.raises(_StopSweep):
+            runner.run(specs, progress=interrupt)
+
+        resumed = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        results = resumed.run(specs)
+        assert resumed.skipped == 0
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_point_finished_elsewhere_mid_run_is_served_from_cache(
+            self, tmp_path):
+        """If another stealer completes a point after this runner's
+        initial scan, the pre-claim cache re-check picks the result up
+        instead of recomputing or skipping it."""
+        specs = _rtt_specs()
+        donor = SweepRunner(jobs=1, cache_dir=tmp_path)
+
+        def plant(progress):
+            # While point 0 computes, a "concurrent" runner finishes
+            # points 2 and 3.
+            if progress.index == 0:
+                donor.run(specs[2:])
+
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        results = runner.run(specs, progress=plant)
+        assert runner.cache_misses == 2        # points 0 and 1
+        assert runner.cache_hits == 2          # points 2 and 3, late
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_cached_points_are_not_claimed(self, tmp_path):
+        specs = _rtt_specs()
+        SweepRunner(jobs=1, cache_dir=tmp_path).run(specs[:2])
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        results = runner.run(specs)
+        assert runner.cache_hits == 2
+        assert runner.cache_misses == 2
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_stale_claim_is_ignored_by_merge_run(self, tmp_path):
+        """A crashed stealer leaves a claim file; the unsharded merge
+        run computes the point anyway (claims only gate stealers)."""
+        specs = _rtt_specs()
+        crashed = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        assert crashed._try_claim(specs[0])
+
+        stealer = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        partial = stealer.run(specs)
+        assert partial[0] is SWEEP_PENDING
+
+        merged = SweepRunner(jobs=1, cache_dir=tmp_path)
+        results = merged.run(specs)
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_steal_requires_cache_dir(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            SweepRunner(jobs=1, shard="steal")
+
+    def test_unknown_shard_string_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="steal"):
+            SweepRunner(jobs=1, cache_dir=tmp_path, shard="grab")
+
+    def test_steal_with_pool_rolls_a_claim_window(self, tmp_path):
+        """jobs>1 stealing claims points one at a time as workers free
+        up (no chunk barrier) and still reproduces the serial results."""
+        specs = _seeded_specs()
+        runner = SweepRunner(jobs=2, cache_dir=tmp_path, shard="steal")
+        results = runner.run(specs)
+        assert runner.cache_misses == 4
+        assert list(tmp_path.glob("*.claim")) == []
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_failed_batch_run_releases_its_claims(self, tmp_path):
+        """A batch_fn that blows up must not park the whole grid: the
+        claims it took are released on the way out, so another stealer
+        can take over immediately."""
+        specs = _rtt_specs()
+
+        def boom(pending):
+            raise RuntimeError("solver exploded")
+
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        with pytest.raises(RuntimeError, match="solver exploded"):
+            runner.run_batched(specs, boom)
+        assert list(tmp_path.glob("*.claim")) == []
+
+        second = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        results = second.run(specs)
+        assert second.skipped == 0
+        assert results == SweepRunner(jobs=1).run(specs)
+
+    def test_steal_composes_with_run_batched(self, tmp_path):
+        specs = _rtt_specs()
+        other = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        assert other._try_claim(specs[1])
+        seen = []
+
+        def spy(pending):
+            seen.extend(pending)
+            return [spec.execute() for spec in pending]
+
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        results = runner.run_batched(specs, spy)
+        assert seen == [specs[0], specs[2], specs[3]]
+        assert results[1] is SWEEP_PENDING
+
+
 class TestSpecSpill:
     def test_write_and_load_shards_round_trip(self, tmp_path):
         specs = _rtt_specs()
