@@ -5,25 +5,42 @@ Usage::
 
     REPRO_BENCH_SMOKE=1 python -m repro bench --output BENCH_smoke.json
     python benchmarks/check_bench.py BENCH_smoke.json \
-        --baseline BENCH_sweep.json [--factor 2.0]
+        --baseline BENCH_sweep.json [--factor 2.0] \
+        [--scale BENCH_scale.json]
+    python benchmarks/check_bench.py --scale BENCH_scale.json   # scale only
 
 What is checked (and why it survives CI-runner variance):
 
 * ``bitwise_equal`` must be true for the fluid and equilibrium sweeps —
   the batch backends are only allowed to be *faster*, never different.
 * The **speedup ratios** (batch vs loop, optimised engine vs seed
-  engine — including the loaded-engine and timer-churn microbenches
-  that track the wheel scheduler and Timer API) are compared, not
-  absolute points/sec: both sides of each ratio run in the same process
-  on the same machine, so the ratio is stable across hardware while a
-  >2x drop still means a real regression (e.g. batching silently
-  falling back to the scalar path, or the wheel degenerating to heap
-  behaviour).
+  engine — including the loaded-engine, adaptive-scheduler and
+  timer-churn microbenches that track the wheel scheduler, the auto
+  backend and the Timer API) are compared, not absolute points/sec:
+  both sides of each ratio run in the same process on the same
+  machine, so the ratio is stable across hardware while a >2x drop
+  still means a real regression (e.g. batching silently falling back
+  to the scalar path, or the wheel degenerating to heap behaviour).
 * When the new report's workload size matches the baseline's, the bound
   is ``new_speedup >= baseline_speedup / factor``.  A smoke report
   (``REPRO_BENCH_SMOKE=1``) uses smaller workloads where batching pays
   off less, so against a full-size baseline the scaled bound is replaced
   by documented absolute floors (:data:`SMOKE_FLOORS`).
+* Every compared metric must be a *finite* number.  ``NaN`` poisons
+  every comparison into ``False`` — i.e. a NaN speedup would sail past
+  a ``speedup < bound`` check — so missing or non-finite metrics fail
+  the gate outright instead of silently passing it.
+* With ``--scale``, a ``BENCH_scale.json`` written by ``python -m
+  repro scale`` is validated too: every recorded run must have finite
+  positive events/sec and coherent counters, and where both the auto
+  and the fixed wheel backend ran the same preset, auto must stay
+  within :data:`SCALE_AUTO_FLOOR` of the wheel (the adaptive backend's
+  whole point is to cost ~nothing at scale).
+
+When ``$GITHUB_STEP_SUMMARY`` is set (any GitHub Actions job), a
+markdown before/after table of every checked section is appended to it,
+so the numbers land on the run's summary page whether or not the gate
+fails.
 
 Exit status: 0 when every check passes, 1 otherwise.
 """
@@ -32,8 +49,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
+import os
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 #: Minimum acceptable speedups when the new report's workload size
 #: differs from the baseline's (the CI smoke case).  Chosen from the
@@ -48,11 +67,19 @@ from typing import Dict, List
 #: (~2.8x vs seed full-size) and ``timer_churn`` (~5.8x) — catch the
 #: wheel or the Timer degenerating to heap/churn behaviour long before
 #: the bare chain would.  See docs/PERFORMANCE.md "Engine hot path".
+#:
+#: ``engine_auto`` measures the adaptive backend against the fixed
+#: wheel on the loaded chain, where it must have promoted: ~0.85-0.95x
+#: (chunk bookkeeping plus one amortised O(n) migration; parity on
+#: real scenarios, where callbacks dominate).  0.7 rejects the auto
+#: machinery eating the wheel's win — e.g. a mis-calibrated crossover
+#: leaving it thrashing or parked on the heap.
 SMOKE_FLOORS = {
     "fluid_sweep": 2.0,
     "equilibrium_sweep": 1.5,
     "engine": 0.8,
     "engine_loaded": 1.2,
+    "engine_auto": 0.7,
     "timer_churn": 2.0,
 }
 
@@ -62,8 +89,25 @@ SIZE_KEYS = {
     "equilibrium_sweep": "n_points",
     "engine": "n_events",
     "engine_loaded": "n_events",
+    "engine_auto": "n_events",
     "timer_churn": "n_ticks",
 }
+
+#: Scale-report bound: auto events/sec relative to the fixed wheel on
+#: the same preset.  Generous against CI noise; the committed local
+#: measurement sits at ~1.0 (docs/PERFORMANCE.md "Scale harness").
+SCALE_AUTO_FLOOR = 0.7
+
+#: Per-run metrics of a BENCH_scale entry that must be finite (and,
+#: for the first two, positive).
+SCALE_RUN_METRICS = ("events_per_sec", "wall_seconds", "events",
+                     "peak_pending", "n_flows", "goodput_mean_pps",
+                     "goodput_p50_pps")
+
+
+def _finite(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and math.isfinite(value)
 
 
 def check_report(new: Dict, baseline: Dict,
@@ -86,7 +130,15 @@ def check_report(new: Dict, baseline: Dict,
             failures.append(
                 f"{section}: missing from the new report")
             continue
-        if base is None or "speedup" not in base:
+        if not _finite(data["speedup"]):
+            # NaN compares False against any bound, which would turn
+            # a broken benchmark into a silent pass.
+            failures.append(
+                f"{section}: speedup is {data['speedup']!r}, not a "
+                "finite number")
+            continue
+        if base is None or "speedup" not in base \
+                or not _finite(base["speedup"]):
             # Baseline predates this section; only the smoke floor holds.
             bound, origin = SMOKE_FLOORS[section], "smoke floor"
         elif data.get(size_key) == base.get(size_key):
@@ -104,30 +156,162 @@ def check_report(new: Dict, baseline: Dict,
     return failures
 
 
+def check_scale_report(report: Dict) -> List[str]:
+    """Validate a ``BENCH_scale.json`` written by ``repro scale``."""
+    failures: List[str] = []
+    if not isinstance(report, dict):
+        return [f"scale: report is {type(report).__name__}, not a JSON "
+                "object"]
+    presets = report.get("presets")
+    if not isinstance(presets, dict) or not presets:
+        return ["scale: report contains no presets (empty or truncated "
+                "BENCH_scale.json)"]
+    for preset, entry in presets.items():
+        if not isinstance(entry, dict):
+            # A truncated/partially-written report must FAIL cleanly,
+            # not die with a traceback before any message is printed.
+            failures.append(
+                f"scale[{preset}]: entry is {entry!r}, not a mapping "
+                "(truncated BENCH_scale.json?)")
+            continue
+        runs = entry.get("schedulers")
+        if not isinstance(runs, dict) or not runs:
+            failures.append(f"scale[{preset}]: no scheduler runs recorded")
+            continue
+        for scheduler, run in runs.items():
+            where = f"scale[{preset}/{scheduler}]"
+            if not isinstance(run, dict):
+                failures.append(
+                    f"{where}: run record is {run!r}, not a mapping")
+                continue
+            for metric in SCALE_RUN_METRICS:
+                if metric not in run:
+                    failures.append(f"{where}: metric {metric!r} missing")
+                elif not _finite(run[metric]):
+                    failures.append(
+                        f"{where}: metric {metric!r} is "
+                        f"{run[metric]!r}, not a finite number")
+            for metric in ("events_per_sec", "wall_seconds"):
+                if _finite(run.get(metric, None)) and run[metric] <= 0:
+                    failures.append(
+                        f"{where}: {metric} must be positive, got "
+                        f"{run[metric]!r}")
+        ratio = entry.get("auto_vs_wheel")
+        if "auto" in runs and "wheel" in runs \
+                and not entry.get("auto_vs_wheel_stale"):
+            # With a cached (possibly other-machine) cell on either
+            # side, the report legitimately carries no ratio — wall
+            # clocks are only comparable within one run on one host.
+            if not _finite(ratio):
+                failures.append(
+                    f"scale[{preset}]: auto_vs_wheel is {ratio!r}, not "
+                    "a finite number")
+            elif ratio < SCALE_AUTO_FLOOR:
+                failures.append(
+                    f"scale[{preset}]: auto backend at {ratio}x of the "
+                    f"fixed wheel, below the {SCALE_AUTO_FLOOR}x floor")
+    return failures
+
+
+# -- markdown step summary --------------------------------------------------
+
+def summary_markdown(new: Optional[Dict], baseline: Optional[Dict],
+                     scale: Optional[Dict] = None) -> str:
+    """Before/after markdown tables for $GITHUB_STEP_SUMMARY."""
+    lines: List[str] = []
+    if new is not None and baseline is not None:
+        lines += ["## Bench check", "",
+                  "| section | baseline speedup | new speedup |",
+                  "|---|---|---|"]
+        for section in SIZE_KEYS:
+            base = (baseline.get(section) or {}).get("speedup", "—")
+            now = (new.get(section) or {}).get("speedup", "—")
+            lines.append(f"| {section} | {base} | {now} |")
+    if isinstance(scale, dict):
+        lines += ["", "## Scale harness", "",
+                  "| preset | scheduler | flows | events/s | "
+                  "peak pending | migrations |",
+                  "|---|---|---|---|---|---|"]
+        for preset, entry in (scale.get("presets") or {}).items():
+            if not isinstance(entry, dict):
+                continue   # check_scale_report reports the failure
+            for scheduler, run in (entry.get("schedulers") or {}).items():
+                if not isinstance(run, dict):
+                    continue
+                eps = run.get("events_per_sec")
+                eps = round(eps) if _finite(eps) else eps
+                lines.append(
+                    f"| {preset} | {scheduler} | {run.get('n_flows')} "
+                    f"| {eps} | {run.get('peak_pending')} "
+                    f"| {run.get('migrations')} |")
+            ratio = entry.get("auto_vs_wheel")
+            if ratio is not None:
+                lines.append(
+                    f"| {preset} | *auto vs wheel* |  | {ratio}x |  |  |")
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(markdown: str) -> None:
+    """Append to $GITHUB_STEP_SUMMARY when running under Actions."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a") as fh:
+            fh.write(markdown)
+    except OSError as exc:  # summary is best-effort, never fails the gate
+        print(f"warning: could not write step summary: {exc}",
+              file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Check a BENCH report for performance regressions")
-    parser.add_argument("report", help="freshly generated BENCH json")
+        description="Check BENCH reports for performance regressions")
+    parser.add_argument("report", nargs="?", default=None,
+                        help="freshly generated BENCH json (optional "
+                             "when only --scale is being validated)")
     parser.add_argument("--baseline", default="BENCH_sweep.json",
                         help="committed baseline (default: "
                              "./BENCH_sweep.json)")
     parser.add_argument("--factor", type=float, default=2.0,
                         help="allowed speedup shrink factor (default: 2.0, "
                              "i.e. fail on >2x regression)")
+    parser.add_argument("--scale", metavar="PATH", default=None,
+                        help="also (or only) validate a BENCH_scale.json "
+                             "written by 'python -m repro scale'")
     args = parser.parse_args(argv)
+    if args.report is None and args.scale is None:
+        parser.error("nothing to check: give a BENCH report, --scale, "
+                     "or both")
 
-    with open(args.report) as fh:
-        new = json.load(fh)
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
+    new = baseline = None
+    if args.report is not None:
+        with open(args.report) as fh:
+            new = json.load(fh)
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    scale = None
+    if args.scale is not None:
+        with open(args.scale) as fh:
+            scale = json.load(fh)
 
-    failures = check_report(new, baseline, factor=args.factor)
+    failures: List[str] = []
+    if new is not None:
+        failures += check_report(new, baseline, factor=args.factor)
+    if scale is not None:
+        failures += check_scale_report(scale)
+    write_step_summary(summary_markdown(new, baseline, scale))
     if failures:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)
         return 1
-    print(f"bench check OK: {args.report} within {args.factor}x of "
-          f"{args.baseline}")
+    if new is None:
+        print(f"bench check OK: {args.scale} is a valid scale report")
+    else:
+        checked = args.report if scale is None \
+            else f"{args.report} and {args.scale}"
+        print(f"bench check OK: {checked} within {args.factor}x of "
+              f"{args.baseline}")
     return 0
 
 

@@ -33,6 +33,18 @@ report so the performance trajectory is tracked commit over commit:
     speedup therefore measures what the Timer API saves a straight-
     forward client, not a regression the seed's TCP actually suffered.
 
+  The "after" engine in all three is the *default* ``Simulator()`` —
+  since the adaptive scheduler became the default, that is
+  ``scheduler="auto"``, so these sections also track what a plain
+  client gets without picking a backend.
+
+* **adaptive scheduler overhead** (``engine_auto``) — the loaded-chain
+  workload run on all three backends; the recorded ``speedup`` is
+  ``auto`` vs the fixed ``wheel``, i.e. what the auto backend costs
+  (or saves) in the regime where it must have promoted.  A value
+  drifting well below 1.0 means the sampling/migration machinery — or
+  a mis-calibrated crossover — is eating the wheel's win.
+
 Run via ``python -m repro bench`` (or ``benchmarks/bench_report.py``).
 ``REPRO_BENCH_SMOKE=1`` caps the workload sizes so CI smoke runs stay
 fast; the capped numbers are labelled as such in the report.
@@ -299,6 +311,36 @@ def bench_engine_loaded(*, n_events: int = 200_000,
     }
 
 
+def bench_engine_auto(*, n_events: int = 200_000,
+                      n_pending: int = 20_000,
+                      repeats: int = 3) -> Dict[str, object]:
+    """Loaded-chain events/sec of heap, wheel and auto backends.
+
+    In this regime (tens of thousands pending) the adaptive backend
+    must have promoted itself to the wheel, so ``speedup`` — auto
+    relative to the fixed wheel — measures the whole cost of the
+    auto machinery: population sampling plus the one heap-to-wheel
+    migration, amortised over the run.  ~1.0 is the healthy value.
+    """
+    def backend(name):
+        return max(
+            _engine_events_per_sec(lambda: Simulator(name), n_events,
+                                   n_pending)
+            for _ in range(repeats))
+
+    heap = backend("heap")
+    wheel = backend("wheel")
+    auto = backend("auto")
+    return {
+        "n_events": n_events,
+        "n_pending": n_pending,
+        "heap_events_per_sec": round(heap),
+        "wheel_events_per_sec": round(wheel),
+        "auto_events_per_sec": round(auto),
+        "speedup": round(auto / wheel, 3),
+    }
+
+
 _CHURN_PERIOD = 1e-3   # driver tick: one "ACK" per ms
 _CHURN_RTO = 0.3       # deadline pushed this far out on every tick
 
@@ -397,12 +439,15 @@ def run_bench(output_path: str | None = None, *,
         engine = bench_engine(n_events=20_000, repeats=1)
         loaded = bench_engine_loaded(n_events=20_000, n_pending=5_000,
                                      repeats=1)
+        auto = bench_engine_auto(n_events=20_000, n_pending=5_000,
+                                 repeats=1)
         churn = bench_timer_churn(n_timers=32, n_ticks=300, repeats=1)
     else:
         fluid = bench_fluid_sweep()
         equilibrium = bench_equilibrium_sweep()
         engine = bench_engine()
         loaded = bench_engine_loaded()
+        auto = bench_engine_auto()
         churn = bench_timer_churn()
     report = {
         "benchmark": "BENCH_sweep",
@@ -412,6 +457,7 @@ def run_bench(output_path: str | None = None, *,
         "equilibrium_sweep": equilibrium,
         "engine": engine,
         "engine_loaded": loaded,
+        "engine_auto": auto,
         "timer_churn": churn,
     }
     if output_path is not None:
@@ -427,6 +473,7 @@ def format_report(report: Dict[str, object]) -> str:
     equilibrium = report["equilibrium_sweep"]
     engine = report["engine"]
     loaded = report["engine_loaded"]
+    auto = report["engine_auto"]
     churn = report["timer_churn"]
     lines = [
         f"fluid sweep ({fluid['n_points']} points, t_end={fluid['t_end']}s):",
@@ -448,6 +495,12 @@ def format_report(report: Dict[str, object]) -> str:
         f"  before: {loaded['before_events_per_sec']:>10} events/s",
         f"  after : {loaded['after_events_per_sec']:>10} events/s"
         f"  ({loaded['speedup']}x)",
+        f"engine auto ({auto['n_events']} events, "
+        f"{auto['n_pending']} pending timers):",
+        f"  heap  : {auto['heap_events_per_sec']:>10} events/s",
+        f"  wheel : {auto['wheel_events_per_sec']:>10} events/s",
+        f"  auto  : {auto['auto_events_per_sec']:>10} events/s"
+        f"  ({auto['speedup']}x vs wheel)",
         f"timer churn ({churn['n_timers']} timers x "
         f"{churn['n_ticks']} ticks):",
         f"  before: {churn['before_rearms_per_sec']:>10} rearms/s",

@@ -20,7 +20,10 @@ shards print as PENDING until their shard has run against the same
 ``--resume`` directory); ``--shard steal`` claims cache-missing points
 dynamically through lock files in the resume directory, so any number
 of concurrent runs balance a grid of unevenly expensive points.
-``bench`` measures the hot paths and writes ``BENCH_sweep.json`` (see
+``bench`` measures the hot paths and writes ``BENCH_sweep.json``;
+``scale`` runs generated large-topology workloads (100 to 10k+ flows,
+``python -m repro scale --preset medium``) through the DES engine on
+every scheduler backend and writes ``BENCH_scale.json`` (see
 docs/PERFORMANCE.md and docs/REPRODUCING.md).
 """
 
@@ -38,6 +41,7 @@ from .experiments import (
     fattree,
     responsiveness,
     rtt_heterogeneity,
+    scale,
     scenario_a,
     scenario_b,
     scenario_c,
@@ -152,6 +156,50 @@ def build_parser() -> argparse.ArgumentParser:
                           "when point costs vary wildly); requires "
                           "--resume so the shards can merge their "
                           "results")
+    scale_cmd = sub.add_parser(
+        "scale",
+        help="run generated scale workloads and write BENCH_scale.json")
+    scale_cmd.add_argument("--preset", dest="presets", action="append",
+                           choices=sorted(scale.PRESETS),
+                           metavar="NAME",
+                           help="generator preset to run (repeatable; "
+                                f"default: medium; known: "
+                                f"{', '.join(sorted(scale.PRESETS))})")
+    scale_cmd.add_argument("--schedulers", default="heap,wheel,auto",
+                           metavar="LIST",
+                           help="comma-separated scheduler backends to "
+                                "compare (default: heap,wheel,auto)")
+    scale_cmd.add_argument("--duration", type=float, default=None,
+                           metavar="SECONDS",
+                           help="simulated measurement window (default: "
+                                "per-preset, see experiments/scale.py)")
+    scale_cmd.add_argument("--warmup", type=float, default=None,
+                           metavar="SECONDS",
+                           help="simulated warmup excluded from goodput "
+                                "stats (default: per-preset)")
+    scale_cmd.add_argument("--max-flows", type=int, default=None,
+                           metavar="N",
+                           help="cap the generated flow population "
+                                "(links shrink in step)")
+    scale_cmd.add_argument("--seed", type=int, default=1,
+                           help="generator seed (default: 1)")
+    scale_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes for the preset x "
+                                "scheduler grid (default: 1)")
+    scale_cmd.add_argument("--resume", metavar="DIR", default=None,
+                           help="cache every grid point under DIR "
+                                "(resumable/sharded, as for 'run')")
+    scale_cmd.add_argument("--shard", metavar="I/N", type=_parse_shard,
+                           default=None,
+                           help="compute only this shard of the grid "
+                                "(or 'steal'); requires --resume")
+    scale_cmd.add_argument("--output", default="BENCH_scale.json",
+                           metavar="PATH",
+                           help="where to write the JSON report "
+                                "(default: ./BENCH_scale.json)")
+    scale_cmd.add_argument("--smoke", action="store_true",
+                           help="capped sizes (same as "
+                                "REPRO_BENCH_SMOKE=1)")
     bench = sub.add_parser(
         "bench", help="measure hot paths and write BENCH_sweep.json")
     bench.add_argument("--output", default="BENCH_sweep.json",
@@ -168,6 +216,39 @@ def main(argv=None) -> int:
     if args.command == "list":
         for name in _experiments(fast=False):
             print(name)
+        return 0
+
+    if args.command == "scale":
+        out_dir = os.path.dirname(os.path.abspath(args.output))
+        if not os.path.isdir(out_dir):
+            print(f"cannot write report: no such directory {out_dir}",
+                  file=sys.stderr)
+            return 2
+        if args.jobs < 1:
+            print(f"--jobs must be >= 1 (got {args.jobs})",
+                  file=sys.stderr)
+            return 2
+        if args.shard is not None and args.resume is None:
+            print("--shard requires --resume DIR: the shared cache is "
+                  "how the shards' results are merged", file=sys.stderr)
+            return 2
+        schedulers = [s.strip() for s in args.schedulers.split(",")
+                      if s.strip()]
+        started = time.time()
+        try:
+            report = scale.scale_report(
+                args.presets or ["medium"], schedulers=schedulers,
+                duration=args.duration, warmup=args.warmup,
+                max_flows=args.max_flows, seed=args.seed,
+                smoke=args.smoke or None, jobs=args.jobs,
+                cache_dir=args.resume, shard=args.shard)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(scale.report_table(report))
+        print(f"[scale: {time.time() - started:.1f}s]")
+        scale.write_report(report, args.output)
+        print(f"[report written to {args.output}]")
         return 0
 
     if args.command == "bench":

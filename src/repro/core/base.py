@@ -16,7 +16,7 @@ the paper's formulas and reused by the fluid model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 

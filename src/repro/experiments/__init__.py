@@ -6,6 +6,7 @@ from . import (
     fattree,
     responsiveness,
     rtt_heterogeneity,
+    scale,
     scenario_a,
     scenario_b,
     scenario_c,
@@ -37,6 +38,7 @@ __all__ = [
     "responsiveness",
     "rtt_heterogeneity",
     "calibration",
+    "scale",
     "ResultTable",
     "measure",
     "MeasureResult",

@@ -1,0 +1,362 @@
+"""Scale-workload harness: DES throughput on generated scenarios.
+
+The roadmap's scale target — 10k-flow scenarios through the DES engine
+— is exercised here.  Each *point* builds a preset of the random
+scenario generator (:mod:`repro.topology.generator`) inside one
+simulator, runs it, and reports the numbers that matter at scale:
+events/sec of the event loop, wall-clock split between scenario build
+and run, the peak pending-event population (the quantity the adaptive
+scheduler keys on), and the per-flow goodput distribution (scale is
+useless if the flows starve).
+
+Points are plain :class:`~repro.experiments.runner.RunSpec` functions
+dispatched through :class:`~repro.experiments.sweep.SweepRunner`, so
+the whole preset × scheduler grid shards, steals, caches and resumes
+like every other sweep in this repo.  ``python -m repro scale`` drives
+it and writes ``BENCH_scale.json`` (validated in CI by
+``benchmarks/check_bench.py --scale``).
+
+``REPRO_BENCH_SMOKE=1`` (or ``--smoke``) caps flow counts and windows
+so the PR-tier CI stays fast; the nightly tier runs the real presets.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import asdict, dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+from ..benchreport import smoke_mode
+from ..sim.engine import SCHEDULER_NAMES, Simulator
+from ..sim.monitors import FlowMeter
+from ..topology.generator import PRESETS, generate_preset, preset_config
+from .results import ResultTable
+from .runner import RunSpec
+from .sweep import SWEEP_PENDING, SweepRunner
+
+#: Measurement window (simulated seconds) per preset in full mode: big
+#: populations need less simulated time for the same statistical load,
+#: and keep the nightly tier's wall clock bounded.
+DEFAULT_DURATIONS: Dict[str, float] = {
+    "tiny": 4.0,
+    "small": 3.0,
+    "medium": 2.0,
+    "large": 0.8,
+    "xlarge": 0.5,
+}
+
+#: Warmup (simulated seconds) per preset, excluded from goodput stats.
+DEFAULT_WARMUPS: Dict[str, float] = {
+    "tiny": 1.0,
+    "small": 0.75,
+    "medium": 0.5,
+    "large": 0.3,
+    "xlarge": 0.25,
+}
+
+#: Best-of-N repeats per preset (max events/sec, the convention of
+#: every microbench in benchreport.py): the simulation is seed-
+#: deterministic, so repeats only de-noise the wall-clock numbers.
+#: The big presets run once — their long windows are stable already.
+DEFAULT_REPEATS: Dict[str, int] = {
+    "tiny": 3,
+    "small": 3,
+    "medium": 3,
+    "large": 1,
+    "xlarge": 1,
+}
+
+#: Smoke-mode caps (REPRO_BENCH_SMOKE=1 / --smoke).  Sized so the
+#: PR-tier CI run finishes in a few seconds while the measured window
+#: is still long enough (~0.4 s wall) for the auto-vs-wheel ratio the
+#: gate checks to be meaningful rather than timer noise.
+SMOKE_MAX_FLOWS = 400
+SMOKE_DURATION = 1.5
+SMOKE_WARMUP = 0.4
+
+
+@dataclass
+class ScaleRun:
+    """Outcome of one (preset, scheduler) scale point."""
+
+    preset: str
+    scheduler: str
+    n_flows: int
+    n_links: int
+    seed: int
+    warmup: float
+    duration: float              # simulated measurement window
+    build_seconds: float         # scenario construction wall clock
+    wall_seconds: float          # run wall clock (warmup + window)
+    events: int                  # events dispatched (whole run)
+    events_measured: int         # events inside the measurement window
+    events_per_sec: float        # steady state: window events / wall
+    peak_pending: int            # max pending-event population seen
+    final_pending: int
+    migrations: int              # auto-backend switches (0 for fixed)
+    final_backend: str           # backend active when the run ended
+    goodput_mean_pps: float      # bulk flows, measurement window only
+    goodput_p10_pps: float
+    goodput_p50_pps: float
+    goodput_p90_pps: float
+    churn_flows_completed: int
+    churn_mean_fct: Optional[float]   # None when no short flow completed
+
+
+def _percentile(ranked: List[float], pct: float) -> float:
+    if not ranked:
+        return 0.0
+    index = min(int(len(ranked) * pct / 100), len(ranked) - 1)
+    return ranked[index]
+
+
+def run_scale_point(*, preset: str, scheduler: str = "auto",
+                    duration: Optional[float] = None,
+                    warmup: Optional[float] = None,
+                    max_flows: Optional[int] = None,
+                    sample_period: float = 0.05,
+                    repeats: Optional[int] = None,
+                    seed: int = 1) -> ScaleRun:
+    """Build and run one generated preset; module-level for RunSpec.
+
+    ``sample_period`` is the simulated-time spacing of the pending-
+    population sampler (one rearmable timer — its own events are part
+    of the workload, identically on every backend).  With ``repeats``
+    (default per preset, :data:`DEFAULT_REPEATS`) the whole build+run
+    repeats and the fastest measurement wins; the simulation itself is
+    seed-deterministic, so repeats differ only in wall clock.
+    """
+    preset_config(preset)   # unknown names get the clear ValueError
+    if repeats is None:
+        repeats = DEFAULT_REPEATS.get(preset, 1)
+    best: Optional[ScaleRun] = None
+    for _ in range(max(repeats, 1)):
+        run = _run_scale_once(preset=preset, scheduler=scheduler,
+                              duration=duration, warmup=warmup,
+                              max_flows=max_flows,
+                              sample_period=sample_period, seed=seed)
+        if best is None or run.events_per_sec > best.events_per_sec:
+            best = run
+    return best
+
+
+def _run_scale_once(*, preset: str, scheduler: str,
+                    duration: Optional[float],
+                    warmup: Optional[float],
+                    max_flows: Optional[int],
+                    sample_period: float, seed: int) -> ScaleRun:
+    if duration is None:
+        duration = DEFAULT_DURATIONS[preset]
+    if warmup is None:
+        warmup = DEFAULT_WARMUPS[preset]
+    sim = Simulator(scheduler)
+
+    build_start = perf_counter()
+    scenario = generate_preset(sim, preset, seed=seed, max_flows=max_flows)
+    scenario.start()
+    build_seconds = perf_counter() - build_start
+
+    peak = [0]
+
+    def sample_pending() -> None:
+        pending = sim.pending_events
+        if pending > peak[0]:
+            peak[0] = pending
+        sampler.arm(sample_period)
+
+    sampler = sim.timer(sample_pending)
+    sampler.arm(sample_period)
+
+    meter = FlowMeter(sim, scenario.bulk_flows)
+    run_start = perf_counter()
+    sim.run(until=warmup)
+    meter.reset()
+    # Steady-state throughput is measured over the post-warmup window
+    # only: the ramp (flows starting, slow-start, the auto backend's
+    # one-off migration) belongs to warmup, exactly as for goodput.
+    events_at_warmup = sim.events_processed
+    window_start = perf_counter()
+    sim.run(until=warmup + duration)
+    window_wall = perf_counter() - window_start
+    wall_seconds = perf_counter() - run_start
+    sampler.cancel()
+    events_measured = sim.events_processed - events_at_warmup
+
+    goodputs = sorted(meter.goodput_pps().values())
+    n_bulk = len(goodputs)
+    completed = [t for source in scenario.churn_sources
+                 for t in source.completion_times]
+    return ScaleRun(
+        preset=preset,
+        scheduler=scheduler,
+        n_flows=scenario.n_flows,
+        n_links=len(scenario.links),
+        seed=seed,
+        warmup=warmup,
+        duration=duration,
+        build_seconds=build_seconds,
+        wall_seconds=wall_seconds,
+        events=sim.events_processed,
+        events_measured=events_measured,
+        events_per_sec=events_measured / window_wall,
+        peak_pending=max(peak[0], sim.pending_events),
+        final_pending=sim.pending_events,
+        migrations=sim.migrations,
+        final_backend=sim.active_backend,
+        goodput_mean_pps=(sum(goodputs) / n_bulk if n_bulk else 0.0),
+        goodput_p10_pps=_percentile(goodputs, 10),
+        goodput_p50_pps=_percentile(goodputs, 50),
+        goodput_p90_pps=_percentile(goodputs, 90),
+        churn_flows_completed=len(completed),
+        churn_mean_fct=(sum(completed) / len(completed)
+                        if completed else None),
+    )
+
+
+def scale_report(presets: Sequence[str] = ("medium",), *,
+                 schedulers: Sequence[str] = ("heap", "wheel", "auto"),
+                 duration: Optional[float] = None,
+                 warmup: Optional[float] = None,
+                 max_flows: Optional[int] = None,
+                 repeats: Optional[int] = None,
+                 seed: int = 1, smoke: Optional[bool] = None,
+                 jobs: int = 1, cache_dir=None, shard=None) -> dict:
+    """Run the preset × scheduler grid and assemble the report dict.
+
+    The grid goes through :class:`SweepRunner` — ``jobs``, ``cache_dir``
+    and ``shard`` behave exactly as for the figure sweeps, so a 10k-flow
+    grid can be split across machines through a shared cache directory.
+    In a sharded run, cells owned by other shards are simply absent
+    from the report (and the table prints them as PENDING).
+    """
+    if not presets:
+        raise ValueError("no presets to run")
+    for preset in presets:
+        preset_config(preset)
+    if not schedulers:
+        raise ValueError(
+            "no schedulers to run (empty --schedulers?); expected a "
+            f"comma-separated subset of {', '.join(SCHEDULER_NAMES)}")
+    for name in schedulers:
+        if name not in SCHEDULER_NAMES:
+            expected = ", ".join(SCHEDULER_NAMES)
+            raise ValueError(
+                f"unknown scheduler {name!r}; expected one of {expected}")
+    if smoke is None:
+        smoke = smoke_mode()
+    if smoke:
+        max_flows = min(max_flows or SMOKE_MAX_FLOWS, SMOKE_MAX_FLOWS)
+        duration = min(duration or SMOKE_DURATION, SMOKE_DURATION)
+        warmup = min(warmup or SMOKE_WARMUP, SMOKE_WARMUP)
+        repeats = 1
+
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    specs = [
+        RunSpec.make(run_scale_point, preset=preset, scheduler=scheduler,
+                     duration=duration, warmup=warmup, max_flows=max_flows,
+                     repeats=repeats, seed=seed)
+        for preset in presets
+        for scheduler in schedulers]
+    # Wall-clock cells served from a resume cache were measured in some
+    # earlier run, possibly on another machine; remember which, so the
+    # report never builds a cross-machine throughput ratio.
+    from_cache = [False] * len(specs)
+
+    def note_cache(tick):
+        from_cache[tick.index] = tick.from_cache
+
+    runs = runner.run(specs, progress=note_cache)
+
+    report: dict = {
+        "benchmark": "BENCH_scale",
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "seed": seed,
+        "schedulers": list(schedulers),
+        "presets": {},
+    }
+    n_sched = len(schedulers)
+    for cell, preset in enumerate(presets):
+        base = cell * n_sched
+        block = runs[base:base + n_sched]
+        by_scheduler = {}
+        for offset, (scheduler, run) in enumerate(zip(schedulers, block)):
+            if run is SWEEP_PENDING:
+                continue
+            record = asdict(run)
+            record["from_cache"] = from_cache[base + offset]
+            by_scheduler[scheduler] = record
+        if not by_scheduler:
+            continue
+        entry: dict = {"schedulers": by_scheduler}
+        wheel = by_scheduler.get("wheel")
+        auto = by_scheduler.get("auto")
+        if wheel and auto:
+            # Ratios only mean something when both sides were measured
+            # by this run on this machine (check_bench's own rule).
+            if wheel["from_cache"] or auto["from_cache"]:
+                entry["auto_vs_wheel_stale"] = True
+            else:
+                entry["auto_vs_wheel"] = round(
+                    auto["events_per_sec"] / wheel["events_per_sec"], 3)
+        report["presets"][preset] = entry
+    return report
+
+
+def report_table(report: dict) -> ResultTable:
+    """Paper-style table of a :func:`scale_report` dict."""
+    table = ResultTable(
+        "Scale harness - DES throughput on generated scenarios"
+        + (" [SMOKE]" if report.get("smoke") else ""),
+        ["preset", "scheduler", "flows", "events/s", "wall s",
+         "peak pending", "migrations", "goodput p50 pps"])
+    for preset, entry in report["presets"].items():
+        for scheduler, run in entry["schedulers"].items():
+            table.add_row(preset, scheduler, run["n_flows"],
+                          round(run["events_per_sec"]),
+                          round(run["wall_seconds"], 2),
+                          run["peak_pending"], run["migrations"],
+                          round(run["goodput_p50_pps"], 1))
+        ratio = entry.get("auto_vs_wheel")
+        if ratio is not None:
+            table.add_note(
+                f"{preset}: auto runs at {ratio}x the fixed wheel's "
+                "events/s (>= 1.0 means the adaptive backend costs "
+                "nothing at scale)")
+        elif entry.get("auto_vs_wheel_stale"):
+            table.add_note(
+                f"{preset}: auto/wheel ratio omitted — a cached cell "
+                "from an earlier run makes wall clocks incomparable")
+    return table
+
+
+def scale_table(presets: Sequence[str] = ("medium",), *,
+                schedulers: Sequence[str] = ("heap", "wheel", "auto"),
+                jobs: int = 1, cache_dir=None, shard=None,
+                **kwargs) -> ResultTable:
+    """Convenience: :func:`scale_report` rendered as a ResultTable."""
+    report = scale_report(presets, schedulers=schedulers, jobs=jobs,
+                          cache_dir=cache_dir, shard=shard, **kwargs)
+    return report_table(report)
+
+
+def write_report(report: dict, output_path: str) -> None:
+    """Write ``BENCH_scale.json``."""
+    with open(output_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+__all__ = [
+    "DEFAULT_DURATIONS",
+    "DEFAULT_WARMUPS",
+    "ScaleRun",
+    "report_table",
+    "run_scale_point",
+    "scale_report",
+    "scale_table",
+    "smoke_mode",
+    "write_report",
+]

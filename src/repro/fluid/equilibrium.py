@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
-from .network import BatchFluidNetwork, FluidNetwork
+from .network import BatchFluidNetwork
 
 _EPS = 1e-15
 

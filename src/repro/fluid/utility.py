@@ -15,7 +15,6 @@ numerical Pareto-optimality certificate for any allocation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 

@@ -3,7 +3,7 @@
 from .apps import BackgroundTraffic, BulkTransfer, ShortFlowSource
 from .engine import Event, Simulator, Timer
 from .link import Link, LinkStats
-from .scheduler import HeapScheduler, WheelScheduler
+from .scheduler import AdaptiveScheduler, HeapScheduler, WheelScheduler
 from .monitors import FlowMeter, WindowTracer
 from .mptcp import MptcpConnection, PathSpec
 from .packet import Packet
@@ -14,6 +14,7 @@ __all__ = [
     "Simulator",
     "Event",
     "Timer",
+    "AdaptiveScheduler",
     "HeapScheduler",
     "WheelScheduler",
     "Packet",

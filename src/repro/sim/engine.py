@@ -7,16 +7,23 @@ keeps whole simulations exactly reproducible for a fixed seed.  Event
 *storage* is delegated to a scheduler backend
 (:mod:`repro.sim.scheduler`):
 
-* ``"wheel"`` (the default) — a hierarchical timer wheel with an
-  overflow heap: O(1) inserts for the near-future bulk (link service,
-  propagation, ACK clocks, RTO wakeups) regardless of how many events
-  are pending;
-* ``"heap"`` — the classic binary heap, kept as the reference backend.
+* ``"wheel"`` — a hierarchical timer wheel with an overflow heap: O(1)
+  inserts for the near-future bulk (link service, propagation, ACK
+  clocks, RTO wakeups) regardless of how many events are pending;
+* ``"heap"`` — the classic binary heap, kept as the reference backend;
 
-Both pop in the same total order, so a simulation's trace is
-backend-independent (property-tested in
-``tests/test_sim_scheduler_equivalence.py``); ``REPRO_SIM_SCHEDULER``
-overrides the default for a whole process.
+* ``"auto"`` (the default) — an adaptive wrapper that starts on the
+  heap (better constants while the pending set is small) and migrates
+  to the wheel when the observed pending population crosses a
+  calibrated threshold (and back, with hysteresis).
+
+All backends pop in the same total order, so a simulation's trace is
+backend-independent — including across ``auto``'s mid-run migrations
+(property-tested in ``tests/test_sim_scheduler_equivalence.py`` and
+``tests/test_sim_scheduler_auto.py``); ``REPRO_SIM_SCHEDULER``
+overrides the default for a whole process, and an unknown value (from
+either the argument or the environment) raises ``ValueError``
+immediately rather than silently falling back.
 
 Two hot-path optimisations keep the event loop allocation-light:
 
@@ -38,12 +45,16 @@ the schedule-then-lazy-cancel churn of RTO-style timers.
 from __future__ import annotations
 
 import os
+from itertools import repeat
 from typing import Any, Callable, List, Optional
 
-from .scheduler import HeapScheduler, WheelScheduler
+from .scheduler import AdaptiveScheduler, HeapScheduler, WheelScheduler
 
 #: Environment override for the default scheduler backend.
 SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
+
+#: Recognised scheduler backend names.
+SCHEDULER_NAMES = ("auto", "wheel", "heap")
 
 
 class Event:
@@ -155,13 +166,32 @@ class Timer:
         self.fn(*self.args)
 
 
+def _resolve_scheduler_name(scheduler: Optional[str]) -> str:
+    """The backend to use, validating the argument or env override.
+
+    An unrecognised name must fail loudly *here*, whichever way it
+    arrived: a typo'd ``REPRO_SIM_SCHEDULER`` silently falling back to
+    the default would invalidate every measurement made under it.
+    """
+    if scheduler is not None:
+        name, origin = scheduler, "Simulator(scheduler=...)"
+    else:
+        name, origin = (os.environ.get(SCHEDULER_ENV) or "auto",
+                        f"the {SCHEDULER_ENV} environment variable")
+    if name not in SCHEDULER_NAMES:
+        expected = ", ".join(repr(n) for n in SCHEDULER_NAMES)
+        raise ValueError(
+            f"unknown scheduler {name!r} from {origin} "
+            f"(expected one of {expected})")
+    return name
+
+
 def _make_scheduler(name: str, wheel_tick: float):
+    if name == "auto":
+        return AdaptiveScheduler(tick=wheel_tick)
     if name == "wheel":
         return WheelScheduler(tick=wheel_tick)
-    if name == "heap":
-        return HeapScheduler()
-    raise ValueError(
-        f"unknown scheduler {name!r} (expected 'wheel' or 'heap')")
+    return HeapScheduler()
 
 
 class Simulator:
@@ -170,14 +200,17 @@ class Simulator:
     Parameters
     ----------
     scheduler : str, optional
-        Event-store backend, ``"wheel"`` or ``"heap"``.  Defaults to the
-        ``REPRO_SIM_SCHEDULER`` environment variable, else ``"wheel"``.
-        Both backends dispatch in identical ``(time, seq)`` order, so
-        the choice is purely speed: the wheel's cost is flat in the
-        pending-event population (the scaling target of this repo's
-        roadmap — 10k+ flow scenarios), at ~10% worse constants on the
-        small shipped figure scenarios, where ``"heap"`` is the faster
-        pick.
+        Event-store backend: ``"auto"``, ``"wheel"`` or ``"heap"``.
+        Defaults to the ``REPRO_SIM_SCHEDULER`` environment variable,
+        else ``"auto"``.  All backends dispatch in identical
+        ``(time, seq)`` order, so the choice is purely speed: the
+        wheel's cost is flat in the pending-event population (the
+        scaling target of this repo's roadmap — 10k+ flow scenarios),
+        at ~10% worse constants on the small shipped figure scenarios,
+        where the heap is the faster pick; ``"auto"`` samples the
+        observed pending population and migrates between the two, so
+        neither regime pays the other's constants.  An unknown name —
+        argument or environment — raises ``ValueError``.
     wheel_tick : float
         Level-0 slot width of the wheel backend in seconds (default
         1 ms); ignored by the heap backend.
@@ -191,7 +224,7 @@ class Simulator:
     def __init__(self, scheduler: Optional[str] = None, *,
                  wheel_tick: float = 1e-3,
                  trace: Optional[Callable] = None) -> None:
-        name = scheduler or os.environ.get(SCHEDULER_ENV) or "wheel"
+        name = _resolve_scheduler_name(scheduler)
         self._sched = _make_scheduler(name, wheel_tick)
         self.scheduler_name = name
         self._free: List[Event] = []
@@ -214,6 +247,27 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._sched)
+
+    @property
+    def active_backend(self) -> str:
+        """The event store in use right now, ``"heap"`` or ``"wheel"``.
+
+        Equal to ``scheduler_name`` for the fixed backends; under
+        ``"auto"`` it reports whichever side of the crossover the
+        adaptive scheduler currently sits on.
+        """
+        sched = self._sched
+        if isinstance(sched, AdaptiveScheduler):
+            return sched.backend_name
+        return self.scheduler_name
+
+    @property
+    def migrations(self) -> int:
+        """Backend switches performed so far (always 0 when fixed)."""
+        sched = self._sched
+        if isinstance(sched, AdaptiveScheduler):
+            return sched.migrations
+        return 0
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
         """Run ``fn(*args)`` after ``delay`` seconds; returns the event."""
@@ -259,8 +313,20 @@ class Simulator:
         return Timer(self, fn, args)
 
     def run(self, until: float) -> None:
-        """Process events in order until the clock reaches ``until``."""
-        pop = self._sched.pop_due
+        """Process events in order until the clock reaches ``until``.
+
+        Under the adaptive backend the loop is *chunked*: the pending
+        population is sampled (and the backend possibly migrated)
+        between chunks of ``AdaptiveScheduler.period`` events, and
+        inside a chunk events pop straight off the active inner
+        backend — the adaptive machinery costs nothing on the
+        per-event fast path.
+        """
+        sched = self._sched
+        if isinstance(sched, AdaptiveScheduler):
+            self._run_adaptive(sched, until)
+            return
+        pop = sched.pop_due
         free = self._free
         trace = self._trace
         while True:
@@ -283,31 +349,103 @@ class Simulator:
             free.append(event)
         self._now = until
 
+    def _run_adaptive(self, sched: AdaptiveScheduler, until: float) -> None:
+        """The chunked variant of :meth:`run` for the auto backend.
+
+        A separate loop rather than a flag in :meth:`run`: the fixed-
+        backend loop keeps no counter at all, and here the chunk is a
+        ``repeat(None, period)`` iteration — the cheapest loop CPython
+        has (~8 ns/event over a bare loop, vs ~40 ns for an integer
+        countdown) — so steady state runs at the active backend's
+        native speed.
+        """
+        free = self._free
+        trace = self._trace
+        period = sched.period
+        while True:
+            sched.sample()
+            pop = sched.inner.pop_due
+            for _ in repeat(None, period):
+                entry = pop(until)
+                if entry is None:
+                    self._now = until
+                    return
+                event = entry[4]
+                if event.cancelled:
+                    event.fn = None
+                    event.args = ()
+                    free.append(event)
+                    continue
+                self._now = entry[0]
+                self._processed += 1
+                if trace is not None:
+                    trace(entry[0], entry[2], entry[3])
+                entry[2](*entry[3])
+                event.fn = None
+                event.args = ()
+                free.append(event)
+
     def run_until_empty(self, max_events: int = 10_000_000) -> None:
         """Process every queued event (bounded by ``max_events``)."""
-        pop = self._sched.pop_next
+        sched = self._sched
+        if isinstance(sched, AdaptiveScheduler):
+            if self._run_until_empty_adaptive(sched, max_events):
+                return
+        else:
+            pop = sched.pop_next
+            free = self._free
+            trace = self._trace
+            budget = max_events
+            while budget > 0:
+                entry = pop()
+                if entry is None:
+                    return
+                event = entry[4]
+                if event.cancelled:
+                    event.fn = None
+                    event.args = ()
+                    free.append(event)
+                    continue
+                self._now = entry[0]
+                self._processed += 1
+                budget -= 1
+                if trace is not None:
+                    trace(entry[0], entry[2], entry[3])
+                entry[2](*entry[3])
+                event.fn = None
+                event.args = ()
+                free.append(event)
+        if len(self._sched):
+            raise RuntimeError(
+                f"run_until_empty exceeded {max_events} events")
+
+    def _run_until_empty_adaptive(self, sched: AdaptiveScheduler,
+                                  max_events: int) -> bool:
+        """Chunked :meth:`run_until_empty`; True when fully drained."""
         free = self._free
         trace = self._trace
         budget = max_events
         while budget > 0:
-            entry = pop()
-            if entry is None:
-                return
-            event = entry[4]
-            if event.cancelled:
+            sched.sample()
+            pop = sched.inner.pop_next
+            before = self._processed
+            for _ in repeat(None, min(sched.period, budget)):
+                entry = pop()
+                if entry is None:
+                    return True
+                event = entry[4]
+                if event.cancelled:
+                    event.fn = None
+                    event.args = ()
+                    free.append(event)
+                    continue
+                self._now = entry[0]
+                self._processed += 1
+                if trace is not None:
+                    trace(entry[0], entry[2], entry[3])
+                entry[2](*entry[3])
                 event.fn = None
                 event.args = ()
                 free.append(event)
-                continue
-            self._now = entry[0]
-            self._processed += 1
-            budget -= 1
-            if trace is not None:
-                trace(entry[0], entry[2], entry[3])
-            entry[2](*entry[3])
-            event.fn = None
-            event.args = ()
-            free.append(event)
-        if len(self._sched):
-            raise RuntimeError(
-                f"run_until_empty exceeded {max_events} events")
+            budget -= self._processed - before
+        return len(self._sched) == 0

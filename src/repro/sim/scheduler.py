@@ -51,6 +51,16 @@ in the ``due`` heap behind the cursor and the scheduler temporarily
 behaves like a plain heap — correct, just without the O(1) insert —
 until the backlog drains past the cursor again.  Continuous workloads
 (every figure sweep in this repo) never enter that regime.
+
+A third implementation, :class:`AdaptiveScheduler` (the engine's
+``scheduler="auto"`` default), holds no event storage of its own: it
+delegates to a heap or a wheel and *migrates* between them based on the
+observed pending-event population.  Neither fixed backend wins
+everywhere — the heap's constants are better on the near-empty pending
+sets of the small figure scenarios (~10-20% end-to-end), the wheel's
+flat scaling wins on the loaded 1k-10k-flow scenarios (~2.8x on the
+loaded microbench) — and because every backend pops in the same total
+order, switching mid-run is invisible to the simulation.
 """
 
 from __future__ import annotations
@@ -86,6 +96,20 @@ class HeapScheduler:
         if heap:
             return heappop(heap)
         return None
+
+    def dump(self) -> List[tuple]:
+        """All entries in arbitrary order, leaving the scheduler empty.
+
+        O(n) backend-migration support: hand the result to another
+        scheduler's :meth:`refill`.
+        """
+        heap, self._heap = self._heap, []
+        return heap
+
+    def refill(self, entries: List[tuple]) -> None:
+        """Bulk-load ``entries`` (arbitrary order) into an empty self."""
+        self._heap += entries
+        heapify(self._heap)
 
 
 _SLOT_BITS = 8
@@ -331,3 +355,159 @@ class WheelScheduler:
             due = self._due
         self._count -= 1
         return heappop(due)
+
+    def dump(self) -> List[tuple]:
+        """All entries in arbitrary order, leaving the scheduler empty.
+
+        O(n) backend-migration support: hand the result to another
+        scheduler's :meth:`refill`.  The cursor keeps its position, so
+        the emptied wheel stays valid for further pushes.
+        """
+        entries = self._due
+        self._due = []
+        for level in (self._l0, self._l1, self._l2):
+            for slot, bucket in enumerate(level):
+                if bucket:
+                    entries.extend(bucket)
+                    level[slot] = []
+        entries.extend(self._overflow)
+        self._overflow = []
+        self._occ0 = self._occ1 = self._occ2 = 0
+        self._count = 0
+        self._wheel_count = 0
+        return entries
+
+    def refill(self, entries: List[tuple]) -> None:
+        """Bulk-load ``entries`` (arbitrary order) into an empty self."""
+        push = self.push
+        for entry in entries:
+            push(entry)
+
+
+#: Pending population at which the adaptive scheduler trades its heap
+#: for a wheel, and back.  Calibrated on this repo's workloads (see
+#: docs/PERFORMANCE.md "Picking the backend"): on dense event streams
+#: (many events per 1 ms tick — the loaded-scenario regime) the wheel
+#: overtakes the heap below ~64 pending entries, while on sparse
+#: streams (at most one event per tick — the small figure scenarios)
+#: the heap's O(log n) stays competitive into the thousands.  2048
+#: splits the repo's real workloads cleanly: figure scenarios idle at
+#: ~20-100 pending and stay on the heap; the 100-flow generator preset
+#: sits near the boundary; the 1k/10k-flow presets park thousands of
+#: RTO timers and promote to the wheel, where its flat scaling wins.
+#: The 4x hysteresis gap keeps a population oscillating around either
+#: threshold from thrashing migrations.
+AUTO_PROMOTE_PENDING = 2048
+AUTO_DEMOTE_PENDING = 512
+
+#: How many pops the adaptive scheduler lets pass between population
+#: samples.  Sampling is O(1) (a ``len`` and a compare), but the
+#: countdown keeps even that off the per-event fast path; 256 reacts
+#: within a few simulated milliseconds of any realistic load shift
+#: while costing ~one extra integer op per event.
+AUTO_SAMPLE_PERIOD = 256
+
+
+class AdaptiveScheduler:
+    """Population-adaptive scheduler: a heap that becomes a wheel.
+
+    Delegates storage to a :class:`HeapScheduler` while the pending
+    population is small and migrates to a :class:`WheelScheduler` when
+    it grows past :data:`AUTO_PROMOTE_PENDING` (and back below
+    :data:`AUTO_DEMOTE_PENDING`).  Migration drains the old backend in
+    pop order into the new one, so the ``(time, seq)`` pop contract —
+    and therefore trace identity with both fixed backends — holds
+    through any number of switches.
+
+    The population is sampled every :data:`AUTO_SAMPLE_PERIOD` pops
+    rather than on every operation; ``push`` is the *bound method of
+    the active backend* (re-bound on migration), so inserts pay zero
+    wrapper overhead.  The engine's dispatch loop avoids the pop-side
+    wrapper too: it calls :meth:`sample` once per
+    :data:`AUTO_SAMPLE_PERIOD` dispatched events and pops straight off
+    :attr:`inner` in between, so in steady state the adaptive backend
+    runs at the active backend's native speed.  The wrapped
+    ``pop_due``/``pop_next`` remain for standalone use (anything that
+    drains a scheduler without the engine's chunked loop).
+    """
+
+    __slots__ = ("push", "migrations", "inner", "_tick", "_promote",
+                 "_demote", "_period", "_countdown", "_wheel_active")
+
+    def __init__(self, tick: float = 1e-3, *,
+                 promote: int = AUTO_PROMOTE_PENDING,
+                 demote: int = AUTO_DEMOTE_PENDING,
+                 period: int = AUTO_SAMPLE_PERIOD) -> None:
+        if tick <= 0:
+            raise ValueError("wheel tick must be positive")
+        if not 0 <= demote < promote:
+            raise ValueError(
+                f"need 0 <= demote < promote for hysteresis, got "
+                f"demote={demote}, promote={promote}")
+        if period < 1:
+            raise ValueError("sample period must be >= 1")
+        self._tick = tick
+        self._promote = promote
+        self._demote = demote
+        self._period = period
+        self._countdown = period
+        self._wheel_active = False
+        self.migrations = 0
+        self.inner = HeapScheduler()
+        self.push = self.inner.push
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    @property
+    def backend_name(self) -> str:
+        """The currently active backend, ``"heap"`` or ``"wheel"``."""
+        return "wheel" if self._wheel_active else "heap"
+
+    @property
+    def period(self) -> int:
+        """Pops between population samples (the engine's chunk size)."""
+        return self._period
+
+    def sample(self) -> None:
+        """Compare the pending population against the thresholds.
+
+        Migrates :attr:`inner` (invalidating any cached bound methods)
+        when the population has crossed the active band.
+        """
+        self._countdown = self._period
+        population = len(self.inner)
+        if self._wheel_active:
+            if population <= self._demote:
+                self._migrate(HeapScheduler())
+        elif population >= self._promote:
+            self._migrate(WheelScheduler(tick=self._tick))
+
+    def _migrate(self, target) -> None:
+        """Move the whole population into ``target``, O(n).
+
+        Transfer order is arbitrary — both backends are order-agnostic
+        multisets whose *pop* order is the ``(time, seq)`` contract —
+        so migration moves raw storage (``dump``/``refill``, one
+        ``heapify`` or n O(1) wheel inserts) instead of paying an
+        ordered O(n log n) drain.
+        """
+        target.refill(self.inner.dump())
+        self.inner = target
+        self.push = target.push
+        self._wheel_active = not self._wheel_active
+        self.migrations += 1
+
+    def pop_due(self, until: float) -> Optional[tuple]:
+        """Pop the earliest entry with ``time <= until`` (else None)."""
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self.sample()
+        return self.inner.pop_due(until)
+
+    def pop_next(self) -> Optional[tuple]:
+        """Pop the earliest entry regardless of time (else None)."""
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self.sample()
+        return self.inner.pop_next()

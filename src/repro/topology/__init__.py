@@ -1,6 +1,15 @@
-"""Topology builders: testbed scenarios and data-center FatTrees."""
+"""Topology builders: testbed scenarios, FatTrees, random workloads."""
 
 from .fattree import FatTree
+from .generator import (
+    PRESETS,
+    FlowDescription,
+    GeneratedScenario,
+    GeneratorConfig,
+    build_random_scenario,
+    generate_preset,
+    preset_config,
+)
 from .scenarios import (
     ScenarioATopology,
     ScenarioBTopology,
@@ -14,6 +23,13 @@ from .scenarios import (
 
 __all__ = [
     "FatTree",
+    "FlowDescription",
+    "GeneratedScenario",
+    "GeneratorConfig",
+    "PRESETS",
+    "build_random_scenario",
+    "generate_preset",
+    "preset_config",
     "ScenarioATopology",
     "ScenarioBTopology",
     "ScenarioCTopology",

@@ -14,7 +14,7 @@ _SPEC.loader.exec_module(check_bench)
 
 
 def _report(*, fluid_speedup=30.0, eq_speedup=4.0, engine_speedup=1.4,
-            loaded_speedup=3.0, churn_speedup=8.0,
+            loaded_speedup=3.0, auto_speedup=0.95, churn_speedup=8.0,
             n_points=64, n_events=200_000, n_ticks=2000, bitwise=True):
     return {
         "fluid_sweep": {"n_points": n_points, "speedup": fluid_speedup,
@@ -24,8 +24,43 @@ def _report(*, fluid_speedup=30.0, eq_speedup=4.0, engine_speedup=1.4,
         "engine": {"n_events": n_events, "speedup": engine_speedup},
         "engine_loaded": {"n_events": n_events, "n_pending": 20_000,
                           "speedup": loaded_speedup},
+        "engine_auto": {"n_events": n_events, "n_pending": 20_000,
+                        "speedup": auto_speedup},
         "timer_churn": {"n_timers": 32, "n_ticks": n_ticks,
                         "speedup": churn_speedup},
+    }
+
+
+def _scale_run(scheduler, events_per_sec=250_000.0, **overrides):
+    run = {
+        "scheduler": scheduler,
+        "n_flows": 1000,
+        "events_per_sec": events_per_sec,
+        "wall_seconds": 1.2,
+        "events": 300_000,
+        "peak_pending": 8000,
+        "migrations": 1 if scheduler == "auto" else 0,
+        "goodput_mean_pps": 40.0,
+        "goodput_p50_pps": 12.0,
+    }
+    run.update(overrides)
+    return run
+
+
+def _scale_report(auto_vs_wheel=1.0, **run_overrides):
+    return {
+        "benchmark": "BENCH_scale",
+        "smoke": False,
+        "presets": {
+            "medium": {
+                "schedulers": {
+                    "heap": _scale_run("heap"),
+                    "wheel": _scale_run("wheel"),
+                    "auto": _scale_run("auto", **run_overrides),
+                },
+                "auto_vs_wheel": auto_vs_wheel,
+            },
+        },
     }
 
 
@@ -101,6 +136,108 @@ class TestCheckReport:
         del baseline["equilibrium_sweep"]
         assert check_bench.check_report(_report(), baseline) == []
 
+    def test_nan_speedup_fails_instead_of_passing(self):
+        """NaN < bound is False, so without the finiteness check a
+        broken benchmark would silently pass the gate."""
+        new = _report(engine_speedup=float("nan"))
+        failures = check_bench.check_report(new, _report())
+        assert len(failures) == 1
+        assert "engine" in failures[0] and "finite" in failures[0]
+
+    def test_auto_backend_regression_fails(self):
+        new = _report(auto_speedup=0.3, n_points=8, n_events=20_000,
+                      n_ticks=300)
+        failures = check_bench.check_report(new, _report())
+        assert len(failures) == 1
+        assert "engine_auto" in failures[0]
+
+
+class TestCheckScaleReport:
+    def test_valid_report_passes(self):
+        assert check_bench.check_scale_report(_scale_report()) == []
+
+    def test_empty_report_fails(self):
+        assert check_bench.check_scale_report({"presets": {}})
+        assert check_bench.check_scale_report({})
+
+    def test_missing_metric_fails(self):
+        report = _scale_report()
+        del report["presets"]["medium"]["schedulers"]["auto"][
+            "events_per_sec"]
+        failures = check_bench.check_scale_report(report)
+        assert any("events_per_sec" in f and "missing" in f
+                   for f in failures)
+
+    def test_nan_metric_fails(self):
+        report = _scale_report(goodput_mean_pps=float("nan"))
+        failures = check_bench.check_scale_report(report)
+        assert any("goodput_mean_pps" in f and "finite" in f
+                   for f in failures)
+
+    def test_non_positive_events_per_sec_fails(self):
+        report = _scale_report(events_per_sec=0.0)
+        failures = check_bench.check_scale_report(report)
+        assert any("positive" in f for f in failures)
+
+    def test_non_positive_wall_seconds_fails(self):
+        report = _scale_report(wall_seconds=-1.0)
+        failures = check_bench.check_scale_report(report)
+        assert any("wall_seconds" in f and "positive" in f
+                   for f in failures)
+
+    def test_stale_ratio_flag_waives_the_requirement(self):
+        report = _scale_report()
+        entry = report["presets"]["medium"]
+        del entry["auto_vs_wheel"]
+        entry["auto_vs_wheel_stale"] = True
+        assert check_bench.check_scale_report(report) == []
+
+    def test_auto_below_wheel_floor_fails(self):
+        report = _scale_report(auto_vs_wheel=0.5)
+        failures = check_bench.check_scale_report(report)
+        assert any("auto backend" in f for f in failures)
+
+    def test_missing_ratio_with_both_backends_fails(self):
+        report = _scale_report()
+        del report["presets"]["medium"]["auto_vs_wheel"]
+        failures = check_bench.check_scale_report(report)
+        assert any("auto_vs_wheel" in f for f in failures)
+
+    def test_truncated_report_fails_without_traceback(self):
+        """A half-written BENCH_scale.json must produce FAIL lines,
+        not an AttributeError before anything is printed."""
+        for broken in (
+                [1, 2, 3],
+                {"presets": {"medium": None}},
+                {"presets": {"medium": {"schedulers": {"auto": None}}}},
+                {"presets": {"medium": {"schedulers": {"auto": []}}}}):
+            failures = check_bench.check_scale_report(broken)
+            assert failures, broken
+            # The markdown writer must survive the same inputs (it
+            # runs before the failures are reported).
+            if isinstance(broken, dict):
+                check_bench.summary_markdown(None, None, broken)
+
+
+class TestStepSummary:
+    def test_markdown_mentions_every_section(self):
+        text = check_bench.summary_markdown(_report(), _report(),
+                                            _scale_report())
+        for section in check_bench.SIZE_KEYS:
+            assert section in text
+        assert "medium" in text and "auto vs wheel" in text
+
+    def test_written_when_env_set(self, tmp_path, monkeypatch):
+        target = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(target))
+        check_bench.write_step_summary("## Bench check\n")
+        check_bench.write_step_summary("more\n")
+        assert target.read_text() == "## Bench check\nmore\n"
+
+    def test_skipped_when_env_unset(self, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        check_bench.write_step_summary("ignored")   # must not raise
+
 
 class TestMain:
     def test_cli_round_trip(self, tmp_path, capsys):
@@ -115,3 +252,47 @@ class TestMain:
         assert check_bench.main([str(new_path),
                                  "--baseline", str(base_path)]) == 1
         assert "FAIL" in capsys.readouterr().err
+
+    def test_cli_validates_scale_report(self, tmp_path, capsys):
+        new_path = tmp_path / "new.json"
+        base_path = tmp_path / "base.json"
+        scale_path = tmp_path / "scale.json"
+        new_path.write_text(json.dumps(_report()))
+        base_path.write_text(json.dumps(_report()))
+        scale_path.write_text(json.dumps(_scale_report()))
+        assert check_bench.main([str(new_path), "--baseline",
+                                 str(base_path), "--scale",
+                                 str(scale_path)]) == 0
+        scale_path.write_text(json.dumps(
+            _scale_report(events_per_sec=float("nan"))))
+        assert check_bench.main([str(new_path), "--baseline",
+                                 str(base_path), "--scale",
+                                 str(scale_path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_cli_scale_only_mode(self, tmp_path, capsys):
+        """The nightly tier validates BENCH_scale.json standalone —
+        no throwaway smoke bench needed just to fill the positional."""
+        scale_path = tmp_path / "scale.json"
+        scale_path.write_text(json.dumps(_scale_report()))
+        assert check_bench.main(["--scale", str(scale_path)]) == 0
+        assert "valid scale report" in capsys.readouterr().out
+        scale_path.write_text(json.dumps({"presets": {}}))
+        assert check_bench.main(["--scale", str(scale_path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_cli_requires_some_report(self, capsys):
+        with pytest.raises(SystemExit):
+            check_bench.main([])
+        assert "nothing to check" in capsys.readouterr().err
+
+    def test_cli_writes_step_summary(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        new_path = tmp_path / "new.json"
+        base_path = tmp_path / "base.json"
+        new_path.write_text(json.dumps(_report()))
+        base_path.write_text(json.dumps(_report()))
+        assert check_bench.main([str(new_path),
+                                 "--baseline", str(base_path)]) == 0
+        assert "Bench check" in summary.read_text()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import _experiments, build_parser, main
-from repro.experiments import RepeatedStat, repeat, summarize_samples
+from repro.experiments import repeat, summarize_samples
 
 
 class TestSummarizeSamples:

@@ -12,7 +12,6 @@ from repro.sim import (
     Simulator,
     single_path_tcp,
 )
-from repro.units import mbps_to_pps
 
 
 def make_link(sim, mbps=1.0):
@@ -83,7 +82,6 @@ class TestBackgroundTraffic:
     def test_olia_beats_lia_with_background_noise(self):
         """Scenario-C-like setup plus unresponsive noise on the shared
         AP: the OLIA > LIA ordering survives (paper future-work factor)."""
-        from repro.experiments import scenario_c
         from repro.topology.scenarios import build_scenario_c
         from repro.sim.apps import BulkTransfer
         from repro.experiments.runner import measure

@@ -1,0 +1,189 @@
+"""The scale harness: points, report assembly, smoke caps, CLI verb."""
+
+import importlib.util
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.scale import (
+    SMOKE_DURATION,
+    SMOKE_MAX_FLOWS,
+    ScaleRun,
+    report_table,
+    run_scale_point,
+    scale_report,
+    write_report,
+)
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench",
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "check_bench.py")
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+# One in-process point everybody below reuses (module-level so the
+# numbers stay comparable across asserts without re-running).
+_POINT_KWARGS = dict(preset="tiny", scheduler="auto", duration=0.4,
+                     warmup=0.1, seed=2)
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    return run_scale_point(**_POINT_KWARGS)
+
+
+class TestRunScalePoint:
+    def test_reports_real_work(self, tiny_run):
+        assert isinstance(tiny_run, ScaleRun)
+        assert tiny_run.n_flows == 24
+        assert tiny_run.events > 1000
+        assert tiny_run.events_per_sec > 0
+        assert 0 < tiny_run.wall_seconds
+        assert tiny_run.peak_pending >= tiny_run.final_pending > 0
+        assert tiny_run.build_seconds > 0
+
+    def test_goodput_distribution_is_ordered_and_finite(self, tiny_run):
+        assert math.isfinite(tiny_run.goodput_mean_pps)
+        assert (tiny_run.goodput_p10_pps <= tiny_run.goodput_p50_pps
+                <= tiny_run.goodput_p90_pps)
+
+    def test_records_scheduler_state(self, tiny_run):
+        assert tiny_run.scheduler == "auto"
+        assert tiny_run.final_backend in ("heap", "wheel")
+        assert tiny_run.migrations >= 0
+
+    def test_same_seed_same_simulation(self, tiny_run):
+        again = run_scale_point(**_POINT_KWARGS)
+        # Wall-clock differs run to run; the simulation must not.
+        assert again.events == tiny_run.events
+        assert again.goodput_mean_pps == tiny_run.goodput_mean_pps
+        assert again.peak_pending == tiny_run.peak_pending
+
+    def test_unknown_preset_fails(self):
+        with pytest.raises(ValueError, match="bogus"):
+            run_scale_point(preset="bogus")
+
+
+class TestScaleReport:
+    def test_grid_and_ratio(self, tmp_path):
+        report = scale_report(
+            ["tiny"], schedulers=("wheel", "auto"), duration=0.3,
+            warmup=0.1, seed=3, smoke=False)
+        entry = report["presets"]["tiny"]
+        assert set(entry["schedulers"]) == {"wheel", "auto"}
+        assert math.isfinite(entry["auto_vs_wheel"])
+        # The report satisfies the CI validator it is gated by.
+        assert check_bench.check_scale_report(report) == []
+        path = tmp_path / "BENCH_scale.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text())["benchmark"] == "BENCH_scale"
+
+    def test_smoke_env_caps_the_workload(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+        report = scale_report(["tiny"], schedulers=("heap",),
+                              duration=0.3, warmup=0.1)
+        assert report["smoke"] is True
+        run = report["presets"]["tiny"]["schedulers"]["heap"]
+        assert run["n_flows"] <= SMOKE_MAX_FLOWS
+        assert run["duration"] <= min(0.3, SMOKE_DURATION)
+
+    def test_cached_grid_is_served_verbatim(self, tmp_path):
+        kwargs = dict(schedulers=("heap",), duration=0.3, warmup=0.1,
+                      seed=4, smoke=False, cache_dir=tmp_path)
+        first = scale_report(["tiny"], **kwargs)
+        assert list(tmp_path.glob("*.pkl"))
+        second = scale_report(["tiny"], **kwargs)
+        one = first["presets"]["tiny"]["schedulers"]["heap"]
+        two = second["presets"]["tiny"]["schedulers"]["heap"]
+        # Cache provenance is tracked per cell; everything else —
+        # wall-clock fields included — is served verbatim from disk.
+        assert one.pop("from_cache") is False
+        assert two.pop("from_cache") is True
+        assert one == two
+
+    def test_cached_cells_suppress_the_wall_clock_ratio(self, tmp_path):
+        kwargs = dict(schedulers=("wheel", "auto"), duration=0.3,
+                      warmup=0.1, seed=5, smoke=False,
+                      cache_dir=tmp_path)
+        fresh = scale_report(["tiny"], **kwargs)
+        assert "auto_vs_wheel" in fresh["presets"]["tiny"]
+        cached = scale_report(["tiny"], **kwargs)
+        entry = cached["presets"]["tiny"]
+        # A cached cell may have been measured on another machine: no
+        # cross-run throughput ratio is reported (and the validator
+        # does not demand one).
+        assert "auto_vs_wheel" not in entry
+        assert entry["auto_vs_wheel_stale"] is True
+        assert check_bench.check_scale_report(cached) == []
+        assert "omitted" in str(report_table(cached))
+
+    def test_unknown_preset_and_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            scale_report(["bogus"])
+        with pytest.raises(ValueError, match="scheduler"):
+            scale_report(["tiny"], schedulers=("fibheap",))
+        with pytest.raises(ValueError, match="schedulers"):
+            scale_report(["tiny"], schedulers=())
+        with pytest.raises(ValueError, match="presets"):
+            scale_report([])
+
+    def test_table_renders_every_cell(self):
+        report = scale_report(["tiny"], schedulers=("heap", "auto"),
+                              duration=0.3, warmup=0.1, smoke=False)
+        text = str(report_table(report))
+        assert "tiny" in text and "auto" in text and "heap" in text
+        assert "auto vs wheel" not in text   # wheel did not run
+
+
+class TestCliVerb:
+    def test_scale_round_trip(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_scale.json"
+        code = main(["scale", "--preset", "tiny", "--duration", "0.3",
+                     "--warmup", "0.1", "--schedulers", "wheel,auto",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scale harness" in out
+        report = json.loads(output.read_text())
+        assert "tiny" in report["presets"]
+        assert check_bench.check_scale_report(report) == []
+
+    def test_unknown_scheduler_exits_2(self, tmp_path, capsys):
+        code = main(["scale", "--preset", "tiny", "--schedulers", "bogus",
+                     "--output", str(tmp_path / "x.json")])
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_empty_schedulers_exits_2(self, tmp_path, capsys):
+        """A shell-quoting accident must not 'succeed' with an empty
+        report."""
+        code = main(["scale", "--preset", "tiny", "--schedulers", "",
+                     "--output", str(tmp_path / "x.json")])
+        assert code == 2
+        assert "schedulers" in capsys.readouterr().err
+        assert not (tmp_path / "x.json").exists()
+
+    def test_shard_requires_resume(self, tmp_path, capsys):
+        code = main(["scale", "--preset", "tiny", "--shard", "0/2",
+                     "--output", str(tmp_path / "x.json")])
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_sharded_runs_merge_through_the_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        common = ["--preset", "tiny", "--duration", "0.3", "--warmup",
+                  "0.1", "--schedulers", "heap,wheel,auto",
+                  "--resume", str(cache)]
+        for shard in ("0/2", "1/2"):
+            out = tmp_path / f"shard{shard[0]}.json"
+            assert main(["scale", *common, "--shard", shard,
+                         "--output", str(out)]) == 0
+        merged = tmp_path / "merged.json"
+        assert main(["scale", *common, "--output", str(merged)]) == 0
+        report = json.loads(merged.read_text())
+        assert set(report["presets"]["tiny"]["schedulers"]) == \
+            {"heap", "wheel", "auto"}
+        assert check_bench.check_scale_report(report) == []

@@ -6,9 +6,6 @@ fluid fixed points, and the packet simulator — agree on the paper's
 scenarios.
 """
 
-import random
-
-import numpy as np
 import pytest
 
 from repro.analysis import scenario_a as closed_a

@@ -15,7 +15,6 @@ from repro.fluid.equilibrium import (
 )
 from repro.fluid.loss import PowerLoss, RedLoss
 from repro.sim.engine import Simulator
-from repro.sim.packet import Packet
 from repro.sim.queues import REDQueue
 
 probs = st.floats(min_value=1e-5, max_value=0.5,

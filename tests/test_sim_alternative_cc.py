@@ -5,8 +5,6 @@ way to fully escape problems P1/P2; here we verify they integrate with
 the transport layer and show their characteristic behaviours.
 """
 
-import pytest
-
 from repro.core import CubicController, ScalableTcpController
 from repro.sim import DropTailQueue, Link, Simulator, TcpSubflow
 

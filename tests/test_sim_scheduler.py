@@ -133,9 +133,9 @@ class TestWheelAgainstHeap:
 
 
 class TestSimulatorBackendSelection:
-    def test_default_is_wheel(self, monkeypatch):
+    def test_default_is_auto(self, monkeypatch):
         monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
-        assert Simulator().scheduler_name == "wheel"
+        assert Simulator().scheduler_name == "auto"
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
@@ -146,7 +146,7 @@ class TestSimulatorBackendSelection:
         assert Simulator("wheel").scheduler_name == "wheel"
 
     def test_unknown_backend_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="fibheap"):
             Simulator("fibheap")
 
 
@@ -247,7 +247,7 @@ class TestTimer:
         with pytest.raises(ValueError):
             timer.arm_at(1.0)
 
-    @pytest.mark.parametrize("backend", ["heap", "wheel"])
+    @pytest.mark.parametrize("backend", ["heap", "wheel", "auto"])
     def test_same_firing_sequence_on_both_backends(self, backend):
         sim = Simulator(backend)
         fired = []

@@ -1,0 +1,201 @@
+"""The adaptive scheduler backend: migration, calibration, identity.
+
+Three layers of guarantees:
+
+* scheduler level — :class:`AdaptiveScheduler` pops in exactly the
+  heap's ``(time, seq)`` order through any number of heap/wheel
+  migrations (randomized interleavings with thresholds tuned to force
+  frequent switching);
+* engine level — ``scheduler="auto"`` honours the ``REPRO_SIM_SCHEDULER``
+  override, rejects unknown names loudly (argument *and* environment),
+  and reports the active backend;
+* scenario level — a generated workload sized to straddle the promote
+  threshold runs trace-identically on auto, heap and wheel, *and* the
+  auto run really migrates (the equivalence is not vacuous).
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.scheduler import (
+    AUTO_DEMOTE_PENDING,
+    AUTO_PROMOTE_PENDING,
+    AdaptiveScheduler,
+    HeapScheduler,
+    WheelScheduler,
+)
+from repro.topology import generate_preset
+
+
+def _entry(time, seq):
+    return (time, seq, None, (), None)
+
+
+class TestAdaptiveScheduler:
+    def test_starts_on_the_heap(self):
+        sched = AdaptiveScheduler()
+        assert sched.backend_name == "heap"
+        assert isinstance(sched.inner, HeapScheduler)
+        assert sched.migrations == 0
+
+    def test_promotes_past_threshold_and_demotes_back(self):
+        sched = AdaptiveScheduler(promote=64, demote=16, period=8)
+        for seq in range(80):
+            sched.push(_entry(1.0 + seq * 1e-3, seq))
+        # Population sampling happens on pops; drain past the sample
+        # period so the promotion triggers.
+        for _ in range(16):
+            sched.pop_next()
+        assert sched.backend_name == "wheel"
+        assert isinstance(sched.inner, WheelScheduler)
+        assert sched.migrations == 1
+        while len(sched) > 8:
+            sched.pop_next()
+        for _ in range(8):            # force a few more samples
+            sched.push(_entry(100.0, 1000 + _))
+            sched.pop_next()
+        assert sched.backend_name == "heap"
+        assert sched.migrations == 2
+
+    def test_hysteresis_band_prevents_thrash(self):
+        sched = AdaptiveScheduler(promote=64, demote=16, period=1)
+        # Sit between the thresholds: never migrates in either direction.
+        for seq in range(40):
+            sched.push(_entry(1.0 + seq * 1e-3, seq))
+        for _ in range(30):
+            entry = sched.pop_next()
+            sched.push(_entry(entry[0] + 1.0, 100 + _))
+        assert sched.migrations == 0
+        assert sched.backend_name == "heap"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pop_order_identical_to_heap_across_migrations(self, seed):
+        rng = random.Random(seed)
+        auto = AdaptiveScheduler(promote=48, demote=12, period=4)
+        heap = HeapScheduler()
+        seq = 0
+        now = 0.0
+        for _ in range(4000):
+            if rng.random() < 0.55:
+                horizon = rng.choice([1e-4, 5e-3, 0.3, 2.0, 80.0, 2e4])
+                time = now + rng.random() * horizon
+                seq += 1
+                auto.push(_entry(time, seq))
+                heap.push(_entry(time, seq))
+            else:
+                a, b = auto.pop_next(), heap.pop_next()
+                assert a == b
+                if a is not None:
+                    now = a[0]
+        while True:
+            a, b = auto.pop_next(), heap.pop_next()
+            assert a == b
+            if a is None:
+                break
+        # The thresholds above are tuned so the stream actually crossed
+        # the band — otherwise this test proves nothing about migration.
+        assert auto.migrations >= 2
+
+    def test_len_survives_migration(self):
+        sched = AdaptiveScheduler(promote=8, demote=2, period=1)
+        for seq in range(12):
+            sched.push(_entry(1.0 + seq, seq))
+        sched.pop_next()
+        assert sched.backend_name == "wheel"
+        assert len(sched) == 11
+
+    def test_dump_refill_round_trip(self):
+        wheel = WheelScheduler(tick=1e-3)
+        entries = [_entry(t, i) for i, t in
+                   enumerate([0.5, 0.0001, 3.0, 90.0, 1e5, 0.5])]
+        for entry in entries:
+            wheel.push(entry)
+        heap = HeapScheduler()
+        heap.refill(wheel.dump())
+        assert len(wheel) == 0 and wheel.pop_next() is None
+        popped = [heap.pop_next() for _ in range(len(entries))]
+        assert popped == sorted(entries, key=lambda e: (e[0], e[1]))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            AdaptiveScheduler(promote=16, demote=16)
+        with pytest.raises(ValueError, match="period"):
+            AdaptiveScheduler(period=0)
+        with pytest.raises(ValueError, match="tick"):
+            AdaptiveScheduler(tick=0.0)
+
+    def test_default_thresholds_are_the_calibrated_band(self):
+        assert 0 < AUTO_DEMOTE_PENDING < AUTO_PROMOTE_PENDING
+
+
+class TestEnvOverride:
+    def test_auto_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "auto")
+        sim = Simulator()
+        assert sim.scheduler_name == "auto"
+        assert sim.active_backend == "heap"
+
+    @pytest.mark.parametrize("backend", ["heap", "wheel"])
+    def test_env_pins_a_fixed_backend(self, monkeypatch, backend):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", backend)
+        sim = Simulator()
+        assert sim.scheduler_name == backend
+        assert sim.active_backend == backend
+
+    def test_unknown_env_value_fails_loudly(self, monkeypatch):
+        """A typo'd REPRO_SIM_SCHEDULER must not silently fall back to
+        the default — every measurement made under it would lie."""
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "wheeel")
+        with pytest.raises(ValueError) as excinfo:
+            Simulator()
+        message = str(excinfo.value)
+        assert "wheeel" in message
+        assert "REPRO_SIM_SCHEDULER" in message
+        assert "auto" in message       # the error lists the valid names
+
+    def test_empty_env_value_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "")
+        assert Simulator().scheduler_name == "auto"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "wheeel")
+        assert Simulator("heap").scheduler_name == "heap"
+
+
+def _run_crossover_scenario(backend, trace):
+    """A generated workload whose pending population crosses the
+    promote threshold (~2.7k peak for 400 flows), run with a trace."""
+    def hook(time, fn, args):
+        trace.append((time, getattr(fn, "__qualname__", repr(fn)),
+                      len(args)))
+
+    sim = Simulator(backend, trace=hook)
+    scenario = generate_preset(sim, "medium", seed=5, max_flows=400)
+    scenario.start()
+    sim.run(until=0.8)
+    goodput = sum(f.acked_packets for f in scenario.bulk_flows.values())
+    return sim, goodput
+
+
+class TestCrossoverTraceIdentity:
+    def test_auto_trace_identical_to_both_fixed_backends(self):
+        auto_trace, heap_trace, wheel_trace = [], [], []
+        auto_sim, auto_goodput = _run_crossover_scenario("auto", auto_trace)
+        heap_sim, heap_goodput = _run_crossover_scenario("heap", heap_trace)
+        wheel_sim, wheel_goodput = _run_crossover_scenario("wheel",
+                                                           wheel_trace)
+
+        # The auto run crossed the threshold and really migrated.
+        assert auto_sim._sched.migrations >= 1
+        assert auto_sim.active_backend == "wheel"
+        assert auto_sim.pending_events > AUTO_DEMOTE_PENDING
+
+        # Real work happened, identically, on every backend.
+        assert auto_sim.events_processed > 10_000
+        assert auto_sim.events_processed == heap_sim.events_processed
+        assert auto_sim.events_processed == wheel_sim.events_processed
+        assert auto_goodput == heap_goodput == wheel_goodput
+        assert auto_trace == heap_trace
+        assert auto_trace == wheel_trace

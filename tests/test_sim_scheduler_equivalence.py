@@ -1,13 +1,14 @@
-"""Property test: wheel and heap runs of a full DES scenario are
+"""Property test: wheel, heap and auto runs of a full DES scenario are
 trace-identical.
 
 The scheduler contract (``repro.sim.scheduler``) is that the timer
-wheel pops entries in exactly the heap's ``(time, seq)`` order, which
-makes *whole simulations* backend-independent: same event sequence,
-same RNG draws, same floats everywhere.  This test runs the paper's
-scenario A — MPTCP bulk transfers through a shared AP competing with
-regular TCP, RED queues, staggered random starts — under both backends
-across seeds and requires
+wheel — and the adaptive backend, through any of its migrations — pops
+entries in exactly the heap's ``(time, seq)`` order, which makes
+*whole simulations* backend-independent: same event sequence, same RNG
+draws, same floats everywhere.  This test runs the paper's scenario A
+— MPTCP bulk transfers through a shared AP competing with regular TCP,
+RED queues, staggered random starts — under every backend across seeds
+and requires
 
 * the dispatched event traces to be identical (time, callback, and
   argument shape of every single event), and
@@ -51,25 +52,26 @@ def _run_scenario_a(backend: str, seed: int, trace: list):
     return sim, result
 
 
+@pytest.mark.parametrize("backend", ["wheel", "auto"])
 @pytest.mark.parametrize("seed", [1, 2, 3])
-def test_scenario_a_trace_identical_across_backends(seed):
-    heap_trace, wheel_trace = [], []
+def test_scenario_a_trace_identical_across_backends(seed, backend):
+    heap_trace, other_trace = [], []
     heap_sim, heap_result = _run_scenario_a("heap", seed, heap_trace)
-    wheel_sim, wheel_result = _run_scenario_a("wheel", seed, wheel_trace)
+    other_sim, other_result = _run_scenario_a(backend, seed, other_trace)
 
     # The runs did real work (thousands of events), on both backends.
     assert heap_sim.events_processed > 1000
-    assert heap_sim.events_processed == wheel_sim.events_processed
+    assert heap_sim.events_processed == other_sim.events_processed
 
     # Event order is identical, entry by entry.
-    assert len(heap_trace) == len(wheel_trace)
-    for heap_entry, wheel_entry in zip(heap_trace, wheel_trace):
-        assert heap_entry == wheel_entry
+    assert len(heap_trace) == len(other_trace)
+    for heap_entry, other_entry in zip(heap_trace, other_trace):
+        assert heap_entry == other_entry
 
     # Final monitor statistics are *exactly* equal — same floats.
-    assert heap_result.goodput_pps == wheel_result.goodput_pps
-    assert heap_result.link_loss == wheel_result.link_loss
-    assert heap_result.link_utilization == wheel_result.link_utilization
+    assert heap_result.goodput_pps == other_result.goodput_pps
+    assert heap_result.link_loss == other_result.link_loss
+    assert heap_result.link_utilization == other_result.link_utilization
 
 
 def test_scenario_a_traces_differ_across_seeds():
