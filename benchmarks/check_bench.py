@@ -77,6 +77,8 @@ from typing import Dict, List, Optional
 SMOKE_FLOORS = {
     "fluid_sweep": 2.0,
     "equilibrium_sweep": 1.5,
+    "fluid_sweep_balia": 2.0,
+    "equilibrium_sweep_balia": 1.5,
     "engine": 0.8,
     "engine_loaded": 1.2,
     "engine_auto": 0.7,
@@ -87,11 +89,17 @@ SMOKE_FLOORS = {
 SIZE_KEYS = {
     "fluid_sweep": "n_points",
     "equilibrium_sweep": "n_points",
+    "fluid_sweep_balia": "n_points",
+    "equilibrium_sweep_balia": "n_points",
     "engine": "n_events",
     "engine_loaded": "n_events",
     "engine_auto": "n_events",
     "timer_churn": "n_ticks",
 }
+
+#: Sections whose batch backend must stay bitwise-equal to the loop.
+BITWISE_SECTIONS = ("fluid_sweep", "equilibrium_sweep",
+                    "fluid_sweep_balia", "equilibrium_sweep_balia")
 
 #: Scale-report bound: auto events/sec relative to the fixed wheel on
 #: the same preset.  Generous against CI noise; the committed local
@@ -114,7 +122,7 @@ def check_report(new: Dict, baseline: Dict,
                  factor: float = 2.0) -> List[str]:
     """Return a list of failure messages (empty when the report passes)."""
     failures: List[str] = []
-    for section in ("fluid_sweep", "equilibrium_sweep"):
+    for section in BITWISE_SECTIONS:
         data = new.get(section)
         if data is not None and not data.get("bitwise_equal", False):
             failures.append(

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI gate: the algorithm registry stays the single dispatch path.
+
+The legacy per-layer factories — ``repro.fluid.dynamics.
+make_fluid_algorithm`` and ``repro.fluid.equilibrium.allocation_rule``
+— are deprecating wrappers kept only for backwards compatibility; every
+name→algorithm resolution must go through ``repro.core.registry``.
+This script greps the package for *call sites* of the wrappers outside
+``core/`` (and outside the two modules that define them) and exits
+non-zero when it finds any, with a ruff-style ``path:line:`` report.
+It runs in the CI lint job next to ``ruff check``.
+
+Usage::
+
+    python benchmarks/check_registry_gate.py [SRC_DIR]
+
+``SRC_DIR`` defaults to the repo's ``src/repro``; passing a directory
+makes the gate testable against synthetic trees.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+#: Legacy factory names whose call sites are banned outside core/.
+#: Word-boundary anchored, so ``make_allocation_rule(`` (the registry
+#: API) does not match ``allocation_rule(``; the lookbehind spares
+#: calls explicitly qualified through the registry module
+#: (``registry.make_fluid_algorithm(...)``).
+BANNED_CALLS = re.compile(
+    r"(?<!registry\.)\b(make_fluid_algorithm|allocation_rule)\s*\(")
+
+#: Importing the wrappers from the fluid layer is banned too — an
+#: import is a call site in waiting.  Scanned over the whole file text
+#: (DOTALL for the parenthesized form) so multi-line imports and
+#: ``as``-aliases cannot slip through the line scan.
+BANNED_IMPORTS = re.compile(
+    r"from\s+\S*(?:\bdynamics\b|\bequilibrium\b|\bfluid\b)\S*\s+import\s*"
+    r"(?:\(([^)]*)\)|([^\n]+))", re.S)
+_BANNED_NAMES = re.compile(r"\b(make_fluid_algorithm|allocation_rule)\b")
+
+#: Names imported *from the registry* (possibly parenthesized over
+#: several lines) are the sanctioned dispatch path: bare calls to them
+#: are fine.  ``make_fluid_algorithm`` is both a registry function and
+#: a legacy wrapper name, so provenance decides.
+REGISTRY_IMPORTS = re.compile(
+    r"from\s+\S*core(?:\.registry)?\s+import\s+"
+    r"(?:\(([^)]*)\)|([^\n]+))")
+
+#: Modules allowed to mention the legacy names: everything under
+#: ``core/`` (the registry itself), the two wrapper definition modules,
+#: and the fluid package __init__ that re-exports them for backwards
+#: compatibility.
+ALLOWED = ("core/", "fluid/dynamics.py", "fluid/equilibrium.py",
+           "fluid/__init__.py")
+
+
+def _registry_imported_names(text: str) -> set:
+    names = set()
+    for group_a, group_b in REGISTRY_IMPORTS.findall(text):
+        for token in (group_a or group_b).split(","):
+            token = token.strip()
+            if token:
+                names.add(token.split(" as ")[-1].strip())
+    return names
+
+
+def scan(src: pathlib.Path) -> List[Tuple[pathlib.Path, int, str]]:
+    """All banned call sites under ``src`` as (path, line, text)."""
+    violations = []
+    for path in sorted(src.rglob("*.py")):
+        relative = path.relative_to(src).as_posix()
+        if any(relative == allowed or relative.startswith(allowed)
+               for allowed in ALLOWED):
+            continue
+        text = path.read_text()
+        sanctioned = _registry_imported_names(text)
+        flagged_lines = set()
+        # Text-level import scan: parenthesized imports span lines.
+        for match in BANNED_IMPORTS.finditer(text):
+            imported = match.group(1) or match.group(2)
+            if _BANNED_NAMES.search(imported):
+                flagged_lines.add(text.count("\n", 0, match.start()) + 1)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            stripped = line.lstrip()
+            if stripped.startswith("#"):
+                continue
+            banned = [match for match in BANNED_CALLS.finditer(line)
+                      if match.group(1) not in sanctioned]
+            if banned or lineno in flagged_lines:
+                violations.append((path, lineno, stripped))
+                flagged_lines.discard(lineno)
+        for lineno in sorted(flagged_lines):   # import on a comment line
+            violations.append((path, lineno,
+                               text.splitlines()[lineno - 1].lstrip()))
+    return violations
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) > 1:
+        print("usage: check_registry_gate.py [SRC_DIR]", file=sys.stderr)
+        return 2
+    src = pathlib.Path(argv[0]) if argv else \
+        pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+    if not src.is_dir():
+        print(f"no such source directory: {src}", file=sys.stderr)
+        return 2
+    violations = scan(src)
+    for path, lineno, text in violations:
+        print(f"{path}:{lineno}: legacy algorithm factory call outside "
+              f"core/ — resolve through repro.core.registry instead: "
+              f"{text}", file=sys.stderr)
+    if violations:
+        print(f"FAIL registry gate: {len(violations)} legacy dispatch "
+              "site(s); repro.core.registry is the single dispatch path",
+              file=sys.stderr)
+        return 1
+    print(f"registry gate OK: no legacy algorithm dispatch outside "
+          f"core/ in {src}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

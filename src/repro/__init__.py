@@ -24,6 +24,8 @@ Quickstart::
 
 from . import units
 from .core import (
+    AlgorithmSpec,
+    BaliaController,
     CoupledController,
     EwtcpController,
     LiaController,
@@ -31,7 +33,11 @@ from .core import (
     OliaController,
     RenoController,
     SubflowState,
+    available_algorithms,
+    get_spec,
+    make_allocation_rule,
     make_controller,
+    make_fluid_algorithm,
 )
 
 __version__ = "1.0.0"
@@ -45,6 +51,12 @@ __all__ = [
     "RenoController",
     "CoupledController",
     "EwtcpController",
+    "BaliaController",
+    "AlgorithmSpec",
+    "get_spec",
+    "available_algorithms",
     "make_controller",
+    "make_fluid_algorithm",
+    "make_allocation_rule",
     "__version__",
 ]

@@ -12,6 +12,11 @@ report so the performance trajectory is tracked commit over commit:
   point, point-by-point :func:`~repro.fluid.solve_fixed_point` vs. one
   :func:`~repro.fluid.solve_fixed_point_batch` call; same bitwise
   contract, same report shape.
+* **BALIA rows** (``fluid_sweep_balia``, ``equilibrium_sweep_balia``) —
+  both sweeps rerun with the registry's BALIA spec as the multipath
+  algorithm, so every algorithm the cross-layer registry ships is held
+  to the same bitwise/speedup gate (``benchmarks/check_bench.py``
+  validates them like the paper's algorithms).
 * **engine event throughput** — events per second of the DES event loop,
   measured for the current engine ("after") and for a frozen copy of the
   seed engine ("before", inlined below) so the effect of the free-list +
@@ -109,9 +114,16 @@ def sweep_networks(n_points: int, seed: int = 0) -> List[FluidNetwork]:
 
 
 def bench_fluid_sweep(*, n_points: int = 64, t_end: float = 5.0,
-                      dt: float = 2e-3) -> Dict[str, object]:
-    """Time a fluid sweep on the loop and batch backends."""
-    rules = {0: "olia", 1: "tcp", 2: "tcp", 3: "tcp"}
+                      dt: float = 2e-3,
+                      algorithm: str = "olia") -> Dict[str, object]:
+    """Time a fluid sweep on the loop and batch backends.
+
+    ``algorithm`` is the multipath user's congestion control (any
+    fluid-capable registry name); the ``*_balia`` report sections rerun
+    this bench with BALIA so the registry's newest algorithm is held to
+    the same bitwise/speedup gate as the paper's.
+    """
+    rules = {0: algorithm, 1: "tcp", 2: "tcp", 3: "tcp"}
     networks = sweep_networks(n_points)
 
     start = time.perf_counter()
@@ -127,6 +139,7 @@ def bench_fluid_sweep(*, n_points: int = 64, t_end: float = 5.0,
         np.array_equal(sequential[k].rates, batch.trajectory(k).rates)
         for k in range(n_points))
     return {
+        "algorithm": algorithm,
         "n_points": n_points,
         "t_end": t_end,
         "dt": dt,
@@ -139,10 +152,10 @@ def bench_fluid_sweep(*, n_points: int = 64, t_end: float = 5.0,
     }
 
 
-def bench_equilibrium_sweep(*, n_points: int = 64,
-                            tol: float = 1e-8) -> Dict[str, object]:
+def bench_equilibrium_sweep(*, n_points: int = 64, tol: float = 1e-8,
+                            algorithm: str = "olia") -> Dict[str, object]:
     """Time a fixed-point sweep on the loop and batch solvers."""
-    rules = {0: "olia", 1: "tcp", 2: "tcp", 3: "tcp"}
+    rules = {0: algorithm, 1: "tcp", 2: "tcp", 3: "tcp"}
     networks = sweep_networks(n_points)
 
     start = time.perf_counter()
@@ -160,6 +173,7 @@ def bench_equilibrium_sweep(*, n_points: int = 64,
         and sequential[k].iterations == int(batch.iterations[k])
         for k in range(n_points))
     return {
+        "algorithm": algorithm,
         "n_points": n_points,
         "tol": tol,
         "loop_seconds": round(loop_seconds, 4),
@@ -436,6 +450,10 @@ def run_bench(output_path: str | None = None, *,
     if smoke:
         fluid = bench_fluid_sweep(n_points=8, t_end=1.0)
         equilibrium = bench_equilibrium_sweep(n_points=8)
+        fluid_balia = bench_fluid_sweep(n_points=8, t_end=1.0,
+                                        algorithm="balia")
+        equilibrium_balia = bench_equilibrium_sweep(n_points=8,
+                                                    algorithm="balia")
         engine = bench_engine(n_events=20_000, repeats=1)
         loaded = bench_engine_loaded(n_events=20_000, n_pending=5_000,
                                      repeats=1)
@@ -445,6 +463,10 @@ def run_bench(output_path: str | None = None, *,
     else:
         fluid = bench_fluid_sweep()
         equilibrium = bench_equilibrium_sweep()
+        fluid_balia = bench_fluid_sweep(n_points=32, t_end=2.5,
+                                        algorithm="balia")
+        equilibrium_balia = bench_equilibrium_sweep(n_points=32,
+                                                    algorithm="balia")
         engine = bench_engine()
         loaded = bench_engine_loaded()
         auto = bench_engine_auto()
@@ -455,6 +477,8 @@ def run_bench(output_path: str | None = None, *,
         "python": platform.python_version(),
         "fluid_sweep": fluid,
         "equilibrium_sweep": equilibrium,
+        "fluid_sweep_balia": fluid_balia,
+        "equilibrium_sweep_balia": equilibrium_balia,
         "engine": engine,
         "engine_loaded": loaded,
         "engine_auto": auto,
@@ -469,23 +493,30 @@ def run_bench(output_path: str | None = None, *,
 
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable summary of :func:`run_bench` output."""
-    fluid = report["fluid_sweep"]
-    equilibrium = report["equilibrium_sweep"]
     engine = report["engine"]
     loaded = report["engine_loaded"]
     auto = report["engine_auto"]
     churn = report["timer_churn"]
-    lines = [
-        f"fluid sweep ({fluid['n_points']} points, t_end={fluid['t_end']}s):",
-        f"  loop backend : {fluid['loop_points_per_sec']:>10} points/s",
-        f"  batch backend: {fluid['batch_points_per_sec']:>10} points/s"
-        f"  ({fluid['speedup']}x, bitwise_equal={fluid['bitwise_equal']})",
-        f"equilibrium sweep ({equilibrium['n_points']} points, "
-        f"tol={equilibrium['tol']}):",
-        f"  loop backend : {equilibrium['loop_points_per_sec']:>10} points/s",
-        f"  batch backend: {equilibrium['batch_points_per_sec']:>10} points/s"
-        f"  ({equilibrium['speedup']}x, "
-        f"bitwise_equal={equilibrium['bitwise_equal']})",
+    lines = []
+    # One block per sweep section — the balia rows (and any future
+    # per-algorithm rows) render from the same template.
+    for title, key in (("fluid sweep", "fluid_sweep"),
+                       ("equilibrium sweep", "equilibrium_sweep"),
+                       ("fluid sweep, balia", "fluid_sweep_balia"),
+                       ("equilibrium sweep, balia",
+                        "equilibrium_sweep_balia")):
+        sweep = report[key]
+        size = (f"t_end={sweep['t_end']}s" if "t_end" in sweep
+                else f"tol={sweep['tol']}")
+        lines += [
+            f"{title} ({sweep['n_points']} points, {size}):",
+            f"  loop backend : {sweep['loop_points_per_sec']:>10}"
+            " points/s",
+            f"  batch backend: {sweep['batch_points_per_sec']:>10}"
+            f" points/s  ({sweep['speedup']}x, "
+            f"bitwise_equal={sweep['bitwise_equal']})",
+        ]
+    lines += [
         f"engine ({engine['n_events']} events, empty pending set):",
         f"  before: {engine['before_events_per_sec']:>10} events/s",
         f"  after : {engine['after_events_per_sec']:>10} events/s"

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run fig1b table1 ...
     python -m repro run all --fast --jobs 4
+    python -m repro algorithms [--check]
     python -m repro bench
 
 Every experiment prints its paper-style result table to stdout.  With
@@ -20,6 +21,13 @@ shards print as PENDING until their shard has run against the same
 ``--resume`` directory); ``--shard steal`` claims cache-missing points
 dynamically through lock files in the resume directory, so any number
 of concurrent runs balance a grid of unevenly expensive points.
+``algorithms`` prints each registered algorithm's per-layer support
+(packet / fluid / equilibrium, from the cross-layer registry in
+``repro.core.registry``) and with ``--check`` runs a tiny scenario-A
+workload per algorithm per supported layer (the CI algorithm matrix);
+``run --algorithm NAME`` overrides the algorithm of the experiments
+that take one, and ``scale --algorithms LIST`` replaces the generated
+workloads' algorithm mix.
 ``bench`` measures the hot paths and writes ``BENCH_sweep.json``;
 ``scale`` runs generated large-topology workloads (100 to 10k+ flows,
 ``python -m repro scale --preset medium``) through the DES engine on
@@ -54,10 +62,32 @@ def _sim_kwargs(fast: bool, slow: dict, quick: dict) -> dict:
     return quick if fast else slow
 
 
+#: Experiments that honour ``run --algorithm``, mapped to the
+#: analytical layer each one constructs the algorithm in.  This is the
+#: single source both for applying the override in :func:`_experiments`
+#: and for the fail-up-front layer validation in :func:`main`.
+ALGORITHM_EXPERIMENTS = {
+    "rtt-sweep": "equilibrium",     # solve_fixed_point per ratio
+    "stability": "fluid",           # integrates the dynamics
+    "responsiveness": "fluid",      # integrates the dynamics
+}
+
+
 def _experiments(fast: bool, jobs: int = 1, backend: str = "loop",
-                 cache_dir=None,
-                 shard=None) -> Dict[str, Callable[[], object]]:
-    """Experiment name -> zero-argument callable returning a table."""
+                 cache_dir=None, shard=None,
+                 algorithm: str | None = None
+                 ) -> Dict[str, Callable[[], object]]:
+    """Experiment name -> zero-argument callable returning a table.
+
+    ``algorithm`` overrides the congestion-control algorithm of the
+    experiments listed in :data:`ALGORITHM_EXPERIMENTS`; names resolve
+    through the cross-layer registry.
+    """
+    # Keep the ``**algo``/``**algos`` usage below in lockstep with
+    # ALGORITHM_EXPERIMENTS — main() validates the override against
+    # exactly those experiments' layers.
+    algo = {} if algorithm is None else {"algorithm": algorithm}
+    algos = {} if algorithm is None else {"algorithms": (algorithm,)}
     sim = dict(duration=20.0, warmup=10.0) if not fast else \
         dict(duration=8.0, warmup=5.0)
     tree = dict(k=8, duration=2.0, warmup=0.75) if not fast else \
@@ -96,12 +126,12 @@ def _experiments(fast: bool, jobs: int = 1, backend: str = "loop",
             seeds=(1, 2, 3) if not fast else (1,), **sweep),
         "ablation-queue": lambda: ablation.queue_discipline_table(
             **sim, **sweep),
-        "responsiveness":
-            responsiveness.capacity_drop_settling_table,
+        "responsiveness": lambda: responsiveness
+            .capacity_drop_settling_table(**algos),
         "stability": lambda: responsiveness.stability_table(
-            backend=backend),
+            backend=backend, **algo),
         "rtt-sweep": lambda: rtt_heterogeneity.rtt_sweep_table(
-            backend=backend, **sweep),
+            backend=backend, **sweep, **algo),
         "rtt-criterion": rtt_heterogeneity.best_path_criterion_table,
         "calibration": lambda: calibration.formula_validation_table(
             duration=40.0 if not fast else 15.0,
@@ -144,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
                      default="loop",
                      help="fluid sweep solve/integration backend (results "
                           "are identical; batch is faster)")
+    run.add_argument("--algorithm", default=None, metavar="NAME",
+                     help="override the congestion-control algorithm of "
+                          "the experiments that take one (rtt-sweep, "
+                          "stability, responsiveness); any name from "
+                          "'python -m repro algorithms'")
     run.add_argument("--resume", metavar="DIR", default=None,
                      help="cache every sweep point under DIR; re-running "
                           "with the same DIR skips completed points "
@@ -181,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="N",
                            help="cap the generated flow population "
                                 "(links shrink in step)")
+    scale_cmd.add_argument("--algorithms", default=None, metavar="LIST",
+                           help="comma-separated registry names replacing "
+                                "the presets' algorithm mix at equal "
+                                "weights (e.g. 'balia,tcp'; default: the "
+                                "preset mix)")
     scale_cmd.add_argument("--seed", type=int, default=1,
                            help="generator seed (default: 1)")
     scale_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -200,6 +240,15 @@ def build_parser() -> argparse.ArgumentParser:
     scale_cmd.add_argument("--smoke", action="store_true",
                            help="capped sizes (same as "
                                 "REPRO_BENCH_SMOKE=1)")
+    algorithms_cmd = sub.add_parser(
+        "algorithms",
+        help="print each registered algorithm's per-layer support "
+             "(packet / fluid / equilibrium)")
+    algorithms_cmd.add_argument(
+        "--check", action="store_true",
+        help="also run the algorithm-matrix smoke: a tiny scenario-A "
+             "workload per registered algorithm per supported layer "
+             "(non-zero exit on any failure; CI runs this)")
     bench = sub.add_parser(
         "bench", help="measure hot paths and write BENCH_sweep.json")
     bench.add_argument("--output", default="BENCH_sweep.json",
@@ -218,6 +267,22 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
+    if args.command == "algorithms":
+        from .experiments.algorithms import (
+            layer_support_table,
+            smoke_check,
+            smoke_check_table,
+        )
+        print(layer_support_table())
+        if not args.check:
+            return 0
+        started = time.time()
+        checks = smoke_check()
+        print()
+        print(smoke_check_table(checks))
+        print(f"[algorithm matrix: {time.time() - started:.1f}s]")
+        return 1 if any(c.status == "FAIL" for c in checks) else 0
+
     if args.command == "scale":
         out_dir = os.path.dirname(os.path.abspath(args.output))
         if not os.path.isdir(out_dir):
@@ -234,16 +299,22 @@ def main(argv=None) -> int:
             return 2
         schedulers = [s.strip() for s in args.schedulers.split(",")
                       if s.strip()]
+        algorithms = None
+        if args.algorithms is not None:
+            algorithms = tuple(a.strip() for a in args.algorithms.split(",")
+                               if a.strip())
         started = time.time()
         try:
             report = scale.scale_report(
                 args.presets or ["medium"], schedulers=schedulers,
                 duration=args.duration, warmup=args.warmup,
-                max_flows=args.max_flows, seed=args.seed,
+                max_flows=args.max_flows, algorithms=algorithms,
+                seed=args.seed,
                 smoke=args.smoke or None, jobs=args.jobs,
                 cache_dir=args.resume, shard=args.shard)
-        except ValueError as exc:
-            print(str(exc), file=sys.stderr)
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            print(str(message), file=sys.stderr)
             return 2
         print(scale.report_table(report))
         print(f"[scale: {time.time() - started:.1f}s]")
@@ -272,7 +343,8 @@ def main(argv=None) -> int:
               "shards' results are merged", file=sys.stderr)
         return 2
     registry = _experiments(args.fast, jobs=args.jobs, backend=args.backend,
-                            cache_dir=args.resume, shard=args.shard)
+                            cache_dir=args.resume, shard=args.shard,
+                            algorithm=args.algorithm)
     names = list(registry) if "all" in args.experiments \
         else args.experiments
     unknown = [n for n in names if n not in registry]
@@ -281,6 +353,36 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}\n"
               f"known: {known}", file=sys.stderr)
         return 2
+    if args.algorithm is not None:
+        from .core.registry import get_spec
+        try:
+            spec = get_spec(args.algorithm)   # loud list on typos
+        except KeyError as exc:
+            print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
+            return 2
+        # Which layers the override must be constructible in depends on
+        # the *selected* experiments: fail up front (not minutes into
+        # `run all`), but only for layers actually needed, so partial-
+        # layer user specs keep working where they can.
+        affected = [n for n in names if n in ALGORITHM_EXPERIMENTS]
+        if not affected:
+            print(f"note: --algorithm {args.algorithm} has no effect — "
+                  "none of the selected experiments take an algorithm "
+                  f"({', '.join(sorted(ALGORITHM_EXPERIMENTS))})",
+                  file=sys.stderr)
+        needed = sorted({ALGORITHM_EXPERIMENTS[n] for n in affected})
+        missing = [layer for layer in needed if not spec.supports(layer)]
+        required = sorted({param for layer in needed
+                           if spec.supports(layer)
+                           for param in spec.required_params(layer)})
+        if missing or required:
+            why = (f"has no {'/'.join(missing)} layer" if missing else
+                   f"requires parameter(s) {', '.join(required)}")
+            print(f"--algorithm {args.algorithm}: the algorithm {why}, "
+                  f"but {', '.join(affected)} needs the "
+                  f"{'/'.join(needed)} layer constructible by name",
+                  file=sys.stderr)
+            return 2
     for name in names:
         started = time.time()
         table = registry[name]()

@@ -5,15 +5,34 @@
 * :class:`RenoController` — regular/uncoupled TCP.
 * :class:`CoupledController` — fully coupled (OLIA without the alpha term).
 * :class:`EwtcpController` — equally-weighted TCP baseline.
+* :class:`BaliaController` — Peng-Walid-Hwang-Low's BALIA.
+
+Everything above resolves algorithms through :mod:`repro.core.registry`:
+one :class:`AlgorithmSpec` per algorithm bundles the packet controller,
+the fluid derivative and the equilibrium allocation rule behind a
+single name, with capability flags for algorithms that lack a layer.
 """
 
+from .balia import BaliaController
 from .base import MultipathController, SubflowState
 from .coupled import CoupledController
 from .cubic import CubicController
 from .ewtcp import EwtcpController
 from .lia import LiaController
 from .olia import OliaController
-from .registry import available_algorithms, make_controller, register_algorithm
+from .registry import (
+    AlgorithmSpec,
+    ParamSpec,
+    algorithm_specs,
+    available_algorithms,
+    get_spec,
+    make_allocation_rule,
+    make_controller,
+    make_fluid_algorithm,
+    register_algorithm,
+    registered,
+    unregister_algorithm,
+)
 from .reno import RenoController, UncoupledController
 from .rtt import RttEstimator
 from .stcp import ScalableTcpController
@@ -29,8 +48,17 @@ __all__ = [
     "EwtcpController",
     "ScalableTcpController",
     "CubicController",
+    "BaliaController",
     "RttEstimator",
+    "AlgorithmSpec",
+    "ParamSpec",
+    "algorithm_specs",
+    "get_spec",
     "make_controller",
+    "make_fluid_algorithm",
+    "make_allocation_rule",
     "available_algorithms",
     "register_algorithm",
+    "registered",
+    "unregister_algorithm",
 ]

@@ -1,57 +1,454 @@
-"""Name-based factory for congestion controllers.
+"""The cross-layer algorithm registry: one spec per algorithm.
 
-Experiment configurations refer to algorithms by name ("lia", "olia", ...);
-this registry turns those names into fresh controller instances so that a
-single experiment runner can sweep algorithms.
+The paper's whole argument is a comparison *across algorithms* carried
+out in three analytical layers — packet-level simulation
+(:class:`~repro.core.base.MultipathController`), fluid dynamics
+(:class:`~repro.fluid.dynamics.FluidAlgorithm`) and equilibrium fixed
+points (allocation rules in :mod:`repro.fluid.equilibrium`).  Peng,
+Walid, Hwang & Low ("Multipath TCP: Analysis, Design and
+Implementation") show why those should be *one* abstraction: a whole
+design space of MP-TCP algorithms is parametrized by a small
+per-algorithm spec from which both the fluid model and the packet
+behaviour follow.
+
+:class:`AlgorithmSpec` is that spec: a name (plus aliases), one factory
+per layer the algorithm supports (``None`` = the layer is not
+implemented — the *capability flags*), and the declared per-algorithm
+parameters (:class:`ParamSpec`) that flow through every layer from one
+place (e.g. OLIA's ``tie_tolerance``, the epsilon family's
+``epsilon``).  Every name→algorithm resolution in the repo goes through
+this module:
+
+* ``make_controller(name, **params)`` — packet layer (the DES).
+* ``make_fluid_algorithm(name, **params)`` — fluid ODE layer.
+* ``make_allocation_rule(name, **params)`` — equilibrium layer.
+
+The legacy per-layer factories (``repro.fluid.dynamics.
+make_fluid_algorithm``, ``repro.fluid.equilibrium.allocation_rule``)
+are thin deprecating wrappers over these; a CI gate
+(``benchmarks/check_registry_gate.py``) keeps them from growing new
+call sites outside ``core/``.
+
+Adding an algorithm is a one-file change: write the controller /
+derivative / allocation next to each other, bundle them in an
+``AlgorithmSpec``, and register it — see :mod:`repro.core.balia` for
+the worked example (BALIA, registered once, runnable in all three
+layers, every sweep, the scenario generator and the scale harness).
+
+Builtin specs are bound lazily on first lookup: the registry lives in
+``core`` but binds factories defined in the fluid layer, whose legacy
+wrappers call back into this module — deferring the binding breaks
+that cycle and makes registration independent of which package is
+imported first.  (``import repro.core`` itself still reaches the fluid
+layer, through the :mod:`~repro.core.balia` re-export.)
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .base import MultipathController
-from .coupled import CoupledController
-from .ewtcp import EwtcpController
-from .lia import LiaController
-from .olia import OliaController
-from .reno import RenoController
-from .stcp import ScalableTcpController
 
-_FACTORIES: Dict[str, Callable[[], MultipathController]] = {
-    "reno": RenoController,
-    "tcp": RenoController,
-    "uncoupled": RenoController,
-    "lia": LiaController,
-    "olia": OliaController,
-    "coupled": CoupledController,
-    "ewtcp": EwtcpController,
-    "stcp": ScalableTcpController,
-}
+#: The three analytical layers an algorithm may implement.
+LAYERS = ("packet", "fluid", "equilibrium")
 
 
-def available_algorithms() -> list[str]:
-    """All registered algorithm names (aliases included)."""
-    return sorted(_FACTORIES)
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared per-algorithm parameter.
+
+    Parameters flow through the registry into every layer's factory
+    from this single declaration instead of three ad-hoc kwargs paths.
+    ``layers`` restricts a parameter to the layers whose factory
+    accepts it (e.g. OLIA's equilibrium ``floor`` has no packet
+    meaning); ``required`` makes the registry reject a construction
+    that omits it (e.g. the epsilon family's ``epsilon``).
+    """
+
+    name: str
+    description: str = ""
+    required: bool = False
+    layers: Tuple[str, ...] = LAYERS
 
 
-def make_controller(name: str) -> MultipathController:
-    """Instantiate a controller by name.
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One congestion-control algorithm across all analytical layers.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case name (the registry key).
+    aliases:
+        Extra names resolving to this spec (e.g. ``tcp``/``reno``/
+        ``uncoupled`` are one algorithm).
+    description:
+        One-line human description (shown by ``python -m repro
+        algorithms``).
+    controller_factory:
+        ``(**params) -> MultipathController`` for the packet DES, or
+        ``None`` when the algorithm has no packet implementation.
+    fluid_factory:
+        ``(**params) -> FluidAlgorithm`` (the ODE right-hand side), or
+        ``None``.
+    allocation_factory:
+        ``(**params) -> AllocationRule`` (a ``rule(p, rtt) -> rates``
+        callable), or ``None``.
+    params:
+        Declared :class:`ParamSpec` entries; constructions with
+        undeclared keyword arguments fail loudly.
+    """
+
+    name: str
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+    controller_factory: Optional[Callable[..., MultipathController]] = None
+    fluid_factory: Optional[Callable[..., object]] = None
+    allocation_factory: Optional[Callable[..., object]] = None
+    params: Tuple[ParamSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.lower():
+            raise ValueError(
+                f"spec name must be a non-empty lower-case string, "
+                f"got {self.name!r}")
+        if any(alias != alias.lower() for alias in self.aliases):
+            raise ValueError(f"aliases must be lower-case: {self.aliases}")
+
+    # -- capability flags ----------------------------------------------------
+    @property
+    def has_packet(self) -> bool:
+        return self.controller_factory is not None
+
+    @property
+    def has_fluid(self) -> bool:
+        return self.fluid_factory is not None
+
+    @property
+    def has_equilibrium(self) -> bool:
+        return self.allocation_factory is not None
+
+    def supports(self, layer: str) -> bool:
+        """True when this spec implements ``layer``."""
+        return self._factory(layer) is not None
+
+    @property
+    def layers(self) -> Tuple[str, ...]:
+        """The layers this algorithm implements, in canonical order."""
+        return tuple(layer for layer in LAYERS if self.supports(layer))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Canonical name followed by every alias."""
+        return (self.name, *self.aliases)
+
+    def _factory(self, layer: str) -> Optional[Callable]:
+        if layer == "packet":
+            return self.controller_factory
+        if layer == "fluid":
+            return self.fluid_factory
+        if layer == "equilibrium":
+            return self.allocation_factory
+        raise ValueError(
+            f"unknown layer {layer!r}; expected one of {', '.join(LAYERS)}")
+
+    def required_params(self, layer: str) -> Tuple[str, ...]:
+        """Names of the parameters ``layer`` cannot be built without."""
+        return tuple(p.name for p in self.params
+                     if p.required and layer in p.layers)
+
+    # -- construction --------------------------------------------------------
+    def _check_params(self, layer: str, params: Dict[str, object]) -> None:
+        accepted = {p.name for p in self.params if layer in p.layers}
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            raise TypeError(
+                f"algorithm {self.name!r} does not accept "
+                f"parameter(s) {', '.join(unknown)} for the {layer} "
+                f"layer; accepted: {', '.join(sorted(accepted)) or 'none'}")
+        missing = sorted(set(self.required_params(layer)) - set(params))
+        if missing:
+            raise TypeError(
+                f"algorithm {self.name!r} requires parameter(s) "
+                f"{', '.join(missing)} for the {layer} layer")
+
+    def _make(self, layer: str, params: Dict[str, object]):
+        factory = self._factory(layer)
+        if factory is None:
+            raise KeyError(
+                f"algorithm {self.name!r} has no {layer} layer "
+                f"(supports: {', '.join(self.layers) or 'nothing'})")
+        self._check_params(layer, params)
+        return factory(**params)
+
+    def make_controller(self, **params) -> MultipathController:
+        """A fresh packet-level controller (validated ``params``)."""
+        return self._make("packet", params)
+
+    def make_fluid(self, **params):
+        """A fresh fluid-ODE algorithm (validated ``params``)."""
+        return self._make("fluid", params)
+
+    def make_allocation(self, **params):
+        """An equilibrium allocation rule (validated ``params``)."""
+        return self._make("equilibrium", params)
+
+
+# -- the registry ----------------------------------------------------------------
+
+_SPECS: Dict[str, AlgorithmSpec] = {}       # canonical name -> spec
+_NAMES: Dict[str, str] = {}                 # any name/alias -> canonical
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Bind the builtin specs on first use (lazy cross-layer imports)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    for spec in _builtin_specs():
+        register_algorithm(spec)
+
+
+def _builtin_specs() -> List[AlgorithmSpec]:
+    # Imported here, not at module top: the registry lives in ``core``
+    # but binds factories from the fluid layer, and the fluid wrappers
+    # call back into this module — a top-level import would be a
+    # genuine cycle and make registration depend on import order.
+    from ..fluid import dynamics as _dyn
+    from ..fluid import equilibrium as _eq
+    from . import balia as _balia
+    from .coupled import CoupledController
+    from .cubic import CubicController
+    from .ewtcp import EwtcpController
+    from .lia import LiaController
+    from .olia import OliaController
+    from .reno import RenoController
+    from .stcp import ScalableTcpController
+
+    def olia_rule(floor=None, tie_tolerance=1e-6):
+        return lambda p, rtt: _eq.olia_allocation(
+            p, rtt, floor=floor, tie_tolerance=tie_tolerance)
+
+    def epsilon_rule(epsilon):
+        return lambda p, rtt: _eq.epsilon_family_allocation(p, rtt, epsilon)
+
+    tie_tolerance = ParamSpec(
+        "tie_tolerance",
+        "relative tolerance of the argmax path sets (layer defaults: "
+        "packet 0, fluid 1e-3, equilibrium 1e-6)")
+    return [
+        AlgorithmSpec(
+            name="tcp", aliases=("reno", "uncoupled"),
+            description="regular TCP Reno; uncoupled on each subflow",
+            controller_factory=RenoController,
+            fluid_factory=_dyn.TcpFluid,
+            allocation_factory=lambda: _eq.tcp_allocation),
+        AlgorithmSpec(
+            name="lia", description="MPTCP's linked increases (Eq. 1, "
+            "RFC 6356)",
+            controller_factory=LiaController,
+            fluid_factory=_dyn.LiaFluid,
+            allocation_factory=lambda: _eq.lia_allocation),
+        AlgorithmSpec(
+            name="olia", description="the paper's opportunistic linked "
+            "increases (Eqs. 5-6)",
+            controller_factory=OliaController,
+            fluid_factory=_dyn.OliaFluid,
+            allocation_factory=olia_rule,
+            params=(tie_tolerance,
+                    ParamSpec("floor", "equilibrium probing rate of "
+                              "non-best routes", layers=("equilibrium",)))),
+        AlgorithmSpec(
+            name="coupled", description="fully coupled Kelly-Voice "
+            "(OLIA without the alpha term)",
+            controller_factory=CoupledController,
+            fluid_factory=_dyn.CoupledFluid,
+            allocation_factory=olia_rule,
+            params=(ParamSpec("tie_tolerance", tie_tolerance.description,
+                              layers=("fluid", "equilibrium")),
+                    ParamSpec("floor", "equilibrium probing rate of "
+                              "non-best routes", layers=("equilibrium",)))),
+        AlgorithmSpec(
+            name="ewtcp", description="equally-weighted TCP "
+            "(weight 1/n^2 per subflow)",
+            controller_factory=EwtcpController,
+            fluid_factory=_dyn.EwtcpFluid,
+            allocation_factory=lambda: _eq.ewtcp_allocation,
+            params=(ParamSpec("weight", "per-subflow AIMD weight "
+                              "(default 1/n^2)", layers=("packet",)),)),
+        _balia.SPEC,
+        AlgorithmSpec(
+            name="stcp", description="Scalable TCP (packet layer only)",
+            controller_factory=ScalableTcpController,
+            params=(ParamSpec("a", "per-ACK additive increase",
+                              layers=("packet",)),
+                    ParamSpec("b", "multiplicative decrease",
+                              layers=("packet",)))),
+        AlgorithmSpec(
+            name="cubic", description="CUBIC (packet layer only; needs "
+            "a clock callable)",
+            controller_factory=CubicController,
+            params=(ParamSpec("clock", "time callable driving the cubic "
+                              "window growth (e.g. a Simulator clock)",
+                              required=True, layers=("packet",)),)),
+        AlgorithmSpec(
+            name="epsilon", description="the epsilon-family allocation "
+            "of Section II (equilibrium layer only)",
+            allocation_factory=epsilon_rule,
+            params=(ParamSpec("epsilon", "coupling parameter in [0, 2]",
+                              required=True, layers=("equilibrium",)),)),
+    ]
+
+
+def register_algorithm(spec, factory=None, *,
+                       override: bool = False) -> List[AlgorithmSpec]:
+    """Register an :class:`AlgorithmSpec` (or a bare controller factory).
+
+    The legacy two-argument form ``register_algorithm(name, factory)``
+    wraps ``factory`` into a packet-only spec.  Without ``override`` a
+    name collision (canonical or alias) raises ``ValueError``; with
+    ``override=True`` the colliding spec(s) are unregistered first and
+    returned, so callers (and :func:`registered`) can restore them.
+    """
+    _ensure_builtins()
+    if not isinstance(spec, AlgorithmSpec):
+        if factory is None:
+            raise TypeError(
+                "register_algorithm takes an AlgorithmSpec, or the "
+                "legacy (name, controller_factory) pair")
+        spec = AlgorithmSpec(name=str(spec).lower(),
+                             controller_factory=factory,
+                             description="user-registered controller")
+    elif factory is not None:
+        raise TypeError("cannot pass a factory alongside an AlgorithmSpec")
+    colliding = sorted({_NAMES[name] for name in spec.names
+                        if name in _NAMES})
+    replaced: List[AlgorithmSpec] = []
+    if colliding:
+        if not override:
+            taken = ", ".join(name for name in spec.names if name in _NAMES)
+            raise ValueError(
+                f"algorithm name(s) already registered: {taken} "
+                "(pass override=True to replace)")
+        for canonical in colliding:
+            replaced.append(unregister_algorithm(canonical))
+    _SPECS[spec.name] = spec
+    for name in spec.names:
+        _NAMES[name] = spec.name
+    return replaced
+
+
+def unregister_algorithm(name: str) -> AlgorithmSpec:
+    """Remove a registered spec (by any of its names) and return it."""
+    _ensure_builtins()
+    key = name.lower()
+    if key not in _NAMES:
+        known = ", ".join(available_algorithms())
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}")
+    spec = _SPECS.pop(_NAMES[key])
+    for alias in spec.names:
+        _NAMES.pop(alias, None)
+    return spec
+
+
+@contextmanager
+def registered(spec, *, override: bool = False):
+    """Context manager: register ``spec``, unregister it on exit.
+
+    Anything ``override=True`` displaced is restored on exit, so tests
+    and user extensions can try out throwaway algorithms without
+    leaking registry state::
+
+        with registered(AlgorithmSpec(name="mine", ...)):
+            run_experiment("mine")
+    """
+    replaced = register_algorithm(spec, override=override)
+    try:
+        yield spec
+    finally:
+        unregister_algorithm(spec.name)
+        for old in replaced:
+            register_algorithm(old)
+
+
+def get_spec(name: str) -> AlgorithmSpec:
+    """The :class:`AlgorithmSpec` for ``name`` (case-insensitive).
 
     Raises ``KeyError`` with the list of known names when ``name`` is
     unknown, which makes config typos fail loudly.
     """
+    _ensure_builtins()
     try:
-        factory = _FACTORIES[name.lower()]
+        return _SPECS[_NAMES[name.lower()]]
     except KeyError:
         known = ", ".join(available_algorithms())
-        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
-    return factory()
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") \
+            from None
 
 
-def register_algorithm(name: str,
-                       factory: Callable[[], MultipathController]) -> None:
-    """Register a custom controller factory (e.g. for user extensions)."""
+def algorithm_specs() -> List[AlgorithmSpec]:
+    """Every registered spec, once each, sorted by canonical name."""
+    _ensure_builtins()
+    return [spec for _, spec in sorted(_SPECS.items())]
+
+
+def available_algorithms(layer: str | None = None) -> list[str]:
+    """All registered algorithm names (aliases included), sorted.
+
+    ``layer`` (``"packet"``, ``"fluid"`` or ``"equilibrium"``) filters
+    to the names whose algorithm implements that layer — the name sets
+    the three ``make_*`` entry points accept.
+    """
+    _ensure_builtins()
+    if layer is None:
+        return sorted(_NAMES)
+    return sorted(name for name, canonical in _NAMES.items()
+                  if _SPECS[canonical].supports(layer))
+
+
+def _spec_for_layer(name: str, layer: str) -> AlgorithmSpec:
+    """Resolve ``name`` for ``layer``, failing loudly either way."""
+    _ensure_builtins()
     key = name.lower()
-    if key in _FACTORIES:
-        raise ValueError(f"algorithm {name!r} already registered")
-    _FACTORIES[key] = factory
+    if key not in _NAMES:
+        known = ", ".join(available_algorithms(layer))
+        raise KeyError(
+            f"unknown algorithm {name!r}; known ({layer}): {known}")
+    spec = _SPECS[_NAMES[key]]
+    if not spec.supports(layer):
+        capable = ", ".join(available_algorithms(layer))
+        raise KeyError(
+            f"algorithm {name!r} has no {layer} layer (supports: "
+            f"{', '.join(spec.layers) or 'nothing'}); "
+            f"{layer}-capable: {capable}")
+    return spec
+
+
+def make_controller(name, **params) -> MultipathController:
+    """Instantiate a packet-level controller by name (or spec).
+
+    Raises ``KeyError`` with the list of known names when ``name`` is
+    unknown or lacks a packet implementation; undeclared ``params``
+    raise ``TypeError``.
+    """
+    if isinstance(name, AlgorithmSpec):
+        return name.make_controller(**params)
+    return _spec_for_layer(name, "packet").make_controller(**params)
+
+
+def make_fluid_algorithm(name, **params):
+    """Instantiate a fluid-ODE algorithm by name (or spec)."""
+    if isinstance(name, AlgorithmSpec):
+        return name.make_fluid(**params)
+    return _spec_for_layer(name, "fluid").make_fluid(**params)
+
+
+def make_allocation_rule(name, **params):
+    """Build an equilibrium allocation rule by name (or spec)."""
+    if isinstance(name, AlgorithmSpec):
+        return name.make_allocation(**params)
+    return _spec_for_layer(name, "equilibrium").make_allocation(**params)

@@ -2,6 +2,7 @@
 
 from . import (
     ablation,
+    algorithms,
     calibration,
     fattree,
     responsiveness,
@@ -28,6 +29,7 @@ from .sweep import SweepRunner
 __all__ = [
     "RunSpec",
     "SweepRunner",
+    "algorithms",
     "scenario_a",
     "scenario_b",
     "scenario_c",

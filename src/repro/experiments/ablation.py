@@ -24,7 +24,8 @@ from ..fluid import (
     solve_fixed_point,
     solve_fixed_point_batch,
 )
-from ..fluid.equilibrium import PerPointEpsilonRule, allocation_rule
+from ..core.registry import make_allocation_rule
+from ..fluid.equilibrium import PerPointEpsilonRule
 from ..units import mbps_to_pps
 from .results import ResultTable
 from .runner import RunSpec
@@ -68,9 +69,9 @@ def epsilon_sweep_point(*, epsilon: float, n1: int, n2: int,
     """Fixed point of one epsilon value on the scenario C network."""
     net = _epsilon_network(n1=n1, n2=n2, c1_mbps=c1_mbps,
                            c2_mbps=c2_mbps, rtt=rtt)
-    mp_rule = allocation_rule("epsilon", epsilon=epsilon) \
-        if epsilon > 0 else allocation_rule("olia")
-    rules = {user: (mp_rule if user < n1 else allocation_rule("tcp"))
+    mp_rule = make_allocation_rule("epsilon", epsilon=epsilon) \
+        if epsilon > 0 else make_allocation_rule("olia")
+    rules = {user: (mp_rule if user < n1 else make_allocation_rule("tcp"))
              for user in range(n1 + n2)}
     result = solve_fixed_point(net, rules, floor_packets=1.0)
     return _epsilon_row(epsilon, result, n1, n2, net)
@@ -102,8 +103,9 @@ def _epsilon_batch_rows(epsilons, *, n1: int, n2: int, c1_mbps: float,
                                      c2_mbps=c2_mbps, rtt=rtt)
                     for _ in group]
         mp_rule = (PerPointEpsilonRule(group) if kind == "eps"
-                   else allocation_rule("olia"))
-        rules = {user: (mp_rule if user < n1 else allocation_rule("tcp"))
+                   else make_allocation_rule("olia"))
+        rules = {user: (mp_rule if user < n1
+                        else make_allocation_rule("tcp"))
                  for user in range(n1 + n2)}
         batch = solve_fixed_point_batch(networks, rules,
                                         floor_packets=1.0)

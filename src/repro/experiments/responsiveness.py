@@ -39,7 +39,8 @@ def _two_ap_network(c1: float, c2: float, n_tcp: int = 3,
     return net, rules
 
 
-def capacity_drop_settling_table(*, algorithms=("olia", "lia", "coupled"),
+def capacity_drop_settling_table(*, algorithms=("olia", "lia", "coupled",
+                                                "balia"),
                                  c_before: float = 800.0,
                                  c_after: float = 200.0,
                                  rel_tol: float = 0.1,

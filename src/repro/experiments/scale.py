@@ -29,6 +29,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from ..benchreport import smoke_mode
+from ..core.registry import get_spec
 from ..sim.engine import SCHEDULER_NAMES, Simulator
 from ..sim.monitors import FlowMeter
 from ..topology.generator import PRESETS, generate_preset, preset_config
@@ -118,8 +119,12 @@ def run_scale_point(*, preset: str, scheduler: str = "auto",
                     max_flows: Optional[int] = None,
                     sample_period: float = 0.05,
                     repeats: Optional[int] = None,
+                    algorithms: Optional[Sequence[str]] = None,
                     seed: int = 1) -> ScaleRun:
     """Build and run one generated preset; module-level for RunSpec.
+
+    ``algorithms`` replaces the preset's algorithm mix with the given
+    registry names at equal weights (``--algorithms`` on the CLI).
 
     ``sample_period`` is the simulated-time spacing of the pending-
     population sampler (one rearmable timer — its own events are part
@@ -135,7 +140,7 @@ def run_scale_point(*, preset: str, scheduler: str = "auto",
     for _ in range(max(repeats, 1)):
         run = _run_scale_once(preset=preset, scheduler=scheduler,
                               duration=duration, warmup=warmup,
-                              max_flows=max_flows,
+                              max_flows=max_flows, algorithms=algorithms,
                               sample_period=sample_period, seed=seed)
         if best is None or run.events_per_sec > best.events_per_sec:
             best = run
@@ -146,6 +151,7 @@ def _run_scale_once(*, preset: str, scheduler: str,
                     duration: Optional[float],
                     warmup: Optional[float],
                     max_flows: Optional[int],
+                    algorithms: Optional[Sequence[str]],
                     sample_period: float, seed: int) -> ScaleRun:
     if duration is None:
         duration = DEFAULT_DURATIONS[preset]
@@ -154,7 +160,9 @@ def _run_scale_once(*, preset: str, scheduler: str,
     sim = Simulator(scheduler)
 
     build_start = perf_counter()
-    scenario = generate_preset(sim, preset, seed=seed, max_flows=max_flows)
+    scenario = generate_preset(
+        sim, preset, seed=seed, max_flows=max_flows,
+        algorithms=None if algorithms is None else tuple(algorithms))
     scenario.start()
     build_seconds = perf_counter() - build_start
 
@@ -221,6 +229,7 @@ def scale_report(presets: Sequence[str] = ("medium",), *,
                  warmup: Optional[float] = None,
                  max_flows: Optional[int] = None,
                  repeats: Optional[int] = None,
+                 algorithms: Optional[Sequence[str]] = None,
                  seed: int = 1, smoke: Optional[bool] = None,
                  jobs: int = 1, cache_dir=None, shard=None) -> dict:
     """Run the preset × scheduler grid and assemble the report dict.
@@ -244,6 +253,15 @@ def scale_report(presets: Sequence[str] = ("medium",), *,
             expected = ", ".join(SCHEDULER_NAMES)
             raise ValueError(
                 f"unknown scheduler {name!r}; expected one of {expected}")
+    if algorithms is not None:
+        algorithms = tuple(algorithms)
+        for name in algorithms:
+            spec = get_spec(name)   # loud KeyError on typos
+            if not spec.has_packet:
+                raise ValueError(
+                    f"algorithm {name!r} has no packet layer (supports: "
+                    f"{', '.join(spec.layers)}); the scale harness runs "
+                    "packet-level flows")
     if smoke is None:
         smoke = smoke_mode()
     if smoke:
@@ -256,7 +274,7 @@ def scale_report(presets: Sequence[str] = ("medium",), *,
     specs = [
         RunSpec.make(run_scale_point, preset=preset, scheduler=scheduler,
                      duration=duration, warmup=warmup, max_flows=max_flows,
-                     repeats=repeats, seed=seed)
+                     repeats=repeats, algorithms=algorithms, seed=seed)
         for preset in presets
         for scheduler in schedulers]
     # Wall-clock cells served from a resume cache were measured in some
@@ -275,6 +293,7 @@ def scale_report(presets: Sequence[str] = ("medium",), *,
         "python": platform.python_version(),
         "seed": seed,
         "schedulers": list(schedulers),
+        "algorithms": None if algorithms is None else list(algorithms),
         "presets": {},
     }
     n_sched = len(schedulers)

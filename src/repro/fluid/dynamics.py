@@ -162,22 +162,14 @@ class EwtcpFluid(FluidAlgorithm):
         return weight / (rtt * rtt) - p * x * x / 2.0
 
 
-_ALGORITHMS = {
-    "tcp": TcpFluid,
-    "reno": TcpFluid,
-    "uncoupled": TcpFluid,
-    "lia": LiaFluid,
-    "olia": OliaFluid,
-    "coupled": CoupledFluid,
-    "ewtcp": EwtcpFluid,
-}
+def make_fluid_algorithm(name: str, **params) -> FluidAlgorithm:
+    """Instantiate a fluid algorithm by name (``tcp``, ``lia``, ``olia``...).
 
-
-def make_fluid_algorithm(name: str) -> FluidAlgorithm:
-    """Instantiate a fluid algorithm by name (``tcp``, ``lia``, ``olia``...)."""
-    try:
-        return _ALGORITHMS[name.lower()]()
-    except KeyError:
-        known = ", ".join(sorted(_ALGORITHMS))
-        raise KeyError(f"unknown fluid algorithm {name!r}; known: {known}") \
-            from None
+    .. deprecated::
+        Thin wrapper over the cross-layer registry — use
+        :func:`repro.core.registry.make_fluid_algorithm`, which resolves
+        the same names (and is the only dispatch path; a CI gate keeps
+        new call sites off this wrapper).
+    """
+    from ..core import registry
+    return registry.make_fluid_algorithm(name, **params)

@@ -232,18 +232,39 @@ def tcp_allocation(p, rtt) -> np.ndarray:
     return _tcp_rates(p, rtt)
 
 
+def ewtcp_allocation(p, rtt) -> np.ndarray:
+    """EWTCP's fixed point: ``sqrt(a)`` TCP rates with ``a = 1/n^2``.
+
+    Each subflow runs a weighted AIMD whose equilibrium rate is
+    ``sqrt(2a/p_r)/rtt_r = (1/n) sqrt(2/p_r)/rtt_r`` — the aggregate of
+    ``n`` subflows sharing one bottleneck equals one TCP, with no
+    congestion balancing between paths.
+
+    Parameters
+    ----------
+    p, rtt : array_like, shape ``(..., n_routes)``
+        Route loss probabilities and RTTs.
+
+    Returns
+    -------
+    ndarray, shape ``(..., n_routes)``
+        ``sqrt(2/p_r)/rtt_r / n_routes`` elementwise.
+    """
+    rates = _tcp_rates(p, rtt)
+    return rates / rates.shape[-1]
+
+
 AllocationRule = Callable[[Sequence[float], Sequence[float]], np.ndarray]
 
 
 def allocation_rule(name: str, **kwargs) -> AllocationRule:
     """Look up an allocation rule by algorithm name.
 
-    Parameters
-    ----------
-    name : str
-        One of ``"tcp"``/``"reno"``/``"uncoupled"``, ``"lia"``,
-        ``"olia"``/``"coupled"`` (accepts ``floor`` and
-        ``tie_tolerance``), or ``"epsilon"`` (requires ``epsilon=...``).
+    .. deprecated::
+        Thin wrapper over the cross-layer registry — use
+        :func:`repro.core.registry.make_allocation_rule`, which resolves
+        the same names (and is the only dispatch path; a CI gate keeps
+        new call sites off this wrapper).
 
     Returns
     -------
@@ -251,20 +272,8 @@ def allocation_rule(name: str, **kwargs) -> AllocationRule:
         A callable ``rule(p, rtt) -> rates`` operating along the last
         axis of its arguments.
     """
-    name = name.lower()
-    if name in ("tcp", "reno", "uncoupled"):
-        return tcp_allocation
-    if name == "lia":
-        return lia_allocation
-    if name in ("olia", "coupled"):
-        floor = kwargs.get("floor")
-        tol = kwargs.get("tie_tolerance", 1e-6)
-        return lambda p, rtt: olia_allocation(p, rtt, floor=floor,
-                                              tie_tolerance=tol)
-    if name == "epsilon":
-        eps = kwargs["epsilon"]
-        return lambda p, rtt: epsilon_family_allocation(p, rtt, eps)
-    raise KeyError(f"unknown allocation rule {name!r}")
+    from ..core import registry
+    return registry.make_allocation_rule(name, **kwargs)
 
 
 @dataclass
@@ -321,14 +330,21 @@ class BatchFixedPointResult:
 
 
 def _resolve_rules(n_users: int, rules) -> List[AllocationRule]:
-    """Normalise ``rules`` to one allocation callable per user."""
-    if isinstance(rules, str) or callable(rules):
+    """Normalise ``rules`` to one allocation callable per user.
+
+    Accepts algorithm names, :class:`~repro.core.registry.AlgorithmSpec`
+    instances, or ready-made rule callables (per user or shared);
+    names/specs resolve through the cross-layer registry.
+    """
+    from ..core.registry import AlgorithmSpec, make_allocation_rule
+    if isinstance(rules, (str, AlgorithmSpec)) or callable(rules):
         rules = {user: rules for user in range(n_users)}
     per_user: List[AllocationRule] = []
     for user in range(n_users):
         rule = rules[user]
-        per_user.append(allocation_rule(rule) if isinstance(rule, str)
-                        else rule)
+        if isinstance(rule, (str, AlgorithmSpec)):
+            rule = make_allocation_rule(rule)
+        per_user.append(rule)
     return per_user
 
 

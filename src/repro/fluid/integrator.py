@@ -27,7 +27,7 @@ from typing import List
 
 import numpy as np
 
-from .dynamics import FluidAlgorithm, make_fluid_algorithm
+from .dynamics import FluidAlgorithm
 from .network import BatchFluidNetwork, FluidNetwork
 
 
@@ -125,13 +125,19 @@ class BatchFluidTrajectory:
 
 
 def _resolve_algorithms(n_users: int, algorithms) -> List[FluidAlgorithm]:
-    """Normalise the ``algorithms`` argument to one instance per user."""
-    if isinstance(algorithms, (str, FluidAlgorithm)):
+    """Normalise the ``algorithms`` argument to one instance per user.
+
+    Accepts algorithm names, :class:`~repro.core.registry.AlgorithmSpec`
+    instances, or :class:`FluidAlgorithm` instances (per user or
+    shared); names/specs resolve through the cross-layer registry.
+    """
+    from ..core.registry import AlgorithmSpec, make_fluid_algorithm
+    if isinstance(algorithms, (str, FluidAlgorithm, AlgorithmSpec)):
         algorithms = {user: algorithms for user in range(n_users)}
     resolved = []
     for user in range(n_users):
         algo = algorithms[user]
-        if isinstance(algo, str):
+        if isinstance(algo, (str, AlgorithmSpec)):
             algo = make_fluid_algorithm(algo)
         resolved.append(algo)
     return resolved

@@ -50,6 +50,8 @@ class MptcpConnection:
         if isinstance(algorithm, MultipathController):
             self.controller = algorithm
         else:
+            # A name string or AlgorithmSpec, resolved through the
+            # cross-layer registry (the single dispatch path).
             self.controller = make_controller(algorithm)
         multipath = len(paths) > 1
         self.subflows: List[TcpSubflow] = []

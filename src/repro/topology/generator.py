@@ -62,8 +62,11 @@ class GeneratorConfig:
         the hand-built scenario builders.
     algorithm_mix : tuple of (name, weight)
         Relative weights of the congestion-control algorithms flows are
-        assigned; ``"tcp"`` entries become single-path flows, all other
-        names go through the controller registry as multipath.
+        assigned; entries whose registry spec is canonical ``tcp``
+        (including the ``reno``/``uncoupled`` aliases) become
+        single-path flows, all other names go through the cross-layer
+        algorithm registry as multipath (names are validated against
+        the registry's packet-capable set at construction time).
     churn_fraction : float
         Fraction of ``n_flows`` realised as
         :class:`~repro.sim.apps.ShortFlowSource` (Poisson arrivals of
@@ -89,7 +92,8 @@ class GeneratorConfig:
     capacity_mbps: Tuple[float, float] = (2.0, 10.0)
     base_rtt: Tuple[float, float] = (0.04, 0.2)
     algorithm_mix: Tuple[Tuple[str, float], ...] = (
-        ("lia", 0.35), ("olia", 0.35), ("ewtcp", 0.15), ("tcp", 0.15))
+        ("lia", 0.3), ("olia", 0.3), ("balia", 0.1), ("ewtcp", 0.15),
+        ("tcp", 0.15))
     churn_fraction: float = 0.1
     two_hop_fraction: float = 0.3
     queue: str = "droptail"
@@ -118,6 +122,20 @@ class GeneratorConfig:
                 or sum(weight for _, weight in self.algorithm_mix) <= 0:
             raise ValueError("algorithm_mix weights must be >= 0 and "
                              "sum to a positive total")
+        from ..core.registry import available_algorithms, get_spec
+        for name, _ in self.algorithm_mix:
+            try:
+                spec = get_spec(name)
+            except KeyError:
+                known = ", ".join(available_algorithms("packet"))
+                raise ValueError(
+                    f"algorithm_mix names an unknown algorithm {name!r}; "
+                    f"known: {known}") from None
+            if not spec.has_packet:
+                raise ValueError(
+                    f"algorithm_mix entry {name!r} has no packet layer "
+                    f"(supports: {', '.join(spec.layers)}); the generator "
+                    "builds packet-level flows")
         low, high = self.capacity_mbps
         if not 0 < low <= high:
             raise ValueError(f"bad capacity range {self.capacity_mbps}")
@@ -244,8 +262,12 @@ def build_random_scenario(sim: Simulator, rng: random.Random,
                           queue=_make_queue(rng, capacity, config.queue),
                           name=f"{name}.l{i}"))
 
+    from ..core.registry import get_spec
     names = [algo for algo, _ in config.algorithm_mix]
     weights = [weight for _, weight in config.algorithm_mix]
+    # Single-path flows are decided by the *canonical* spec, so the
+    # registry aliases ("reno"/"uncoupled") behave exactly like "tcp".
+    single_path = {name for name in names if get_spec(name).name == "tcp"}
     n_churn = int(round(config.n_flows * config.churn_fraction))
 
     def draw_paths(n_paths: int, base_rtt: float) \
@@ -292,7 +314,7 @@ def build_random_scenario(sim: Simulator, rng: random.Random,
                 base_rtt=base_rtt, start_time=0.0, paths=[]))
             continue
         algorithm = rng.choices(names, weights=weights)[0]
-        n_subflows = 1 if algorithm == "tcp" else rng.randint(
+        n_subflows = 1 if algorithm in single_path else rng.randint(
             config.subflows_min, config.subflows_max)
         specs, described = draw_paths(n_subflows, base_rtt)
         start_time = rng.uniform(0.0, config.start_spread)
@@ -320,14 +342,23 @@ def preset_config(preset: str) -> GeneratorConfig:
 
 
 def generate_preset(sim: Simulator, preset: str, *, seed: int = 1,
-                    max_flows: Optional[int] = None) -> GeneratedScenario:
+                    max_flows: Optional[int] = None,
+                    algorithms: Optional[Tuple[str, ...]] = None
+                    ) -> GeneratedScenario:
     """Generate a named preset into ``sim``.
 
     ``max_flows`` caps the population (smoke/CI mode) via
     :meth:`GeneratorConfig.scaled`, shrinking the link pool in step so
     the capped scenario keeps the preset's congestion density.
+    ``algorithms`` replaces the preset's algorithm mix with the given
+    names at equal weights (registry-validated) — the knob behind
+    ``python -m repro scale --algorithms``.
     """
     config = preset_config(preset)
     if max_flows is not None:
         config = config.scaled(max_flows)
+    if algorithms is not None:
+        config = dataclasses.replace(
+            config,
+            algorithm_mix=tuple((name, 1.0) for name in algorithms))
     return build_random_scenario(sim, random.Random(seed), config)

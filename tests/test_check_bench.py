@@ -15,12 +15,21 @@ _SPEC.loader.exec_module(check_bench)
 
 def _report(*, fluid_speedup=30.0, eq_speedup=4.0, engine_speedup=1.4,
             loaded_speedup=3.0, auto_speedup=0.95, churn_speedup=8.0,
-            n_points=64, n_events=200_000, n_ticks=2000, bitwise=True):
+            balia_fluid_speedup=20.0, balia_eq_speedup=4.0,
+            n_points=64, n_events=200_000, n_ticks=2000, bitwise=True,
+            balia_bitwise=True):
     return {
         "fluid_sweep": {"n_points": n_points, "speedup": fluid_speedup,
                         "bitwise_equal": bitwise},
         "equilibrium_sweep": {"n_points": n_points, "speedup": eq_speedup,
                               "bitwise_equal": bitwise},
+        "fluid_sweep_balia": {"algorithm": "balia", "n_points": n_points,
+                              "speedup": balia_fluid_speedup,
+                              "bitwise_equal": balia_bitwise},
+        "equilibrium_sweep_balia": {"algorithm": "balia",
+                                    "n_points": n_points,
+                                    "speedup": balia_eq_speedup,
+                                    "bitwise_equal": balia_bitwise},
         "engine": {"n_events": n_events, "speedup": engine_speedup},
         "engine_loaded": {"n_events": n_events, "n_pending": 20_000,
                           "speedup": loaded_speedup},
@@ -83,6 +92,26 @@ class TestCheckReport:
         failures = check_bench.check_report(new, _report())
         assert len(failures) == 2
         assert all("bitwise" in f for f in failures)
+
+    def test_balia_bitwise_mismatch_fails(self):
+        """BALIA's sweep rows are validated exactly like the others."""
+        new = _report(balia_bitwise=False)
+        failures = check_bench.check_report(new, _report())
+        assert len(failures) == 2
+        assert all("bitwise" in f and "balia" in f for f in failures)
+
+    def test_balia_regression_fails(self):
+        new = _report(balia_fluid_speedup=5.0)
+        failures = check_bench.check_report(new, _report(), factor=2.0)
+        assert len(failures) == 1
+        assert "fluid_sweep_balia" in failures[0]
+
+    def test_missing_balia_section_fails(self):
+        new = _report()
+        del new["equilibrium_sweep_balia"]
+        failures = check_bench.check_report(new, _report())
+        assert any("equilibrium_sweep_balia" in f and "missing" in f
+                   for f in failures)
 
     def test_smoke_sizes_use_absolute_floors(self):
         """A smoke report (smaller workloads) is not held to the

@@ -107,6 +107,37 @@ class TestCli:
         registry = _experiments(fast=True, jobs=2, backend="batch")
         assert "rtt-sweep" in registry and "stability" in registry
 
+    def test_algorithms_verb_prints_layer_table(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "balia" in out and "equilibrium" in out
+        assert "reno,uncoupled" in out   # aliases rendered
+
+    def test_run_algorithm_override(self, capsys):
+        assert main(["run", "stability", "--algorithm", "balia"]) == 0
+        assert "BALIA" in capsys.readouterr().out
+
+    def test_run_algorithm_unknown_fails_before_running(self, capsys):
+        assert main(["run", "stability", "--algorithm", "nope"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_run_algorithm_wrong_layer_fails_up_front(self, capsys):
+        """stcp (packet-only) and epsilon (needs a param) are known
+        names the selected experiments cannot construct — they must
+        fail before any experiment runs, scoped to the layer each
+        selected experiment actually uses."""
+        assert main(["run", "stability", "--algorithm", "stcp"]) == 2
+        assert "has no fluid layer" in capsys.readouterr().err
+        assert main(["run", "rtt-sweep", "--algorithm", "epsilon"]) == 2
+        assert "requires parameter(s) epsilon" in capsys.readouterr().err
+
+    def test_run_algorithm_checked_only_for_selected_layers(self, capsys):
+        """epsilon is equilibrium-only: fine for rtt-sweep's layer
+        check to be the one that fires, but stability (fluid) must
+        reject it while an unaffected experiment just warns."""
+        assert main(["run", "fig17", "--algorithm", "balia"]) == 0
+        assert "has no effect" in capsys.readouterr().err
+
     def test_bench_subcommand(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
         output = tmp_path / "BENCH_sweep.json"

@@ -1,0 +1,169 @@
+"""BALIA across all three layers (the registry's one-file algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SubflowState, make_controller
+from repro.core.balia import BaliaController, BaliaFluid, balia_allocation
+from repro.core.reno import RenoController
+from repro.fluid.dynamics import TcpFluid
+from repro.fluid.equilibrium import tcp_rate
+
+
+def _controller(windows, rtts):
+    controller = BaliaController()
+    for key, (w, rtt) in enumerate(zip(windows, rtts)):
+        controller.register_subflow(key, SubflowState(cwnd=w, rtt=rtt))
+    return controller
+
+
+class TestBaliaController:
+    def test_single_path_increase_matches_reno(self):
+        balia = _controller([10.0], [0.1])
+        reno = RenoController()
+        reno.register_subflow(0, SubflowState(cwnd=10.0, rtt=0.1))
+        assert balia.increase_increment(0) == pytest.approx(
+            reno.increase_increment(0))
+
+    def test_single_path_loss_halves(self):
+        balia = _controller([10.0], [0.1])
+        assert balia.decrease_on_loss(0) == pytest.approx(5.0)
+
+    def test_decrease_capped_at_three_quarters(self):
+        """min(alpha, 3/2)/2 caps the loss cut at 75% of the window."""
+        balia = _controller([100.0, 1.0], [0.1, 0.1])   # alpha_1 = 100
+        assert balia.decrease_on_loss(1) == pytest.approx(
+            max(1.0 * (1.0 - 0.75), 1.0))
+        balia = _controller([100.0, 8.0], [0.1, 0.1])
+        assert balia.decrease_on_loss(1) == pytest.approx(8.0 * 0.25)
+
+    def test_equal_paths_symmetric_increase(self):
+        balia = _controller([10.0, 10.0], [0.1, 0.1])
+        assert balia.increase_increment(0) == pytest.approx(
+            balia.increase_increment(1))
+        # alpha = 1 on both: increase is the Kelly-Voice term exactly.
+        x = 10.0 / 0.1
+        expected = (x / 0.1) / (2 * x) ** 2
+        assert balia.increase_increment(0) == pytest.approx(expected)
+
+    def test_smaller_path_gets_boosted_increase(self):
+        """The (1+a)(4+a)/10 factor grows with alpha = max x / x_r."""
+        balia = _controller([20.0, 5.0], [0.1, 0.1])
+        x_small = 5.0 / 0.1
+        total = (20.0 + 5.0) / 0.1
+        kelly = (x_small / 0.1) / total ** 2
+        assert balia.increase_increment(1) > kelly
+
+    def test_registry_constructs_it(self):
+        assert isinstance(make_controller("balia"), BaliaController)
+
+
+class TestBaliaFluid:
+    def test_single_route_matches_tcp(self):
+        balia, tcp = BaliaFluid(), TcpFluid()
+        x, p, rtt = np.array([50.0]), np.array([0.01]), np.array([0.1])
+        assert balia.derivative(x, p, rtt)[0] == pytest.approx(
+            tcp.derivative(x, p, rtt)[0])
+
+    def test_zero_rates_recover(self):
+        balia = BaliaFluid()
+        dx = balia.derivative(np.zeros(2), np.zeros(2),
+                              np.array([0.1, 0.1]))
+        assert np.all(dx > 0)
+
+    def test_collapsed_route_keeps_probing(self):
+        """BALIA's increase stays positive as x_r -> 0 (graded probing,
+        unlike the fully coupled dynamics)."""
+        balia = BaliaFluid()
+        dx = balia.derivative(np.array([100.0, 0.0]),
+                              np.array([0.01, 0.2]),
+                              np.array([0.1, 0.1]))
+        assert dx[1] > 0
+
+    def test_allocation_is_stationary(self):
+        balia = BaliaFluid()
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            n = int(rng.integers(2, 5))
+            p = rng.uniform(1e-3, 0.1, n)
+            rtt = rng.uniform(0.02, 0.3, n)
+            x = balia_allocation(p, rtt)
+            dx = balia.derivative(x, p, rtt)
+            scale = float(np.max(x)) / float(np.min(rtt))
+            assert np.max(np.abs(dx)) / scale < 1e-9
+
+    def test_batched_rows_match_1d(self):
+        balia = BaliaFluid()
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0.5, 200.0, (6, 3))
+        p = rng.uniform(1e-4, 0.1, (6, 3))
+        rtt = rng.uniform(0.02, 0.3, (6, 3))
+        batch = balia.derivative(x, p, rtt)
+        for k in range(6):
+            row = balia.derivative(x[k], p[k], rtt[k])
+            assert np.array_equal(batch[k], row)
+
+
+class TestBaliaAllocation:
+    def test_total_is_best_path_tcp_rate(self):
+        p = np.array([0.005, 0.02, 0.08])
+        rtt = np.array([0.1, 0.1, 0.1])
+        x = balia_allocation(p, rtt)
+        assert float(x.sum()) == pytest.approx(tcp_rate(0.005, 0.1))
+
+    def test_best_path_carries_the_max(self):
+        p = np.array([0.005, 0.02])
+        rtt = np.array([0.1, 0.1])
+        x = balia_allocation(p, rtt)
+        assert x[0] > x[1] > 0
+
+    def test_graded_share_between_olia_and_tcp(self):
+        """Worse paths keep a nonzero but sub-TCP share: BALIA sits
+        between OLIA (zero) and uncoupled TCP (full rate)."""
+        from repro.fluid.equilibrium import olia_allocation, tcp_allocation
+        p = np.array([0.005, 0.02])
+        rtt = np.array([0.1, 0.1])
+        balia = balia_allocation(p, rtt)
+        olia = olia_allocation(p, rtt)
+        tcp = tcp_allocation(p, rtt)
+        assert olia[1] == 0.0
+        assert 0.0 < balia[1] < tcp[1]
+
+    def test_tied_paths_split_equally(self):
+        p = np.array([0.01, 0.01])
+        rtt = np.array([0.1, 0.1])
+        x = balia_allocation(p, rtt)
+        assert x[0] == pytest.approx(x[1])
+        assert float(x.sum()) == pytest.approx(tcp_rate(0.01, 0.1))
+
+    def test_single_path_is_tcp(self):
+        assert balia_allocation(np.array([0.01]),
+                                np.array([0.1]))[0] \
+            == pytest.approx(tcp_rate(0.01, 0.1))
+
+    def test_batched_rows_match_1d(self):
+        rng = np.random.default_rng(11)
+        p = rng.uniform(1e-4, 0.1, (8, 3))
+        rtt = rng.uniform(0.02, 0.3, (8, 3))
+        batch = balia_allocation(p, rtt)
+        for k in range(8):
+            assert np.array_equal(batch[k], balia_allocation(p[k], rtt[k]))
+
+    def test_solver_resolves_balia_by_name(self):
+        """solve_fixed_point('balia') goes through the registry."""
+        from repro.fluid import FluidNetwork, SharpLoss, solve_fixed_point
+        net = FluidNetwork()
+        l1 = net.add_link(SharpLoss(capacity=400.0))
+        l2 = net.add_link(SharpLoss(capacity=400.0))
+        mp = net.add_user("mp")
+        net.add_route(mp, [l1], rtt=0.1)
+        net.add_route(mp, [l2], rtt=0.1)
+        rules = {mp: "balia"}
+        for i in range(3):
+            user = net.add_user(f"tcp{i}")
+            net.add_route(user, [l2], rtt=0.1)
+            rules[user] = "tcp"
+        result = solve_fixed_point(net, rules, floor_packets=1.0)
+        assert result.converged
+        # The clean private link should carry more than the shared one.
+        assert result.rates[0] > result.rates[1] > 0

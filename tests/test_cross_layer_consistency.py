@@ -1,0 +1,175 @@
+"""Cross-layer consistency: every registered algorithm on scenario A.
+
+The registry's contract is that one :class:`AlgorithmSpec` describes
+*the same algorithm* in three analytical layers.  This suite proves it
+per registered spec: the packet-level DES steady state, the fluid-ODE
+equilibrium and the fixed-point allocation must agree on scenario A —
+per-path rates and per-class totals, within tolerance.  Algorithms
+lacking a layer (STCP, CUBIC) or needing caller-supplied parameters
+(CUBIC's clock, the epsilon family's epsilon) are skip-marked from
+their capability flags rather than silently dropped.
+
+Tolerances: the two analytical layers are deterministic and tight
+(``ANALYTIC_TOL``); the DES brings slow-start, RED randomness and
+integer windows, so it gets the loose ``PACKET_TOL`` (the same order
+as the pre-existing three-way integration tests).
+"""
+
+import random
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.core.registry import algorithm_specs, get_spec
+from repro.experiments.algorithms import _scenario_a_fluid
+from repro.fluid import integrate, solve_fixed_point
+from repro.sim.apps import BulkTransfer
+from repro.sim.engine import Simulator
+from repro.topology.scenarios import build_scenario_a
+from repro.units import mbps_to_pps
+
+N1 = N2 = 6
+C_MBPS = 1.0
+RTT = 0.15
+CAP_PPS = mbps_to_pps(C_MBPS)
+
+#: Normalized-rate tolerance between the two analytical layers.
+ANALYTIC_TOL = 0.05
+#: Normalized-rate tolerance for the packet simulator against either.
+PACKET_TOL = 0.2
+
+ALL_SPECS = [spec.name for spec in algorithm_specs()]
+
+
+def _require_tri_layer(name):
+    """The spec for ``name``, or a capability-flag skip."""
+    spec = get_spec(name)
+    missing = [layer for layer in ("packet", "fluid", "equilibrium")
+               if not spec.supports(layer)]
+    if missing:
+        pytest.skip(f"{name} has no {'/'.join(missing)} layer "
+                    f"(supports: {', '.join(spec.layers)})")
+    required = sorted(set(sum((spec.required_params(layer)
+                               for layer in spec.layers), ())))
+    if required:
+        pytest.skip(f"{name} needs caller-supplied parameter(s) "
+                    f"{', '.join(required)}")
+    return spec
+
+
+def _fluid_network(algorithm: str):
+    """Scenario A as a FluidNetwork — the same builder the CI
+    algorithm matrix uses, so both checks exercise one topology."""
+    return _scenario_a_fluid(N1, N2, C_MBPS, RTT, algorithm)
+
+
+@lru_cache(maxsize=None)
+def _equilibrium(algorithm: str):
+    """Fixed-point per-path type1 means and type2 mean (normalized)."""
+    net, rules = _fluid_network(algorithm)
+    result = solve_fixed_point(net, rules, floor_packets=1.0)
+    assert result.converged, f"{algorithm}: fixed point did not converge"
+    type1 = result.rates[:2 * N1].reshape(N1, 2).mean(axis=0) / CAP_PPS
+    type2 = float(result.rates[2 * N1:].mean()) / CAP_PPS
+    return type1, type2
+
+
+@lru_cache(maxsize=None)
+def _fluid_tail(algorithm: str):
+    """Fluid-ODE tail-averaged rates in the same normalized shape."""
+    net, rules = _fluid_network(algorithm)
+    trajectory = integrate(net, rules, t_end=50.0, dt=2e-3)
+    tail = trajectory.tail_average()
+    type1 = tail[:2 * N1].reshape(N1, 2).mean(axis=0) / CAP_PPS
+    type2 = float(tail[2 * N1:].mean()) / CAP_PPS
+    return type1, type2
+
+
+@lru_cache(maxsize=None)
+def _packet_steady_state(algorithm: str, duration: float = 12.0,
+                         warmup: float = 8.0):
+    """DES steady-state per-path type1 means and type2 mean (normalized).
+
+    Per-path rates come straight off the subflows: acked-packet deltas
+    over the post-warmup window, averaged across the N1 type1 users.
+    """
+    sim = Simulator()
+    rng = random.Random(1)
+    topo = build_scenario_a(sim, rng, n1=N1, n2=N2, c1_mbps=C_MBPS,
+                            c2_mbps=C_MBPS)
+    type1 = [BulkTransfer(sim, algorithm, topo.type1_paths,
+                          name=f"t1.{i}") for i in range(N1)]
+    type2 = [BulkTransfer(sim, "tcp", [topo.type2_path], name=f"t2.{i}")
+             for i in range(N2)]
+    for flow in type1 + type2:
+        flow.start()
+    sim.run(until=warmup)
+    at_warmup_1 = [[sf.acked_packets for sf in flow.connection.subflows]
+                   for flow in type1]
+    at_warmup_2 = [flow.acked_packets for flow in type2]
+    sim.run(until=warmup + duration)
+    per_path = np.array(
+        [[(sf.acked_packets - acked) / duration
+          for sf, acked in zip(flow.connection.subflows, snapshot)]
+         for flow, snapshot in zip(type1, at_warmup_1)])
+    type2_rates = np.array([(flow.acked_packets - acked) / duration
+                            for flow, acked in zip(type2, at_warmup_2)])
+    return per_path.mean(axis=0) / CAP_PPS, \
+        float(type2_rates.mean()) / CAP_PPS
+
+
+@pytest.mark.parametrize("name", ALL_SPECS)
+class TestCrossLayerAgreement:
+    def test_fluid_ode_matches_fixed_point(self, name):
+        """Per-path rates: ODE tail average vs equilibrium allocation."""
+        _require_tri_layer(name)
+        eq_t1, eq_t2 = _equilibrium(name)
+        fl_t1, fl_t2 = _fluid_tail(name)
+        assert np.max(np.abs(fl_t1 - eq_t1)) < ANALYTIC_TOL, \
+            f"{name}: fluid {fl_t1} vs equilibrium {eq_t1}"
+        assert abs(fl_t2 - eq_t2) < ANALYTIC_TOL
+
+    def test_packet_des_matches_fixed_point(self, name):
+        """Per-path rates: DES steady state vs equilibrium allocation."""
+        _require_tri_layer(name)
+        eq_t1, eq_t2 = _equilibrium(name)
+        pk_t1, pk_t2 = _packet_steady_state(name)
+        assert np.max(np.abs(pk_t1 - eq_t1)) < PACKET_TOL, \
+            f"{name}: packet {pk_t1} vs equilibrium {eq_t1}"
+        assert abs(pk_t2 - eq_t2) < PACKET_TOL
+
+    def test_packet_des_matches_fluid_ode(self, name):
+        """Closing the triangle: DES vs the integrated dynamics."""
+        _require_tri_layer(name)
+        fl_t1, fl_t2 = _fluid_tail(name)
+        pk_t1, pk_t2 = _packet_steady_state(name)
+        assert np.max(np.abs(pk_t1 - fl_t1)) < PACKET_TOL, \
+            f"{name}: packet {pk_t1} vs fluid {fl_t1}"
+        assert abs(pk_t2 - fl_t2) < PACKET_TOL
+
+
+class TestDesignSpectrum:
+    """BALIA sits between LIA and OLIA on scenario A, in every layer
+    that is deterministic enough to rank (the design claim of
+    Peng-Walid-Hwang-Low: responsiveness/friendliness between the
+    linked-increase and best-path-only extremes)."""
+
+    def test_balia_type2_between_lia_and_olia_at_equilibrium(self):
+        _, lia = _equilibrium("lia")
+        _, balia = _equilibrium("balia")
+        _, olia = _equilibrium("olia")
+        assert lia < balia < olia
+
+    def test_balia_shared_path_share_between_olia_and_lia(self):
+        lia_t1, _ = _equilibrium("lia")
+        balia_t1, _ = _equilibrium("balia")
+        olia_t1, _ = _equilibrium("olia")
+        assert olia_t1[1] < balia_t1[1] < lia_t1[1]
+
+    def test_every_tri_layer_algorithm_reported_suppression_or_not(self):
+        """All three layers agree on the *qualitative* P1 story: LIA
+        suppresses type2 below 0.8, OLIA keeps it above 0.8."""
+        for layer in (_equilibrium, _fluid_tail, _packet_steady_state):
+            assert layer("lia")[1] < 0.87
+            assert layer("olia")[1] > 0.8

@@ -66,6 +66,29 @@ class TestRunScalePoint:
         with pytest.raises(ValueError, match="bogus"):
             run_scale_point(preset="bogus")
 
+    def test_algorithm_override_changes_the_mix(self, tiny_run):
+        run = run_scale_point(**dict(_POINT_KWARGS,
+                                     algorithms=("balia", "tcp")))
+        assert run.n_flows == tiny_run.n_flows
+        assert run.events > 1000
+        # A different mix is a different simulation.
+        assert run.events != tiny_run.events
+
+
+class TestScaleReportAlgorithms:
+    def test_algorithms_recorded_and_validated(self):
+        report = scale_report(["tiny"], schedulers=("auto",),
+                              duration=0.3, warmup=0.1, seed=3,
+                              smoke=False, algorithms=("balia",))
+        assert report["algorithms"] == ["balia"]
+        assert check_bench.check_scale_report(report) == []
+        with pytest.raises(KeyError, match="known"):
+            scale_report(["tiny"], schedulers=("auto",),
+                         algorithms=("not-an-algo",))
+        with pytest.raises(ValueError, match="no packet layer"):
+            scale_report(["tiny"], schedulers=("auto",),
+                         algorithms=("epsilon",))
+
 
 class TestScaleReport:
     def test_grid_and_ratio(self, tmp_path):

@@ -139,3 +139,49 @@ class TestConfigValidation:
     def test_unknown_preset_rejected(self):
         with pytest.raises(ValueError, match="bogus"):
             preset_config("bogus")
+
+    def test_mix_names_validated_against_registry(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            _tiny(algorithm_mix=(("not-an-algo", 1.0),))
+        # Known name without a packet layer is rejected too.
+        with pytest.raises(ValueError, match="no packet layer"):
+            _tiny(algorithm_mix=(("epsilon", 1.0),))
+
+    def test_default_mix_includes_balia(self):
+        names = {name for name, _ in _tiny().algorithm_mix}
+        assert "balia" in names
+
+    def test_tcp_aliases_build_single_path_flows(self):
+        """reno/uncoupled are the tcp spec — single-path like "tcp"."""
+        config = _tiny(n_flows=30, churn_fraction=0.0,
+                       algorithm_mix=(("reno", 1.0), ("uncoupled", 1.0)))
+        scenario = build_random_scenario(Simulator(), random.Random(9),
+                                         config)
+        for desc in scenario.flow_descriptions:
+            assert len(desc.paths) == 1, desc.algorithm
+
+
+class TestAlgorithmOverride:
+    def test_generate_preset_algorithm_override(self):
+        scenario = generate_preset(Simulator(), "tiny", seed=3,
+                                   algorithms=("balia", "tcp"))
+        algorithms = {d.algorithm for d in scenario.flow_descriptions
+                      if d.kind == "bulk"}
+        assert algorithms <= {"balia", "tcp"}
+        assert "balia" in algorithms
+
+    def test_override_is_deterministic(self):
+        a = generate_preset(Simulator(), "tiny", seed=5,
+                            algorithms=("balia",))
+        b = generate_preset(Simulator(), "tiny", seed=5,
+                            algorithms=("balia",))
+        assert a.describe() == b.describe()
+
+    def test_balia_scenario_runs(self):
+        sim = Simulator()
+        scenario = generate_preset(sim, "tiny", seed=3,
+                                   algorithms=("balia",))
+        scenario.start()
+        sim.run(until=2.0)
+        acked = sum(f.acked_packets for f in scenario.bulk_flows.values())
+        assert acked > 0
