@@ -74,6 +74,13 @@ from typing import Dict, List, Optional
 #: real scenarios, where callbacks dominate).  0.7 rejects the auto
 #: machinery eating the wheel's win — e.g. a mis-calibrated crossover
 #: leaving it thrashing or parked on the heap.
+#:
+#: ``engine_compiled`` measures the C EngineCore against the pure loop
+#: on the loaded chain: ~7-8x full-size, still several-x at smoke
+#: sizes.  1.3 rejects the extension degenerating to interpreter speed
+#: (e.g. silently bouncing every call through a Python shim) without
+#: tripping on runner noise.  Skipped — not failed — when the report
+#: records ``available: false`` (see :data:`AVAILABILITY_SECTIONS`).
 SMOKE_FLOORS = {
     "fluid_sweep": 2.0,
     "equilibrium_sweep": 1.5,
@@ -82,6 +89,7 @@ SMOKE_FLOORS = {
     "engine": 0.8,
     "engine_loaded": 1.2,
     "engine_auto": 0.7,
+    "engine_compiled": 1.3,
     "timer_churn": 2.0,
 }
 
@@ -94,8 +102,17 @@ SIZE_KEYS = {
     "engine": "n_events",
     "engine_loaded": "n_events",
     "engine_auto": "n_events",
+    "engine_compiled": "n_events",
     "timer_churn": "n_ticks",
 }
+
+#: Sections that track an *optional* build artefact.  When the report
+#: itself records ``available: false`` (a pure-python checkout: the
+#: ``repro.sim._kernels`` extension was never built) the section is
+#: legitimately unchecked — the fallback lane in CI runs exactly this
+#: configuration on purpose.  A section that is missing *entirely*
+#: still fails: that means the bench stopped emitting it.
+AVAILABILITY_SECTIONS = ("engine_compiled",)
 
 #: Sections whose batch backend must stay bitwise-equal to the loop.
 BITWISE_SECTIONS = ("fluid_sweep", "equilibrium_sweep",
@@ -132,6 +149,9 @@ def check_report(new: Dict, baseline: Dict,
     for section, size_key in SIZE_KEYS.items():
         data = new.get(section)
         base = baseline.get(section)
+        if section in AVAILABILITY_SECTIONS and data is not None \
+                and data.get("available") is False:
+            continue
         if data is None or "speedup" not in data:
             # A tracked section vanishing from the report is itself a
             # regression — the gate must not pass by omission.

@@ -76,6 +76,7 @@ from .fluid import (
     solve_fixed_point_batch,
 )
 from .sim.engine import Simulator
+from .sim.scheduler import COMPILED_AVAILABLE, calibrate
 
 
 def smoke_mode() -> bool:
@@ -355,6 +356,58 @@ def bench_engine_auto(*, n_events: int = 200_000,
     }
 
 
+def bench_engine_compiled(*, n_events: int = 200_000,
+                          n_pending: int = 20_000,
+                          repeats: int = 3) -> Dict[str, object]:
+    """Compiled EngineCore vs the pure-python loop, loaded chain.
+
+    Isolates what the C extension itself buys (``engine`` /
+    ``engine_loaded`` track the default engine against the *seed*, so
+    they absorb the compiled speedup without attributing it).  Both
+    sides run the :func:`bench_engine_loaded` workload on the default
+    ``auto`` backend; only the ``compiled=`` flag differs.  When the
+    extension is not built the section records ``available: false``
+    and the gate in ``benchmarks/check_bench.py`` skips it — a
+    pure-python checkout is degraded, not broken.
+
+    The section also records the self-calibrated crossover band of
+    both cost models (pure and compiled), so a calibration regression
+    — e.g. the compiled wheel losing its flat-cost edge — shows up in
+    the report history.
+    """
+    result: Dict[str, object] = {
+        "available": COMPILED_AVAILABLE,
+        "n_events": n_events,
+        "n_pending": n_pending,
+    }
+    if not COMPILED_AVAILABLE:
+        return result
+    pure = max(
+        _engine_events_per_sec(lambda: Simulator(compiled=False),
+                               n_events, n_pending)
+        for _ in range(repeats))
+    compiled = max(
+        _engine_events_per_sec(lambda: Simulator(compiled=True),
+                               n_events, n_pending)
+        for _ in range(repeats))
+    pure_cal = calibrate(compiled=False)
+    compiled_cal = calibrate(compiled=True)
+    result.update({
+        "pure_events_per_sec": round(pure),
+        "compiled_events_per_sec": round(compiled),
+        "speedup": round(compiled / pure, 3),
+        "calibration": {
+            "pure": {"source": pure_cal["source"],
+                     "promote": pure_cal["promote"],
+                     "demote": pure_cal["demote"]},
+            "compiled": {"source": compiled_cal["source"],
+                         "promote": compiled_cal["promote"],
+                         "demote": compiled_cal["demote"]},
+        },
+    })
+    return result
+
+
 _CHURN_PERIOD = 1e-3   # driver tick: one "ACK" per ms
 _CHURN_RTO = 0.3       # deadline pushed this far out on every tick
 
@@ -459,6 +512,8 @@ def run_bench(output_path: str | None = None, *,
                                      repeats=1)
         auto = bench_engine_auto(n_events=20_000, n_pending=5_000,
                                  repeats=1)
+        compiled = bench_engine_compiled(n_events=20_000,
+                                         n_pending=5_000, repeats=1)
         churn = bench_timer_churn(n_timers=32, n_ticks=300, repeats=1)
     else:
         fluid = bench_fluid_sweep()
@@ -470,6 +525,7 @@ def run_bench(output_path: str | None = None, *,
         engine = bench_engine()
         loaded = bench_engine_loaded()
         auto = bench_engine_auto()
+        compiled = bench_engine_compiled()
         churn = bench_timer_churn()
     report = {
         "benchmark": "BENCH_sweep",
@@ -482,6 +538,7 @@ def run_bench(output_path: str | None = None, *,
         "engine": engine,
         "engine_loaded": loaded,
         "engine_auto": auto,
+        "engine_compiled": compiled,
         "timer_churn": churn,
     }
     if output_path is not None:
@@ -532,6 +589,27 @@ def format_report(report: Dict[str, object]) -> str:
         f"  wheel : {auto['wheel_events_per_sec']:>10} events/s",
         f"  auto  : {auto['auto_events_per_sec']:>10} events/s"
         f"  ({auto['speedup']}x vs wheel)",
+    ]
+    comp = report.get("engine_compiled")
+    if comp is not None:
+        if comp.get("available"):
+            cal = comp["calibration"]
+            lines += [
+                f"engine compiled ({comp['n_events']} events, "
+                f"{comp['n_pending']} pending timers):",
+                f"  pure    : {comp['pure_events_per_sec']:>10}"
+                " events/s",
+                f"  compiled: {comp['compiled_events_per_sec']:>10}"
+                f" events/s  ({comp['speedup']}x)",
+                f"  calibration: pure promote={cal['pure']['promote']}"
+                f" ({cal['pure']['source']}), compiled "
+                f"promote={cal['compiled']['promote']}"
+                f" ({cal['compiled']['source']})",
+            ]
+        else:
+            lines.append("engine compiled: extension not built "
+                         "(pure-python fallback)")
+    lines += [
         f"timer churn ({churn['n_timers']} timers x "
         f"{churn['n_ticks']} ticks):",
         f"  before: {churn['before_rearms_per_sec']:>10} rearms/s",

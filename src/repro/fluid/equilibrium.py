@@ -372,6 +372,18 @@ def solve_fixed_point_batch(networks, rules, *,
     until the slowest point finishes.  Row-wise bitwise equality makes
     the compaction invisible in the results.
 
+    Tie-aware stopping: allocation rules with a best-path *tie* (OLIA,
+    BALIA — their tied-best sets flip membership between iterations)
+    can settle into an exact period-2 cycle whose step residual never
+    drops below ``tol`` even though the iterate has stopped moving as a
+    cycle (``|x_t - x_{t-2}|`` at machine epsilon).  Such points used
+    to burn the whole ``max_iter`` budget and come back
+    ``converged=False``; the solver now also checks the period-2
+    residual and freezes a point the moment either residual passes
+    ``tol``.  A cycle-stopped point records one cycle phase as its
+    rates (the two phases differ only in how the tie splits traffic
+    across tied-best paths) and the cycle residual as ``residual``.
+
     A user rule may carry *per-point* parameters (e.g.
     :class:`PerPointEpsilonRule`); such rules expose
     ``take_points(points)`` returning the rule restricted to a subset of
@@ -434,6 +446,10 @@ def solve_fixed_point_batch(networks, rules, *,
     floor_act = floor
     rules_act = per_user
     residual = np.full(n_points, np.inf)
+    # x two iterations ago, for the period-2 (tie-cycle) residual.  At
+    # iteration 1 it equals x0, making the cycle residual coincide with
+    # the step residual — the check only diverges once a cycle exists.
+    x_prev2 = x
 
     for iteration in range(1, max_iter + 1):
         points = None if len(active) == n_points else active
@@ -449,7 +465,13 @@ def solve_fixed_point_batch(networks, rules, *,
         new_x = (1.0 - damping) * x + damping * target
         scale = np.maximum(np.max(np.abs(new_x), axis=-1), 1e-9)
         residual = np.max(np.abs(new_x - x), axis=-1) / scale
+        cycle_residual = np.max(np.abs(new_x - x_prev2), axis=-1) / scale
+        x_prev2 = x
         x = new_x
+        # A point is done when the step residual converges (the regular
+        # fixed point) or the period-2 residual does (a best-path tie
+        # flip-flopping between two equivalent allocations).
+        residual = np.minimum(residual, cycle_residual)
         newly = residual < tol
         if newly.any():
             done = active[newly]
@@ -464,6 +486,7 @@ def solve_fixed_point_batch(networks, rules, *,
             # Shrink the compute to the surviving rows (bitwise no-op
             # for them: every operation above is row-wise).
             x = x[keep]
+            x_prev2 = x_prev2[keep]
             rtts_act = rtts_act[keep]
             floor_act = floor_act[keep]
             residual = residual[keep]

@@ -1,0 +1,1541 @@
+/* Compiled DES hot-path kernels.
+ *
+ * Optional CPython extension backing `repro.sim`: the three measured
+ * hot paths of the pure-python engine — the timer-wheel slot scan /
+ * cascade, the fused pop_due+advance for both backends, and the
+ * engine's per-event dispatch loop — reimplemented in C behind the
+ * exact same contracts:
+ *
+ *   - HeapKernel / WheelKernel speak the Scheduler protocol of
+ *     `repro.sim.scheduler` (push / pop_due / pop_next / dump /
+ *     refill / __len__) over the engine's `(time, seq, fn, args,
+ *     event)` entry tuples, popping in exact `(time, seq)` order;
+ *
+ *   - EngineCore fuses scheduler and dispatch loop: entries live as C
+ *     structs (no per-event tuple at all), Event handles are a C type
+ *     recycled through a C free list, and run()/run_until_empty()
+ *     dispatch callbacks without touching the Python interpreter
+ *     between events.  Its observable behaviour — dispatch order,
+ *     clock updates, cancellation, the trace hook, error messages —
+ *     is bit-identical to `repro.sim.engine.Simulator`'s pure loop,
+ *     which the scenario-A trace-identity suite enforces.
+ *
+ * The pure-python implementations remain the reference; this module
+ * is an optional extra (`python setup.py build_ext --inplace`) and
+ * everything degrades to the pure paths when the import fails.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include "structmember.h"
+#include <stdint.h>
+
+/* ---------------------------------------------------------------- */
+/* kentry: one pending event, unpacked.                             */
+/*                                                                  */
+/* Tuple-mode (HeapKernel/WheelKernel): fn holds the entry tuple,   */
+/* args/ev are NULL.  Engine-mode (EngineCore): fn/args/ev hold the */
+/* callback, its argument tuple and the Event handle — no tuple is  */
+/* ever built.  (time, seq) is the unique sort key in both modes.   */
+/* ---------------------------------------------------------------- */
+
+typedef struct {
+    double time;
+    long long seq;
+    PyObject *fn;    /* owned */
+    PyObject *args;  /* owned or NULL */
+    PyObject *ev;    /* owned or NULL */
+} kentry;
+
+static inline void
+kentry_release(kentry *e)
+{
+    Py_XDECREF(e->fn);
+    Py_XDECREF(e->args);
+    Py_XDECREF(e->ev);
+}
+
+static inline int
+kless(const kentry *a, const kentry *b)
+{
+    return a->time < b->time || (a->time == b->time && a->seq < b->seq);
+}
+
+/* ---------------------------------------------------------------- */
+/* karray: growable kentry array, doubling capacity.                */
+/* ---------------------------------------------------------------- */
+
+typedef struct {
+    kentry *items;
+    Py_ssize_t len, cap;
+} karray;
+
+static void
+karr_init(karray *a)
+{
+    a->items = NULL;
+    a->len = a->cap = 0;
+}
+
+static int
+karr_grow(karray *a)
+{
+    Py_ssize_t cap = a->cap ? a->cap * 2 : 8;
+    kentry *items = PyMem_Realloc(a->items, (size_t)cap * sizeof(kentry));
+    if (items == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    a->items = items;
+    a->cap = cap;
+    return 0;
+}
+
+static inline int
+karr_append(karray *a, kentry e)
+{
+    if (a->len == a->cap && karr_grow(a) < 0)
+        return -1;
+    a->items[a->len++] = e;
+    return 0;
+}
+
+static int
+karr_traverse(karray *a, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < a->len; i++) {
+        Py_VISIT(a->items[i].fn);
+        Py_VISIT(a->items[i].args);
+        Py_VISIT(a->items[i].ev);
+    }
+    return 0;
+}
+
+static void
+karr_clear_entries(karray *a)
+{
+    /* Zero the length first: a DECREF may run arbitrary Python code
+     * (GC, __del__) that re-enters traverse on this container. */
+    Py_ssize_t n = a->len;
+    a->len = 0;
+    for (Py_ssize_t i = 0; i < n; i++)
+        kentry_release(&a->items[i]);
+}
+
+static void
+karr_free(karray *a)
+{
+    karr_clear_entries(a);
+    PyMem_Free(a->items);
+    a->items = NULL;
+    a->cap = 0;
+}
+
+/* ---------------------------------------------------------------- */
+/* Binary heap over a karray, keyed (time, seq).  Same pop order as */
+/* heapq over entry tuples: keys are unique, so any valid heap pops */
+/* in sorted order.                                                 */
+/* ---------------------------------------------------------------- */
+
+static int
+kheap_push(karray *h, kentry e)
+{
+    if (karr_append(h, e) < 0)
+        return -1;
+    kentry *it = h->items;
+    Py_ssize_t i = h->len - 1;
+    while (i > 0) {
+        Py_ssize_t p = (i - 1) >> 1;
+        if (!kless(&it[i], &it[p]))
+            break;
+        kentry tmp = it[i];
+        it[i] = it[p];
+        it[p] = tmp;
+        i = p;
+    }
+    return 0;
+}
+
+static void
+ksift_down(karray *h, Py_ssize_t i)
+{
+    kentry *it = h->items;
+    Py_ssize_t n = h->len;
+    for (;;) {
+        Py_ssize_t l = 2 * i + 1, smallest = i;
+        if (l < n && kless(&it[l], &it[smallest]))
+            smallest = l;
+        if (l + 1 < n && kless(&it[l + 1], &it[smallest]))
+            smallest = l + 1;
+        if (smallest == i)
+            break;
+        kentry tmp = it[i];
+        it[i] = it[smallest];
+        it[smallest] = tmp;
+        i = smallest;
+    }
+}
+
+static kentry
+kheap_pop(karray *h)
+{
+    kentry top = h->items[0];
+    Py_ssize_t n = --h->len;
+    if (n > 0) {
+        h->items[0] = h->items[n];
+        ksift_down(h, 0);
+    }
+    return top;
+}
+
+static void
+kheapify(karray *h)
+{
+    for (Py_ssize_t i = h->len / 2 - 1; i >= 0; i--)
+        ksift_down(h, i);
+}
+
+/* ---------------------------------------------------------------- */
+/* wheelcore: the three-level hierarchical timer wheel of           */
+/* repro.sim.scheduler.WheelScheduler, ported field for field (see  */
+/* that module's docstring for the geometry and invariants).  The   */
+/* 256-slot occupancy masks become 4x uint64 words scanned with     */
+/* __builtin_ctzll.                                                 */
+/* ---------------------------------------------------------------- */
+
+#define W_SLOT_BITS 8
+#define W_SLOTS 256
+#define W_MASK 255
+#define W_L1_SPAN (1LL << 16)
+#define W_L2_SPAN (1LL << 24)
+
+typedef struct {
+    double tick, inv_tick;
+    karray l0[W_SLOTS], l1[W_SLOTS], l2[W_SLOTS];
+    uint64_t occ0[4], occ1[4], occ2[4];
+    karray overflow;            /* heap-ordered */
+    karray due;                 /* heap-ordered */
+    long long next_tick;
+    Py_ssize_t count;           /* all pending entries */
+    Py_ssize_t wheel_count;     /* entries parked in the slot levels */
+    long long block_end, span1_end, span2_end;
+} wheelcore;
+
+static inline void
+occ_set(uint64_t occ[4], int s)
+{
+    occ[s >> 6] |= (uint64_t)1 << (s & 63);
+}
+
+static inline void
+occ_clear_bit(uint64_t occ[4], int s)
+{
+    occ[s >> 6] &= ~((uint64_t)1 << (s & 63));
+}
+
+static inline int
+occ_test(const uint64_t occ[4], int s)
+{
+    return (occ[s >> 6] >> (s & 63)) & 1;
+}
+
+static inline int
+occ_any(const uint64_t occ[4])
+{
+    return (occ[0] | occ[1] | occ[2] | occ[3]) != 0;
+}
+
+/* First set bit at index >= from, or -1.  Mirrors the pure wheel's
+ * `bits = occ >> from; slot = from + ctz(bits)` arbitrary-int idiom. */
+static inline int
+occ_first_from(const uint64_t occ[4], int from)
+{
+    if (from >= W_SLOTS)
+        return -1;
+    int word = from >> 6, bit = from & 63;
+    uint64_t w = occ[word] >> bit;
+    if (w)
+        return from + __builtin_ctzll(w);
+    for (int i = word + 1; i < 4; i++)
+        if (occ[i])
+            return (i << 6) + __builtin_ctzll(occ[i]);
+    return -1;
+}
+
+/* Quantize an absolute time to a tick index.  Python's int() and the
+ * C cast both truncate toward zero; the clamp keeps astronomically
+ * far timestamps (beyond any horizon the wheel compares against) out
+ * of undefined-cast territory without changing any routing decision. */
+static inline long long
+time_to_tick(double t, double inv_tick)
+{
+    double p = t * inv_tick;
+    if (p >= 9.0e18)
+        return 9000000000000000000LL;
+    if (p <= -9.0e18)
+        return -9000000000000000000LL;
+    if (p != p)
+        return 0;
+    return (long long)p;
+}
+
+static void
+wheel_init(wheelcore *w, double tick)
+{
+    memset(w, 0, sizeof(*w));
+    w->tick = tick;
+    w->inv_tick = 1.0 / tick;
+}
+
+/* Reset to the state of a freshly constructed wheel (cursor at tick
+ * 0, all windows unopened).  Only valid when empty — the adaptive
+ * engine promotes into a fresh wheel, exactly like the pure
+ * AdaptiveScheduler building a new WheelScheduler. */
+static void
+wheel_reset_empty(wheelcore *w)
+{
+    memset(w->occ0, 0, sizeof(w->occ0));
+    memset(w->occ1, 0, sizeof(w->occ1));
+    memset(w->occ2, 0, sizeof(w->occ2));
+    w->next_tick = 0;
+    w->count = 0;
+    w->wheel_count = 0;
+    w->block_end = w->span1_end = w->span2_end = 0;
+}
+
+static int
+wheel_traverse(wheelcore *w, visitproc visit, void *arg)
+{
+    int rc;
+    if ((rc = karr_traverse(&w->due, visit, arg)))
+        return rc;
+    if ((rc = karr_traverse(&w->overflow, visit, arg)))
+        return rc;
+    for (int s = 0; s < W_SLOTS; s++) {
+        if ((rc = karr_traverse(&w->l0[s], visit, arg)))
+            return rc;
+        if ((rc = karr_traverse(&w->l1[s], visit, arg)))
+            return rc;
+        if ((rc = karr_traverse(&w->l2[s], visit, arg)))
+            return rc;
+    }
+    return 0;
+}
+
+static void
+wheel_clear_entries(wheelcore *w)
+{
+    karr_clear_entries(&w->due);
+    karr_clear_entries(&w->overflow);
+    for (int s = 0; s < W_SLOTS; s++) {
+        karr_clear_entries(&w->l0[s]);
+        karr_clear_entries(&w->l1[s]);
+        karr_clear_entries(&w->l2[s]);
+    }
+    wheel_reset_empty(w);
+}
+
+static void
+wheel_free(wheelcore *w)
+{
+    karr_free(&w->due);
+    karr_free(&w->overflow);
+    for (int s = 0; s < W_SLOTS; s++) {
+        karr_free(&w->l0[s]);
+        karr_free(&w->l1[s]);
+        karr_free(&w->l2[s]);
+    }
+}
+
+/* Re-place a cascaded/overflow entry (count already included). */
+static int
+wheel_place(wheelcore *w, kentry e)
+{
+    long long it = time_to_tick(e.time, w->inv_tick);
+    long long delta = it - w->next_tick;
+    w->wheel_count++;
+    if (delta < W_SLOTS) {
+        int slot = (int)(it & W_MASK);
+        occ_set(w->occ0, slot);
+        return karr_append(&w->l0[slot], e);
+    }
+    else if (delta < W_L1_SPAN) {
+        int slot = (int)((it >> W_SLOT_BITS) & W_MASK);
+        occ_set(w->occ1, slot);
+        return karr_append(&w->l1[slot], e);
+    }
+    else {
+        int slot = (int)((it >> (2 * W_SLOT_BITS)) & W_MASK);
+        occ_set(w->occ2, slot);
+        return karr_append(&w->l2[slot], e);
+    }
+}
+
+static int
+wheel_push(wheelcore *w, kentry e)
+{
+    w->count++;
+    long long it = time_to_tick(e.time, w->inv_tick);
+    long long delta = it - w->next_tick;
+    if (delta < 0)
+        return kheap_push(&w->due, e);   /* behind the cursor */
+    w->wheel_count++;
+    if (delta < W_SLOTS) {
+        int slot = (int)(it & W_MASK);
+        occ_set(w->occ0, slot);
+        return karr_append(&w->l0[slot], e);
+    }
+    else if (delta < W_L1_SPAN) {
+        int slot = (int)((it >> W_SLOT_BITS) & W_MASK);
+        occ_set(w->occ1, slot);
+        return karr_append(&w->l1[slot], e);
+    }
+    else if (delta < W_L2_SPAN) {
+        int slot = (int)((it >> (2 * W_SLOT_BITS)) & W_MASK);
+        occ_set(w->occ2, slot);
+        return karr_append(&w->l2[slot], e);
+    }
+    else {
+        w->wheel_count--;
+        return kheap_push(&w->overflow, e);
+    }
+}
+
+/* Pull overflow entries inside the cursor's level-2 span. */
+static int
+wheel_refill_overflow(wheelcore *w)
+{
+    long long horizon = w->next_tick + W_L2_SPAN;
+    while (w->overflow.len &&
+           time_to_tick(w->overflow.items[0].time, w->inv_tick) < horizon) {
+        if (wheel_place(w, kheap_pop(&w->overflow)) < 0)
+            return -1;
+    }
+    return 0;
+}
+
+/* Cascade parent slots when the cursor enters a new block.  Outer
+ * windows first, exactly like WheelScheduler._enter_block. */
+static int
+wheel_enter_block(wheelcore *w, long long base)
+{
+    if (base >= w->span2_end) {
+        w->span2_end = ((base >> (3 * W_SLOT_BITS)) + 1) << (3 * W_SLOT_BITS);
+        if (wheel_refill_overflow(w) < 0)
+            return -1;
+    }
+    if (base >= w->span1_end) {
+        w->span1_end = ((base >> (2 * W_SLOT_BITS)) + 1) << (2 * W_SLOT_BITS);
+        int slot2 = (int)((base >> (2 * W_SLOT_BITS)) & W_MASK);
+        if (occ_test(w->occ2, slot2)) {
+            karray bucket = w->l2[slot2];
+            karr_init(&w->l2[slot2]);
+            occ_clear_bit(w->occ2, slot2);
+            w->wheel_count -= bucket.len;
+            for (Py_ssize_t i = 0; i < bucket.len; i++) {
+                if (wheel_place(w, bucket.items[i]) < 0) {
+                    PyMem_Free(bucket.items);
+                    return -1;
+                }
+            }
+            PyMem_Free(bucket.items);
+        }
+    }
+    w->block_end = ((base >> W_SLOT_BITS) + 1) << W_SLOT_BITS;
+    int slot1 = (int)((base >> W_SLOT_BITS) & W_MASK);
+    if (occ_test(w->occ1, slot1)) {
+        karray bucket = w->l1[slot1];
+        karr_init(&w->l1[slot1]);
+        occ_clear_bit(w->occ1, slot1);
+        w->wheel_count -= bucket.len;
+        for (Py_ssize_t i = 0; i < bucket.len; i++) {
+            if (wheel_place(w, bucket.items[i]) < 0) {
+                PyMem_Free(bucket.items);
+                return -1;
+            }
+        }
+        PyMem_Free(bucket.items);
+    }
+    return 0;
+}
+
+/* Move the next populated tick's slot into the due heap.  Only
+ * called with due empty and count > 0.  Port of
+ * WheelScheduler._advance, including every cursor-jump branch. */
+static int
+wheel_advance(wheelcore *w)
+{
+    for (;;) {
+        long long base = w->next_tick;
+        if (base >= w->block_end && wheel_enter_block(w, base) < 0)
+            return -1;
+        int rel = (int)(base & W_MASK);
+        int slot = occ_first_from(w->occ0, rel);
+        if (slot >= 0) {
+            w->next_tick = (base - rel) + slot + 1;
+            /* Swap the slot bucket into `due` (due is empty; its
+             * spare capacity moves into the emptied slot, so steady
+             * draining recycles the same two buffers). */
+            karray tmp = w->due;
+            w->due = w->l0[slot];
+            w->l0[slot] = tmp;
+            occ_clear_bit(w->occ0, slot);
+            w->wheel_count -= w->due.len;
+            kheapify(&w->due);
+            return 0;
+        }
+        /* The rest of this 256-tick block is empty. */
+        if (w->wheel_count == 0) {
+            /* Wheel dry: jump the cursor to the overflow head. */
+            w->next_tick = time_to_tick(w->overflow.items[0].time,
+                                        w->inv_tick);
+            if (wheel_refill_overflow(w) < 0)
+                return -1;
+        }
+        else if (occ_any(w->occ0)) {
+            w->next_tick = w->block_end;
+        }
+        else if (w->block_end >= w->span1_end) {
+            w->next_tick = w->block_end;
+        }
+        else {
+            long long nb = w->block_end;
+            int s1 = (int)((nb >> W_SLOT_BITS) & W_MASK);
+            int idx1 = occ_first_from(w->occ1, s1);
+            if (idx1 >= 0) {
+                long long block = (nb >> W_SLOT_BITS) + (idx1 - s1);
+                w->next_tick = block << W_SLOT_BITS;
+            }
+            else if (occ_any(w->occ1)) {
+                w->next_tick = w->span1_end;
+            }
+            else {
+                int s2 = (int)((nb >> (2 * W_SLOT_BITS)) & W_MASK);
+                int idx2 = occ_first_from(w->occ2, s2 + 1);
+                if (idx2 >= 0) {
+                    long long window = (nb >> (2 * W_SLOT_BITS))
+                        + (idx2 - s2);
+                    w->next_tick = window << (2 * W_SLOT_BITS);
+                }
+                else {
+                    w->next_tick = w->span2_end;
+                }
+            }
+        }
+    }
+}
+
+/* Fused pop_due + advance: -1 error, 0 nothing due, 1 entry out. */
+static inline int
+wheel_pop_due(wheelcore *w, double until, kentry *out)
+{
+    if (w->due.len == 0) {
+        if (w->count == 0)
+            return 0;
+        if (wheel_advance(w) < 0)
+            return -1;
+    }
+    if (w->due.items[0].time > until)
+        return 0;
+    w->count--;
+    *out = kheap_pop(&w->due);
+    return 1;
+}
+
+static inline int
+wheel_pop_next(wheelcore *w, kentry *out)
+{
+    if (w->due.len == 0) {
+        if (w->count == 0)
+            return 0;
+        if (wheel_advance(w) < 0)
+            return -1;
+    }
+    w->count--;
+    *out = kheap_pop(&w->due);
+    return 1;
+}
+
+/* Dump every pending entry into `out` in arbitrary order, leaving
+ * the wheel empty but keeping its cursor (like WheelScheduler.dump). */
+static int
+wheel_dump_into(wheelcore *w, karray *out)
+{
+    karray *arrays[2] = { &w->due, &w->overflow };
+    for (int k = 0; k < 2; k++) {
+        karray *a = arrays[k];
+        for (Py_ssize_t i = 0; i < a->len; i++)
+            if (karr_append(out, a->items[i]) < 0)
+                return -1;
+        a->len = 0;
+    }
+    for (int s = 0; s < W_SLOTS; s++) {
+        karray *levels[3] = { &w->l0[s], &w->l1[s], &w->l2[s] };
+        for (int k = 0; k < 3; k++) {
+            karray *a = levels[k];
+            for (Py_ssize_t i = 0; i < a->len; i++)
+                if (karr_append(out, a->items[i]) < 0)
+                    return -1;
+            a->len = 0;
+        }
+    }
+    memset(w->occ0, 0, sizeof(w->occ0));
+    memset(w->occ1, 0, sizeof(w->occ1));
+    memset(w->occ2, 0, sizeof(w->occ2));
+    w->count = 0;
+    w->wheel_count = 0;
+    return 0;
+}
+
+/* ---------------------------------------------------------------- */
+/* Tuple-entry helpers shared by HeapKernel / WheelKernel.          */
+/* ---------------------------------------------------------------- */
+
+/* Unpack `(time, seq, ...)` into a kentry that owns the tuple. */
+static int
+kentry_from_tuple(PyObject *entry, kentry *out)
+{
+    if (!PyTuple_Check(entry) || PyTuple_GET_SIZE(entry) < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "scheduler entry must be a (time, seq, ...) tuple");
+        return -1;
+    }
+    double t = PyFloat_AsDouble(PyTuple_GET_ITEM(entry, 0));
+    if (t == -1.0 && PyErr_Occurred())
+        return -1;
+    long long seq = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 1));
+    if (seq == -1 && PyErr_Occurred())
+        return -1;
+    out->time = t;
+    out->seq = seq;
+    out->fn = Py_NewRef(entry);
+    out->args = NULL;
+    out->ev = NULL;
+    return 0;
+}
+
+static PyObject *
+karray_to_list_steal(karray *a)
+{
+    PyObject *list = PyList_New(a->len);
+    if (list == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < a->len; i++) {
+        /* Transfer the tuple ref; drop the (NULL) args/ev slots. */
+        PyList_SET_ITEM(list, i, a->items[i].fn);
+        Py_XDECREF(a->items[i].args);
+        Py_XDECREF(a->items[i].ev);
+    }
+    a->len = 0;
+    return list;
+}
+
+/* ---------------------------------------------------------------- */
+/* HeapKernel                                                       */
+/* ---------------------------------------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    karray heap;
+} HeapKernel;
+
+static PyObject *
+heapkernel_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    HeapKernel *self = (HeapKernel *)type->tp_alloc(type, 0);
+    if (self != NULL)
+        karr_init(&self->heap);
+    return (PyObject *)self;
+}
+
+static int
+heapkernel_traverse(HeapKernel *self, visitproc visit, void *arg)
+{
+    return karr_traverse(&self->heap, visit, arg);
+}
+
+static int
+heapkernel_clear(HeapKernel *self)
+{
+    karr_clear_entries(&self->heap);
+    return 0;
+}
+
+static void
+heapkernel_dealloc(HeapKernel *self)
+{
+    PyObject_GC_UnTrack(self);
+    karr_free(&self->heap);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static Py_ssize_t
+heapkernel_len(HeapKernel *self)
+{
+    return self->heap.len;
+}
+
+static PyObject *
+heapkernel_push(HeapKernel *self, PyObject *entry)
+{
+    kentry e;
+    if (kentry_from_tuple(entry, &e) < 0)
+        return NULL;
+    if (kheap_push(&self->heap, e) < 0) {
+        kentry_release(&e);
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+heapkernel_pop_due(HeapKernel *self, PyObject *arg)
+{
+    double until = PyFloat_AsDouble(arg);
+    if (until == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (self->heap.len && self->heap.items[0].time <= until)
+        return kheap_pop(&self->heap).fn;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+heapkernel_pop_next(HeapKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    if (self->heap.len)
+        return kheap_pop(&self->heap).fn;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+heapkernel_dump(HeapKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    return karray_to_list_steal(&self->heap);
+}
+
+static PyObject *
+heapkernel_refill(HeapKernel *self, PyObject *entries)
+{
+    PyObject *it = PyObject_GetIter(entries);
+    if (it == NULL)
+        return NULL;
+    PyObject *entry;
+    while ((entry = PyIter_Next(it)) != NULL) {
+        kentry e;
+        int rc = kentry_from_tuple(entry, &e);
+        Py_DECREF(entry);
+        if (rc < 0 || kheap_push(&self->heap, e) < 0) {
+            if (rc == 0)
+                kentry_release(&e);
+            Py_DECREF(it);
+            return NULL;
+        }
+    }
+    Py_DECREF(it);
+    if (PyErr_Occurred())
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef heapkernel_methods[] = {
+    {"push", (PyCFunction)heapkernel_push, METH_O,
+     "push(entry): insert a (time, seq, ...) entry tuple."},
+    {"pop_due", (PyCFunction)heapkernel_pop_due, METH_O,
+     "pop_due(until): earliest entry with time <= until, else None."},
+    {"pop_next", (PyCFunction)heapkernel_pop_next, METH_NOARGS,
+     "pop_next(): earliest entry regardless of time, else None."},
+    {"dump", (PyCFunction)heapkernel_dump, METH_NOARGS,
+     "dump(): all entries in arbitrary order, emptying the kernel."},
+    {"refill", (PyCFunction)heapkernel_refill, METH_O,
+     "refill(entries): bulk-load entries into an empty kernel."},
+    {NULL, NULL, 0, NULL}
+};
+
+static PySequenceMethods heapkernel_as_sequence = {
+    .sq_length = (lenfunc)heapkernel_len,
+};
+
+static PyTypeObject HeapKernelType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._kernels.HeapKernel",
+    .tp_basicsize = sizeof(HeapKernel),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled binary-heap scheduler (Scheduler contract).",
+    .tp_new = heapkernel_new,
+    .tp_dealloc = (destructor)heapkernel_dealloc,
+    .tp_traverse = (traverseproc)heapkernel_traverse,
+    .tp_clear = (inquiry)heapkernel_clear,
+    .tp_methods = heapkernel_methods,
+    .tp_as_sequence = &heapkernel_as_sequence,
+};
+
+/* ---------------------------------------------------------------- */
+/* WheelKernel                                                      */
+/* ---------------------------------------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    wheelcore wheel;
+} WheelKernel;
+
+static PyObject *
+wheelkernel_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"tick", NULL};
+    double tick = 1e-3;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|d:WheelKernel",
+                                     kwlist, &tick))
+        return NULL;
+    if (tick <= 0.0) {
+        PyErr_SetString(PyExc_ValueError, "wheel tick must be positive");
+        return NULL;
+    }
+    WheelKernel *self = (WheelKernel *)type->tp_alloc(type, 0);
+    if (self != NULL)
+        wheel_init(&self->wheel, tick);
+    return (PyObject *)self;
+}
+
+static int
+wheelkernel_traverse(WheelKernel *self, visitproc visit, void *arg)
+{
+    return wheel_traverse(&self->wheel, visit, arg);
+}
+
+static int
+wheelkernel_clear(WheelKernel *self)
+{
+    wheel_clear_entries(&self->wheel);
+    return 0;
+}
+
+static void
+wheelkernel_dealloc(WheelKernel *self)
+{
+    PyObject_GC_UnTrack(self);
+    wheel_free(&self->wheel);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static Py_ssize_t
+wheelkernel_len(WheelKernel *self)
+{
+    return self->wheel.count;
+}
+
+static PyObject *
+wheelkernel_push(WheelKernel *self, PyObject *entry)
+{
+    kentry e;
+    if (kentry_from_tuple(entry, &e) < 0)
+        return NULL;
+    if (wheel_push(&self->wheel, e) < 0) {
+        kentry_release(&e);
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+wheelkernel_pop_due(WheelKernel *self, PyObject *arg)
+{
+    double until = PyFloat_AsDouble(arg);
+    if (until == -1.0 && PyErr_Occurred())
+        return NULL;
+    kentry e;
+    int got = wheel_pop_due(&self->wheel, until, &e);
+    if (got < 0)
+        return NULL;
+    if (got == 0)
+        Py_RETURN_NONE;
+    return e.fn;
+}
+
+static PyObject *
+wheelkernel_pop_next(WheelKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    kentry e;
+    int got = wheel_pop_next(&self->wheel, &e);
+    if (got < 0)
+        return NULL;
+    if (got == 0)
+        Py_RETURN_NONE;
+    return e.fn;
+}
+
+static PyObject *
+wheelkernel_dump(WheelKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    karray out;
+    karr_init(&out);
+    if (wheel_dump_into(&self->wheel, &out) < 0) {
+        karr_free(&out);
+        return NULL;
+    }
+    PyObject *list = karray_to_list_steal(&out);
+    PyMem_Free(out.items);
+    return list;
+}
+
+static PyObject *
+wheelkernel_refill(WheelKernel *self, PyObject *entries)
+{
+    PyObject *it = PyObject_GetIter(entries);
+    if (it == NULL)
+        return NULL;
+    PyObject *entry;
+    while ((entry = PyIter_Next(it)) != NULL) {
+        kentry e;
+        int rc = kentry_from_tuple(entry, &e);
+        Py_DECREF(entry);
+        if (rc < 0 || wheel_push(&self->wheel, e) < 0) {
+            if (rc == 0)
+                kentry_release(&e);
+            Py_DECREF(it);
+            return NULL;
+        }
+    }
+    Py_DECREF(it);
+    if (PyErr_Occurred())
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef wheelkernel_methods[] = {
+    {"push", (PyCFunction)wheelkernel_push, METH_O,
+     "push(entry): insert a (time, seq, ...) entry tuple."},
+    {"pop_due", (PyCFunction)wheelkernel_pop_due, METH_O,
+     "pop_due(until): earliest entry with time <= until, else None."},
+    {"pop_next", (PyCFunction)wheelkernel_pop_next, METH_NOARGS,
+     "pop_next(): earliest entry regardless of time, else None."},
+    {"dump", (PyCFunction)wheelkernel_dump, METH_NOARGS,
+     "dump(): all entries in arbitrary order, emptying the kernel."},
+    {"refill", (PyCFunction)wheelkernel_refill, METH_O,
+     "refill(entries): bulk-load entries into an empty kernel."},
+    {NULL, NULL, 0, NULL}
+};
+
+static PySequenceMethods wheelkernel_as_sequence = {
+    .sq_length = (lenfunc)wheelkernel_len,
+};
+
+static PyTypeObject WheelKernelType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._kernels.WheelKernel",
+    .tp_basicsize = sizeof(WheelKernel),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled 3-level timer wheel (Scheduler contract).",
+    .tp_new = wheelkernel_new,
+    .tp_dealloc = (destructor)wheelkernel_dealloc,
+    .tp_traverse = (traverseproc)wheelkernel_traverse,
+    .tp_clear = (inquiry)wheelkernel_clear,
+    .tp_methods = wheelkernel_methods,
+    .tp_as_sequence = &wheelkernel_as_sequence,
+};
+
+/* ---------------------------------------------------------------- */
+/* Event: the compiled engine's recycled callback handle.  Same     */
+/* lifetime contract as repro.sim.engine.Event.                     */
+/* ---------------------------------------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    double time;
+    PyObject *fn;    /* owned or NULL (reads as None) */
+    PyObject *args;  /* owned or NULL (reads as None) */
+    char cancelled;
+} KEvent;
+
+static PyObject *
+kevent_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    KEvent *self = (KEvent *)type->tp_alloc(type, 0);
+    if (self != NULL) {
+        self->time = 0.0;
+        self->fn = NULL;
+        self->args = NULL;
+        self->cancelled = 0;
+    }
+    return (PyObject *)self;
+}
+
+static int
+kevent_init(KEvent *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"time", "fn", "args", NULL};
+    double time;
+    PyObject *fn, *argt;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "dOO:Event", kwlist,
+                                     &time, &fn, &argt))
+        return -1;
+    self->time = time;
+    Py_XSETREF(self->fn, Py_NewRef(fn));
+    Py_XSETREF(self->args, Py_NewRef(argt));
+    self->cancelled = 0;
+    return 0;
+}
+
+static int
+kevent_traverse(KEvent *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->fn);
+    Py_VISIT(self->args);
+    return 0;
+}
+
+static int
+kevent_clear(KEvent *self)
+{
+    Py_CLEAR(self->fn);
+    Py_CLEAR(self->args);
+    return 0;
+}
+
+static void
+kevent_dealloc(KEvent *self)
+{
+    PyObject_GC_UnTrack(self);
+    kevent_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+kevent_cancel(KEvent *self, PyObject *Py_UNUSED(ignored))
+{
+    self->cancelled = 1;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef kevent_methods[] = {
+    {"cancel", (PyCFunction)kevent_cancel, METH_NOARGS,
+     "Mark the event so the engine skips it (lazy deletion)."},
+    {NULL, NULL, 0, NULL}
+};
+
+static PyMemberDef kevent_members[] = {
+    {"time", T_DOUBLE, offsetof(KEvent, time), READONLY,
+     "Scheduled dispatch time (seconds)."},
+    {"fn", T_OBJECT, offsetof(KEvent, fn), READONLY,
+     "Pending callback (None once dispatched/recycled)."},
+    {"args", T_OBJECT, offsetof(KEvent, args), READONLY,
+     "Pending callback arguments (None once dispatched/recycled)."},
+    {"cancelled", T_BOOL, offsetof(KEvent, cancelled), 0,
+     "True once cancel() was called."},
+    {NULL, 0, 0, 0, NULL}
+};
+
+static PyTypeObject KEventType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._kernels.Event",
+    .tp_basicsize = sizeof(KEvent),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A scheduled callback handle; cancel() for lazy deletion.",
+    .tp_new = kevent_new,
+    .tp_init = (initproc)kevent_init,
+    .tp_dealloc = (destructor)kevent_dealloc,
+    .tp_traverse = (traverseproc)kevent_traverse,
+    .tp_clear = (inquiry)kevent_clear,
+    .tp_methods = kevent_methods,
+    .tp_members = kevent_members,
+};
+
+/* ---------------------------------------------------------------- */
+/* EngineCore: scheduler + dispatch loop, fused.                    */
+/* ---------------------------------------------------------------- */
+
+#define MODE_HEAP 0
+#define MODE_WHEEL 1
+#define MODE_AUTO 2
+
+typedef struct {
+    PyObject_HEAD
+    int mode;
+    int wheel_active;           /* auto mode: which store is live */
+    karray heap;
+    wheelcore wheel;
+    double now;
+    long long counter;
+    long long processed;
+    long long migrations;
+    long long promote, demote, period, countdown;
+    PyObject *trace;            /* owned or NULL */
+    PyObject **free_items;      /* owned KEvent refs */
+    Py_ssize_t free_len, free_cap;
+} EngineCore;
+
+static inline int
+core_wheel_live(EngineCore *self)
+{
+    return self->mode == MODE_WHEEL
+        || (self->mode == MODE_AUTO && self->wheel_active);
+}
+
+static inline Py_ssize_t
+core_pending(EngineCore *self)
+{
+    return core_wheel_live(self) ? self->wheel.count : self->heap.len;
+}
+
+static PyObject *
+enginecore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"name", "tick", "promote", "demote",
+                             "period", "trace", NULL};
+    const char *name;
+    double tick = 1e-3;
+    long long promote = 2048, demote = 512, period = 256;
+    PyObject *trace = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "s|dLLLO:EngineCore",
+                                     kwlist, &name, &tick, &promote,
+                                     &demote, &period, &trace))
+        return NULL;
+    int mode;
+    if (strcmp(name, "heap") == 0)
+        mode = MODE_HEAP;
+    else if (strcmp(name, "wheel") == 0)
+        mode = MODE_WHEEL;
+    else if (strcmp(name, "auto") == 0)
+        mode = MODE_AUTO;
+    else {
+        PyErr_Format(PyExc_ValueError,
+                     "unknown EngineCore backend %s "
+                     "(expected 'auto', 'wheel' or 'heap')", name);
+        return NULL;
+    }
+    if (tick <= 0.0) {
+        PyErr_SetString(PyExc_ValueError, "wheel tick must be positive");
+        return NULL;
+    }
+    if (!(0 <= demote && demote < promote)) {
+        PyErr_Format(PyExc_ValueError,
+                     "need 0 <= demote < promote for hysteresis, got "
+                     "demote=%lld, promote=%lld", demote, promote);
+        return NULL;
+    }
+    if (period < 1) {
+        PyErr_SetString(PyExc_ValueError, "sample period must be >= 1");
+        return NULL;
+    }
+    EngineCore *self = (EngineCore *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->mode = mode;
+    self->wheel_active = 0;
+    karr_init(&self->heap);
+    wheel_init(&self->wheel, tick);
+    self->now = 0.0;
+    self->counter = 0;
+    self->processed = 0;
+    self->migrations = 0;
+    self->promote = promote;
+    self->demote = demote;
+    self->period = period;
+    self->countdown = period;
+    self->trace = (trace == Py_None) ? NULL : Py_NewRef(trace);
+    self->free_items = NULL;
+    self->free_len = self->free_cap = 0;
+    return (PyObject *)self;
+}
+
+static int
+enginecore_traverse(EngineCore *self, visitproc visit, void *arg)
+{
+    int rc;
+    Py_VISIT(self->trace);
+    if ((rc = karr_traverse(&self->heap, visit, arg)))
+        return rc;
+    if ((rc = wheel_traverse(&self->wheel, visit, arg)))
+        return rc;
+    for (Py_ssize_t i = 0; i < self->free_len; i++)
+        Py_VISIT(self->free_items[i]);
+    return 0;
+}
+
+static int
+enginecore_clear(EngineCore *self)
+{
+    Py_CLEAR(self->trace);
+    karr_clear_entries(&self->heap);
+    wheel_clear_entries(&self->wheel);
+    Py_ssize_t n = self->free_len;
+    self->free_len = 0;
+    for (Py_ssize_t i = 0; i < n; i++)
+        Py_DECREF(self->free_items[i]);
+    return 0;
+}
+
+static void
+enginecore_dealloc(EngineCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    enginecore_clear(self);
+    karr_free(&self->heap);
+    wheel_free(&self->wheel);
+    PyMem_Free(self->free_items);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static Py_ssize_t
+enginecore_len(EngineCore *self)
+{
+    return core_pending(self);
+}
+
+/* Heap <-> wheel migration, auto mode.  Promotion fills a fresh
+ * wheel (cursor 0, windows unopened — exactly the pure scheduler's
+ * new WheelScheduler); demotion dumps the wheel and heapifies. */
+static int
+core_promote(EngineCore *self)
+{
+    wheel_reset_empty(&self->wheel);
+    kentry *items = self->heap.items;
+    Py_ssize_t n = self->heap.len;
+    self->heap.len = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        if (wheel_push(&self->wheel, items[i]) < 0)
+            return -1;
+    }
+    self->wheel_active = 1;
+    self->migrations++;
+    return 0;
+}
+
+static int
+core_demote(EngineCore *self)
+{
+    if (wheel_dump_into(&self->wheel, &self->heap) < 0)
+        return -1;
+    kheapify(&self->heap);
+    self->wheel_active = 0;
+    self->migrations++;
+    return 0;
+}
+
+static int
+core_sample(EngineCore *self)
+{
+    self->countdown = self->period;
+    if (self->wheel_active) {
+        if (self->wheel.count <= self->demote)
+            return core_demote(self);
+    }
+    else if (self->heap.len >= self->promote) {
+        return core_promote(self);
+    }
+    return 0;
+}
+
+/* Recycle a dispatched (or cancelled-and-popped) entry: strip the
+ * handle and park it on the free list, drop the entry's refs. */
+static void
+core_recycle(EngineCore *self, kentry *e)
+{
+    KEvent *ev = (KEvent *)e->ev;
+    Py_CLEAR(ev->fn);
+    Py_CLEAR(ev->args);
+    Py_DECREF(e->fn);
+    Py_DECREF(e->args);
+    if (self->free_len == self->free_cap) {
+        Py_ssize_t cap = self->free_cap ? self->free_cap * 2 : 16;
+        PyObject **items = PyMem_Realloc(self->free_items,
+                                         (size_t)cap * sizeof(PyObject *));
+        if (items == NULL) {
+            Py_DECREF(ev);      /* free list full: just drop it */
+            return;
+        }
+        self->free_items = items;
+        self->free_cap = cap;
+    }
+    self->free_items[self->free_len++] = (PyObject *)ev;
+}
+
+static PyObject *
+core_schedule_common(EngineCore *self, double time, PyObject *fn,
+                     PyObject *const *rest, Py_ssize_t nrest)
+{
+    PyObject *argt = PyTuple_New(nrest);
+    if (argt == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < nrest; i++)
+        PyTuple_SET_ITEM(argt, i, Py_NewRef(rest[i]));
+
+    KEvent *ev;
+    if (self->free_len > 0) {
+        ev = (KEvent *)self->free_items[--self->free_len];
+    }
+    else {
+        ev = PyObject_GC_New(KEvent, &KEventType);
+        if (ev == NULL) {
+            Py_DECREF(argt);
+            return NULL;
+        }
+        ev->fn = NULL;
+        ev->args = NULL;
+        PyObject_GC_Track((PyObject *)ev);
+    }
+    ev->time = time;
+    ev->cancelled = 0;
+    ev->fn = Py_NewRef(fn);
+    ev->args = Py_NewRef(argt);
+
+    self->counter++;
+    kentry e = { time, self->counter, Py_NewRef(fn), argt,
+                 (PyObject *)ev };
+    int rc = core_wheel_live(self)
+        ? wheel_push(&self->wheel, e)
+        : kheap_push(&self->heap, e);
+    if (rc < 0) {
+        kentry_release(&e);
+        return NULL;
+    }
+    return Py_NewRef((PyObject *)ev);
+}
+
+static PyObject *
+core_schedule(EngineCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule(delay, fn, *args) takes at least "
+                        "2 arguments");
+        return NULL;
+    }
+    double delay = PyFloat_AsDouble(args[0]);
+    if (delay == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0.0) {
+        PyErr_Format(PyExc_ValueError,
+                     "cannot schedule in the past (delay=%R)", args[0]);
+        return NULL;
+    }
+    return core_schedule_common(self, self->now + delay, args[1],
+                                args + 2, nargs - 2);
+}
+
+static PyObject *
+core_schedule_at(EngineCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_at(time, fn, *args) takes at least "
+                        "2 arguments");
+        return NULL;
+    }
+    double time = PyFloat_AsDouble(args[0]);
+    if (time == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (time < self->now) {
+        PyObject *nowf = PyFloat_FromDouble(self->now);
+        if (nowf == NULL)
+            return NULL;
+        PyErr_Format(PyExc_ValueError,
+                     "cannot schedule at %R before now (%R)",
+                     args[0], nowf);
+        Py_DECREF(nowf);
+        return NULL;
+    }
+    return core_schedule_common(self, time, args[1], args + 2, nargs - 2);
+}
+
+/* One dispatched event: clock, counters, trace hook, the call, the
+ * recycle.  Returns -1 with an exception set when the callback (or
+ * the trace hook) raised. */
+static inline int
+core_dispatch(EngineCore *self, kentry *e)
+{
+    KEvent *ev = (KEvent *)e->ev;
+    if (ev->cancelled) {
+        core_recycle(self, e);
+        return 1;               /* skipped: not a dispatched event */
+    }
+    self->now = e->time;
+    self->processed++;
+    if (self->trace != NULL) {
+        PyObject *r = PyObject_CallFunction(self->trace, "dOO",
+                                            e->time, e->fn, e->args);
+        if (r == NULL) {
+            kentry_release(e);
+            return -1;
+        }
+        Py_DECREF(r);
+    }
+    PyObject *res = PyObject_CallObject(e->fn, e->args);
+    if (res == NULL) {
+        kentry_release(e);
+        return -1;
+    }
+    Py_DECREF(res);
+    core_recycle(self, e);
+    return 0;
+}
+
+static PyObject *
+core_run(EngineCore *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"until", NULL};
+    double until;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "d:run", kwlist, &until))
+        return NULL;
+    int is_auto = self->mode == MODE_AUTO;
+    for (;;) {
+        if (is_auto && --self->countdown <= 0 && core_sample(self) < 0)
+            return NULL;
+        kentry e;
+        int got = core_wheel_live(self)
+            ? wheel_pop_due(&self->wheel, until, &e)
+            : (self->heap.len && self->heap.items[0].time <= until
+               ? (e = kheap_pop(&self->heap), 1) : 0);
+        if (got < 0)
+            return NULL;
+        if (got == 0)
+            break;
+        if (core_dispatch(self, &e) < 0)
+            return NULL;
+    }
+    self->now = until;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+core_run_until_empty(EngineCore *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"max_events", NULL};
+    long long max_events = 10000000;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|L:run_until_empty",
+                                     kwlist, &max_events))
+        return NULL;
+    int is_auto = self->mode == MODE_AUTO;
+    long long budget = max_events;
+    while (budget > 0) {
+        if (is_auto && --self->countdown <= 0 && core_sample(self) < 0)
+            return NULL;
+        kentry e;
+        int got = core_wheel_live(self)
+            ? wheel_pop_next(&self->wheel, &e)
+            : (self->heap.len ? (e = kheap_pop(&self->heap), 1) : 0);
+        if (got < 0)
+            return NULL;
+        if (got == 0)
+            Py_RETURN_NONE;
+        int rc = core_dispatch(self, &e);
+        if (rc < 0)
+            return NULL;
+        if (rc == 0)
+            budget--;           /* cancelled pops don't consume budget */
+    }
+    if (core_pending(self) > 0) {
+        PyErr_Format(PyExc_RuntimeError,
+                     "run_until_empty exceeded %lld events", max_events);
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+core_get_now(EngineCore *self, void *closure)
+{
+    return PyFloat_FromDouble(self->now);
+}
+
+static PyObject *
+core_get_backend_name(EngineCore *self, void *closure)
+{
+    if (self->mode == MODE_HEAP)
+        return PyUnicode_FromString("heap");
+    if (self->mode == MODE_WHEEL)
+        return PyUnicode_FromString("wheel");
+    return PyUnicode_FromString(self->wheel_active ? "wheel" : "heap");
+}
+
+static PyGetSetDef enginecore_getset[] = {
+    {"now", (getter)core_get_now, NULL,
+     "Current simulation time in seconds.", NULL},
+    {"backend_name", (getter)core_get_backend_name, NULL,
+     "The event store in use right now, 'heap' or 'wheel'.", NULL},
+    {NULL, NULL, NULL, NULL, NULL}
+};
+
+static PyMemberDef enginecore_members[] = {
+    {"events_processed", T_LONGLONG, offsetof(EngineCore, processed),
+     READONLY, "Number of events executed so far."},
+    {"migrations", T_LONGLONG, offsetof(EngineCore, migrations),
+     READONLY, "Backend switches performed so far (0 when fixed)."},
+    {"promote_threshold", T_LONGLONG, offsetof(EngineCore, promote),
+     READONLY, "Pending population that promotes heap -> wheel."},
+    {"demote_threshold", T_LONGLONG, offsetof(EngineCore, demote),
+     READONLY, "Pending population that demotes wheel -> heap."},
+    {NULL, 0, 0, 0, NULL}
+};
+
+static PyMethodDef enginecore_methods[] = {
+    {"schedule", (PyCFunction)(void (*)(void))core_schedule,
+     METH_FASTCALL,
+     "schedule(delay, fn, *args): run fn(*args) after delay seconds."},
+    {"schedule_at", (PyCFunction)(void (*)(void))core_schedule_at,
+     METH_FASTCALL,
+     "schedule_at(time, fn, *args): run fn(*args) at absolute time."},
+    {"run", (PyCFunction)(void (*)(void))core_run,
+     METH_VARARGS | METH_KEYWORDS,
+     "run(until): process events in order until the clock reaches "
+     "until."},
+    {"run_until_empty", (PyCFunction)(void (*)(void))core_run_until_empty,
+     METH_VARARGS | METH_KEYWORDS,
+     "run_until_empty(max_events=10_000_000): process every queued "
+     "event (bounded by max_events)."},
+    {NULL, NULL, 0, NULL}
+};
+
+static PySequenceMethods enginecore_as_sequence = {
+    .sq_length = (lenfunc)enginecore_len,
+};
+
+static PyTypeObject EngineCoreType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._kernels.EngineCore",
+    .tp_basicsize = sizeof(EngineCore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Fused compiled scheduler + dispatch loop for Simulator.",
+    .tp_new = enginecore_new,
+    .tp_dealloc = (destructor)enginecore_dealloc,
+    .tp_traverse = (traverseproc)enginecore_traverse,
+    .tp_clear = (inquiry)enginecore_clear,
+    .tp_methods = enginecore_methods,
+    .tp_members = enginecore_members,
+    .tp_getset = enginecore_getset,
+    .tp_as_sequence = &enginecore_as_sequence,
+};
+
+/* ---------------------------------------------------------------- */
+/* Module                                                           */
+/* ---------------------------------------------------------------- */
+
+static struct PyModuleDef kernels_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim._kernels",
+    .m_doc = "Compiled DES hot-path kernels (optional extra; the\n"
+             "pure-python scheduler/engine remain the reference).",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__kernels(void)
+{
+    PyObject *m = PyModule_Create(&kernels_module);
+    if (m == NULL)
+        return NULL;
+    PyTypeObject *types[] = { &HeapKernelType, &WheelKernelType,
+                              &KEventType, &EngineCoreType };
+    const char *names[] = { "HeapKernel", "WheelKernel", "Event",
+                            "EngineCore" };
+    for (int i = 0; i < 4; i++) {
+        if (PyType_Ready(types[i]) < 0) {
+            Py_DECREF(m);
+            return NULL;
+        }
+        if (PyModule_AddObjectRef(m, names[i], (PyObject *)types[i]) < 0) {
+            Py_DECREF(m);
+            return NULL;
+        }
+    }
+    return m;
+}

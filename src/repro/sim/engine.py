@@ -40,6 +40,18 @@ For repeating deadlines, :meth:`Simulator.timer` returns a rearmable
 :class:`Timer`: re-arming one to a later deadline is a pair of
 attribute writes — no scheduler traffic at all — which is what removes
 the schedule-then-lazy-cancel churn of RTO-style timers.
+
+When the optional C extension (``repro.sim._kernels``, built with
+``python setup.py build_ext --inplace``) is importable, the Simulator
+swaps the whole hot path — scheduler storage *and* dispatch loop —
+for the compiled :class:`~repro.sim._kernels.EngineCore` behind the
+same API: entries live as C structs (no per-event tuple), Event
+handles are a recycled C type, and ``run``/``run_until_empty``
+dispatch without re-entering the interpreter between events.  The
+pure-python loop above remains the reference: both dispatch identical
+``(time, seq)`` traces (enforced by the scenario-A trace-identity
+suite), ``REPRO_SIM_COMPILED=0`` or ``Simulator(compiled=False)``
+forces the pure path, and a missing extension is never an error.
 """
 
 from __future__ import annotations
@@ -48,13 +60,32 @@ import os
 from itertools import repeat
 from typing import Any, Callable, List, Optional
 
-from .scheduler import AdaptiveScheduler, HeapScheduler, WheelScheduler
+from .scheduler import (
+    AUTO_SAMPLE_PERIOD,
+    COMPILED_AVAILABLE,
+    AdaptiveScheduler,
+    HeapScheduler,
+    WheelScheduler,
+    calibrated_thresholds,
+)
+
+try:                            # optional compiled engine core
+    from . import _kernels as _compiled
+except ImportError:             # pure-python fallback: always valid
+    _compiled = None
 
 #: Environment override for the default scheduler backend.
 SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
 
 #: Recognised scheduler backend names.
 SCHEDULER_NAMES = ("auto", "wheel", "heap")
+
+#: Environment switch for the compiled engine core: ``"0"`` forces the
+#: pure-python loop even when the extension is importable.  Any other
+#: value (or unset) means "use it when available" — absence of the
+#: extension is never an error on this path, so un-built checkouts run
+#: everywhere.
+COMPILED_ENV = "REPRO_SIM_COMPILED"
 
 
 class Event:
@@ -219,28 +250,81 @@ class Simulator:
         dispatched event — the instrumentation used by the
         wheel-vs-heap equivalence tests.  Slows the loop; leave None in
         production runs.
+    compiled : bool, optional
+        ``None`` (default): use the compiled engine core
+        (``repro.sim._kernels.EngineCore``) when the extension is
+        importable and ``REPRO_SIM_COMPILED`` is not ``"0"``; fall back
+        to the pure-python loop otherwise.  ``True``: require the
+        extension (``RuntimeError`` when absent).  ``False``: force the
+        pure-python loop.  Both loops dispatch identical ``(time,
+        seq)`` traces — the compiled core is purely a speed-up,
+        enforced by the scenario-A trace-identity suite.
     """
 
     def __init__(self, scheduler: Optional[str] = None, *,
                  wheel_tick: float = 1e-3,
-                 trace: Optional[Callable] = None) -> None:
+                 trace: Optional[Callable] = None,
+                 compiled: Optional[bool] = None) -> None:
         name = _resolve_scheduler_name(scheduler)
-        self._sched = _make_scheduler(name, wheel_tick)
         self.scheduler_name = name
+        self._trace = trace
+        self._core = None
+        if compiled is None:
+            use_compiled = (_compiled is not None
+                            and os.environ.get(COMPILED_ENV) != "0")
+        elif compiled:
+            if _compiled is None:
+                raise RuntimeError(
+                    "Simulator(compiled=True) requires the "
+                    "repro.sim._kernels extension; build it with "
+                    "`python setup.py build_ext --inplace` or pass "
+                    "compiled=None to fall back automatically")
+            use_compiled = True
+        else:
+            use_compiled = False
+        if use_compiled:
+            promote, demote = calibrated_thresholds(compiled=True)
+            core = _compiled.EngineCore(
+                name, tick=wheel_tick, promote=promote, demote=demote,
+                period=AUTO_SAMPLE_PERIOD, trace=trace)
+            self._core = core
+            # The core *is* the scheduler (it stores entries as C
+            # structs); exposing it as _sched keeps the introspection
+            # surface (len, .migrations) identical to the pure engine.
+            self._sched = core
+            # Rebind the hot API to the core's C methods: attribute
+            # lookup finds the instance binding first, so callers pay
+            # zero wrapper overhead per event.
+            self.schedule = core.schedule
+            self.schedule_at = core.schedule_at
+            self.run = core.run
+            self.run_until_empty = core.run_until_empty
+            return
+        self._sched = _make_scheduler(name, wheel_tick)
         self._free: List[Event] = []
         self._now = 0.0
         self._counter = 0
         self._processed = 0
-        self._trace = trace
+
+    @property
+    def compiled(self) -> bool:
+        """True when the compiled engine core is driving this run."""
+        return self._core is not None
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
+        core = self._core
+        if core is not None:
+            return core.now
         return self._now
 
     @property
     def events_processed(self) -> int:
         """Number of events executed so far (performance metric)."""
+        core = self._core
+        if core is not None:
+            return core.events_processed
         return self._processed
 
     @property
@@ -256,6 +340,9 @@ class Simulator:
         ``"auto"`` it reports whichever side of the crossover the
         adaptive scheduler currently sits on.
         """
+        core = self._core
+        if core is not None:
+            return core.backend_name
         sched = self._sched
         if isinstance(sched, AdaptiveScheduler):
             return sched.backend_name
@@ -264,6 +351,9 @@ class Simulator:
     @property
     def migrations(self) -> int:
         """Backend switches performed so far (always 0 when fixed)."""
+        core = self._core
+        if core is not None:
+            return core.migrations
         sched = self._sched
         if isinstance(sched, AdaptiveScheduler):
             return sched.migrations

@@ -65,8 +65,20 @@ order, switching mid-run is invisible to the simulation.
 
 from __future__ import annotations
 
+import math
+import os
 from heapq import heapify, heappop, heappush
-from typing import List, Optional
+from time import perf_counter_ns
+from typing import Dict, List, Optional, Tuple
+
+try:                            # optional compiled kernels
+    from . import _kernels as _compiled
+except ImportError:             # pure-python fallback: always valid
+    _compiled = None
+
+#: True when the optional C extension (``repro.sim._kernels``) built
+#: and imported; every consumer degrades to the pure backends when not.
+COMPILED_AVAILABLE = _compiled is not None
 
 
 class HeapScheduler:
@@ -407,14 +419,145 @@ AUTO_DEMOTE_PENDING = 512
 #: while costing ~one extra integer op per event.
 AUTO_SAMPLE_PERIOD = 256
 
+#: Environment switch for the startup micro-calibration.  ``"0"``
+#: disables it, pinning the adaptive crossover to the documented
+#: constants above — the right setting for bit-stable CI lanes and for
+#: any test that asserts a specific migration pattern.
+CALIBRATE_ENV = "REPRO_SIM_CALIBRATE"
+
+#: Calibrated-threshold clamp: the promote threshold never leaves
+#: this band, whatever the micro-benchmark says.  The floor keeps a
+#: noisy "wheel always wins" reading from thrashing tiny scenarios
+#: through migrations; the ceiling keeps a noisy "heap always wins"
+#: reading from disabling the wheel on the 10k-flow scenarios the
+#: roadmap targets.
+CALIBRATE_MIN_PROMOTE = 64
+CALIBRATE_MAX_PROMOTE = 1 << 20
+
+_calibration_cache: Dict[str, dict] = {}
+
+
+def _steady_state_cost_ns(factory, n_resident: int,
+                          n_ops: int = 2048, repeats: int = 3) -> float:
+    """Per-operation push+pop cost (ns) at a resident population.
+
+    The probe mirrors the DES steady state: ``n_resident`` far-future
+    entries stay parked (RTO timers, idle flows) while the measured
+    churn inserts at the front of the queue and immediately pops —
+    the regime where the heap pays ``O(log n)`` against the resident
+    mass and the wheel pays its flat constant.  The minimum over
+    ``repeats`` runs discards scheduler-noise outliers.
+    """
+    best = math.inf
+    for _ in range(repeats):
+        sched = factory()
+        push = sched.push
+        pop = sched.pop_next
+        for i in range(n_resident):
+            # Spread residents over ~60 s of level-1/2 horizon so the
+            # wheel parks them off the hot path, like real timers.
+            push((100.0 + (i % 997) * 6e-2, i, None, (), None))
+        t = 1.0
+        seq = n_resident
+        start = perf_counter_ns()
+        for _ in range(n_ops):
+            seq += 1
+            push((t, seq, None, (), None))
+            pop()
+            t += 2e-3
+        elapsed = perf_counter_ns() - start
+        best = min(best, elapsed / n_ops)
+    return best
+
+
+def calibrate(compiled: bool = False) -> dict:
+    """Micro-measure both backends and derive crossover thresholds.
+
+    Fits the heap's steady-state cost as ``a + b*log2(n)`` from two
+    resident populations, measures the wheel's flat cost ``w``, and
+    solves ``a + b*log2(n*) = w`` for the population ``n*`` where the
+    wheel overtakes the heap on this interpreter/machine.  Returns a
+    dict with ``promote``/``demote`` (the clamped band, 4x hysteresis
+    like the constants) and ``source``:
+
+    * ``"measured"`` — thresholds derived from the fit;
+    * ``"disabled"`` — ``REPRO_SIM_CALIBRATE=0``: documented constants;
+    * ``"noisy"`` — the fit was unusable (non-positive or non-finite
+      slope: timer noise swamped the signal): documented constants;
+    * ``"unavailable"`` — ``compiled=True`` without the extension.
+
+    Measured results are cached per process (one probe costs a few
+    tens of milliseconds pure, ~2 ms compiled); the ``disabled`` check
+    runs on every call so tests can flip the environment variable.
+    """
+    fallback = {"promote": AUTO_PROMOTE_PENDING,
+                "demote": AUTO_DEMOTE_PENDING,
+                "heap_ns_small": None, "heap_ns_large": None,
+                "wheel_ns": None, "crossover": None}
+    if (os.environ.get(CALIBRATE_ENV) or "1") == "0":
+        return dict(fallback, source="disabled")
+    key = "compiled" if compiled else "pure"
+    cached = _calibration_cache.get(key)
+    if cached is not None:
+        return dict(cached)
+    if compiled:
+        if _compiled is None:
+            return dict(fallback, source="unavailable")
+        heap_factory = _compiled.HeapKernel
+        wheel_factory = _compiled.WheelKernel
+    else:
+        heap_factory = HeapScheduler
+        wheel_factory = WheelScheduler
+    n_small, n_large = 256, 16384
+    heap_small = _steady_state_cost_ns(heap_factory, n_small)
+    heap_large = _steady_state_cost_ns(heap_factory, n_large)
+    wheel_ns = _steady_state_cost_ns(wheel_factory, 2048)
+    slope = (heap_large - heap_small) / (math.log2(n_large)
+                                         - math.log2(n_small))
+    result = dict(fallback, source="noisy", heap_ns_small=heap_small,
+                  heap_ns_large=heap_large, wheel_ns=wheel_ns)
+    if math.isfinite(slope) and slope > 0:
+        intercept = heap_small - slope * math.log2(n_small)
+        exponent = (wheel_ns - intercept) / slope
+        if math.isfinite(exponent):
+            crossover = 2.0 ** min(max(exponent, 0.0), 40.0)
+            promote = int(min(max(crossover, CALIBRATE_MIN_PROMOTE),
+                              CALIBRATE_MAX_PROMOTE))
+            result.update(source="measured", crossover=crossover,
+                          promote=promote, demote=promote // 4)
+    _calibration_cache[key] = dict(result)
+    return result
+
+
+def calibrated_thresholds(compiled: bool = False) -> Tuple[int, int]:
+    """The adaptive crossover band ``(promote, demote)`` to use now.
+
+    Self-calibrated from measured backend costs when enabled (the
+    default), the documented :data:`AUTO_PROMOTE_PENDING` /
+    :data:`AUTO_DEMOTE_PENDING` constants when ``REPRO_SIM_CALIBRATE=0``
+    or the measurement was unusable.  Pass ``compiled=True`` to derive
+    the band from the compiled kernels' costs (the right model when
+    the compiled :class:`~repro.sim._kernels.EngineCore` will do the
+    migrating).
+    """
+    info = calibrate(compiled=compiled)
+    return info["promote"], info["demote"]
+
 
 class AdaptiveScheduler:
     """Population-adaptive scheduler: a heap that becomes a wheel.
 
     Delegates storage to a :class:`HeapScheduler` while the pending
     population is small and migrates to a :class:`WheelScheduler` when
-    it grows past :data:`AUTO_PROMOTE_PENDING` (and back below
-    :data:`AUTO_DEMOTE_PENDING`).  Migration drains the old backend in
+    it grows past the promote threshold (and back below the demote
+    threshold).  By default the band comes from
+    :func:`calibrated_thresholds` — a startup micro-measurement of
+    both backends' push/pop costs on the running interpreter — and
+    falls back to the documented :data:`AUTO_PROMOTE_PENDING` /
+    :data:`AUTO_DEMOTE_PENDING` constants when calibration is disabled
+    (``REPRO_SIM_CALIBRATE=0``) or too noisy; explicit ``promote`` /
+    ``demote`` arguments override both.  Migration drains the old
+    backend in
     pop order into the new one, so the ``(time, seq)`` pop contract —
     and therefore trace identity with both fixed backends — holds
     through any number of switches.
@@ -435,11 +578,18 @@ class AdaptiveScheduler:
                  "_demote", "_period", "_countdown", "_wheel_active")
 
     def __init__(self, tick: float = 1e-3, *,
-                 promote: int = AUTO_PROMOTE_PENDING,
-                 demote: int = AUTO_DEMOTE_PENDING,
+                 promote: Optional[int] = None,
+                 demote: Optional[int] = None,
                  period: int = AUTO_SAMPLE_PERIOD) -> None:
         if tick <= 0:
             raise ValueError("wheel tick must be positive")
+        if promote is None or demote is None:
+            # Defaults come from the startup micro-calibration (the
+            # documented constants when disabled or unusable); explicit
+            # arguments always win.
+            calibrated = calibrated_thresholds()
+            promote = calibrated[0] if promote is None else promote
+            demote = calibrated[1] if demote is None else demote
         if not 0 <= demote < promote:
             raise ValueError(
                 f"need 0 <= demote < promote for hysteresis, got "
@@ -468,6 +618,16 @@ class AdaptiveScheduler:
     def period(self) -> int:
         """Pops between population samples (the engine's chunk size)."""
         return self._period
+
+    @property
+    def promote_threshold(self) -> int:
+        """Pending population that promotes heap -> wheel."""
+        return self._promote
+
+    @property
+    def demote_threshold(self) -> int:
+        """Pending population that demotes wheel -> heap."""
+        return self._demote
 
     def sample(self) -> None:
         """Compare the pending population against the thresholds.

@@ -16,8 +16,13 @@ _SPEC.loader.exec_module(check_bench)
 def _report(*, fluid_speedup=30.0, eq_speedup=4.0, engine_speedup=1.4,
             loaded_speedup=3.0, auto_speedup=0.95, churn_speedup=8.0,
             balia_fluid_speedup=20.0, balia_eq_speedup=4.0,
+            compiled_speedup=7.5, compiled_available=True,
             n_points=64, n_events=200_000, n_ticks=2000, bitwise=True,
             balia_bitwise=True):
+    compiled = {"available": compiled_available, "n_events": n_events,
+                "n_pending": 20_000}
+    if compiled_available:
+        compiled["speedup"] = compiled_speedup
     return {
         "fluid_sweep": {"n_points": n_points, "speedup": fluid_speedup,
                         "bitwise_equal": bitwise},
@@ -35,6 +40,7 @@ def _report(*, fluid_speedup=30.0, eq_speedup=4.0, engine_speedup=1.4,
                           "speedup": loaded_speedup},
         "engine_auto": {"n_events": n_events, "n_pending": 20_000,
                         "speedup": auto_speedup},
+        "engine_compiled": compiled,
         "timer_churn": {"n_timers": 32, "n_ticks": n_ticks,
                         "speedup": churn_speedup},
     }
@@ -179,6 +185,46 @@ class TestCheckReport:
         failures = check_bench.check_report(new, _report())
         assert len(failures) == 1
         assert "engine_auto" in failures[0]
+
+    def test_compiled_regression_fails(self):
+        new = _report(compiled_speedup=2.0)
+        failures = check_bench.check_report(new, _report(), factor=2.0)
+        assert len(failures) == 1
+        assert "engine_compiled" in failures[0]
+
+    def test_compiled_below_smoke_floor_fails(self):
+        new = _report(compiled_speedup=1.0, n_points=8,
+                      n_events=20_000, n_ticks=300)
+        failures = check_bench.check_report(new, _report())
+        assert len(failures) == 1
+        assert "engine_compiled" in failures[0]
+        assert "smoke floor" in failures[0]
+
+    def test_unavailable_compiled_section_is_skipped(self):
+        """A report from a pure-python checkout (available: false, no
+        speedup recorded) must pass — the fallback lane in CI runs
+        exactly this configuration on purpose."""
+        new = _report(compiled_available=False)
+        assert check_bench.check_report(new, _report()) == []
+
+    def test_missing_compiled_section_still_fails(self):
+        """available=false is a deliberate skip; the section vanishing
+        from the report entirely is a regression like any other."""
+        new = _report()
+        del new["engine_compiled"]
+        failures = check_bench.check_report(new, _report())
+        assert any("engine_compiled" in f and "missing" in f
+                   for f in failures)
+
+    def test_baseline_from_pure_checkout_uses_the_floor(self):
+        """Baseline recorded without the extension has no speedup —
+        the new (compiled) report is held to the smoke floor."""
+        baseline = _report(compiled_available=False)
+        assert check_bench.check_report(_report(), baseline) == []
+        slow = _report(compiled_speedup=1.0)
+        failures = check_bench.check_report(slow, baseline)
+        assert len(failures) == 1
+        assert "engine_compiled" in failures[0]
 
 
 class TestCheckScaleReport:

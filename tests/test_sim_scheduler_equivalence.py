@@ -22,16 +22,18 @@ import pytest
 
 from repro.experiments.runner import measure, staggered_starts
 from repro.sim import BulkTransfer, Simulator
+from repro.sim.scheduler import COMPILED_AVAILABLE
 from repro.topology.scenarios import build_scenario_a
 
 
-def _run_scenario_a(backend: str, seed: int, trace: list):
+def _run_scenario_a(backend: str, seed: int, trace: list,
+                    compiled=None):
     """One scenario-A run on the given backend, recording its trace."""
     def hook(time, fn, args):
         trace.append((time, getattr(fn, "__qualname__", repr(fn)),
                       len(args)))
 
-    sim = Simulator(backend, trace=hook)
+    sim = Simulator(backend, trace=hook, compiled=compiled)
     rng = random.Random(seed)
     topo = build_scenario_a(sim, rng, n1=2, n2=2, c1_mbps=1.0,
                             c2_mbps=1.0)
@@ -81,3 +83,26 @@ def test_scenario_a_traces_differ_across_seeds():
     _run_scenario_a("wheel", 1, trace_a)
     _run_scenario_a("wheel", 2, trace_b)
     assert trace_a != trace_b
+
+
+@pytest.mark.skipif(not COMPILED_AVAILABLE,
+                    reason="compiled kernels not built")
+@pytest.mark.parametrize("backend", ["heap", "wheel", "auto"])
+@pytest.mark.parametrize("seed", [1, 2])
+def test_scenario_a_compiled_engine_matches_pure(seed, backend):
+    """The compiled EngineCore is trace-identical to the pure loop on
+    the full scenario-A workload — every backend, entry by entry."""
+    pure_trace, compiled_trace = [], []
+    pure_sim, pure_result = _run_scenario_a(backend, seed, pure_trace,
+                                            compiled=False)
+    comp_sim, comp_result = _run_scenario_a(backend, seed,
+                                            compiled_trace,
+                                            compiled=True)
+
+    assert not pure_sim.compiled and comp_sim.compiled
+    assert pure_sim.events_processed > 1000
+    assert pure_sim.events_processed == comp_sim.events_processed
+    assert pure_trace == compiled_trace
+    assert pure_result.goodput_pps == comp_result.goodput_pps
+    assert pure_result.link_loss == comp_result.link_loss
+    assert pure_result.link_utilization == comp_result.link_utilization
