@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig1b table1 ...
     python -m repro run all --fast --jobs 4
     python -m repro algorithms [--check]
+    python -m repro verify [--algorithm NAME] [--claim NAME]
     python -m repro bench
 
 Every experiment prints its paper-style result table to stdout.  With
@@ -22,9 +23,12 @@ shards print as PENDING until their shard has run against the same
 dynamically through lock files in the resume directory, so any number
 of concurrent runs balance a grid of unevenly expensive points.
 ``algorithms`` prints each registered algorithm's per-layer support
-(packet / fluid / equilibrium, from the cross-layer registry in
+(packet / fluid / equilibrium / smt, from the cross-layer registry in
 ``repro.core.registry``) and with ``--check`` runs a tiny scenario-A
 workload per algorithm per supported layer (the CI algorithm matrix);
+``verify`` machine-checks the paper's equilibrium claims with z3 (the
+SMT layer; needs the optional ``z3-solver`` extra — without it every
+check reports as skipped and the verb exits 0);
 ``run --algorithm NAME`` overrides the algorithm of the experiments
 that take one, and ``scale --algorithms LIST`` replaces the generated
 workloads' algorithm mix.
@@ -243,12 +247,28 @@ def build_parser() -> argparse.ArgumentParser:
     algorithms_cmd = sub.add_parser(
         "algorithms",
         help="print each registered algorithm's per-layer support "
-             "(packet / fluid / equilibrium)")
+             "(packet / fluid / equilibrium / smt)")
     algorithms_cmd.add_argument(
         "--check", action="store_true",
         help="also run the algorithm-matrix smoke: a tiny scenario-A "
              "workload per registered algorithm per supported layer "
              "(non-zero exit on any failure; CI runs this)")
+    verify_cmd = sub.add_parser(
+        "verify",
+        help="machine-check the paper's equilibrium claims with z3 "
+             "(the registry's smt layer; skips cleanly without the "
+             "optional z3-solver extra)")
+    verify_cmd.add_argument(
+        "--algorithm", action="append", default=None, metavar="NAME",
+        help="restrict to this algorithm (repeatable; default: every "
+             "smt-capable spec)")
+    verify_cmd.add_argument(
+        "--claim", action="append", default=None, metavar="NAME",
+        help="restrict to this claim (repeatable; known: non-pareto, "
+             "uniqueness, cwnd-bounds; default: all a model declares)")
+    verify_cmd.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="per-query solver timeout (default: 120)")
     bench = sub.add_parser(
         "bench", help="measure hot paths and write BENCH_sweep.json")
     bench.add_argument("--output", default="BENCH_sweep.json",
@@ -281,7 +301,34 @@ def main(argv=None) -> int:
         print()
         print(smoke_check_table(checks))
         print(f"[algorithm matrix: {time.time() - started:.1f}s]")
-        return 1 if any(c.status == "FAIL" for c in checks) else 0
+        failed = [c for c in checks if c.status == "FAIL"]
+        for check in failed:      # name every failing cell on stderr
+            print(f"FAIL: {check.algorithm}/{check.layer}: "
+                  f"{check.detail}", file=sys.stderr)
+        return 1 if failed else 0
+
+    if args.command == "verify":
+        from .verify import Z3_AVAILABLE, format_results
+        from .verify.claims import run_verification
+        started = time.time()
+        try:
+            results = run_verification(
+                algorithms=args.algorithm, claims=args.claim,
+                timeout_ms=int(args.timeout * 1000))
+        except (KeyError, ValueError) as exc:
+            print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
+            return 2
+        print(format_results(results))
+        print(f"[verify: {time.time() - started:.1f}s]")
+        if not Z3_AVAILABLE:
+            print("note: z3-solver is not installed; every check was "
+                  "skipped (pip install z3-solver)")
+            return 0
+        bad = [r for r in results if not r.ok]
+        for result in bad:
+            print(f"{result.status.upper()}: {result.algorithm}/"
+                  f"{result.claim}: {result.detail}", file=sys.stderr)
+        return 1 if bad else 0
 
     if args.command == "scale":
         out_dir = os.path.dirname(os.path.abspath(args.output))

@@ -9,8 +9,9 @@
 
 Everything above resolves algorithms through :mod:`repro.core.registry`:
 one :class:`AlgorithmSpec` per algorithm bundles the packet controller,
-the fluid derivative and the equilibrium allocation rule behind a
-single name, with capability flags for algorithms that lack a layer.
+the fluid derivative, the equilibrium allocation rule and (for the
+algorithms with machine-checked claims) the SMT constraint model behind
+a single name, with capability flags for algorithms that lack a layer.
 """
 
 from .balia import BaliaController
@@ -29,6 +30,7 @@ from .registry import (
     make_allocation_rule,
     make_controller,
     make_fluid_algorithm,
+    make_smt_model,
     register_algorithm,
     registered,
     unregister_algorithm,
@@ -57,6 +59,7 @@ __all__ = [
     "make_controller",
     "make_fluid_algorithm",
     "make_allocation_rule",
+    "make_smt_model",
     "available_algorithms",
     "register_algorithm",
     "registered",

@@ -53,6 +53,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..fluid.dynamics import FluidAlgorithm, _rowmax, _sum
+from ..verify.base import ConstraintModel
+from ..verify.base import require_z3 as _require_z3
+from ..verify.encoding import zmax as _zmax
+from ..verify.encoding import zmin as _zmin
 from .base import MultipathController
 from .registry import AlgorithmSpec, ParamSpec
 
@@ -141,16 +145,95 @@ def _balia_rule(tie_tolerance: float = 1e-6):
                                            tie_tolerance=tie_tolerance)
 
 
+class BaliaModel(ConstraintModel):
+    """BALIA's fixed point and window dynamics as z3 constraints.
+
+    The relational form of :func:`balia_allocation`, division-free via
+    auxiliary variables:
+
+    * tie booleans ``b_r ⇔ t_r ≥ best·(1 − tol)`` as in the closed
+      form;
+    * ``c_r``: ``c_r == 2`` on tied-best paths, else
+      ``c_r · t_r² == 2 · best²`` (and ``c_r ≥ 2`` always);
+    * ``a_r``: 1 on tied-best paths, else the increasing branch of
+      ``F(a) = (1+a)(4+a)/(5·min(a, 3/2))`` inverted polynomially —
+      ``(2a_r + 5)² == 9 + 30·c_r`` with ``a_r ≥ 1`` selecting the
+      right root of the quadratic;
+    * rates ``x_r · W == best · (1/a_r)`` with ``W = Σ_k 1/a_k``.
+
+    Window dynamics (for the ``cwnd-bounds`` unrolling): per-RTT
+    increase ``(x + M)(4x + M)/10 / S²`` with ``x = w/rtt``,
+    ``M = max_k x_k``, ``S = Σ_k x_k`` — at most ``M²/S² ≤ 1`` packet
+    — and loss decrease ``min(a_r, 3/2)/2 ≤ 3/4`` (hence the raised
+    ``max_decrease_factor``).
+    """
+
+    name = "balia"
+    claim_expectations = {
+        "non-pareto": "sat",     # graded share keeps the two-hop path
+        "uniqueness": "unsat",   # busy, so dominated equilibria exist
+        "cwnd-bounds": "unsat",
+    }
+    max_increase_per_rtt = 1.0
+    max_decrease_factor = 0.75
+
+    def __init__(self, tie_tolerance: float = 1e-6) -> None:
+        self.tie_tolerance = float(tie_tolerance)
+
+    def fixed_point_constraints(self, paths, x, tag="fp"):
+        z3 = _require_z3()
+        constraints = []
+        best = _zmax(paths.tcp)
+        inverses = []
+        for r, t in enumerate(paths.tcp):
+            b = z3.Bool(f"{tag}_balia_best{r}")
+            c = z3.Real(f"{tag}_balia_c{r}")
+            a = z3.Real(f"{tag}_balia_a{r}")
+            inv = z3.Real(f"{tag}_balia_inva{r}")
+            constraints.append(
+                b == (t >= best * (1 - self.tie_tolerance)))
+            constraints.append(c >= 2)
+            constraints.append(
+                z3.If(b, c == 2, c * t * t == 2 * best * best))
+            constraints.append(a >= 1)
+            constraints.append(
+                z3.If(b, a == 1,
+                      (2 * a + 5) * (2 * a + 5) == 9 + 30 * c))
+            constraints.append(inv > 0)
+            constraints.append(inv * a == 1)
+            inverses.append(inv)
+        weight_sum = z3.Sum(inverses)
+        for rate, inv in zip(x, inverses):
+            constraints.append(rate >= 0)
+            constraints.append(rate * weight_sum == best * inv)
+        return constraints
+
+    def per_rtt_increase(self, w, v, rtt, rtt2, constraints,
+                         tag="step"):
+        rate = w / rtt
+        peer = v / rtt2
+        peak = _zmax([rate, peer])
+        total = rate + peer
+        return ((rate + peak) * (4 * rate + peak) / 10) / (total * total)
+
+    def loss_decrease_factor(self, w, v, rtt, rtt2):
+        z3 = _require_z3()
+        alpha = _zmax([w / rtt, v / rtt2]) * rtt / w
+        return _zmin([alpha, z3.RealVal("3/2")]) / 2
+
+
 #: The whole algorithm, one spec: this single registration is what
 #: makes BALIA available to the DES, the fluid sweeps, the equilibrium
-#: solver, the scenario generator and the scale harness.
+#: solver, the scenario generator, the scale harness — and the SMT
+#: verification layer.
 SPEC = AlgorithmSpec(
     name="balia",
     description="balanced linked adaptation (Peng-Walid-Hwang-Low)",
     controller_factory=BaliaController,
     fluid_factory=BaliaFluid,
     allocation_factory=_balia_rule,
+    smt_factory=BaliaModel,
     params=(ParamSpec("tie_tolerance", "relative tolerance for tied-best "
                       "paths in the equilibrium allocation",
-                      layers=("equilibrium",)),),
+                      layers=("equilibrium", "smt")),),
 )

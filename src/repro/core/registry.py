@@ -22,6 +22,10 @@ this module:
 * ``make_controller(name, **params)`` — packet layer (the DES).
 * ``make_fluid_algorithm(name, **params)`` — fluid ODE layer.
 * ``make_allocation_rule(name, **params)`` — equilibrium layer.
+* ``make_smt_model(name, **params)`` — SMT verification layer (a
+  :class:`~repro.verify.base.ConstraintModel` of the fixed-point
+  conditions; optional, needs the ``z3-solver`` extra at *solve* time
+  but not to build or list the capability).
 
 The legacy per-layer factories (``repro.fluid.dynamics.
 make_fluid_algorithm``, ``repro.fluid.equilibrium.allocation_rule``)
@@ -51,8 +55,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from .base import MultipathController
 
-#: The three analytical layers an algorithm may implement.
-LAYERS = ("packet", "fluid", "equilibrium")
+#: The four analytical layers an algorithm may implement: packet-level
+#: simulation, fluid ODE dynamics, equilibrium allocation rules, and
+#: SMT constraint models (machine-checked fixed-point claims).
+LAYERS = ("packet", "fluid", "equilibrium", "smt")
 
 
 @dataclass(frozen=True)
@@ -96,6 +102,12 @@ class AlgorithmSpec:
     allocation_factory:
         ``(**params) -> AllocationRule`` (a ``rule(p, rtt) -> rates``
         callable), or ``None``.
+    smt_factory:
+        ``(**params) -> ConstraintModel`` (the algorithm's fixed-point
+        conditions as z3 constraints, see :mod:`repro.verify`), or
+        ``None``.  Building the model never imports z3 — the solver is
+        only required when constraints are actually constructed, so
+        the capability is listable without the optional extra.
     params:
         Declared :class:`ParamSpec` entries; constructions with
         undeclared keyword arguments fail loudly.
@@ -107,6 +119,7 @@ class AlgorithmSpec:
     controller_factory: Optional[Callable[..., MultipathController]] = None
     fluid_factory: Optional[Callable[..., object]] = None
     allocation_factory: Optional[Callable[..., object]] = None
+    smt_factory: Optional[Callable[..., object]] = None
     params: Tuple[ParamSpec, ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -130,6 +143,10 @@ class AlgorithmSpec:
     def has_equilibrium(self) -> bool:
         return self.allocation_factory is not None
 
+    @property
+    def has_smt(self) -> bool:
+        return self.smt_factory is not None
+
     def supports(self, layer: str) -> bool:
         """True when this spec implements ``layer``."""
         return self._factory(layer) is not None
@@ -151,6 +168,8 @@ class AlgorithmSpec:
             return self.fluid_factory
         if layer == "equilibrium":
             return self.allocation_factory
+        if layer == "smt":
+            return self.smt_factory
         raise ValueError(
             f"unknown layer {layer!r}; expected one of {', '.join(LAYERS)}")
 
@@ -195,6 +214,10 @@ class AlgorithmSpec:
         """An equilibrium allocation rule (validated ``params``)."""
         return self._make("equilibrium", params)
 
+    def make_smt(self, **params):
+        """A fresh SMT constraint model (validated ``params``)."""
+        return self._make("smt", params)
+
 
 # -- the registry ----------------------------------------------------------------
 
@@ -220,6 +243,7 @@ def _builtin_specs() -> List[AlgorithmSpec]:
     # genuine cycle and make registration depend on import order.
     from ..fluid import dynamics as _dyn
     from ..fluid import equilibrium as _eq
+    from ..verify.models import LiaModel, OliaModel, TcpModel
     from . import balia as _balia
     from .coupled import CoupledController
     from .cubic import CubicController
@@ -246,22 +270,26 @@ def _builtin_specs() -> List[AlgorithmSpec]:
             description="regular TCP Reno; uncoupled on each subflow",
             controller_factory=RenoController,
             fluid_factory=_dyn.TcpFluid,
-            allocation_factory=lambda: _eq.tcp_allocation),
+            allocation_factory=lambda: _eq.tcp_allocation,
+            smt_factory=TcpModel),
         AlgorithmSpec(
             name="lia", description="MPTCP's linked increases (Eq. 1, "
             "RFC 6356)",
             controller_factory=LiaController,
             fluid_factory=_dyn.LiaFluid,
-            allocation_factory=lambda: _eq.lia_allocation),
+            allocation_factory=lambda: _eq.lia_allocation,
+            smt_factory=LiaModel),
         AlgorithmSpec(
             name="olia", description="the paper's opportunistic linked "
             "increases (Eqs. 5-6)",
             controller_factory=OliaController,
             fluid_factory=_dyn.OliaFluid,
             allocation_factory=olia_rule,
+            smt_factory=OliaModel,
             params=(tie_tolerance,
                     ParamSpec("floor", "equilibrium probing rate of "
-                              "non-best routes", layers=("equilibrium",)))),
+                              "non-best routes",
+                              layers=("equilibrium", "smt")))),
         AlgorithmSpec(
             name="coupled", description="fully coupled Kelly-Voice "
             "(OLIA without the alpha term)",
@@ -399,9 +427,9 @@ def algorithm_specs() -> List[AlgorithmSpec]:
 def available_algorithms(layer: str | None = None) -> list[str]:
     """All registered algorithm names (aliases included), sorted.
 
-    ``layer`` (``"packet"``, ``"fluid"`` or ``"equilibrium"``) filters
-    to the names whose algorithm implements that layer — the name sets
-    the three ``make_*`` entry points accept.
+    ``layer`` (``"packet"``, ``"fluid"``, ``"equilibrium"`` or
+    ``"smt"``) filters to the names whose algorithm implements that
+    layer — the name sets the four ``make_*`` entry points accept.
     """
     _ensure_builtins()
     if layer is None:
@@ -452,3 +480,17 @@ def make_allocation_rule(name, **params):
     if isinstance(name, AlgorithmSpec):
         return name.make_allocation(**params)
     return _spec_for_layer(name, "equilibrium").make_allocation(**params)
+
+
+def make_smt_model(name, **params):
+    """Build an SMT constraint model by name (or spec).
+
+    The model object itself is z3-free; z3 is first touched when its
+    constraints are built, raising
+    :class:`~repro.verify.base.Z3Unavailable` if the optional extra is
+    missing — the same degrade-to-skip contract as the compiled DES
+    kernels.
+    """
+    if isinstance(name, AlgorithmSpec):
+        return name.make_smt(**params)
+    return _spec_for_layer(name, "smt").make_smt(**params)

@@ -4,16 +4,20 @@ Two entry points:
 
 * :func:`layer_support_table` — one row per registered
   :class:`~repro.core.registry.AlgorithmSpec` showing its aliases, the
-  capability flags (which of the packet / fluid / equilibrium layers it
-  implements) and its declared parameters.
+  capability flags (which of the packet / fluid / equilibrium / smt
+  layers it implements) and its declared parameters.
 * :func:`smoke_check` — the CI algorithm matrix: every registered
   algorithm is driven through a tiny scenario-A workload once per layer
   it supports (a short packet-level DES run, a short fluid integration,
-  and an equilibrium fixed-point solve), proving each spec is actually
-  *runnable*, not just registered.  Layers a spec lacks — or cannot
-  build without caller-supplied parameters, like CUBIC's clock — are
-  reported as skipped, mirroring the capability-flag skips of the
-  cross-layer consistency suite in ``tests/``.
+  an equilibrium fixed-point solve, and — with z3 installed — an SMT
+  fixed-point certification cross-checked against the equilibrium
+  rule), proving each spec is actually *runnable*, not just registered.
+  Layers a spec lacks — or cannot build without caller-supplied
+  parameters, like CUBIC's clock — are reported as skipped, mirroring
+  the capability-flag skips of the cross-layer consistency suite in
+  ``tests/``.  A declared capability that fails to *construct* (a
+  factory raising ``KeyError``/``TypeError`` at build time) is a FAIL
+  cell naming the spec and layer, never an exception out of the matrix.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from ..sim.apps import BulkTransfer
 from ..sim.engine import Simulator
 from ..topology.scenarios import build_scenario_a
 from ..units import mbps_to_pps
+from ..verify.base import Z3Unavailable
 from .results import ResultTable
 
 #: Rendered capability cells.
@@ -57,11 +62,12 @@ def layer_support_table() -> ResultTable:
     table = ResultTable(
         "Algorithm registry - per-layer support",
         ["algorithm", "aliases", "packet", "fluid", "equilibrium",
-         "params", "description"])
+         "smt", "params", "description"])
     for spec in algorithm_specs():
         table.add_row(spec.name, ",".join(spec.aliases) or "-",
                       _flag(spec.has_packet), _flag(spec.has_fluid),
-                      _flag(spec.has_equilibrium), _param_summary(spec),
+                      _flag(spec.has_equilibrium), _flag(spec.has_smt),
+                      _param_summary(spec),
                       spec.description or "-")
     table.add_note("a '!' marks a required parameter; such layers are "
                    "skipped by the smoke matrix and the consistency suite")
@@ -138,24 +144,64 @@ def _check_equilibrium(spec: AlgorithmSpec) -> LayerCheck:
                       f"converged in {result.iterations} iters")
 
 
+def _check_smt(spec: AlgorithmSpec) -> LayerCheck:
+    """Certify one concrete fixed point and cross-check the rule.
+
+    Builds the spec's constraint model, has z3 solve the fixed-point
+    conditions at a tie-free two-route point, and — when the spec also
+    implements the equilibrium layer — compares the certified rates
+    against the closed-form allocation rule.  Skips (not fails) when
+    the optional z3 extra is missing.
+    """
+    from ..verify.claims import certified_fixed_point
+    p, rtt = (0.01, 0.03), (0.08, 0.12)
+    model = spec.make_smt()
+    rates = certified_fixed_point(model, p, rtt, timeout_ms=30_000)
+    if any(rate < 0 for rate in rates):
+        return LayerCheck(spec.name, "smt", "FAIL",
+                          f"negative certified rate {rates}")
+    if spec.has_equilibrium and not spec.required_params("equilibrium"):
+        expected = spec.make_allocation()(p, rtt)
+        scale = max(float(max(expected)), 1e-9)
+        error = max(abs(a - float(b)) for a, b in zip(rates, expected))
+        if error > 1e-6 * scale:
+            return LayerCheck(
+                spec.name, "smt", "FAIL",
+                f"certified rates {rates} disagree with the "
+                f"equilibrium rule {list(map(float, expected))}")
+        return LayerCheck(spec.name, "smt", "ok",
+                          "certified fixed point matches the "
+                          "equilibrium rule")
+    return LayerCheck(spec.name, "smt", "ok",
+                      f"certified fixed point {rates}")
+
+
 def smoke_check(*, duration: float = 2.0, warmup: float = 0.5,
                 t_end: float = 5.0,
                 specs: Optional[List[AlgorithmSpec]] = None
                 ) -> List[LayerCheck]:
     """Drive every registered algorithm through each layer it supports.
 
-    Returns one :class:`LayerCheck` per (algorithm, layer) cell; a cell
-    is ``skip`` when the spec lacks the layer or the layer needs
+    Returns one :class:`LayerCheck` per (algorithm, layer) cell — the
+    cells cover every name in :data:`~repro.core.registry.LAYERS`.  A
+    cell is ``skip`` when the spec lacks the layer, the layer needs
     required parameters the harness cannot invent (CUBIC's ``clock``,
-    the epsilon family's ``epsilon``).
+    the epsilon family's ``epsilon``), or an optional backend is not
+    installed (the smt layer without z3).  A declared capability whose
+    factory cannot even construct (``KeyError``/``TypeError`` at build
+    time) is reported as a FAIL cell naming the spec and layer.
     """
+    runners = {
+        "packet": lambda s: _check_packet(s, duration=duration,
+                                          warmup=warmup),
+        "fluid": lambda s: _check_fluid(s, t_end=t_end),
+        "equilibrium": _check_equilibrium,
+        "smt": _check_smt,
+    }
     checks: List[LayerCheck] = []
     for spec in specs if specs is not None else algorithm_specs():
-        for layer, runner in (
-                ("packet", lambda s: _check_packet(s, duration=duration,
-                                                   warmup=warmup)),
-                ("fluid", lambda s: _check_fluid(s, t_end=t_end)),
-                ("equilibrium", _check_equilibrium)):
+        for layer in LAYERS:
+            runner = runners[layer]
             if not spec.supports(layer):
                 checks.append(LayerCheck(spec.name, layer, "skip",
                                          "layer not implemented"))
@@ -168,6 +214,18 @@ def smoke_check(*, duration: float = 2.0, warmup: float = 0.5,
                 continue
             try:
                 checks.append(runner(spec))
+            except Z3Unavailable:
+                checks.append(LayerCheck(
+                    spec.name, layer, "skip",
+                    "optional z3-solver extra not installed"))
+            except (KeyError, TypeError) as exc:
+                # A capability flag whose factory does not actually
+                # build — name the cell instead of dying on a bare
+                # KeyError.
+                checks.append(LayerCheck(
+                    spec.name, layer, "FAIL",
+                    f"declared {layer} capability does not resolve "
+                    f"({type(exc).__name__}: {exc})"))
             except Exception as exc:   # the matrix must report, not die
                 checks.append(LayerCheck(spec.name, layer, "FAIL",
                                          f"{type(exc).__name__}: {exc}"))

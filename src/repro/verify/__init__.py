@@ -1,0 +1,71 @@
+"""SMT verification layer: machine-checked equilibrium claims.
+
+The paper's core results are *existence* claims — LIA admits equilibria
+that are not Pareto-optimal, OLIA/BALIA allocations satisfy their
+fixed-point conditions — and until this package every check in the repo
+was observational: sweep a grid of points and assert the numbers agree.
+Following the CCAC idiom (Arun et al., "Toward formally verifying
+congestion control behavior"), this package instead encodes each
+algorithm's equilibrium conditions as z3 constraints and asks the
+solver to *prove* them over bounded parameter ranges — covering regions
+no sweep reaches, or to produce a concrete counterexample topology when
+an existence claim is satisfiable.
+
+Verification is the fourth layer of the cross-layer algorithm registry
+(packet, fluid, equilibrium, **smt**): an
+:class:`~repro.core.registry.AlgorithmSpec` may carry an ``smt_factory``
+building a :class:`~repro.verify.base.ConstraintModel`, and
+``python -m repro verify`` machine-checks three claims per capable
+algorithm:
+
+* ``non-pareto`` — LIA has equilibria that are not Pareto-optimal
+  (satisfiability of "LIA fixed point on the scenario-A topology and
+  another feasible allocation dominates it"; the witness is a concrete
+  topology + allocation).  The OLIA leg of the same encoding is
+  *unsatisfiable* — the contrast the paper draws.
+* ``uniqueness`` — the fixed point is unique given route losses and
+  RTTs, over the whole declared parameter range (unsat of "two distinct
+  fixed points"), so the damped solver's output is *the* fixed point,
+  not one of several.
+* ``cwnd-bounds`` — a bounded-horizon unrolling of the window dynamics
+  stays inside the DES engine's loss-model bounds (floor at
+  ``min_cwnd``, per-RTT increase cap) for *every* loss sequence.
+
+z3 is an optional extra, exactly like the compiled DES kernels: the
+package imports without it, every entry point degrades to an explicit
+skip (:data:`Z3_AVAILABLE`, :class:`Z3Unavailable`), and the test suite
+skips rather than fails.  Install with ``pip install z3-solver``.
+"""
+
+from .base import (
+    Z3_AVAILABLE,
+    ConstraintModel,
+    VerificationResult,
+    Z3Unavailable,
+    require_z3,
+)
+from .claims import (
+    CLAIM_NAMES,
+    certified_fixed_point,
+    check_cwnd_bounds,
+    check_non_pareto,
+    check_uniqueness,
+    run_verification,
+)
+from .report import format_results, format_witness
+
+__all__ = [
+    "Z3_AVAILABLE",
+    "Z3Unavailable",
+    "require_z3",
+    "ConstraintModel",
+    "VerificationResult",
+    "CLAIM_NAMES",
+    "run_verification",
+    "certified_fixed_point",
+    "check_non_pareto",
+    "check_uniqueness",
+    "check_cwnd_bounds",
+    "format_results",
+    "format_witness",
+]

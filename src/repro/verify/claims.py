@@ -1,0 +1,418 @@
+"""The three machine-checked claims and the verification driver.
+
+Every check builds a quantifier-free nonlinear-real (QF_NRA) query and
+reads the solver verdict against the model's *declared expectation*:
+
+* ``non-pareto`` — "an equilibrium of this algorithm on the scenario-A
+  topology is dominated by another feasible allocation".  **sat**
+  certifies the paper's LIA result (and extracts the witness topology);
+  **unsat** certifies OLIA's contrast — no such dominated equilibrium
+  exists anywhere in the bounded parameter box.
+* ``uniqueness`` — "two distinct rate vectors both satisfy the
+  fixed-point conditions at the same losses/RTTs".  **unsat** proves
+  the conditions pin a *unique* fixed point over the whole declared
+  range, so the damped solver's output is the equilibrium, not one of
+  several.
+* ``cwnd-bounds`` — a bounded-horizon unrolling of the window dynamics
+  with adversarial loss pattern, peer window and RTTs.  **unsat** of
+  the violation disjunction proves the window stays in the DES
+  engine's loss-model bounds (floor at ``min_cwnd``, per-RTT increase
+  cap) for *every* loss sequence in the horizon.
+
+The registry import is deferred into the functions: ``repro.core``
+reaches this package through :mod:`repro.core.balia`'s model, so a
+module-level import back into ``core`` would be a genuine cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .base import (
+    ConstraintModel,
+    VerificationResult,
+    Z3Unavailable,
+    require_z3,
+)
+from .encoding import (
+    RTT_RANGE,
+    bounded_real,
+    make_paths,
+    make_two_link_scenario,
+    zmax,
+)
+
+#: Canonical claim order (CLI ``--claim`` accepts these names).
+CLAIM_NAMES = ("non-pareto", "uniqueness", "cwnd-bounds")
+
+CLAIM_DESCRIPTIONS = {
+    "non-pareto": "a fixed point on the scenario-A topology is "
+                  "dominated by another feasible allocation "
+                  "(sat = exists, with witness; unsat = never)",
+    "uniqueness": "two distinct fixed points share one (p, rtt) "
+                  "point in the declared ranges (unsat = the fixed "
+                  "point is unique)",
+    "cwnd-bounds": "a bounded-horizon window unrolling leaves the DES "
+                   "loss-model bounds under some loss pattern "
+                   "(unsat = bounds hold for every pattern)",
+}
+
+#: Per-query solver timeout.  Every query here is a small QF_NRA
+#: system; they solve in well under a second, the margin is for slow CI.
+DEFAULT_TIMEOUT_MS = 120_000
+
+#: Steps of the cwnd-bounds unrolling (each step is one RTT).
+CWND_HORIZON = 5
+
+#: Relative rate gap that counts two fixed points as distinct.
+UNIQUENESS_GAP = 1e-6
+
+#: Peer/initial congestion windows range in the cwnd unrolling (pkts).
+WINDOW_RANGE = (1.0, 64.0)
+
+
+# -- solver plumbing ---------------------------------------------------------
+
+def _solver(timeout_ms: int):
+    """A solver tuned for these queries (nlsat behind ite elimination)."""
+    z3 = require_z3()
+    try:
+        solver = z3.Then("simplify", "elim-term-ite",
+                         "qfnra-nlsat").solver()
+    except z3.Z3Exception:        # tactic set varies across versions
+        solver = z3.Solver()
+    try:
+        solver.set("timeout", int(timeout_ms))
+    except z3.Z3Exception:
+        pass
+    return solver
+
+
+def _verdict(solver) -> str:
+    z3 = require_z3()
+    res = solver.check()
+    if res == z3.sat:
+        return "sat"
+    if res == z3.unsat:
+        return "unsat"
+    return "unknown"
+
+
+def _to_float(value) -> float:
+    """A python float from a z3 model value (rational or algebraic)."""
+    z3 = require_z3()
+    if z3.is_algebraic_value(value):
+        value = value.approx(20)
+    if z3.is_rational_value(value):
+        return float(value.numerator_as_long()
+                     ) / float(value.denominator_as_long())
+    return float(str(value))
+
+
+def _model_values(model, named: Dict[str, object]) -> Dict[str, float]:
+    """Evaluate named expressions in a z3 model, as floats."""
+    return {key: _to_float(model.eval(expr, model_completion=True))
+            for key, expr in named.items()}
+
+
+def _finish(claim: str, model: ConstraintModel, verdict: str, *,
+            started: float, detail_certified: str, detail_refuted: str,
+            witness: Optional[Dict[str, float]] = None
+            ) -> VerificationResult:
+    expectation = model.claim_expectations[claim]
+    if verdict == "unknown":
+        status, detail = "unknown", "solver gave up (timeout)"
+    elif verdict == expectation:
+        status, detail = "certified", detail_certified
+    else:
+        status, detail = "refuted", detail_refuted
+    return VerificationResult(
+        claim=claim, algorithm=model.name, status=status, detail=detail,
+        witness=witness, elapsed=time.perf_counter() - started)
+
+
+# -- claim: non-pareto -------------------------------------------------------
+
+def check_non_pareto(model: ConstraintModel, *,
+                     timeout_ms: int = DEFAULT_TIMEOUT_MS
+                     ) -> VerificationResult:
+    """Does a dominated equilibrium exist on the scenario-A topology?
+
+    The query conjoins: the algorithm's fixed point for the multipath
+    user, the TCP fixed point for the single-path user, sharp-loss
+    saturation of both links, and a feasible alternative allocation
+    giving the multipath user no less and the TCP user at least 1%
+    more.  A model is a concrete topology whose equilibrium wastes
+    capacity on the two-hop path — Section III's non-Pareto-optimality
+    — and the witness records it; unsat proves the algorithm admits no
+    such equilibrium anywhere in the bounded ranges (OLIA keeps the
+    two-hop path at the probing floor, so nothing is wasted).
+    """
+    started = time.perf_counter()
+    z3 = require_z3()
+    scenario = make_two_link_scenario("np")
+    x0, x1, x2 = z3.Reals("np_x0 np_x1 np_x2")
+
+    solver = _solver(timeout_ms)
+    solver.add(scenario.constraints)
+    solver.add(model.fixed_point_constraints(scenario.paths, [x0, x1],
+                                             tag="np"))
+    solver.add(x2 == scenario.tcp_paths.tcp[0])
+    solver.add(scenario.saturation_constraints([x0, x1], x2))
+
+    # An alternative allocation: feasible on the same links, multipath
+    # user no worse, TCP user at least 1% better.
+    z0, z1, z2 = z3.Reals("np_z0 np_z1 np_z2")
+    solver.add(z0 >= 0, z1 >= 0, z2 >= 0)
+    y1, y2 = scenario.link_loads([z0, z1], z2)
+    solver.add(y1 <= scenario.c1, y2 <= scenario.c2)
+    solver.add(z0 + z1 >= x0 + x1)
+    solver.add(z2 >= x2 * (1 + z3.RealVal("1/100")))
+
+    verdict = _verdict(solver)
+    witness = None
+    if verdict == "sat":
+        witness = _model_values(solver.model(), {
+            "capacity_link1": scenario.c1, "capacity_link2": scenario.c2,
+            "loss_link1": scenario.p1, "loss_link2": scenario.p2,
+            "rtt_multipath": scenario.paths.rtt[0],
+            "rtt_tcp": scenario.tcp_paths.rtt[0],
+            "eq_private": x0, "eq_shared": x1, "eq_tcp": x2,
+            "alt_private": z0, "alt_shared": z1, "alt_tcp": z2,
+        })
+    return _finish(
+        "non-pareto", model, verdict, started=started,
+        detail_certified=(
+            "dominated equilibrium exists (witness topology extracted)"
+            if model.claim_expectations["non-pareto"] == "sat" else
+            "no dominated equilibrium in the bounded scenario ranges"),
+        detail_refuted=(
+            "no dominated equilibrium found, contradicting the claim"
+            if model.claim_expectations["non-pareto"] == "sat" else
+            "found a dominated equilibrium the model should exclude"),
+        witness=witness)
+
+
+# -- claim: uniqueness -------------------------------------------------------
+
+def check_uniqueness(model: ConstraintModel, *, n_routes: int = 2,
+                     timeout_ms: int = DEFAULT_TIMEOUT_MS
+                     ) -> VerificationResult:
+    """Is the fixed point unique over the declared parameter ranges?
+
+    Two copies of the fixed-point conditions (distinct auxiliary-
+    variable tags) share one set of path variables; the query asks for
+    a point where the copies differ by more than ``UNIQUENESS_GAP``
+    relative to the best-path rate.  Unsat over the whole range box is
+    what entitles the sampled cross-check to call ``solve_fixed_point``
+    output *the* equilibrium.
+    """
+    started = time.perf_counter()
+    z3 = require_z3()
+    paths = make_paths("uq", n_routes)
+    xa = [z3.Real(f"uq_xa{r}") for r in range(n_routes)]
+    xb = [z3.Real(f"uq_xb{r}") for r in range(n_routes)]
+
+    solver = _solver(timeout_ms)
+    solver.add(paths.constraints)
+    solver.add(model.fixed_point_constraints(paths, xa, tag="uqa"))
+    solver.add(model.fixed_point_constraints(paths, xb, tag="uqb"))
+    gap = zmax(paths.tcp) * UNIQUENESS_GAP
+    solver.add(z3.Or(*[z3.Or(a - b > gap, b - a > gap)
+                       for a, b in zip(xa, xb)]))
+
+    verdict = _verdict(solver)
+    witness = None
+    if verdict == "sat":        # refutation — keep the point for debug
+        named = {}
+        for r in range(n_routes):
+            named[f"p{r}"] = paths.p[r]
+            named[f"rtt{r}"] = paths.rtt[r]
+            named[f"xa{r}"] = xa[r]
+            named[f"xb{r}"] = xb[r]
+        witness = _model_values(solver.model(), named)
+    return _finish(
+        "uniqueness", model, verdict, started=started,
+        detail_certified=(
+            f"fixed point unique over the declared ranges "
+            f"({n_routes} routes)"),
+        detail_refuted="two distinct fixed points found",
+        witness=witness)
+
+
+# -- claim: cwnd-bounds ------------------------------------------------------
+
+def check_cwnd_bounds(model: ConstraintModel, *,
+                      horizon: int = CWND_HORIZON,
+                      timeout_ms: int = DEFAULT_TIMEOUT_MS
+                      ) -> VerificationResult:
+    """Does the window ever leave the DES loss-model bounds?
+
+    Unrolls ``horizon`` RTTs of the two-path window dynamics.  At each
+    step the solver adversarially picks whether a loss occurs, the
+    peer path's window, and (where the model declares one) auxiliary
+    terms like OLIA's ``alpha``.  The transition mirrors
+    :class:`repro.core.base.MultipathController`: increase floored at
+    ``min_cwnd`` (as ``increase_on_ack`` does), multiplicative
+    decrease floored at ``min_cwnd``.  The violation asks for a
+    reachable window below the floor or above
+    ``w0 + k * max_increase_per_rtt``; unsat certifies the bounds.
+    """
+    started = time.perf_counter()
+    z3 = require_z3()
+    solver = _solver(timeout_ms)
+    constraints: List[object] = []
+
+    rtt = bounded_real("cw_rtt", *RTT_RANGE, constraints)
+    rtt2 = bounded_real("cw_rtt2", *RTT_RANGE, constraints)
+    floor = z3.RealVal(model.min_cwnd)
+    windows = [bounded_real("cw_w0", *WINDOW_RANGE, constraints)]
+    violations = []
+    for k in range(horizon):
+        w = windows[-1]
+        v = bounded_real(f"cw_v{k}", *WINDOW_RANGE, constraints)
+        loss = z3.Bool(f"cw_loss{k}")
+        inc = model.per_rtt_increase(w, v, rtt, rtt2, constraints,
+                                     tag=f"cw{k}")
+        dec = model.loss_decrease_factor(w, v, rtt, rtt2)
+        grown = w + inc
+        shrunk = w * (1 - dec)
+        w_next = z3.Real(f"cw_w{k + 1}")
+        constraints.append(w_next == z3.If(
+            loss,
+            z3.If(shrunk >= floor, shrunk, floor),
+            z3.If(grown >= floor, grown, floor)))
+        windows.append(w_next)
+        bound = windows[0] + (k + 1) * z3.RealVal(
+            model.max_increase_per_rtt)
+        violations.append(z3.Or(w_next < floor, w_next > bound))
+
+    solver.add(constraints)
+    solver.add(z3.Or(*violations))
+
+    verdict = _verdict(solver)
+    witness = None
+    if verdict == "sat":        # refutation — extract the trajectory
+        witness = _model_values(solver.model(), {
+            f"w{k}": w for k, w in enumerate(windows)})
+    return _finish(
+        "cwnd-bounds", model, verdict, started=started,
+        detail_certified=(
+            f"window within [min_cwnd, w0 + k*"
+            f"{model.max_increase_per_rtt}] for every loss pattern "
+            f"over {horizon} RTTs"),
+        detail_refuted="found a loss pattern driving the window out "
+                       "of bounds",
+        witness=witness)
+
+
+_CHECKERS = {
+    "non-pareto": check_non_pareto,
+    "uniqueness": check_uniqueness,
+    "cwnd-bounds": check_cwnd_bounds,
+}
+
+
+# -- certified fixed points (the cross-check hook) ---------------------------
+
+def certified_fixed_point(model, p: Sequence[float],
+                          rtt: Sequence[float], *,
+                          timeout_ms: int = DEFAULT_TIMEOUT_MS,
+                          **params) -> List[float]:
+    """Solve the model's fixed-point conditions at a concrete point.
+
+    ``model`` is a :class:`ConstraintModel` or an algorithm name
+    (resolved through the registry's ``smt`` layer with ``params``).
+    The losses and RTTs are pinned to exact rationals and the solver
+    produces the rate vector satisfying the algorithm's conditions —
+    the SMT layer's answer to the same question
+    ``solve_fixed_point`` answers numerically, which the cross-check
+    suite compares on sampled points.
+
+    Raises :class:`Z3Unavailable` without z3 and ``RuntimeError`` if
+    the conditions are unsatisfiable at the point (an encoding bug).
+    """
+    z3 = require_z3()
+    if not isinstance(model, ConstraintModel):
+        model = get_model(model, **params)
+    paths = make_paths("cfp", len(p), p_values=list(p),
+                       rtt_values=list(rtt))
+    x = [z3.Real(f"cfp_x{r}") for r in range(len(p))]
+    solver = _solver(timeout_ms)
+    solver.add(paths.constraints)
+    solver.add(model.fixed_point_constraints(paths, x, tag="cfp"))
+    verdict = _verdict(solver)
+    if verdict != "sat":
+        raise RuntimeError(
+            f"fixed-point conditions of {model.name!r} are {verdict} "
+            f"at p={list(p)}, rtt={list(rtt)}")
+    values = _model_values(solver.model(),
+                           {f"x{r}": var for r, var in enumerate(x)})
+    return [values[f"x{r}"] for r in range(len(p))]
+
+
+def get_model(algorithm: str, **params) -> ConstraintModel:
+    """Build an algorithm's constraint model through the registry."""
+    from ..core import registry
+    return registry.make_smt_model(algorithm, **params)
+
+
+# -- the driver --------------------------------------------------------------
+
+def run_verification(algorithms: Optional[Iterable[str]] = None,
+                     claims: Optional[Iterable[str]] = None, *,
+                     timeout_ms: int = DEFAULT_TIMEOUT_MS
+                     ) -> List[VerificationResult]:
+    """Machine-check claims across the registry's ``smt``-capable specs.
+
+    Without arguments: every registered spec with an ``smt`` layer,
+    every claim its model declares.  Explicitly named algorithms or
+    claims that do not apply yield ``skip`` results instead of being
+    silently dropped.  Without z3 every entry is a ``skip`` — the
+    degradation contract shared with the compiled-kernel extra.
+    """
+    from ..core import registry
+
+    claim_list = list(claims) if claims is not None else list(CLAIM_NAMES)
+    for claim in claim_list:
+        if claim not in CLAIM_NAMES:
+            raise ValueError(
+                f"unknown claim {claim!r}; known: "
+                f"{', '.join(CLAIM_NAMES)}")
+
+    if algorithms is not None:
+        specs = [registry.get_spec(name) for name in algorithms]
+    else:
+        specs = [spec for spec in registry.algorithm_specs()
+                 if spec.has_smt]
+
+    results: List[VerificationResult] = []
+    for spec in specs:
+        if not spec.has_smt:
+            results.extend(VerificationResult(
+                claim=claim, algorithm=spec.name, status="skip",
+                detail="algorithm declares no smt layer")
+                for claim in claim_list)
+            continue
+        try:
+            model = spec.make_smt()
+        except Z3Unavailable as exc:
+            results.extend(VerificationResult(
+                claim=claim, algorithm=spec.name, status="skip",
+                detail=str(exc)) for claim in claim_list)
+            continue
+        for claim in claim_list:
+            if not model.supports_claim(claim):
+                results.append(VerificationResult(
+                    claim=claim, algorithm=spec.name, status="skip",
+                    detail="claim not declared by this model"))
+                continue
+            try:
+                results.append(_CHECKERS[claim](model,
+                                                timeout_ms=timeout_ms))
+            except Z3Unavailable as exc:
+                results.append(VerificationResult(
+                    claim=claim, algorithm=spec.name, status="skip",
+                    detail=str(exc)))
+    return results

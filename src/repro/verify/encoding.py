@@ -1,0 +1,215 @@
+"""Shared topology→constraint encodings for the SMT layer.
+
+Three building blocks, reused by every claim:
+
+* :class:`PathVars` / :func:`make_paths` — per-route loss, RTT and
+  single-path TCP-rate variables.  The TCP loss-throughput law
+  ``t = sqrt(2/p) / rtt`` is irrational, so ``t`` is introduced as a
+  fresh variable with the polynomial *defining* constraints
+  ``t > 0  ∧  t² · p · rtt² = 2`` — z3's nonlinear real arithmetic
+  (nlsat) decides such systems exactly, no floating sqrt involved.
+
+* *bounded-range quantifier encoding* — claims over parameter ranges
+  ("for all p ∈ [lo, hi] …") are encoded as quantifier-free
+  satisfiability of the negation: the range bounds become side
+  constraints on free variables and an ``unsat`` verdict is the proof
+  over the whole box.  :func:`bounded_real` creates such a variable and
+  records its box constraints.
+
+* :class:`TwoLinkScenario` — the scenario-A/B two-path structure the
+  paper's claims live on: a multipath user with a private route over
+  link 1 and a shared route over links 1+2, competing with a
+  single-path TCP user on link 2.  Route losses are the link sums
+  (``p_r = Σ_{l∈r} p_l``, as in :class:`repro.fluid.FluidNetwork`) and
+  the sharp-loss equilibrium reading applies: a link with positive
+  loss runs at its capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .base import require_z3
+
+#: Default bounded ranges for the quantified parameters.  Loss
+#: probabilities cover the regime the fluid model (and the paper's
+#: testbed RED queues) actually operate in; RTTs span datacenter to
+#: loaded-WAN.  Claims take explicit ranges for anything tighter.
+P_RANGE: Tuple[float, float] = (1e-4, 0.2)
+RTT_RANGE: Tuple[float, float] = (0.01, 0.5)
+CAPACITY_RANGE: Tuple[float, float] = (10.0, 1e5)
+
+
+def bounded_real(name: str, lo: float, hi: float, constraints: list):
+    """A fresh z3 real confined to ``[lo, hi]`` (bounds recorded)."""
+    z3 = require_z3()
+    var = z3.Real(name)
+    constraints.append(var >= lo)
+    constraints.append(var <= hi)
+    return var
+
+
+def tcp_rate_var(name: str, p, rtt, constraints: list):
+    """A variable ``t`` defined by ``t = sqrt(2/p)/rtt``, polynomially.
+
+    The defining constraints ``t > 0 ∧ t²·p·rtt² = 2`` pin ``t``
+    uniquely once ``p, rtt > 0`` — the square root enters the solver as
+    an algebraic witness, never as a float.
+    """
+    z3 = require_z3()
+    t = z3.Real(name)
+    constraints.append(t > 0)
+    constraints.append(t * t * p * (rtt * rtt) == 2)
+    return t
+
+
+def zmax(terms: Sequence):
+    """Symbolic max of a non-empty list of z3 terms (nested If)."""
+    z3 = require_z3()
+    best = terms[0]
+    for term in terms[1:]:
+        best = z3.If(term > best, term, best)
+    return best
+
+
+def zmin(terms: Sequence):
+    """Symbolic min of a non-empty list of z3 terms (nested If)."""
+    z3 = require_z3()
+    worst = terms[0]
+    for term in terms[1:]:
+        worst = z3.If(term < worst, term, worst)
+    return worst
+
+
+@dataclass
+class PathVars:
+    """Per-route variables of one user: loss, RTT and TCP path rate.
+
+    ``constraints`` accumulates the range boxes and the TCP-rate
+    defining equations; callers add the whole list to their solver.
+    """
+
+    p: List[object]
+    rtt: List[object]
+    tcp: List[object]
+    constraints: List[object] = field(default_factory=list)
+
+    @property
+    def n_routes(self) -> int:
+        return len(self.p)
+
+
+def make_paths(prefix: str, n_routes: int, *,
+               p_range: Tuple[float, float] = P_RANGE,
+               rtt_range: Tuple[float, float] = RTT_RANGE,
+               p_values: Optional[Sequence[float]] = None,
+               rtt_values: Optional[Sequence[float]] = None) -> PathVars:
+    """Route variables for one user, ranged or pinned to numbers.
+
+    With ``p_values``/``rtt_values`` the corresponding variables are
+    pinned to exact rationals (``z3.RealVal`` of the float — the
+    binary value, not a re-rounded decimal), which is how the sampled
+    cross-check certifies a fixed point at a concrete solver output.
+    """
+    z3 = require_z3()
+    constraints: List[object] = []
+    p_vars, rtt_vars, tcp_vars = [], [], []
+    for r in range(n_routes):
+        if p_values is not None:
+            p = z3.RealVal(float(p_values[r]))
+        else:
+            p = bounded_real(f"{prefix}_p{r}", *p_range, constraints)
+        if rtt_values is not None:
+            rtt = z3.RealVal(float(rtt_values[r]))
+        else:
+            rtt = bounded_real(f"{prefix}_rtt{r}", *rtt_range,
+                               constraints)
+        p_vars.append(p)
+        rtt_vars.append(rtt)
+        tcp_vars.append(tcp_rate_var(f"{prefix}_t{r}", p, rtt,
+                                     constraints))
+    return PathVars(p=p_vars, rtt=rtt_vars, tcp=tcp_vars,
+                    constraints=constraints)
+
+
+@dataclass
+class TwoLinkScenario:
+    """The scenario-A topology as constraint variables.
+
+    Entities (matching ``build_scenario_a`` /
+    ``experiments.algorithms._scenario_a_fluid`` with one user per
+    class):
+
+    * link 1 (the multipath user's private bottleneck, capacity ``c1``,
+      loss ``p1``) and link 2 (the shared AP, capacity ``c2``, loss
+      ``p2``);
+    * the multipath user's routes: route 0 = [link 1] and route 1 =
+      [link 1, link 2], both at RTT ``rtt1`` (scenario A's symmetric
+      paths);
+    * the TCP user's route 2 = [link 2] at RTT ``rtt2``.
+
+    Route losses are the link sums: ``q0 = p1``, ``q1 = p1 + p2``,
+    ``q2 = p2``.  ``paths`` holds the multipath user's two routes,
+    ``tcp_paths`` the single-path user's one.
+    """
+
+    c1: object
+    c2: object
+    p1: object
+    p2: object
+    paths: PathVars
+    tcp_paths: PathVars
+    constraints: List[object]
+
+    def link_loads(self, mp_rates: Sequence, tcp_rate):
+        """Per-link total loads of an allocation (z3 exprs)."""
+        return (mp_rates[0] + mp_rates[1], mp_rates[1] + tcp_rate)
+
+    def saturation_constraints(self, mp_rates: Sequence, tcp_rate
+                               ) -> List[object]:
+        """Sharp-loss equilibrium: congested links run at capacity.
+
+        Both links carry positive loss (their ``p`` ranges exclude 0),
+        so at the fluid equilibrium their loads equal their capacities
+        — Remark 1's "sharp around C_l" reading, the regime scenario A
+        is built in.
+        """
+        y1, y2 = self.link_loads(mp_rates, tcp_rate)
+        return [y1 == self.c1, y2 == self.c2]
+
+
+def make_two_link_scenario(prefix: str = "s", *,
+                           p_range: Tuple[float, float] = (1e-3, 0.1),
+                           rtt_range: Tuple[float, float] = (0.02, 0.3),
+                           capacity_range: Tuple[float, float]
+                           = CAPACITY_RANGE) -> TwoLinkScenario:
+    """Build the scenario-A encoding over bounded parameter ranges."""
+    z3 = require_z3()
+    constraints: List[object] = []
+    c1 = bounded_real(f"{prefix}_c1", *capacity_range, constraints)
+    c2 = bounded_real(f"{prefix}_c2", *capacity_range, constraints)
+    p1 = bounded_real(f"{prefix}_p1", *p_range, constraints)
+    p2 = bounded_real(f"{prefix}_p2", *p_range, constraints)
+    rtt1 = bounded_real(f"{prefix}_rtt1", *rtt_range, constraints)
+    rtt2 = bounded_real(f"{prefix}_rtt2", *rtt_range, constraints)
+
+    # Multipath user: route losses q0 = p1, q1 = p1 + p2, equal RTTs
+    # (scenario A's symmetric two-path setup).
+    q0, q1 = p1, p1 + p2
+    mp_constraints: List[object] = []
+    t0 = tcp_rate_var(f"{prefix}_t0", q0, rtt1, mp_constraints)
+    t1 = tcp_rate_var(f"{prefix}_t1", q1, rtt1, mp_constraints)
+    paths = PathVars(p=[q0, q1], rtt=[rtt1, rtt1], tcp=[t0, t1],
+                     constraints=mp_constraints)
+
+    # Single-path TCP user on the shared link.
+    tcp_constraints: List[object] = []
+    t2 = tcp_rate_var(f"{prefix}_t2", p2, rtt2, tcp_constraints)
+    tcp_paths = PathVars(p=[p2], rtt=[rtt2], tcp=[t2],
+                         constraints=tcp_constraints)
+
+    del z3   # only needed to assert availability before building vars
+    return TwoLinkScenario(
+        c1=c1, c2=c2, p1=p1, p2=p2, paths=paths, tcp_paths=tcp_paths,
+        constraints=constraints + mp_constraints + tcp_constraints)

@@ -1,0 +1,167 @@
+"""Constraint models for TCP, LIA and OLIA (BALIA lives in its own file).
+
+Each model is the *relational* form of an equilibrium allocation rule in
+:mod:`repro.fluid.equilibrium`: instead of computing rates from
+``(p, rtt)``, it constrains a rate vector to satisfy the algorithm's
+fixed-point conditions, so the solver can quantify over topologies.
+Divisions are rewritten as polynomial side constraints on auxiliary
+variables (``inv · d == 1`` instead of ``1/d``) to keep every query
+inside the nlsat-decidable nonlinear-real fragment.
+
+BALIA's model (:class:`repro.core.balia.BaliaModel`) is defined next to
+its controller/fluid/allocation code — the registry's one-file-algorithm
+pattern — and only *registered* through the same ``smt_factory`` hook as
+the models here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import ConstraintModel, require_z3
+from .encoding import zmax, zmin
+
+
+class TcpModel(ConstraintModel):
+    """Single-path TCP Reno (applied uncoupled to each route).
+
+    The fixed point is the square-root law itself: ``x_r = t_r`` where
+    ``t_r`` is the path's TCP-rate variable (already polynomially
+    defined by the encoding).  Per-RTT window growth is exactly one
+    packet (+1/w per ACK, w ACKs per RTT) and a loss halves the window.
+    """
+
+    name = "tcp"
+    claim_expectations = {"uniqueness": "unsat", "cwnd-bounds": "unsat"}
+    max_increase_per_rtt = 1.0
+    max_decrease_factor = 0.5
+
+    def fixed_point_constraints(self, paths, x, tag: str = "fp"
+                                ) -> List[object]:
+        constraints: List[object] = []
+        for rate, t in zip(x, paths.tcp):
+            constraints.append(rate == t)
+        return constraints
+
+    def per_rtt_increase(self, w, v, rtt, rtt2, constraints, tag="step"):
+        z3 = require_z3()
+        return z3.RealVal(1)
+
+
+class LiaModel(ConstraintModel):
+    """LIA, Eq. (2): windows proportional to ``1/p_r``, total = best TCP.
+
+    Fixed point (the relational form of
+    :func:`repro.fluid.equilibrium.lia_allocation`)::
+
+        x_r · rtt_r · p_r · D == best,   D = Σ_q 1/(rtt_q · p_q)
+
+    with ``best = max_q t_q`` and one auxiliary inverse variable per
+    route (``inv_q · rtt_q · p_q == 1``) standing in for the division.
+
+    Window dynamics: the per-ACK increase is
+    ``min(max_i(w_i/rtt_i²) / (Σ_i w_i/rtt_i)², 1/w)`` (RFC 6356's cap
+    at TCP's own increase), so over one RTT the window grows by
+    ``min(w·M/S², 1) ≤ 1`` packet.
+    """
+
+    name = "lia"
+    claim_expectations = {
+        "non-pareto": "sat",
+        "uniqueness": "unsat",
+        "cwnd-bounds": "unsat",
+    }
+    max_increase_per_rtt = 1.0
+    max_decrease_factor = 0.5
+
+    def fixed_point_constraints(self, paths, x, tag: str = "fp"
+                                ) -> List[object]:
+        z3 = require_z3()
+        constraints: List[object] = []
+        best = zmax(paths.tcp)
+        inverses = []
+        for r, (p, rtt) in enumerate(zip(paths.p, paths.rtt)):
+            inv = z3.Real(f"{tag}_lia_inv{r}")
+            constraints.append(inv > 0)
+            constraints.append(inv * rtt * p == 1)
+            inverses.append(inv)
+        denom = z3.Sum(inverses)
+        for rate, p, rtt in zip(x, paths.p, paths.rtt):
+            constraints.append(rate >= 0)
+            constraints.append(rate * rtt * p * denom == best)
+        return constraints
+
+    def per_rtt_increase(self, w, v, rtt, rtt2, constraints, tag="step"):
+        z3 = require_z3()
+        m = zmax([w / (rtt * rtt), v / (rtt2 * rtt2)])
+        s = w / rtt + v / rtt2
+        return zmin([w * m / (s * s), z3.RealVal(1)])
+
+
+class OliaModel(ConstraintModel):
+    """OLIA per Theorem 1: best paths only, equal split among ties.
+
+    Fixed point (relational
+    :func:`repro.fluid.equilibrium.olia_allocation`): a tie boolean per
+    route, ``b_r ⇔ t_r ≥ best·(1 − tol)``, and
+
+    * tied-best routes: ``x_r · n_best == best`` (equal split),
+    * others: ``x_r == floor`` (the probing rate, 0 by default),
+
+    with ``n_best = Σ_r [b_r]``.  The booleans are *determined* by the
+    path variables, which is exactly what makes the uniqueness claim
+    hold.
+
+    Window dynamics: per-ACK increase ``(w/rtt²)/S² + α/w`` where the
+    ``α`` term redistributes between best and max-window paths; its
+    magnitude is at most ``1/(2·n_paths) ≤ 1/2``, so over one RTT the
+    window grows by ``w²/(rtt²S²) + α ≤ 1 + 1/2``.  The model leaves
+    ``α`` an adversarial free variable in ``[-1/2, 1/2]`` — the
+    inter-loss counters selecting its sign are not part of the
+    two-window abstraction — so the certified cap covers every
+    schedule of OLIA's path-probing behaviour.
+    """
+
+    name = "olia"
+    claim_expectations = {
+        "non-pareto": "unsat",      # the contrast with LIA: no such
+        "uniqueness": "unsat",      # dominated equilibrium exists
+        "cwnd-bounds": "unsat",
+    }
+    max_increase_per_rtt = 1.5
+    max_decrease_factor = 0.5
+
+    def __init__(self, floor: float = 0.0,
+                 tie_tolerance: float = 1e-6) -> None:
+        if floor is None:
+            floor = 0.0
+        self.floor = float(floor)
+        self.tie_tolerance = float(tie_tolerance)
+
+    def fixed_point_constraints(self, paths, x, tag: str = "fp"
+                                ) -> List[object]:
+        z3 = require_z3()
+        constraints: List[object] = []
+        best = zmax(paths.tcp)
+        ties = []
+        for r, t in enumerate(paths.tcp):
+            b = z3.Bool(f"{tag}_olia_best{r}")
+            constraints.append(
+                b == (t >= best * (1 - self.tie_tolerance)))
+            ties.append(b)
+        n_best = z3.Sum([z3.If(b, z3.RealVal(1), z3.RealVal(0))
+                         for b in ties])
+        for rate, b in zip(x, ties):
+            constraints.append(rate >= 0)
+            constraints.append(
+                z3.If(b, rate * n_best == best, rate == self.floor))
+        return constraints
+
+    def per_rtt_increase(self, w, v, rtt, rtt2, constraints, tag="step"):
+        z3 = require_z3()
+        alpha = z3.Real(f"{tag}_olia_alpha")
+        constraints.append(alpha >= z3.RealVal("-1/2"))
+        constraints.append(alpha <= z3.RealVal("1/2"))
+        s = w / rtt + v / rtt2
+        kelly = (w / rtt) * (w / rtt) / (s * s)
+        return kelly + alpha

@@ -1,0 +1,91 @@
+"""Human-readable rendering of verification results and witnesses.
+
+The witness printer is the "counterexample pretty-printer" of the
+verification layer: a satisfiable non-pareto query comes back as a
+*concrete topology* (link capacities, loss probabilities, RTTs) plus
+the dominated equilibrium and the allocation dominating it — the same
+shape as the paper's scenario-A discussion, extracted from the z3 model
+instead of hand-constructed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .base import VerificationResult
+
+_STATUS_MARK = {
+    "certified": "PASS",
+    "refuted": "FAIL",
+    "unknown": "????",
+    "skip": "skip",
+}
+
+#: Witness keys grouped for the non-pareto printer; anything not listed
+#: (uniqueness/cwnd trajectories) falls through to the flat format.
+_TOPOLOGY_KEYS = ("capacity_link1", "capacity_link2",
+                  "loss_link1", "loss_link2",
+                  "rtt_multipath", "rtt_tcp")
+_EQUILIBRIUM_KEYS = ("eq_private", "eq_shared", "eq_tcp")
+_ALTERNATIVE_KEYS = ("alt_private", "alt_shared", "alt_tcp")
+
+
+def format_witness(witness: Dict[str, float], indent: str = "  ") -> str:
+    """Pretty-print a model's witness values.
+
+    Non-pareto witnesses are grouped into topology / equilibrium /
+    dominating allocation sections; any other witness prints as a flat
+    ``name = value`` list.
+    """
+    if not witness:
+        return ""
+    lines: List[str] = []
+    if all(key in witness for key in _TOPOLOGY_KEYS):
+        lines.append(f"{indent}topology:")
+        for key in _TOPOLOGY_KEYS:
+            lines.append(f"{indent}  {key} = {witness[key]:.6g}")
+        lines.append(f"{indent}equilibrium (pkt/s):")
+        for key in _EQUILIBRIUM_KEYS:
+            lines.append(f"{indent}  {key} = {witness[key]:.6g}")
+        lines.append(f"{indent}dominating allocation (pkt/s):")
+        for key in _ALTERNATIVE_KEYS:
+            lines.append(f"{indent}  {key} = {witness[key]:.6g}")
+        extras = [key for key in witness
+                  if key not in _TOPOLOGY_KEYS
+                  and key not in _EQUILIBRIUM_KEYS
+                  and key not in _ALTERNATIVE_KEYS]
+    else:
+        extras = list(witness)
+    for key in extras:
+        lines.append(f"{indent}{key} = {witness[key]:.6g}")
+    return "\n".join(lines)
+
+
+def format_results(results: Iterable[VerificationResult], *,
+                   show_witnesses: bool = True) -> str:
+    """A fixed-width table of results, witnesses inlined below rows."""
+    rows = list(results)
+    if not rows:
+        return "no (algorithm, claim) pairs selected"
+    algo_w = max(len("algorithm"), *(len(r.algorithm) for r in rows))
+    claim_w = max(len("claim"), *(len(r.claim) for r in rows))
+    lines: List[str] = []
+    header = (f"{'algorithm':<{algo_w}}  {'claim':<{claim_w}}  "
+              f"{'status':<9}  {'time':>7}  detail")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        mark = _STATUS_MARK.get(r.status, r.status)
+        lines.append(
+            f"{r.algorithm:<{algo_w}}  {r.claim:<{claim_w}}  "
+            f"{mark:<9}  {r.elapsed:6.2f}s  {r.detail}")
+        if show_witnesses and r.witness:
+            lines.append(format_witness(r.witness, indent="    "))
+    certified = sum(r.status == "certified" for r in rows)
+    refuted = sum(r.status == "refuted" for r in rows)
+    unknown = sum(r.status == "unknown" for r in rows)
+    skipped = sum(r.status == "skip" for r in rows)
+    lines.append(
+        f"{certified} certified, {refuted} refuted, {unknown} unknown, "
+        f"{skipped} skipped")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Golden-trace regression corpus for the DES engine.
+
+``tests/golden/*.trace`` pins the *complete* event trace of small
+scenario-A runs — one line per dispatched event, ``repr(time)`` (exact
+shortest-roundtrip float), the callback qualname, and the argument
+count.  Both the pure-python engine and (when built) the compiled
+engine must reproduce every file byte for byte: any change to event
+ordering, timer arithmetic, RNG consumption, or callback plumbing in
+either engine shows up as a diff against a file under version control,
+with the first divergent line naming the exact event.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/test_golden_traces.py --regen
+
+(which refuses to run if pure and compiled engines disagree with each
+other).
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import staggered_starts
+from repro.sim import BulkTransfer, Simulator
+from repro.sim.scheduler import COMPILED_AVAILABLE
+from repro.topology.scenarios import build_scenario_a
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: (file stem, seed, multipath algorithm) — tiny scenario-A variants.
+CASES = [
+    ("scenario_a_olia_seed1", 1, "olia"),
+    ("scenario_a_olia_seed2", 2, "olia"),
+    ("scenario_a_lia_seed1", 1, "lia"),
+]
+
+#: Simulated horizon (seconds); long enough for slow-start, losses and
+#: congestion avoidance on both flow types, short enough to keep the
+#: corpus a few hundred kilobytes.
+UNTIL = 3.0
+
+
+def _trace_lines(seed, algorithm, compiled):
+    """The full event trace of one small scenario-A run, as lines."""
+    lines = []
+
+    def hook(time, fn, args):
+        lines.append(
+            f"{time!r} {getattr(fn, '__qualname__', repr(fn))} "
+            f"{len(args)}")
+
+    sim = Simulator("heap", trace=hook, compiled=compiled)
+    rng = random.Random(seed)
+    topo = build_scenario_a(sim, rng, n1=1, n2=1, c1_mbps=1.0,
+                            c2_mbps=1.0)
+    starts = staggered_starts(rng, 2)
+    mp = BulkTransfer(sim, algorithm, topo.type1_paths,
+                      start_time=starts[0], name="type1.0")
+    sp = BulkTransfer(sim, "tcp", [topo.type2_path],
+                      start_time=starts[1], name="type2.0")
+    mp.start()
+    sp.start()
+    sim.run(until=UNTIL)
+    return lines
+
+
+def _golden(name):
+    return (GOLDEN_DIR / f"{name}.trace").read_text().splitlines()
+
+
+@pytest.mark.parametrize("name,seed,algorithm", CASES)
+def test_pure_engine_reproduces_golden_trace(name, seed, algorithm):
+    lines = _trace_lines(seed, algorithm, compiled=False)
+    golden = _golden(name)
+    assert len(lines) > 500, "degenerate run: corpus lost its coverage"
+    # Compare a first-divergence-friendly way before the full equality.
+    for i, (got, want) in enumerate(zip(lines, golden)):
+        assert got == want, f"{name}: first divergence at event {i}"
+    assert len(lines) == len(golden), \
+        f"{name}: {len(lines)} events vs golden {len(golden)}"
+
+
+@pytest.mark.skipif(not COMPILED_AVAILABLE,
+                    reason="compiled kernels not built")
+@pytest.mark.parametrize("name,seed,algorithm", CASES)
+def test_compiled_engine_reproduces_golden_trace(name, seed, algorithm):
+    lines = _trace_lines(seed, algorithm, compiled=True)
+    golden = _golden(name)
+    for i, (got, want) in enumerate(zip(lines, golden)):
+        assert got == want, f"{name}: first divergence at event {i}"
+    assert len(lines) == len(golden)
+
+
+def _regen():
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, seed, algorithm in CASES:
+        pure = _trace_lines(seed, algorithm, compiled=False)
+        if COMPILED_AVAILABLE:
+            compiled = _trace_lines(seed, algorithm, compiled=True)
+            if compiled != pure:
+                raise SystemExit(
+                    f"{name}: pure and compiled traces disagree — fix "
+                    f"the engines before pinning a golden file")
+        path = GOLDEN_DIR / f"{name}.trace"
+        path.write_text("\n".join(pure) + "\n")
+        print(f"wrote {path} ({len(pure)} events)")
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        raise SystemExit("usage: python tests/test_golden_traces.py --regen")

@@ -1,0 +1,168 @@
+"""Coverage for ``scheduler.calibrate()``'s fallback and fit paths.
+
+The self-calibrating heap/wheel crossover has four sources —
+``measured``, ``disabled``, ``noisy`` and ``unavailable`` — and all the
+non-measured ones must fall back to the documented
+``AUTO_PROMOTE_PENDING``/``AUTO_DEMOTE_PENDING`` constants.  Real
+probes are monkeypatched out (``_steady_state_cost_ns``) so every path
+here is deterministic and instant.
+"""
+
+import math
+
+import pytest
+
+from repro.sim import scheduler
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(monkeypatch):
+    """Isolate each test from the process-wide calibration cache."""
+    monkeypatch.setattr(scheduler, "_calibration_cache", {})
+    monkeypatch.delenv(scheduler.CALIBRATE_ENV, raising=False)
+
+
+def _fake_costs(heap_intercept, heap_slope, wheel_ns):
+    """A ``_steady_state_cost_ns`` stub with an exact log2 cost model."""
+    def fake(factory, n_resident, **kwargs):
+        if factory in (scheduler.HeapScheduler,
+                       getattr(scheduler._compiled, "HeapKernel", None)):
+            return heap_intercept + heap_slope * math.log2(n_resident)
+        return wheel_ns
+    return fake
+
+
+def _assert_fallback(info):
+    assert info["promote"] == scheduler.AUTO_PROMOTE_PENDING
+    assert info["demote"] == scheduler.AUTO_DEMOTE_PENDING
+    assert info["crossover"] is None
+
+
+def test_disabled_by_environment(monkeypatch):
+    monkeypatch.setenv(scheduler.CALIBRATE_ENV, "0")
+    probes = []
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns",
+                        lambda *a, **k: probes.append(a) or 100.0)
+    info = scheduler.calibrate()
+    assert info["source"] == "disabled"
+    _assert_fallback(info)
+    assert not probes, "disabled mode must not run timing probes"
+    assert scheduler.calibrated_thresholds() == (
+        scheduler.AUTO_PROMOTE_PENDING, scheduler.AUTO_DEMOTE_PENDING)
+
+
+def test_disabled_check_precedes_cache(monkeypatch):
+    # A measured result in the cache must not shadow a later
+    # REPRO_SIM_CALIBRATE=0 — the env check runs on every call.
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns",
+                        _fake_costs(50.0, 25.0, 300.0))
+    assert scheduler.calibrate()["source"] == "measured"
+    monkeypatch.setenv(scheduler.CALIBRATE_ENV, "0")
+    info = scheduler.calibrate()
+    assert info["source"] == "disabled"
+    _assert_fallback(info)
+
+
+def test_measured_fit_and_hysteresis_band(monkeypatch):
+    # heap(n) = 50 + 25*log2(n), wheel = 300  =>  crossover at
+    # log2(n*) = (300-50)/25 = 10, n* = 1024.
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns",
+                        _fake_costs(50.0, 25.0, 300.0))
+    info = scheduler.calibrate()
+    assert info["source"] == "measured"
+    assert info["crossover"] == pytest.approx(1024.0)
+    assert info["promote"] == 1024
+    assert info["demote"] == 1024 // 4
+    assert scheduler.calibrated_thresholds() == (1024, 256)
+
+
+def test_measured_result_is_cached_per_process(monkeypatch):
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns",
+                        _fake_costs(50.0, 25.0, 300.0))
+    first = scheduler.calibrate()
+
+    def exploding(*args, **kwargs):
+        raise AssertionError("cached calibration must not re-probe")
+
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns", exploding)
+    assert scheduler.calibrate() == first
+
+
+def test_noisy_fit_flat_slope(monkeypatch):
+    # Timer noise: heap cost independent of n -> slope 0 -> constants.
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns",
+                        _fake_costs(100.0, 0.0, 150.0))
+    info = scheduler.calibrate()
+    assert info["source"] == "noisy"
+    _assert_fallback(info)
+
+
+def test_noisy_fit_negative_slope(monkeypatch):
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns",
+                        _fake_costs(100.0, -5.0, 150.0))
+    info = scheduler.calibrate()
+    assert info["source"] == "noisy"
+    _assert_fallback(info)
+
+
+def test_crossover_clamped_below(monkeypatch):
+    # Wheel cheaper than the heap everywhere -> crossover would be
+    # n* < 1 -> clamp the band at CALIBRATE_MIN_PROMOTE.
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns",
+                        _fake_costs(100.0, 10.0, 50.0))
+    info = scheduler.calibrate()
+    assert info["source"] == "measured"
+    assert info["promote"] == scheduler.CALIBRATE_MIN_PROMOTE
+    assert info["demote"] == scheduler.CALIBRATE_MIN_PROMOTE // 4
+
+
+def test_crossover_clamped_above(monkeypatch):
+    # Wheel absurdly expensive -> exponent beyond the 2^40 guard ->
+    # clamp the band at CALIBRATE_MAX_PROMOTE.
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns",
+                        _fake_costs(50.0, 1.0, 1e9))
+    info = scheduler.calibrate()
+    assert info["source"] == "measured"
+    assert info["promote"] == scheduler.CALIBRATE_MAX_PROMOTE
+    assert info["demote"] == scheduler.CALIBRATE_MAX_PROMOTE // 4
+
+
+def test_compiled_unavailable_falls_back(monkeypatch):
+    monkeypatch.setattr(scheduler, "_compiled", None)
+    probes = []
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns",
+                        lambda *a, **k: probes.append(a) or 100.0)
+    info = scheduler.calibrate(compiled=True)
+    assert info["source"] == "unavailable"
+    _assert_fallback(info)
+    assert not probes
+    assert scheduler.calibrated_thresholds(compiled=True) == (
+        scheduler.AUTO_PROMOTE_PENDING, scheduler.AUTO_DEMOTE_PENDING)
+
+
+def test_pure_and_compiled_cached_separately(monkeypatch):
+    if not scheduler.COMPILED_AVAILABLE:
+        pytest.skip("compiled kernels not built")
+    calls = []
+
+    def fake(factory, n_resident, **kwargs):
+        calls.append(factory)
+        return _fake_costs(50.0, 25.0, 300.0)(factory, n_resident)
+
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns", fake)
+    scheduler.calibrate()
+    n_pure = len(calls)
+    scheduler.calibrate(compiled=True)
+    assert len(calls) == 2 * n_pure, "compiled band needs its own probes"
+
+
+def test_adaptive_scheduler_defaults_to_calibrated_band(monkeypatch):
+    monkeypatch.setattr(scheduler, "_steady_state_cost_ns",
+                        _fake_costs(50.0, 25.0, 300.0))
+    sched = scheduler.AdaptiveScheduler()
+    assert sched.promote_threshold == 1024
+    assert sched.demote_threshold == 256
+    # Explicit arguments still win over calibration.
+    explicit = scheduler.AdaptiveScheduler(promote=4096, demote=128)
+    assert explicit.promote_threshold == 4096
+    assert explicit.demote_threshold == 128

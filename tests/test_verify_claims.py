@@ -1,0 +1,109 @@
+"""Machine-checked claims — requires the optional z3-solver extra.
+
+The entire module skips cleanly when z3 is absent (the same degradation
+contract as the compiled-kernel extra): CI's z3 job runs it for real,
+the pure-python-fallback job asserts the skip.
+"""
+
+import pytest
+
+from repro.core import registry
+from repro.verify import Z3_AVAILABLE
+from repro.verify.claims import (
+    check_cwnd_bounds,
+    check_non_pareto,
+    check_uniqueness,
+    run_verification,
+)
+
+pytestmark = pytest.mark.skipif(
+    not Z3_AVAILABLE, reason="optional z3-solver extra not installed")
+
+#: Generous per-query ceiling; each query solves in well under a second.
+TIMEOUT_MS = 120_000
+
+
+def _model(name, **params):
+    return registry.make_smt_model(name, **params)
+
+
+# ---------------------------------------------------------------------------
+# claim 1: non-pareto-optimal equilibria (the paper's headline result)
+# ---------------------------------------------------------------------------
+
+def test_lia_has_dominated_equilibrium_with_witness():
+    res = check_non_pareto(_model("lia"), timeout_ms=TIMEOUT_MS)
+    assert res.status == "certified", res.detail
+    w = res.witness
+    assert w is not None
+    c1, c2 = w["capacity_link1"], w["capacity_link2"]
+    # The witness equilibrium saturates both links (sharp loss).
+    assert w["eq_private"] + w["eq_shared"] == pytest.approx(c1, rel=1e-6)
+    assert w["eq_shared"] + w["eq_tcp"] == pytest.approx(c2, rel=1e-6)
+    # The alternative is feasible...
+    slack = 1 + 1e-9
+    assert w["alt_private"] + w["alt_shared"] <= c1 * slack
+    assert w["alt_shared"] + w["alt_tcp"] <= c2 * slack
+    # ...gives the multipath user no less and the TCP user >= 1% more.
+    assert (w["alt_private"] + w["alt_shared"]
+            >= (w["eq_private"] + w["eq_shared"]) / slack)
+    assert w["alt_tcp"] >= w["eq_tcp"] * 1.01 / slack
+    # And the equilibrium really is LIA's: replay the witness losses
+    # through the closed-form allocation rule.
+    q = [w["loss_link1"], w["loss_link1"] + w["loss_link2"]]
+    rtts = [w["rtt_multipath"]] * 2
+    rates = registry.make_allocation_rule("lia")(q, rtts)
+    assert float(rates[0]) == pytest.approx(w["eq_private"], rel=1e-4)
+    assert float(rates[1]) == pytest.approx(w["eq_shared"], rel=1e-4)
+
+
+def test_balia_has_dominated_equilibrium():
+    res = check_non_pareto(_model("balia"), timeout_ms=TIMEOUT_MS)
+    assert res.status == "certified", res.detail
+    assert res.witness is not None
+
+
+def test_olia_admits_no_dominated_equilibrium():
+    # The contrast of Theorem 1: OLIA keeps the two-hop path at the
+    # probing floor, so no capacity is wasted — unsat over the whole
+    # bounded scenario box.
+    res = check_non_pareto(_model("olia"), timeout_ms=TIMEOUT_MS)
+    assert res.status == "certified", res.detail
+    assert res.witness is None
+
+
+# ---------------------------------------------------------------------------
+# claim 2: fixed-point uniqueness over the declared ranges
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["tcp", "lia", "olia", "balia"])
+def test_fixed_point_unique_over_ranges(name):
+    res = check_uniqueness(_model(name), timeout_ms=TIMEOUT_MS)
+    assert res.status == "certified", (res.detail, res.witness)
+
+
+# ---------------------------------------------------------------------------
+# claim 3: cwnd stays inside the DES loss-model bounds
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["tcp", "lia", "olia", "balia"])
+def test_cwnd_bounds_hold_for_every_loss_pattern(name):
+    res = check_cwnd_bounds(_model(name), timeout_ms=TIMEOUT_MS)
+    assert res.status == "certified", (res.detail, res.witness)
+
+
+# ---------------------------------------------------------------------------
+# the driver: everything declared certifies
+# ---------------------------------------------------------------------------
+
+def test_run_verification_certifies_every_declared_claim():
+    results = run_verification(timeout_ms=TIMEOUT_MS)
+    assert results
+    bad = [(r.algorithm, r.claim, r.status, r.detail)
+           for r in results if r.status not in ("certified", "skip")]
+    assert not bad, bad
+    certified = {(r.algorithm, r.claim)
+                 for r in results if r.status == "certified"}
+    assert {("lia", "non-pareto"), ("olia", "non-pareto"),
+            ("balia", "non-pareto"), ("lia", "uniqueness"),
+            ("tcp", "cwnd-bounds")} <= certified

@@ -1,0 +1,135 @@
+"""SMT-certified fixed points vs the numeric equilibrium layer.
+
+The verification layer's numeric contract: a z3 model of an algorithm's
+fixed-point conditions, solved at a concrete ``(p, rtt)`` point, must
+reproduce what the equilibrium layer computes — both the closed-form
+allocation rule and the damped ``solve_fixed_point`` iteration on real
+topologies.  Requires the optional z3 extra; skips cleanly without it.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import registry
+from repro.fluid import FluidNetwork, SharpLoss, solve_fixed_point
+from repro.units import mbps_to_pps
+from repro.verify import Z3_AVAILABLE
+from repro.verify.claims import certified_fixed_point
+
+pytestmark = pytest.mark.skipif(
+    not Z3_AVAILABLE, reason="optional z3-solver extra not installed")
+
+SMT_ALGOS = ("tcp", "lia", "olia", "balia")
+TIMEOUT_MS = 60_000
+
+#: Sampled (p, rtt) points / topologies per algorithm.
+N_POINTS = 16
+
+
+def _sampled_points(name, n=N_POINTS):
+    """Tie-free two-route (p, rtt) points, deterministic per algorithm.
+
+    The second route's loss is drawn a clear factor above the first so
+    the best-path TCP rates are separated by >= 10% — OLIA's and
+    BALIA's tied-best sets are then unambiguous and the closed-form
+    rule, the damped solver and the SMT model must all agree exactly.
+    """
+    rng = random.Random(f"cross-check:{name}")
+    points = []
+    while len(points) < n:
+        p0 = rng.uniform(0.005, 0.03)
+        p1 = p0 * rng.uniform(1.5, 4.0)
+        rtt0 = rng.uniform(0.04, 0.25)
+        rtt1 = rng.uniform(0.04, 0.25)
+        t0 = math.sqrt(2 / p0) / rtt0
+        t1 = math.sqrt(2 / p1) / rtt1
+        if abs(t0 - t1) < 0.1 * max(t0, t1):
+            continue                      # too close to a tie: redraw
+        points.append(((p0, p1), (rtt0, rtt1)))
+    return points
+
+
+@pytest.mark.parametrize("name", SMT_ALGOS)
+def test_certified_point_matches_allocation_rule(name):
+    """certified_fixed_point == the closed-form rule, point by point."""
+    rule = registry.make_allocation_rule(name)
+    for p, rtt in _sampled_points(name):
+        p_used = p[:1] if name == "tcp" else p
+        rtt_used = rtt[:1] if name == "tcp" else rtt
+        certified = certified_fixed_point(name, p_used, rtt_used,
+                                          timeout_ms=TIMEOUT_MS)
+        expected = np.asarray(rule(np.asarray(p_used),
+                                   np.asarray(rtt_used)), dtype=float)
+        scale = max(float(expected.max()), 1e-9)
+        for got, want in zip(certified, expected):
+            assert got == pytest.approx(float(want), rel=1e-6,
+                                        abs=1e-9 * scale), \
+                (name, p_used, rtt_used, certified, expected)
+
+
+def _two_link_network(algorithm, *, c1_pps, c2_pps, rtt_mp, rtt_tcp,
+                      n_tcp):
+    """Scenario-A shape: mp user on [l1] and [l1,l2], TCP users on [l2]."""
+    net = FluidNetwork()
+    l1 = net.add_link(SharpLoss(capacity=c1_pps))
+    l2 = net.add_link(SharpLoss(capacity=c2_pps))
+    rules = {}
+    mp = net.add_user("mp")
+    net.add_route(mp, [l1], rtt=rtt_mp)
+    net.add_route(mp, [l1, l2], rtt=rtt_mp)
+    rules[mp] = algorithm
+    tcp_routes = []
+    for i in range(n_tcp):
+        user = net.add_user(f"tcp{i}")
+        tcp_routes.append(net.add_route(user, [l2], rtt=rtt_tcp))
+        rules[user] = "tcp"
+    return net, rules, tcp_routes
+
+
+@pytest.mark.parametrize("name", SMT_ALGOS)
+def test_certified_point_matches_solve_fixed_point(name):
+    """End to end: solve a real topology, certify its losses in z3.
+
+    ``solve_fixed_point`` produces equilibrium route losses; pinning
+    those losses in the SMT model must certify the *same* rate vector
+    the damped iteration converged to — the fourth layer agreeing with
+    the third on every sampled topology.
+    """
+    rng = random.Random(f"topologies:{name}")
+    checked = 0
+    while checked < N_POINTS:
+        net, rules, tcp_routes = _two_link_network(
+            name,
+            c1_pps=mbps_to_pps(rng.uniform(0.8, 3.0)),
+            c2_pps=mbps_to_pps(rng.uniform(0.8, 3.0)),
+            rtt_mp=rng.uniform(0.05, 0.25),
+            rtt_tcp=rng.uniform(0.05, 0.25),
+            n_tcp=rng.randint(1, 3))
+        result = solve_fixed_point(net, rules, floor_packets=0.0)
+        assert result.converged
+        rtts = net.rtt_array()
+        q = result.route_loss
+        t = np.sqrt(2.0 / np.maximum(q[:2], 1e-15)) / rtts[:2]
+        if abs(t[0] - t[1]) < 0.05 * float(t.max()):
+            continue                      # near-tie topology: redraw
+        checked += 1
+        # The multipath user's two routes.
+        certified = certified_fixed_point(
+            name, [float(q[0]), float(q[1])],
+            [float(rtts[0]), float(rtts[1])], timeout_ms=TIMEOUT_MS)
+        scale = max(float(np.max(result.rates[:2])), 1e-9)
+        for got, want in zip(certified, result.rates[:2]):
+            assert got == pytest.approx(float(want), rel=1e-4,
+                                        abs=1e-5 * scale), \
+                (name, checked, certified, result.rates[:2])
+        # And one single-path competitor through the TCP model.
+        route = tcp_routes[0]
+        tcp_cert = certified_fixed_point(
+            "tcp", [float(q[route])], [float(rtts[route])],
+            timeout_ms=TIMEOUT_MS)
+        assert tcp_cert[0] == pytest.approx(
+            float(result.rates[route]), rel=1e-4,
+            abs=1e-5 * float(result.rates[route]))

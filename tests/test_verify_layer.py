@@ -1,0 +1,277 @@
+"""The SMT verification layer's registry surface — no z3 required.
+
+Everything here must pass *without* the optional z3-solver extra: the
+fourth registry layer is listable, constructible and parameter-checked
+with z3 absent, `run_verification` degrades to skip results (never
+failures), and the CLI verbs exit cleanly.  The actual claim
+certification lives in ``test_verify_claims.py`` behind a z3 gate.
+"""
+
+import pytest
+
+import repro.cli as cli
+from repro.core import registry
+from repro.experiments.algorithms import (
+    layer_support_table,
+    smoke_check,
+)
+from repro.verify import (
+    Z3_AVAILABLE,
+    ConstraintModel,
+    VerificationResult,
+    Z3Unavailable,
+    require_z3,
+    run_verification,
+    format_results,
+    format_witness,
+)
+from repro.verify.claims import CLAIM_NAMES
+
+#: The built-in algorithms that declare the smt layer.
+SMT_ALGOS = ("tcp", "lia", "olia", "balia")
+
+
+# ---------------------------------------------------------------------------
+# registry surface
+# ---------------------------------------------------------------------------
+
+def test_layers_tuple_includes_smt():
+    assert registry.LAYERS == ("packet", "fluid", "equilibrium", "smt")
+
+
+@pytest.mark.parametrize("name", SMT_ALGOS)
+def test_builtin_specs_declare_smt(name):
+    spec = registry.get_spec(name)
+    assert spec.has_smt
+    assert spec.supports("smt")
+
+
+def test_smt_capable_algorithm_listing():
+    names = registry.available_algorithms("smt")
+    for name in SMT_ALGOS:
+        assert name in names
+    assert "ewtcp" not in names
+    assert "cubic" not in names
+
+
+def test_make_smt_model_builds_without_z3():
+    # Construction must not touch z3 — only building constraints does.
+    model = registry.make_smt_model("lia")
+    assert isinstance(model, ConstraintModel)
+    assert model.name == "lia"
+    olia = registry.make_smt_model("olia", tie_tolerance=1e-5, floor=0.5)
+    assert olia.tie_tolerance == pytest.approx(1e-5)
+    assert olia.floor == pytest.approx(0.5)
+    balia = registry.make_smt_model("balia", tie_tolerance=1e-7)
+    assert balia.tie_tolerance == pytest.approx(1e-7)
+
+
+def test_make_smt_model_validates_params_and_capability():
+    with pytest.raises(TypeError):
+        registry.make_smt_model("lia", bogus=1)
+    with pytest.raises(KeyError):
+        registry.make_smt_model("ewtcp")   # no smt layer declared
+    with pytest.raises(KeyError):
+        registry.make_smt_model("no-such-algorithm")
+
+
+def test_model_claim_expectations_cover_known_claims():
+    for name in SMT_ALGOS:
+        model = registry.make_smt_model(name)
+        assert model.claim_expectations, name
+        for claim, verdict in model.claim_expectations.items():
+            assert claim in CLAIM_NAMES
+            assert verdict in ("sat", "unsat")
+    # The paper's headline claim: LIA (and BALIA) admit non-pareto
+    # equilibria, OLIA does not.
+    assert registry.make_smt_model("lia").claim_expectations[
+        "non-pareto"] == "sat"
+    assert registry.make_smt_model("balia").claim_expectations[
+        "non-pareto"] == "sat"
+    assert registry.make_smt_model("olia").claim_expectations[
+        "non-pareto"] == "unsat"
+
+
+def test_require_z3_contract():
+    if Z3_AVAILABLE:
+        assert require_z3() is not None
+    else:
+        with pytest.raises(Z3Unavailable):
+            require_z3()
+
+
+def test_constraint_model_without_z3_raises_on_build():
+    if Z3_AVAILABLE:
+        pytest.skip("z3 installed; the degraded path is unreachable")
+    model = registry.make_smt_model("lia")
+    with pytest.raises(Z3Unavailable):
+        model.fixed_point_constraints([], [])
+
+
+# ---------------------------------------------------------------------------
+# run_verification degradation + result semantics
+# ---------------------------------------------------------------------------
+
+def test_run_verification_skips_not_fails_without_z3():
+    if Z3_AVAILABLE:
+        pytest.skip("z3 installed; covered by test_verify_claims")
+    results = run_verification()
+    assert results
+    assert all(r.status == "skip" for r in results)
+    assert all(r.ok for r in results)
+    # Every declared (algorithm, claim) pair is present.
+    pairs = {(r.algorithm, r.claim) for r in results}
+    assert ("lia", "non-pareto") in pairs
+    assert ("balia", "uniqueness") in pairs
+
+
+def test_run_verification_rejects_unknown_claim():
+    with pytest.raises(ValueError):
+        run_verification(claims=["no-such-claim"])
+
+
+def test_run_verification_rejects_unknown_algorithm():
+    with pytest.raises(KeyError):
+        run_verification(algorithms=["no-such-algorithm"])
+
+
+def test_run_verification_skip_for_smt_less_algorithm():
+    results = run_verification(algorithms=["ewtcp"])
+    assert results
+    assert all(r.status == "skip" for r in results)
+    assert any("smt" in r.detail for r in results)
+
+
+def test_verification_result_ok_semantics():
+    ok = VerificationResult("c", "a", "certified")
+    skip = VerificationResult("c", "a", "skip")
+    bad = VerificationResult("c", "a", "refuted")
+    unknown = VerificationResult("c", "a", "unknown")
+    assert ok.ok and skip.ok
+    assert not bad.ok and not unknown.ok
+
+
+# ---------------------------------------------------------------------------
+# report rendering
+# ---------------------------------------------------------------------------
+
+def test_format_results_and_witness():
+    witness = {
+        "capacity_link1": 100.0, "capacity_link2": 200.0,
+        "loss_link1": 0.01, "loss_link2": 0.02,
+        "rtt_multipath": 0.1, "rtt_tcp": 0.1,
+        "eq_private": 50.0, "eq_shared": 50.0, "eq_tcp": 150.0,
+        "alt_private": 100.0, "alt_shared": 0.0, "alt_tcp": 200.0,
+    }
+    results = [
+        VerificationResult("non-pareto", "lia", "certified",
+                           detail="sat as expected", witness=witness,
+                           elapsed=0.25),
+        VerificationResult("uniqueness", "olia", "skip",
+                           detail="z3 missing"),
+        VerificationResult("cwnd-bounds", "balia", "refuted",
+                           detail="counterexample"),
+    ]
+    text = format_results(results)
+    assert "algorithm" in text and "claim" in text
+    assert "PASS" in text and "FAIL" in text and "skip" in text
+    assert "1 certified, 1 refuted, 0 unknown, 1 skipped" in text
+    assert "topology:" in text          # witness grouped sections
+    assert "dominating allocation" in text
+    flat = format_witness({"w0": 2.0, "w1": 3.0})
+    assert "w0 = 2" in flat and "w1 = 3" in flat
+    assert format_witness({}) == ""
+    assert format_results([]) == "no (algorithm, claim) pairs selected"
+
+
+def test_format_results_header_alignment():
+    # Regression: column widths must account for the header labels when
+    # every row value is shorter than them.
+    text = format_results(
+        [VerificationResult("c", "a", "certified")], show_witnesses=False)
+    header, rule, row = text.splitlines()[:3]
+    assert header.index("status") == row.index("PASS")
+
+
+# ---------------------------------------------------------------------------
+# CLI verify verb
+# ---------------------------------------------------------------------------
+
+def test_cli_verify_exits_zero_without_z3(capsys):
+    if Z3_AVAILABLE:
+        pytest.skip("z3 installed; exit codes covered by the z3 suite")
+    assert cli.main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert "skipped" in out
+    assert "z3" in out
+
+
+def test_cli_verify_unknown_claim_exits_two(capsys):
+    assert cli.main(["verify", "--claim", "bogus"]) == 2
+    assert "bogus" in capsys.readouterr().err
+
+
+def test_cli_verify_unknown_algorithm_exits_two(capsys):
+    assert cli.main(["verify", "--algorithm", "bogus"]) == 2
+    assert "bogus" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# the algorithms verb: smt column + robust smoke matrix
+# ---------------------------------------------------------------------------
+
+def test_layer_support_table_has_smt_column():
+    text = str(layer_support_table())
+    assert "smt" in text
+    assert "balia" in text
+
+
+def test_smoke_check_covers_all_layers_per_spec():
+    checks = smoke_check(specs=[registry.get_spec("lia")])
+    cells = {c.layer: c for c in checks}
+    assert set(cells) == set(registry.LAYERS)
+    smt = cells["smt"]
+    if Z3_AVAILABLE:
+        assert smt.status == "ok"
+    else:
+        assert smt.status == "skip"
+        assert "z3" in smt.detail
+
+
+def test_smoke_check_reports_unresolvable_capability():
+    # Satellite (d) regression: a declared capability whose factory
+    # blows up with a bare KeyError must become a named FAIL cell, not
+    # an exception out of the matrix.
+    def broken_factory(**params):
+        raise KeyError("unbound helper")
+
+    spec = registry.AlgorithmSpec(
+        name="brokenspec", description="factory that cannot build",
+        allocation_factory=broken_factory)
+    with registry.registered(spec):
+        checks = smoke_check(specs=[spec])
+    cells = {c.layer: c for c in checks}
+    eq = cells["equilibrium"]
+    assert eq.status == "FAIL"
+    assert "does not resolve" in eq.detail
+    assert "KeyError" in eq.detail
+    # Layers it never declared stay skips.
+    assert cells["packet"].status == "skip"
+    assert cells["smt"].status == "skip"
+
+
+def test_cli_algorithms_check_exits_nonzero_on_failure(capsys):
+    # End-to-end satellite (d): `repro algorithms --check` must exit 1
+    # and name the failing (spec, layer) cell on stderr.
+    def broken_factory(**params):
+        raise KeyError("unbound helper")
+
+    spec = registry.AlgorithmSpec(
+        name="brokencli", description="factory that cannot build",
+        allocation_factory=broken_factory)
+    with registry.registered(spec):
+        code = cli.main(["algorithms", "--check"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "brokencli/equilibrium" in captured.err
+    assert "does not resolve" in captured.err
