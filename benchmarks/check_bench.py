@@ -6,8 +6,9 @@ Usage::
     REPRO_BENCH_SMOKE=1 python -m repro bench --output BENCH_smoke.json
     python benchmarks/check_bench.py BENCH_smoke.json \
         --baseline BENCH_sweep.json [--factor 2.0] \
-        [--scale BENCH_scale.json]
+        [--scale BENCH_scale.json] [--serve BENCH_serve_smoke.json]
     python benchmarks/check_bench.py --scale BENCH_scale.json   # scale only
+    python benchmarks/check_bench.py --serve BENCH_serve.json   # serve only
 
 What is checked (and why it survives CI-runner variance):
 
@@ -122,6 +123,42 @@ BITWISE_SECTIONS = ("fluid_sweep", "equilibrium_sweep",
 #: the same preset.  Generous against CI noise; the committed local
 #: measurement sits at ~1.0 (docs/PERFORMANCE.md "Scale harness").
 SCALE_AUTO_FLOOR = 0.7
+
+#: Absolute floors for a full-size BENCH_serve report (the ISSUE's
+#: acceptance bar): batching must beat the sequential baseline ≥ 5x on
+#: a cold store, and the warm (memoized) replay must improve p50 ≥ 10x.
+#: Both are within-process ratios, stable across machines.
+SERVE_FLOORS = {
+    "cold_speedup": 5.0,
+    "warm_p50_improvement": 10.0,
+}
+
+#: Floors for a smoke-size serve report (``REPRO_BENCH_SMOKE=1``): the
+#: smoke cold phase is 4 shallow batches where one stagnant-equilibrium
+#: straggler dominates, so the batching win is structurally smaller —
+#: 1.5x still proves batching beats sequential.  Memoized p50 wins are
+#: scale-independent (a store hit skips the solve entirely), so the
+#: warm floor stays at the full bar.
+SERVE_SMOKE_FLOORS = {
+    "cold_speedup": 1.5,
+    "warm_p50_improvement": 10.0,
+}
+
+#: Serve-report ratio metrics compared against a baseline report (when
+#: the workload sizes match): path into the report, human name.
+SERVE_RATIOS = (
+    (("cold", "speedup_vs_sequential"), "cold_speedup"),
+    (("warm", "p50_improvement"), "warm_p50_improvement"),
+    (("replay", "speedup_vs_sequential"), "replay_speedup"),
+)
+
+#: Serve-report metrics that must be finite and positive.
+SERVE_POSITIVE_METRICS = (
+    ("sequential_baseline", "qps"),
+    ("cold", "qps"), ("cold", "p50_ms"), ("cold", "p99_ms"),
+    ("warm", "qps"), ("warm", "p50_ms"),
+    ("replay", "qps"), ("replay", "p50_ms"),
+)
 
 #: Per-run metrics of a BENCH_scale entry that must be finite (and,
 #: for the first two, positive).
@@ -241,10 +278,89 @@ def check_scale_report(report: Dict) -> List[str]:
     return failures
 
 
+def _serve_get(report: Dict, path) -> object:
+    value: object = report
+    for key in path:
+        if not isinstance(value, dict):
+            return None
+        value = value.get(key)
+    return value
+
+
+def check_serve_report(report: Dict,
+                       baseline: Optional[Dict] = None,
+                       factor: float = 2.0) -> List[str]:
+    """Validate a ``BENCH_serve.json`` written by ``repro serve --loadgen``.
+
+    Absolute floors (:data:`SERVE_FLOORS`, or the documented smoke
+    floors for a ``REPRO_BENCH_SMOKE=1`` report) always apply; with a
+    ``baseline`` of the *same* workload size, the measured ratios must
+    additionally stay within ``factor`` of the baseline's.
+    """
+    failures: List[str] = []
+    if not isinstance(report, dict):
+        return [f"serve: report is {type(report).__name__}, not a JSON "
+                "object"]
+    if report.get("benchmark") != "serve":
+        return [f"serve: benchmark is {report.get('benchmark')!r}, "
+                "expected 'serve' (wrong file?)"]
+    if not report.get("bitwise_equal", False):
+        failures.append(
+            "serve: served results are no longer bitwise-equal to "
+            "sequential solve_fixed_point")
+    for path in SERVE_POSITIVE_METRICS:
+        value = _serve_get(report, path)
+        where = ".".join(path)
+        if not _finite(value):
+            failures.append(
+                f"serve: {where} is {value!r}, not a finite number")
+        elif value <= 0:
+            failures.append(
+                f"serve: {where} must be positive, got {value!r}")
+    for phase in ("warm", "replay"):
+        rate = _serve_get(report, (phase, "hit_rate"))
+        if not _finite(rate) or not 0.0 <= rate <= 1.0:
+            failures.append(
+                f"serve: {phase}.hit_rate is {rate!r}, not in [0, 1]")
+    rate = _serve_get(report, ("warm", "hit_rate"))
+    if _finite(rate) and rate < 0.99:
+        # The warm phase replays the identical stream against the
+        # store the cold phase just filled: anything below ~every
+        # query hitting means persistence is broken.
+        failures.append(
+            f"serve: warm.hit_rate {rate} below 0.99 — the persistent "
+            "store is not serving the replayed stream")
+
+    floors = SERVE_SMOKE_FLOORS if report.get("smoke") else SERVE_FLOORS
+    same_size = isinstance(baseline, dict) and all(
+        _serve_get(report, ("config", key))
+        == _serve_get(baseline, ("config", key))
+        for key in ("queries", "latency_queries", "concurrency"))
+    for path, name in SERVE_RATIOS:
+        value = _serve_get(report, path)
+        if not _finite(value):
+            failures.append(
+                f"serve: {name} is {value!r}, not a finite number")
+            continue
+        bound, origin = floors.get(name), "absolute floor"
+        if same_size:
+            base_value = _serve_get(baseline, path)
+            if _finite(base_value):
+                scaled = base_value / factor
+                if bound is None or scaled > bound:
+                    bound = scaled
+                    origin = f"baseline {base_value}x / {factor}"
+        if bound is not None and value < bound:
+            failures.append(
+                f"serve: {name} {value}x below {bound:g}x [{origin}]")
+    return failures
+
+
 # -- markdown step summary --------------------------------------------------
 
 def summary_markdown(new: Optional[Dict], baseline: Optional[Dict],
-                     scale: Optional[Dict] = None) -> str:
+                     scale: Optional[Dict] = None,
+                     serve: Optional[Dict] = None) -> str:
     """Before/after markdown tables for $GITHUB_STEP_SUMMARY."""
     lines: List[str] = []
     if new is not None and baseline is not None:
@@ -255,6 +371,24 @@ def summary_markdown(new: Optional[Dict], baseline: Optional[Dict],
             base = (baseline.get(section) or {}).get("speedup", "—")
             now = (new.get(section) or {}).get("speedup", "—")
             lines.append(f"| {section} | {base} | {now} |")
+    if isinstance(serve, dict):
+        lines += ["", "## Allocation service", "",
+                  "| phase | queries | qps | p50 ms | p99 ms | ratio |",
+                  "|---|---|---|---|---|---|"]
+        rows = (
+            ("cold", "speedup_vs_sequential", "x vs sequential"),
+            ("warm", "p50_improvement", "x p50 vs cold"),
+            ("replay", "speedup_vs_sequential", "x vs sequential"),
+        )
+        for phase, ratio_key, suffix in rows:
+            data = serve.get(phase) or {}
+            ratio = data.get(ratio_key)
+            ratio = (f"{ratio:.1f}{suffix}" if _finite(ratio)
+                     else repr(ratio))
+            lines.append(
+                f"| {phase} | {data.get('queries')} "
+                f"| {data.get('qps')} | {data.get('p50_ms')} "
+                f"| {data.get('p99_ms')} | {ratio} |")
     if isinstance(scale, dict):
         lines += ["", "## Scale harness", "",
                   "| preset | scheduler | flows | events/s | "
@@ -307,10 +441,19 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", metavar="PATH", default=None,
                         help="also (or only) validate a BENCH_scale.json "
                              "written by 'python -m repro scale'")
+    parser.add_argument("--serve", metavar="PATH", default=None,
+                        help="also (or only) validate a BENCH_serve.json "
+                             "written by 'python -m repro serve "
+                             "--loadgen'")
+    parser.add_argument("--serve-baseline", metavar="PATH",
+                        default="BENCH_serve.json",
+                        help="committed serve baseline (default: "
+                             "./BENCH_serve.json; silently skipped when "
+                             "absent — absolute floors still apply)")
     args = parser.parse_args(argv)
-    if args.report is None and args.scale is None:
+    if args.report is None and args.scale is None and args.serve is None:
         parser.error("nothing to check: give a BENCH report, --scale, "
-                     "or both")
+                     "--serve, or a combination")
 
     new = baseline = None
     if args.report is not None:
@@ -322,24 +465,34 @@ def main(argv=None) -> int:
     if args.scale is not None:
         with open(args.scale) as fh:
             scale = json.load(fh)
+    serve = serve_baseline = None
+    if args.serve is not None:
+        with open(args.serve) as fh:
+            serve = json.load(fh)
+        try:
+            with open(args.serve_baseline) as fh:
+                serve_baseline = json.load(fh)
+        except OSError:
+            serve_baseline = None   # floors-only mode
 
     failures: List[str] = []
     if new is not None:
         failures += check_report(new, baseline, factor=args.factor)
     if scale is not None:
         failures += check_scale_report(scale)
-    write_step_summary(summary_markdown(new, baseline, scale))
+    if serve is not None:
+        failures += check_serve_report(serve, serve_baseline,
+                                       factor=args.factor)
+    write_step_summary(summary_markdown(new, baseline, scale, serve))
     if failures:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)
         return 1
-    if new is None:
-        print(f"bench check OK: {args.scale} is a valid scale report")
-    else:
-        checked = args.report if scale is None \
-            else f"{args.report} and {args.scale}"
-        print(f"bench check OK: {checked} within {args.factor}x of "
-              f"{args.baseline}")
+    checked = [path for path in (args.report, args.scale, args.serve)
+               if path is not None]
+    print(f"bench check OK: {', '.join(checked)} pass"
+          + (f" within {args.factor}x of {args.baseline}"
+         if new is not None else ""))
     return 0
 
 

@@ -277,6 +277,49 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: ./BENCH_sweep.json)")
     bench.add_argument("--smoke", action="store_true",
                        help="capped sizes (same as REPRO_BENCH_SMOKE=1)")
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the always-on allocation-query service (or, with "
+             "--loadgen, the million-query load harness writing "
+             "BENCH_serve.json)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8642,
+                           help="TCP port for the JSON-lines protocol "
+                                "(default: 8642)")
+    serve_cmd.add_argument("--store", metavar="DIR", default=None,
+                           help="persistent result-store directory "
+                                "(default: .repro-serve-store when "
+                                "serving; a throwaway temp dir under "
+                                "--loadgen so the cold phase is cold)")
+    serve_cmd.add_argument("--batch-window", type=float, default=0.002,
+                           metavar="SECONDS",
+                           help="how long a pending batch waits for "
+                                "company (default: 0.002)")
+    serve_cmd.add_argument("--max-batch", type=int, default=128,
+                           metavar="K",
+                           help="batch K cap; a full batch solves "
+                                "immediately (default: 128)")
+    serve_cmd.add_argument("--loadgen", action="store_true",
+                           help="run the seeded load harness instead of "
+                                "serving: replay the query stream and "
+                                "write the BENCH_serve.json report")
+    serve_cmd.add_argument("--queries", type=int, default=None, metavar="N",
+                           help="loadgen hot-set replay length "
+                                "(default: 1000000)")
+    serve_cmd.add_argument("--concurrency", type=int, default=None,
+                           metavar="N",
+                           help="loadgen concurrent clients "
+                                "(default: 128)")
+    serve_cmd.add_argument("--seed", type=int, default=1,
+                           help="loadgen stream seed (default: 1)")
+    serve_cmd.add_argument("--output", default="BENCH_serve.json",
+                           metavar="PATH",
+                           help="loadgen report path "
+                                "(default: ./BENCH_serve.json)")
+    serve_cmd.add_argument("--smoke", action="store_true",
+                           help="capped sizes (same as "
+                                "REPRO_BENCH_SMOKE=1)")
     return parser
 
 
@@ -367,6 +410,48 @@ def main(argv=None) -> int:
         print(f"[scale: {time.time() - started:.1f}s]")
         scale.write_report(report, args.output)
         print(f"[report written to {args.output}]")
+        return 0
+
+    if args.command == "serve":
+        import asyncio
+
+        import dataclasses
+
+        from .serve import LoadGenConfig, run_loadgen, run_server, \
+            write_report
+        from .serve.loadgen import format_report as serve_format
+        if args.loadgen:
+            out_dir = os.path.dirname(os.path.abspath(args.output))
+            if not os.path.isdir(out_dir):
+                print(f"cannot write report: no such directory {out_dir}",
+                      file=sys.stderr)
+                return 2
+            overrides = {"seed": args.seed,
+                         "batch_window": args.batch_window,
+                         "max_batch": args.max_batch}
+            if args.queries is not None:
+                overrides["queries"] = args.queries
+            if args.concurrency is not None:
+                overrides["concurrency"] = args.concurrency
+            config = dataclasses.replace(LoadGenConfig(), **overrides)
+            started = time.time()
+            report = run_loadgen(config, store_dir=args.store,
+                                 smoke=args.smoke or None)
+            print(serve_format(report))
+            print(f"[serve loadgen: {time.time() - started:.1f}s]")
+            write_report(report, args.output)
+            print(f"[report written to {args.output}]")
+            return 0
+        store_dir = args.store or ".repro-serve-store"
+        print(f"serving allocation queries on {args.host}:{args.port} "
+              f"(store: {store_dir}; one JSON query per line, "
+              f"{{\"op\": \"stats\"}} for counters; Ctrl-C stops)")
+        try:
+            asyncio.run(run_server(
+                args.host, args.port, store_dir=store_dir,
+                batch_window=args.batch_window, max_batch=args.max_batch))
+        except KeyboardInterrupt:
+            print("\n[serve: stopped]")
         return 0
 
     if args.command == "bench":

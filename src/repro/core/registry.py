@@ -111,6 +111,14 @@ class AlgorithmSpec:
     params:
         Declared :class:`ParamSpec` entries; constructions with
         undeclared keyword arguments fail loudly.
+    congestion_measure:
+        What the packet controller reacts to: ``"loss"`` (the default;
+        losses drive the window, so the analytic layers' loss prices
+        are the *same* signal the DES measures) or ``"delay"``
+        (queueing delay drives the window, as in wVegas; the fluid and
+        equilibrium layers still price congestion generically, so
+        DES-vs-analytic comparisons are not meaningful and consistency
+        tests skip them).
     """
 
     name: str
@@ -121,6 +129,7 @@ class AlgorithmSpec:
     allocation_factory: Optional[Callable[..., object]] = None
     smt_factory: Optional[Callable[..., object]] = None
     params: Tuple[ParamSpec, ...] = field(default=())
+    congestion_measure: str = "loss"
 
     def __post_init__(self) -> None:
         if not self.name or self.name != self.name.lower():
@@ -129,6 +138,10 @@ class AlgorithmSpec:
                 f"got {self.name!r}")
         if any(alias != alias.lower() for alias in self.aliases):
             raise ValueError(f"aliases must be lower-case: {self.aliases}")
+        if self.congestion_measure not in ("loss", "delay"):
+            raise ValueError(
+                f"congestion_measure must be 'loss' or 'delay', "
+                f"got {self.congestion_measure!r}")
 
     # -- capability flags ----------------------------------------------------
     @property
@@ -245,6 +258,7 @@ def _builtin_specs() -> List[AlgorithmSpec]:
     from ..fluid import equilibrium as _eq
     from ..verify.models import LiaModel, OliaModel, TcpModel
     from . import balia as _balia
+    from . import wvegas as _wvegas
     from .coupled import CoupledController
     from .cubic import CubicController
     from .ewtcp import EwtcpController
@@ -309,6 +323,7 @@ def _builtin_specs() -> List[AlgorithmSpec]:
             params=(ParamSpec("weight", "per-subflow AIMD weight "
                               "(default 1/n^2)", layers=("packet",)),)),
         _balia.SPEC,
+        _wvegas.SPEC,
         AlgorithmSpec(
             name="stcp", description="Scalable TCP (packet layer only)",
             controller_factory=ScalableTcpController,

@@ -1,0 +1,173 @@
+"""wVegas — weighted Vegas, the delay-based end of the design space.
+
+Cao, Xu & Fu's "Delay-based congestion control for multipath TCP"
+(ICNP 2012), recast in the Peng-Walid-Hwang-Low utility framework
+(PAPERS.md): each multipath user keeps a *total* backlog target of
+``alpha`` packets queued in the network and shifts that budget toward
+the paths signalling the least congestion.  In Kelly terms the user
+maximizes ``alpha * log(sum_r x_r)`` against path prices, which puts
+wVegas at the *fully coupled* end of the spectrum — the opposite pole
+from uncoupled TCP, with LIA/OLIA/BALIA in between.
+
+* **Packet layer** (:class:`WVegasController`): per subflow ``r``,
+  Vegas' backlog estimate ``diff_r = cwnd_r (rtt_r - baseRTT_r) /
+  rtt_r`` is compared against this subflow's share of the budget,
+  ``alpha * x_r / sum_k x_k``; the window steps ``+1/cwnd`` below the
+  share, ``-1/cwnd`` above twice the share, and rests in between.
+  Congestion here is *queueing delay*, so the spec carries
+  ``congestion_measure="delay"`` and DES-vs-analytic comparisons are
+  skipped (the analytic layers price congestion generically).
+
+* **Fluid layer** (:class:`WVegasFluid`)::
+
+      dx_r/dt = x_r (alpha / S - p_r) / rtt_r,   S = sum_k x_k
+
+  the gradient flow of ``alpha log S`` against prices ``p_r``, with a
+  one-packet-per-RTT probing floor per route (Vegas never parks a
+  subflow at zero; the DES's ``min_cwnd = 1`` is the same floor).
+
+* **Equilibrium layer** (:func:`wvegas_allocation`): at rest
+  ``alpha / S = min_r p_r``, so the total ``S = alpha / p_min`` rides
+  the minimum-price route(s) — near-tied routes share it through a
+  smoothed best response (so the fixed-point iteration can settle on
+  the price-equalizing Wardrop split), all others sit at the probing
+  floor the solver applies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..fluid.dynamics import FluidAlgorithm, _sum
+from .base import MultipathController
+from .registry import AlgorithmSpec, ParamSpec
+
+_EPS = 1e-12
+
+
+class WVegasController(MultipathController):
+    """Packet-level wVegas: delay-budgeted additive steps per subflow."""
+
+    name = "wvegas"
+
+    def __init__(self, alpha: float = 2.0) -> None:
+        if not alpha > 0:
+            raise ValueError(f"alpha must be > 0, got {alpha}")
+        super().__init__()
+        self.alpha = float(alpha)
+        self._base_rtt: Dict[int, float] = {}
+
+    def _backlog(self, key: int) -> float:
+        """Vegas' estimate of this subflow's packets queued in-network."""
+        state = self._subflows[key]
+        base = min(self._base_rtt.get(key, state.rtt), state.rtt)
+        self._base_rtt[key] = base
+        return state.cwnd * (state.rtt - base) / max(state.rtt, _EPS)
+
+    def increase_increment(self, key: int) -> float:
+        state = self._subflows[key]
+        rates = {k: s.cwnd / s.rtt for k, s in self._subflows.items()}
+        total = sum(rates.values())
+        share = rates[key] / total if total > 0 else 1.0 / len(rates)
+        target = self.alpha * share
+        backlog = self._backlog(key)
+        if backlog < target:
+            return 1.0 / state.cwnd
+        if backlog > 2.0 * target:
+            return -1.0 / state.cwnd
+        return 0.0
+
+
+class WVegasFluid(FluidAlgorithm):
+    """Fluid wVegas: gradient flow of ``alpha log S`` with a probe floor."""
+
+    name = "wvegas"
+
+    def __init__(self, alpha: float = 2.0) -> None:
+        if not alpha > 0:
+            raise ValueError(f"alpha must be > 0, got {alpha}")
+        self.alpha = float(alpha)
+
+    def derivative(self, x, p, rtt):
+        x = np.asarray(x, dtype=float)
+        total = _sum(x, axis=-1, keepdims=True)
+        safe_total = np.maximum(total, _EPS)
+        dx = x * (self.alpha / safe_total - p) / rtt
+        # One packet per RTT keeps probing (the DES's min_cwnd = 1):
+        # below the floor a route relaxes back up instead of dying.
+        floor = 1.0 / rtt
+        dx = np.where(x < floor, np.maximum(dx, (floor - x) / rtt), dx)
+        return np.where(total <= _EPS, 1.0 / (rtt * rtt), dx)
+
+
+def wvegas_allocation(p, rtt, alpha: float = 2.0,
+                      tie_tolerance: float = 0.05) -> np.ndarray:
+    """wVegas' fixed point: ``alpha / p_min`` on the cheapest route(s).
+
+    The true rest point of the fluid is a Wardrop split: every route
+    carrying traffic prices at ``p_min`` exactly, so a *hard* argmin
+    map cannot express it — under fixed-point damping the hard map
+    flip-flops the whole budget between near-tied routes and never
+    settles.  This is the smoothed best response instead: routes
+    within ``(1 + tie_tolerance) * p_min`` share the budget with
+    linear weights that vanish at the edge of the band.  Any split of
+    the budget among price-equalized routes is then a genuine fixed
+    point, and the damped iteration converges to the split that
+    equalizes prices to within ``tie_tolerance``.
+
+    Parameters
+    ----------
+    p, rtt : array_like, shape ``(..., n_routes)``
+        Route loss probabilities and RTTs; routes live on the last
+        axis, leading axes are independent sweep points.  (Vegas'
+        equilibrium rates are RTT-fair: ``rtt`` does not enter.)
+    alpha : float
+        Total backlog budget in packets; the aggregate utility is
+        ``alpha log(total rate)``.
+    tie_tolerance : float
+        Relative width of the near-minimum price band that shares the
+        budget.  Smaller is sharper but stiffer: below the product of
+        damping and the links' price slope the iteration oscillates.
+
+    Returns
+    -------
+    ndarray, shape ``(..., n_routes)``
+        Per-route rates summing to ``alpha / p_min``; routes pricier
+        than the band get zero (the solver's probing floor lifts
+        them, mirroring the fluid's one-packet floor).
+    """
+    if not alpha > 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    if not tie_tolerance > 0:
+        raise ValueError(
+            f"tie_tolerance must be > 0, got {tie_tolerance}")
+    p = np.maximum(np.asarray(p, dtype=float), 1e-15)
+    p_min = np.min(p, axis=-1, keepdims=True)
+    band = p_min * tie_tolerance
+    weight = np.clip((p_min + band - p) / band, 0.0, 1.0)
+    weight_sum = np.sum(weight, axis=-1, keepdims=True)  # >= 1: argmin is 1
+    total = alpha / p_min
+    return total * weight / weight_sum
+
+
+def _wvegas_rule(alpha: float = 2.0, tie_tolerance: float = 0.05):
+    return lambda p, rtt: wvegas_allocation(p, rtt, alpha=alpha,
+                                            tie_tolerance=tie_tolerance)
+
+
+SPEC = AlgorithmSpec(
+    name="wvegas",
+    description="weighted Vegas (delay-based, fully coupled)",
+    controller_factory=WVegasController,
+    fluid_factory=WVegasFluid,
+    allocation_factory=_wvegas_rule,
+    params=(ParamSpec("alpha", "total backlog budget in packets",
+                      layers=("packet", "fluid", "equilibrium")),
+            ParamSpec("tie_tolerance", "relative width of the "
+                      "near-minimum price band sharing the budget in "
+                      "the equilibrium allocation",
+                      layers=("equilibrium",))),
+    congestion_measure="delay",
+)

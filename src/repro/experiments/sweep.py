@@ -43,7 +43,6 @@ import json
 import multiprocessing
 import os
 import pickle
-import tempfile
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -62,6 +61,8 @@ from typing import (
     Tuple,
 )
 
+from ..serve.store import ResultStore
+from ..util.atomics import release_claim, try_claim
 from .runner import RunSpec
 
 _CACHE_MISS = object()
@@ -159,6 +160,16 @@ class SweepRunner:
         ``cache_dir`` (it is the store shards merge through); points
         owned by another shard come back as :data:`SWEEP_PENDING`
         unless already cached.
+    claim_ttl : float, optional
+        Age in seconds after which another runner's claim counts as
+        abandoned (a hard-killed worker never releases its claims) and
+        is reaped: the stale claim file is unlinked and this runner
+        claims the point itself.  ``None`` (the default) never reaps —
+        matching the historical behavior where stale claims park their
+        points as PENDING until an unsharded merge run recomputes them.
+        Set it comfortably above the cost of the slowest point; a value
+        too low only costs duplicate compute (entry writes are atomic
+        and idempotent), never correctness.
 
     Attributes
     ----------
@@ -171,9 +182,12 @@ class SweepRunner:
 
     def __init__(self, jobs: int = 1,
                  cache_dir: "str | os.PathLike | None" = None,
-                 shard: "Tuple[int, int] | str | None" = None) -> None:
+                 shard: "Tuple[int, int] | str | None" = None,
+                 claim_ttl: Optional[float] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if claim_ttl is not None and not claim_ttl > 0:
+            raise ValueError("claim_ttl must be > 0 seconds or None")
         if isinstance(shard, str):
             if shard != "steal":
                 raise ValueError(
@@ -198,6 +212,13 @@ class SweepRunner:
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.shard = shard
+        self.claim_ttl = claim_ttl
+        # The disk layer is the shared, unbounded ResultStore the serve
+        # layer also speaks: a sweep cache and a serve store pointed at
+        # the same directory exchange results.  The memory LRU stays off
+        # — sweeps hold their results list anyway.
+        self._store = (ResultStore(self.cache_dir, memory_entries=0)
+                       if self.cache_dir is not None else None)
         self.cache_hits = 0
         self.cache_misses = 0
         self.skipped = 0
@@ -209,33 +230,17 @@ class SweepRunner:
         return self.cache_dir / f"{spec.content_hash()}.pkl"
 
     def _load_cached(self, spec: RunSpec) -> Any:
-        path = self._cache_path(spec)
-        if path is None or not path.exists():
+        if self._store is None:
             return _CACHE_MISS
-        try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
-            return _CACHE_MISS
+        return self._store.get(spec.content_hash(), _CACHE_MISS)
 
     def _store_cached(self, spec: RunSpec, result: Any) -> None:
-        path = self._cache_path(spec)
-        if path is None:
-            return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename so a crashed run never leaves a torn entry.
-        # Caching is best-effort: an unpicklable result (or a full disk)
-        # must not fail a run whose points all computed fine.
-        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh)
-            os.replace(tmp_name, path)
-        except (OSError, pickle.PicklingError, TypeError, AttributeError):
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+        # Write-then-rename (via ResultStore/atomics) so a crashed run
+        # never leaves a torn entry.  Caching is best-effort: an
+        # unpicklable result (or a full disk) must not fail a run whose
+        # points all computed fine.
+        if self._store is not None:
+            self._store.put(spec.content_hash(), result)
 
     def _owns(self, index: int) -> bool:
         if self.shard is None:
@@ -250,25 +255,16 @@ class SweepRunner:
     def _try_claim(self, spec: RunSpec) -> bool:
         """Atomically claim a point; False when another runner holds it.
 
-        ``O_CREAT | O_EXCL`` is atomic on POSIX filesystems (including
-        NFS v3+), which is all the coordination work stealing needs —
-        no daemon, no queue service, just the shared ``cache_dir``.
+        ``O_CREAT | O_EXCL`` (see :func:`repro.util.atomics.try_claim`)
+        is atomic on POSIX filesystems (including NFS v3+), which is all
+        the coordination work stealing needs — no daemon, no queue
+        service, just the shared ``cache_dir``.  With ``claim_ttl`` set,
+        a claim older than the TTL is reaped as abandoned.
         """
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        try:
-            fd = os.open(self._claim_path(spec),
-                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            return False
-        with os.fdopen(fd, "w") as fh:
-            fh.write(f"pid={os.getpid()}\n")
-        return True
+        return try_claim(self._claim_path(spec), ttl=self.claim_ttl)
 
     def _release_claim(self, spec: RunSpec) -> None:
-        try:
-            os.unlink(self._claim_path(spec))
-        except OSError:
-            pass
+        release_claim(self._claim_path(spec))
 
     # -- execution --------------------------------------------------------------
     def run(self, specs: Iterable[RunSpec], *,

@@ -35,6 +35,33 @@ from .network import BatchFluidNetwork
 
 _EPS = 1e-15
 
+#: Length (iterations) of the stagnation-detection window in the
+#: fixed-point solvers: every window, a point's best residual must
+#: have improved by at least ``1 - _STALL_FACTOR`` or its step size
+#: drops a ladder level.  Windows shorter than 150 misread bursty
+#: convergers (wVegas near a Wardrop tie improves in plateaus
+#: punctuated by drops) as stagnant and over-anneal them.
+_STALL_WINDOW = 150
+#: Minimum relative improvement per window that counts as progress.  A
+#: genuine converger loses ≥ 2% of its residual every 150 iterations
+#: (that allows >100k-iteration convergence tails); an orbiting point
+#: plateaus and fails the check no matter how small its step size is.
+_STALL_FACTOR = 0.98
+#: Per-level step-size reduction of the annealing ladder.  Halving is
+#: the right pace: quartering overshoots — it skips the band of ``g``
+#: where the post-anneal convergence factor ``|1 - g (1 - s)|`` is
+#: small and lands points in the slow-stable region near the floor.
+_ANNEAL_STEP = 0.5
+#: Largest total step-size reduction annealing may apply: step sizes
+#: anneal from ``damping`` down to ``damping / _MAX_ANNEALING``.
+_MAX_ANNEALING = 1024.0
+#: Consecutive window boundaries a point may spend behind the pace
+#: line (the log-linear trajectory from 1 to ``tol`` over ``max_iter``)
+#: while also improving slower than the on-pace per-window rate before
+#: it is frozen as a budget miss.  Annealing a point resets its strike
+#: count: the new step size gets a fresh chance to restore the pace.
+_PACE_STRIKES = 3
+
 
 def tcp_rate(p, rtt):
     """TCP loss-throughput formula ``x = sqrt(2/p) / rtt`` (pkt/s).
@@ -216,6 +243,47 @@ class PerPointEpsilonRule:
         return PerPointEpsilonRule(self.epsilons[points])
 
 
+class PerPointRuleSet:
+    """A different allocation rule for every batched sweep point.
+
+    Where :class:`PerPointEpsilonRule` varies one *parameter* across the
+    K-dimension, this varies the *algorithm*: row ``k`` of the batch is
+    evaluated by ``rules[k]``, so heterogeneous queries — one user
+    running OLIA here, BALIA there — still solve as a single
+    :func:`solve_fixed_point_batch` call.  Rows sharing the same rule
+    object evaluate together in one vectorized call; allocation rules
+    operate row-wise along the last axis, so each row's numbers are
+    bitwise identical to a standalone K=1 solve with its own rule.
+    Implements the ``take_points`` compaction protocol.
+    """
+
+    def __init__(self, rules) -> None:
+        self.rules = list(rules)
+        if not self.rules:
+            raise ValueError("PerPointRuleSet needs at least one rule")
+
+    def __call__(self, p, rtt) -> np.ndarray:
+        p = np.atleast_2d(np.asarray(p, dtype=float))
+        rtt = np.atleast_2d(np.asarray(rtt, dtype=float))
+        if p.shape[0] != len(self.rules):
+            raise ValueError(
+                f"batch has {p.shape[0]} points but rule set has "
+                f"{len(self.rules)} rules")
+        out = np.empty_like(p)
+        groups: dict = {}
+        for k, rule in enumerate(self.rules):
+            groups.setdefault(id(rule), (rule, []))[1].append(k)
+        for rule, rows in groups.values():
+            idx = np.asarray(rows, dtype=np.intp)
+            out[idx] = np.asarray(rule(p[idx], rtt[idx]), dtype=float)
+        return out
+
+    def take_points(self, points) -> "PerPointRuleSet":
+        """The same rule set restricted to a subset of batch points."""
+        index = np.arange(len(self.rules))[points]
+        return PerPointRuleSet([self.rules[k] for k in np.atleast_1d(index)])
+
+
 def tcp_allocation(p, rtt) -> np.ndarray:
     """Uncoupled: every route gets the full TCP rate for its own loss.
 
@@ -384,6 +452,38 @@ def solve_fixed_point_batch(networks, rules, *,
     rates (the two phases differ only in how the tie splits traffic
     across tied-best paths) and the cycle residual as ``residual``.
 
+    Stagnation-triggered annealing: a fixed step size ``g`` only
+    stabilises map slopes above ``1 - 2/g``; steeper rules (wVegas'
+    ``alpha/p`` response on a sharp link, OLIA's best-set flips on
+    asymmetric topologies) orbit in period-4 or aperiodic cycles that
+    neither residual catches.  Each point therefore carries its *own*
+    step size: when a point's best residual improves by less than
+    ``1 - _STALL_FACTOR`` across a ``_STALL_WINDOW``-iteration window
+    its step size halves (down to ``damping / _MAX_ANNEALING``), which
+    walks it into its stability region.  Residuals are rescaled by
+    ``damping / g_point`` so a smaller step cannot fake convergence —
+    the recorded residual always measures the mismatch a
+    nominal-damping step would show.  Annealing decisions depend only
+    on the point's own history, so batch and sequential runs stay
+    bitwise-equal; a point that never stalls rescales by exactly
+    ``1.0`` and is bitwise-identical to the fixed-damping iteration.
+    A point that is *still* stalled at the annealing floor sits on a
+    rule discontinuity no step size can settle through (its
+    equilibrium is a sliding point of the hard best-set map); it
+    freezes early as ``converged=False`` with the stuck residual on
+    record instead of burning the rest of ``max_iter``.
+
+    Budget-miss freezing: a point improving steadily but too slowly —
+    behind the log-linear pace line from 1 to ``tol`` over
+    ``max_iter`` *and* improving slower than the on-pace per-window
+    rate for ``_PACE_STRIKES`` consecutive windows — cannot reach
+    ``tol`` within the budget at its demonstrated rate.  It freezes
+    early with the same ``converged=False`` outcome that exhausting
+    ``max_iter`` would record, at a fraction of the cost.  A point on
+    pace, or catching up, never collects a strike; an anneal resets
+    the count so a just-stabilised orbit can show its true
+    (post-anneal) convergence rate first.
+
     A user rule may carry *per-point* parameters (e.g.
     :class:`PerPointEpsilonRule`); such rules expose
     ``take_points(points)`` returning the rule restricted to a subset of
@@ -450,6 +550,29 @@ def solve_fixed_point_batch(networks, rules, *,
     # iteration 1 it equals x0, making the cycle residual coincide with
     # the step residual — the check only diverges once a cycle exists.
     x_prev2 = x
+    # Per-point annealing state: current step size, best residual so
+    # far, the best at the last window boundary, iterations into the
+    # current window.
+    g_act = np.full(len(active), damping)
+    g_min = damping / _MAX_ANNEALING
+    best_resid = np.full(len(active), np.inf)
+    best_checkpoint = np.full(len(active), np.inf)
+    window = np.zeros(len(active), dtype=int)
+    # Consecutive window boundaries spent behind the pace line while
+    # improving slower than the on-pace rate (see _PACE_STRIKES).
+    strikes = np.zeros(len(active), dtype=int)
+    # Per-window AR(1) statistics of the step sequence, for the Aitken
+    # jump: lam_num/lam_den is the least-squares estimate of the
+    # contraction factor ``lambda`` in ``delta_{t+1} = lambda delta_t``
+    # and lam_num**2 / (lam_den * lam_sq) its squared correlation.
+    lam_num = np.zeros(len(active))
+    lam_den = np.zeros(len(active))
+    lam_sq = np.zeros(len(active))
+    # The on-pace per-window residual decay: a constant-rate converger
+    # that finishes exactly at ``max_iter`` loses this factor every
+    # window.  Points improving faster are catching up and collect no
+    # strike even when currently behind the pace line.
+    catchup = tol ** (_STALL_WINDOW / max_iter)
 
     for iteration in range(1, max_iter + 1):
         points = None if len(active) == n_points else active
@@ -462,10 +585,20 @@ def solve_fixed_point_batch(networks, rules, *,
             target[..., idx] = rule(p_routes[..., idx],
                                     rtts_act[..., idx])
         target = np.maximum(target, floor_act)
-        new_x = (1.0 - damping) * x + damping * target
+        g_col = g_act[:, None]
+        new_x = (1.0 - g_col) * x + g_col * target
         scale = np.maximum(np.max(np.abs(new_x), axis=-1), 1e-9)
-        residual = np.max(np.abs(new_x - x), axis=-1) / scale
-        cycle_residual = np.max(np.abs(new_x - x_prev2), axis=-1) / scale
+        # Rescaled to the nominal step so annealing (smaller steps)
+        # cannot shrink the residual without the iterate settling.
+        rescale = damping / g_act
+        residual = np.max(np.abs(new_x - x), axis=-1) / scale * rescale
+        cycle_residual = (np.max(np.abs(new_x - x_prev2), axis=-1)
+                          / scale * rescale)
+        delta1 = new_x - x
+        delta0 = x - x_prev2
+        lam_num += np.sum(delta1 * delta0, axis=-1)
+        lam_den += np.sum(delta0 * delta0, axis=-1)
+        lam_sq += np.sum(delta1 * delta1, axis=-1)
         x_prev2 = x
         x = new_x
         # A point is done when the step residual converges (the regular
@@ -490,9 +623,114 @@ def solve_fixed_point_batch(networks, rules, *,
             rtts_act = rtts_act[keep]
             floor_act = floor_act[keep]
             residual = residual[keep]
+            g_act = g_act[keep]
+            best_resid = best_resid[keep]
+            best_checkpoint = best_checkpoint[keep]
+            window = window[keep]
+            strikes = strikes[keep]
+            lam_num = lam_num[keep]
+            lam_den = lam_den[keep]
+            lam_sq = lam_sq[keep]
             rules_act = [rule.take_points(active)
                          if hasattr(rule, "take_points") else rule
                          for rule in per_user]
+        # Anneal stalled points: a window with less than 2% improvement
+        # of the best residual means this step size orbits instead of
+        # converging — halve it.  (Counting *relative* progress per
+        # fixed window, rather than iterations since the last strict
+        # improvement, keeps the anneal cadence constant: a shrinking
+        # orbit improves a little every step, but ever more slowly.)
+        best_resid = np.minimum(best_resid, residual)
+        window += 1
+        at_window = window >= _STALL_WINDOW
+        if at_window.any():
+            stalled = at_window & (best_resid
+                                   > _STALL_FACTOR * best_checkpoint)
+            anneal = stalled & (g_act > g_min)
+            g_act = np.where(anneal, _ANNEAL_STEP * g_act, g_act)
+            # Pace strikes: a point behind the log-linear pace line to
+            # ``tol`` that is also improving slower than the on-pace
+            # per-window rate cannot finish within ``max_iter`` at its
+            # demonstrated rate.  Three consecutive such windows and
+            # it is frozen as a budget miss — same ``converged=False``
+            # outcome that burning the remaining budget would record,
+            # at a fraction of the cost.  An anneal resets the count:
+            # the new step size gets a fresh chance (a just-stabilised
+            # orbit converges far faster than its plateau suggested).
+            pace = tol ** (iteration / max_iter)
+            pace_fail = (at_window
+                         & (best_resid > pace)
+                         & (best_resid > catchup * best_checkpoint))
+            strikes = np.where(at_window,
+                               np.where(pace_fail, strikes + 1, 0),
+                               strikes)
+            strikes = np.where(anneal, 0, strikes)
+            best_checkpoint = np.where(at_window, best_resid,
+                                       best_checkpoint)
+            window = np.where(at_window, 0, window)
+            # Aitken jump: a point whose steps over the whole window
+            # followed ``delta_{t+1} = lambda delta_t`` almost exactly
+            # (squared correlation > 0.99) with a contraction factor
+            # ``|lambda| < 1`` is in a linear regime whose limit is
+            # known in closed form — jump straight to
+            # ``x + delta lambda / (1 - lambda)`` instead of playing
+            # out the geometric series one step at a time.  Monotone
+            # contractions (``lambda`` near +1) skip their long
+            # geometric tail; decaying oscillations (``lambda`` near
+            # -1) jump to the contraction centre, skipping the
+            # annealing ladder.  The jump is only ever a *proposal*:
+            # convergence is still declared by the ordinary residual
+            # test on subsequent iterations, so a jump thrown off by
+            # nonlinearity merely leaves the damped iteration to
+            # continue from a new (floored) state.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                lam = lam_num / lam_den
+                corr_sq = lam_num * lam_num / (lam_den * lam_sq)
+            jump = (at_window
+                    & (lam_den > 0.0) & (lam_sq > 0.0)
+                    & (corr_sq > 0.99)
+                    & (np.abs(lam) < 0.9999))
+            if jump.any():
+                amplifier = np.where(jump, lam / (1.0 - lam), 0.0)
+                x = x + amplifier[:, None] * (x - x_prev2)
+                x = np.maximum(x, floor_act)
+            lam_num = np.where(at_window, 0.0, lam_num)
+            lam_den = np.where(at_window, 0.0, lam_den)
+            lam_sq = np.where(at_window, 0.0, lam_sq)
+            # A point still stalled at the annealing floor is
+            # *stagnant*: its equilibrium sits on a rule discontinuity
+            # (e.g. OLIA's best-set boundary) that no step size can
+            # settle through.  The iterate hovers within O(g_min) of
+            # the sliding point, so burn no more budget: freeze it
+            # now, honestly ``converged=False`` with the stuck
+            # residual on record.  Budget misses (pace strikes
+            # exhausted) freeze through the same path.
+            stagnant = (stalled & ~anneal) | (strikes >= _PACE_STRIKES)
+            if stagnant.any():
+                done = active[stagnant]
+                final_x[done] = x[stagnant]
+                iterations[done] = iteration
+                final_residual[done] = residual[stagnant]
+                keep = ~stagnant
+                active = active[keep]
+                if len(active) == 0:
+                    break
+                x = x[keep]
+                x_prev2 = x_prev2[keep]
+                rtts_act = rtts_act[keep]
+                floor_act = floor_act[keep]
+                residual = residual[keep]
+                g_act = g_act[keep]
+                best_resid = best_resid[keep]
+                best_checkpoint = best_checkpoint[keep]
+                window = window[keep]
+                strikes = strikes[keep]
+                lam_num = lam_num[keep]
+                lam_den = lam_den[keep]
+                lam_sq = lam_sq[keep]
+                rules_act = [rule.take_points(active)
+                             if hasattr(rule, "take_points") else rule
+                             for rule in per_user]
 
     if len(active):
         final_x[active] = x

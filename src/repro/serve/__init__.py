@@ -1,0 +1,37 @@
+"""Always-on allocation-query serving layer.
+
+``python -m repro serve`` runs a long-lived asyncio service answering
+"given this topology and this coupled-CC algorithm, what equilibrium
+allocation results?" queries.  Concurrent queries coalesce into single
+:func:`~repro.fluid.equilibrium.solve_fixed_point_batch` calls (the
+batched solver's K-dimension is free concurrency) and results memoize
+through a persistent content-hash store shared with ``SweepRunner``.
+"""
+
+from .store import MISSING, ResultStore, StoreStats
+from .service import (
+    AllocationQuery,
+    AllocationService,
+    LinkSpec,
+    RouteSpec,
+    UserSpec,
+    run_server,
+    solve_query,
+)
+from .loadgen import LoadGenConfig, run_loadgen, write_report
+
+__all__ = [
+    "MISSING",
+    "ResultStore",
+    "StoreStats",
+    "AllocationQuery",
+    "AllocationService",
+    "LinkSpec",
+    "RouteSpec",
+    "UserSpec",
+    "run_server",
+    "solve_query",
+    "LoadGenConfig",
+    "run_loadgen",
+    "write_report",
+]

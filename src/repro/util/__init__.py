@@ -1,0 +1,21 @@
+"""Shared low-level utilities (filesystem atomics, small helpers)."""
+
+from .atomics import (
+    MISSING,
+    atomic_pickle,
+    atomic_write_bytes,
+    claim_age,
+    load_pickle,
+    release_claim,
+    try_claim,
+)
+
+__all__ = [
+    "MISSING",
+    "atomic_pickle",
+    "atomic_write_bytes",
+    "claim_age",
+    "load_pickle",
+    "release_claim",
+    "try_claim",
+]

@@ -1,0 +1,144 @@
+"""Filesystem atomics: write-then-rename persistence and O_EXCL claims.
+
+Exactly one tested implementation of the two idioms every concurrent
+on-disk store in this repo relies on:
+
+* **tmpfile + rename** (:func:`atomic_write_bytes`, :func:`atomic_pickle`,
+  :func:`load_pickle`) — a reader never observes a torn entry, because
+  ``os.replace`` is atomic on POSIX filesystems and the temporary file
+  lives in the destination directory (same filesystem, so the rename
+  cannot degrade to a copy);
+* **O_EXCL claim files** (:func:`try_claim`, :func:`release_claim`,
+  :func:`claim_age`) — ``O_CREAT | O_EXCL`` is atomic on POSIX
+  filesystems (including NFS v3+), which is all the coordination a
+  work-stealing queue or a multi-writer cache needs: no daemon, no
+  queue service, just a shared directory.
+
+Both ``SweepRunner`` (``experiments/sweep.py``) and the serving-layer
+result store (``serve/store.py``) are built on these primitives.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+#: Sentinel returned by :func:`load_pickle` when an entry is absent or
+#: unreadable.  Identity-checked (``value is MISSING``), so any stored
+#: value — including ``None`` and ``False`` — round-trips unambiguously.
+MISSING = object()
+
+
+def _unlink_quiet(path: "str | os.PathLike") -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def atomic_write_bytes(path: "str | os.PathLike", data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmpfile in-dir + rename).
+
+    Concurrent writers to the same path are safe: each writes its own
+    temporary file and the last rename wins, with readers seeing either
+    the old complete entry or the new complete entry, never a mix.
+    Raises ``OSError`` on failure (full disk, permissions); the partial
+    temporary file is removed before the exception propagates.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp_name, target)
+    except OSError:
+        _unlink_quiet(tmp_name)
+        raise
+
+
+def atomic_pickle(path: "str | os.PathLike", obj: Any) -> bool:
+    """Best-effort atomic pickle of ``obj`` to ``path``.
+
+    Returns ``True`` when the entry landed on disk.  Persistence is an
+    optimization, never a correctness requirement, so an unpicklable
+    object (or a full disk) returns ``False`` instead of failing the
+    computation that produced the value.
+    """
+    try:
+        data = pickle.dumps(obj)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False
+    try:
+        atomic_write_bytes(path, data)
+    except OSError:
+        return False
+    return True
+
+
+def load_pickle(path: "str | os.PathLike", default: Any = MISSING) -> Any:
+    """Read a pickled entry; ``default`` when absent, torn, or corrupt.
+
+    A truncated or garbage entry (crashed writer on a non-atomic
+    filesystem, bit rot) is indistinguishable from a miss on purpose:
+    callers recompute and overwrite, which is always safe because
+    entries are content-addressed.
+    """
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return default
+
+
+def try_claim(path: "str | os.PathLike",
+              *, ttl: Optional[float] = None,
+              payload: Optional[str] = None) -> bool:
+    """Atomically claim ``path``; ``False`` when another holder has it.
+
+    With ``ttl`` set, a claim older than ``ttl`` seconds is treated as
+    abandoned by a dead worker: it is reaped (unlinked) and claiming is
+    retried once.  Two reapers racing on the same stale claim can both
+    succeed in unlinking+recreating it — the resulting duplicate compute
+    is harmless for content-addressed stores whose writes are atomic and
+    idempotent, which is the only context claims are used in.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if _create_claim(target, payload):
+        return True
+    if ttl is not None:
+        age = claim_age(target)
+        if age is not None and age > ttl:
+            _unlink_quiet(target)
+            return _create_claim(target, payload)
+    return False
+
+
+def _create_claim(path: Path, payload: Optional[str]) -> bool:
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "w") as fh:
+        fh.write(payload if payload is not None else f"pid={os.getpid()}\n")
+    return True
+
+
+def release_claim(path: "str | os.PathLike") -> None:
+    """Drop a claim.  Idempotent; a vanished claim file is not an error."""
+    _unlink_quiet(path)
+
+
+def claim_age(path: "str | os.PathLike") -> Optional[float]:
+    """Seconds since the claim file was created; ``None`` when absent."""
+    try:
+        mtime = os.stat(path).st_mtime
+    except OSError:
+        return None
+    return max(0.0, time.time() - mtime)

@@ -294,6 +294,111 @@ class TestCheckScaleReport:
                 check_bench.summary_markdown(None, None, broken)
 
 
+def _serve_report(*, cold_speedup=6.0, warm_improvement=500.0,
+                  replay_speedup=50.0, warm_hit_rate=1.0,
+                  replay_hit_rate=0.99, bitwise=True, smoke=False,
+                  **top):
+    report = {
+        "benchmark": "serve",
+        "bitwise_equal": bitwise,
+        "config": {"queries": 1_000_000, "latency_queries": 2000,
+                   "concurrency": 128},
+        "sequential_baseline": {"qps": 50.0, "p50_ms": 20.0},
+        "cold": {"qps": 50.0 * cold_speedup, "p50_ms": 400.0,
+                 "p99_ms": 900.0,
+                 "speedup_vs_sequential": cold_speedup},
+        "warm": {"qps": 10_000.0, "p50_ms": 20.0 / warm_improvement,
+                 "p99_ms": 0.2, "p50_improvement": warm_improvement,
+                 "hit_rate": warm_hit_rate},
+        "replay": {"qps": 50.0 * replay_speedup, "p50_ms": 0.1,
+                   "p99_ms": 5.0,
+                   "speedup_vs_sequential": replay_speedup,
+                   "hit_rate": replay_hit_rate},
+        "store": {"hits": 900_000, "misses": 100_000},
+    }
+    if smoke:
+        report["smoke"] = True
+    report.update(top)
+    return report
+
+
+class TestCheckServeReport:
+    def test_good_report_passes(self):
+        assert check_bench.check_serve_report(_serve_report()) == []
+
+    def test_wrong_benchmark_field_fails_fast(self):
+        failures = check_bench.check_serve_report(
+            _serve_report(benchmark="fluid"))
+        assert len(failures) == 1
+        assert "wrong file" in failures[0]
+
+    def test_non_dict_report_rejected(self):
+        assert check_bench.check_serve_report(["not", "a", "dict"])
+
+    def test_bitwise_divergence_fails(self):
+        failures = check_bench.check_serve_report(
+            _serve_report(bitwise=False))
+        assert any("bitwise" in f for f in failures)
+
+    def test_cold_speedup_floor(self):
+        failures = check_bench.check_serve_report(
+            _serve_report(cold_speedup=3.0))
+        assert any("cold_speedup" in f and "5x" in f for f in failures)
+
+    def test_warm_p50_floor(self):
+        failures = check_bench.check_serve_report(
+            _serve_report(warm_improvement=4.0))
+        assert any("warm_p50_improvement" in f for f in failures)
+
+    def test_smoke_floors_are_looser_on_cold_only(self):
+        smoke = _serve_report(cold_speedup=2.0, smoke=True)
+        assert check_bench.check_serve_report(smoke) == []
+        assert check_bench.check_serve_report(
+            _serve_report(cold_speedup=2.0))
+        # The memoized win is scale-independent: same bar in smoke.
+        failures = check_bench.check_serve_report(
+            _serve_report(warm_improvement=4.0, smoke=True))
+        assert any("warm_p50_improvement" in f for f in failures)
+
+    def test_warm_hit_rate_below_099_fails(self):
+        failures = check_bench.check_serve_report(
+            _serve_report(warm_hit_rate=0.9))
+        assert any("persistent store" in f for f in failures)
+
+    def test_hit_rate_outside_unit_interval_fails(self):
+        failures = check_bench.check_serve_report(
+            _serve_report(replay_hit_rate=1.5))
+        assert any("not in [0, 1]" in f for f in failures)
+
+    def test_nan_metric_fails(self):
+        report = _serve_report()
+        report["cold"]["qps"] = float("nan")
+        failures = check_bench.check_serve_report(report)
+        assert any("cold.qps" in f for f in failures)
+
+    def test_missing_metric_fails(self):
+        report = _serve_report()
+        del report["replay"]["p50_ms"]
+        assert check_bench.check_serve_report(report)
+
+    def test_baseline_ratio_regression_fails(self):
+        new = _serve_report(cold_speedup=6.0, replay_speedup=20.0)
+        baseline = _serve_report(cold_speedup=6.0, replay_speedup=100.0)
+        failures = check_bench.check_serve_report(new, baseline=baseline)
+        assert any("replay_speedup" in f and "baseline" in f
+                   for f in failures)
+        # Within the 2x slack the same baseline passes.
+        ok = _serve_report(cold_speedup=6.0, replay_speedup=60.0)
+        assert check_bench.check_serve_report(ok, baseline=baseline) == []
+
+    def test_baseline_of_different_size_only_floors_apply(self):
+        new = _serve_report(replay_speedup=20.0)
+        baseline = _serve_report(replay_speedup=100.0)
+        baseline["config"]["queries"] = 10_000
+        assert check_bench.check_serve_report(new,
+                                              baseline=baseline) == []
+
+
 class TestStepSummary:
     def test_markdown_mentions_every_section(self):
         text = check_bench.summary_markdown(_report(), _report(),
@@ -351,10 +456,28 @@ class TestMain:
         scale_path = tmp_path / "scale.json"
         scale_path.write_text(json.dumps(_scale_report()))
         assert check_bench.main(["--scale", str(scale_path)]) == 0
-        assert "valid scale report" in capsys.readouterr().out
+        assert "bench check OK" in capsys.readouterr().out
         scale_path.write_text(json.dumps({"presets": {}}))
         assert check_bench.main(["--scale", str(scale_path)]) == 1
         assert "FAIL" in capsys.readouterr().err
+
+    def test_cli_serve_only_mode(self, tmp_path, capsys):
+        serve_path = tmp_path / "serve.json"
+        serve_path.write_text(json.dumps(_serve_report()))
+        assert check_bench.main(["--serve", str(serve_path)]) == 0
+        serve_path.write_text(json.dumps(
+            _serve_report(cold_speedup=1.1)))
+        assert check_bench.main(["--serve", str(serve_path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_cli_serve_with_baseline(self, tmp_path, capsys):
+        serve_path = tmp_path / "serve.json"
+        base_path = tmp_path / "serve_base.json"
+        serve_path.write_text(json.dumps(_serve_report()))
+        base_path.write_text(json.dumps(_serve_report()))
+        assert check_bench.main(["--serve", str(serve_path),
+                                 "--serve-baseline",
+                                 str(base_path)]) == 0
 
     def test_cli_requires_some_report(self, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,165 @@
+"""wVegas across all three layers (delay-based, fully coupled)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SubflowState, make_controller
+from repro.core.registry import get_spec
+from repro.core.wvegas import (
+    WVegasController,
+    WVegasFluid,
+    wvegas_allocation,
+)
+
+
+def _controller(windows, rtts, alpha=2.0):
+    controller = WVegasController(alpha=alpha)
+    for key, (w, rtt) in enumerate(zip(windows, rtts)):
+        controller.register_subflow(key, SubflowState(cwnd=w, rtt=rtt))
+    return controller
+
+
+class TestWVegasController:
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            WVegasController(alpha=0.0)
+
+    def test_no_queueing_delay_probes_up(self):
+        """With rtt at its base value the backlog is zero: grow."""
+        wvegas = _controller([10.0], [0.1])
+        assert wvegas.increase_increment(0) == pytest.approx(1.0 / 10.0)
+
+    def test_backlog_above_twice_target_backs_off(self):
+        """Inflate the RTT after the base is learned: backlog too big."""
+        wvegas = _controller([10.0], [0.1])
+        wvegas.increase_increment(0)          # learn baseRTT = 0.1
+        wvegas.subflows[0].rtt = 0.5          # 8 packets queued
+        assert wvegas.increase_increment(0) == pytest.approx(-1.0 / 10.0)
+
+    def test_backlog_inside_band_rests(self):
+        """Backlog between the share and twice the share: hold."""
+        wvegas = _controller([10.0], [0.1], alpha=2.0)
+        wvegas.increase_increment(0)          # baseRTT = 0.1
+        # backlog = cwnd (rtt - base)/rtt = 10 * 0.03/0.13 ~ 2.3,
+        # inside [alpha, 2 alpha) = [2.0, 4.0) for the single subflow.
+        wvegas.subflows[0].rtt = 0.13
+        assert wvegas.increase_increment(0) == 0.0
+
+    def test_budget_split_by_rate_share(self):
+        """A faster subflow owns a bigger slice of the alpha budget."""
+        wvegas = _controller([10.0, 10.0], [0.05, 0.2], alpha=3.0)
+        wvegas.increase_increment(0)
+        wvegas.increase_increment(1)          # learn base RTTs
+        # Inflate both RTTs by the same relative factor: each queues
+        # the same ~1.3 packets, but subflow 0 carries 4/5 of the rate
+        # so its slice of the budget (2.4) comfortably covers that,
+        # while subflow 1's slice (0.6) is already overshot twice over.
+        wvegas.subflows[0].rtt = 0.05 * 1.15
+        wvegas.subflows[1].rtt = 0.2 * 1.15
+        assert wvegas.increase_increment(0) > 0.0
+        assert wvegas.increase_increment(1) < 0.0
+
+    def test_loss_halves_like_tcp(self):
+        wvegas = _controller([10.0], [0.1])
+        assert wvegas.decrease_on_loss(0) == pytest.approx(5.0)
+
+    def test_registry_constructs_it(self):
+        assert isinstance(make_controller("wvegas"), WVegasController)
+
+
+class TestWVegasFluid:
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            WVegasFluid(alpha=-1.0)
+
+    def test_derivative_sign_tracks_price_vs_budget(self):
+        fluid = WVegasFluid(alpha=2.0)
+        x = np.array([100.0, 100.0])
+        rtt = np.array([0.1, 0.1])
+        # alpha / S = 0.01: cheaper routes grow, pricier ones shrink.
+        dx = fluid.derivative(x, np.array([0.001, 0.05]), rtt)
+        assert dx[0] > 0.0
+        assert dx[1] < 0.0
+
+    def test_rest_point_when_price_equals_budget_rate(self):
+        fluid = WVegasFluid(alpha=2.0)
+        x = np.array([200.0])
+        rtt = np.array([0.1])
+        dx = fluid.derivative(x, np.array([2.0 / 200.0]), rtt)
+        assert dx[0] == pytest.approx(0.0)
+
+    def test_probing_floor_lifts_starved_route(self):
+        """Below one packet per RTT the route relaxes up, never dies."""
+        fluid = WVegasFluid(alpha=2.0)
+        x = np.array([0.5, 500.0])            # floor = 1/rtt = 10
+        rtt = np.array([0.1, 0.1])
+        dx = fluid.derivative(x, np.array([0.9, 0.001]), rtt)
+        assert dx[0] > 0.0
+
+    def test_batch_rows_match_sequential(self):
+        fluid = WVegasFluid(alpha=2.0)
+        x = np.array([[100.0, 50.0], [20.0, 300.0]])
+        p = np.array([[0.01, 0.02], [0.03, 0.001]])
+        rtt = np.array([[0.1, 0.2], [0.15, 0.05]])
+        batch = fluid.derivative(x, p, rtt)
+        for k in range(2):
+            row = fluid.derivative(x[k], p[k], rtt[k])
+            assert np.array_equal(batch[k], row)
+
+
+class TestWVegasAllocation:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            wvegas_allocation([0.01], [0.1], alpha=0.0)
+        with pytest.raises(ValueError):
+            wvegas_allocation([0.01], [0.1], tie_tolerance=0.0)
+
+    def test_total_is_alpha_over_min_price(self):
+        rates = wvegas_allocation([0.01, 0.5], [0.1, 0.1], alpha=2.0)
+        assert np.sum(rates) == pytest.approx(2.0 / 0.01)
+
+    def test_pricier_route_outside_band_gets_zero(self):
+        rates = wvegas_allocation([0.01, 0.5], [0.1, 0.1], alpha=2.0)
+        assert rates[1] == 0.0
+
+    def test_rtt_fair_rates_ignore_rtt(self):
+        a = wvegas_allocation([0.01, 0.02], [0.1, 0.1])
+        b = wvegas_allocation([0.01, 0.02], [0.05, 0.3])
+        assert np.array_equal(a, b)
+
+    def test_tied_routes_share_smoothly(self):
+        """Inside the band the weight decays linearly to the edge."""
+        p_min = 0.01
+        half_band = 0.01 * (1.0 + 0.05 / 2.0)
+        rates = wvegas_allocation([p_min, half_band], [0.1, 0.1],
+                                  alpha=2.0, tie_tolerance=0.05)
+        assert rates[0] > rates[1] > 0.0
+        assert np.sum(rates) == pytest.approx(2.0 / p_min)
+        # Exactly tied prices split exactly evenly.
+        even = wvegas_allocation([p_min, p_min], [0.1, 0.1], alpha=2.0)
+        assert even[0] == pytest.approx(even[1])
+
+    def test_batch_rows_match_sequential(self):
+        p = np.array([[0.01, 0.011], [0.3, 0.001]])
+        rtt = np.full_like(p, 0.1)
+        batch = wvegas_allocation(p, rtt)
+        for k in range(2):
+            assert np.array_equal(batch[k], wvegas_allocation(p[k], rtt[k]))
+
+
+class TestWVegasSpec:
+    def test_spec_covers_all_three_layers(self):
+        spec = get_spec("wvegas")
+        assert spec.has_packet
+        assert spec.has_fluid
+        assert spec.has_equilibrium
+
+    def test_congestion_measure_is_delay(self):
+        assert get_spec("wvegas").congestion_measure == "delay"
+
+    def test_params_declare_their_layers(self):
+        spec = get_spec("wvegas")
+        by_name = {p.name: p for p in spec.params}
+        assert set(by_name["alpha"].layers) \
+            == {"packet", "fluid", "equilibrium"}
+        assert by_name["tie_tolerance"].layers == ("equilibrium",)

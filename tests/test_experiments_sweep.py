@@ -485,6 +485,67 @@ class TestWorkStealingSweep:
         assert results[1] is SWEEP_PENDING
 
 
+class TestStaleClaimReaping:
+    def test_invalid_claim_ttl_rejected(self, tmp_path):
+        for bad in (0.0, -5.0):
+            with pytest.raises(ValueError, match="claim_ttl"):
+                SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal",
+                            claim_ttl=bad)
+
+    def test_aged_claim_is_reaped_and_point_computed(self, tmp_path):
+        """A hard-killed worker never releases its claims; with a TTL
+        set, a claim older than the TTL is treated as abandoned and the
+        stealer takes the point over instead of parking it."""
+        import os
+
+        specs = _rtt_specs()
+        crashed = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        assert crashed._try_claim(specs[0])
+        assert crashed._try_claim(specs[2])
+        for spec in (specs[0], specs[2]):
+            path = crashed._claim_path(spec)
+            aged = path.stat().st_mtime - 3600
+            os.utime(path, (aged, aged))
+
+        reaper = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal",
+                             claim_ttl=600.0)
+        results = reaper.run(specs)
+        assert reaper.skipped == 0
+        assert reaper.cache_misses == 4
+        assert results == SweepRunner(jobs=1).run(specs)
+        assert list(tmp_path.glob("*.claim")) == []
+
+    def test_fresh_claim_survives_the_ttl(self, tmp_path):
+        """A live worker's recent claim must never be stolen."""
+        specs = _rtt_specs()
+        owner = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        assert owner._try_claim(specs[1])
+
+        stealer = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal",
+                              claim_ttl=3600.0)
+        results = stealer.run(specs)
+        assert stealer.skipped == 1
+        assert results[1] is SWEEP_PENDING
+        assert owner._claim_path(specs[1]).exists()
+
+    def test_no_ttl_never_reaps(self, tmp_path):
+        """The default keeps the historical behavior: stale claims park
+        their points until an unsharded merge run picks them up."""
+        import os
+
+        specs = _rtt_specs()
+        crashed = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        assert crashed._try_claim(specs[0])
+        path = crashed._claim_path(specs[0])
+        os.utime(path, (1_000_000, 1_000_000))
+
+        stealer = SweepRunner(jobs=1, cache_dir=tmp_path, shard="steal")
+        results = stealer.run(specs)
+        assert stealer.skipped == 1
+        assert results[0] is SWEEP_PENDING
+        assert path.exists()
+
+
 class TestSpecSpill:
     def test_write_and_load_shards_round_trip(self, tmp_path):
         specs = _rtt_specs()
