@@ -239,12 +239,13 @@ def check_scale_report(report: Dict) -> List[str]:
                 f"scale[{preset}]: entry is {entry!r}, not a mapping "
                 "(truncated BENCH_scale.json?)")
             continue
-        runs = entry.get("schedulers")
+        runs = entry.get("backends")
         if not isinstance(runs, dict) or not runs:
-            failures.append(f"scale[{preset}]: no scheduler runs recorded")
+            failures.append(
+                f"scale[{preset}]: no engine-backend runs recorded")
             continue
-        for scheduler, run in runs.items():
-            where = f"scale[{preset}/{scheduler}]"
+        for backend, run in runs.items():
+            where = f"scale[{preset}/{backend}]"
             if not isinstance(run, dict):
                 failures.append(
                     f"{where}: run record is {run!r}, not a mapping")
@@ -275,6 +276,61 @@ def check_scale_report(report: Dict) -> List[str]:
                 failures.append(
                     f"scale[{preset}]: auto backend at {ratio}x of the "
                     f"fixed wheel, below the {SCALE_AUTO_FLOOR}x floor")
+    failures.extend(_check_scale_families(report))
+    return failures
+
+
+def _check_scale_families(report: Dict) -> List[str]:
+    """Validate the optional families (packet-scheduler) section.
+
+    Every (family, scheduler, algorithm) cell must have finished all of
+    its finite transfers, and any reported completion-time percentile
+    must be a positive finite number — NaN/Infinity survive a JSON
+    round-trip through Python and must not read as a silent pass.
+    """
+    failures: List[str] = []
+    families = report.get("families")
+    if families is None:
+        return failures         # section is optional (preset-only runs)
+    if not isinstance(families, dict):
+        return [f"scale: families section is {families!r}, not a mapping"]
+    for family, entry in families.items():
+        cells = entry.get("schedulers") if isinstance(entry, dict) else None
+        if not isinstance(cells, dict) or not cells:
+            failures.append(
+                f"scale[{family}]: no packet-scheduler runs recorded")
+            continue
+        for scheduler, by_algo in cells.items():
+            if not isinstance(by_algo, dict) or not by_algo:
+                failures.append(
+                    f"scale[{family}/{scheduler}]: no algorithm runs "
+                    "recorded")
+                continue
+            for algorithm, run in by_algo.items():
+                where = f"scale[{family}/{scheduler}/{algorithm}]"
+                if not isinstance(run, dict):
+                    failures.append(
+                        f"{where}: run record is {run!r}, not a mapping")
+                    continue
+                total = run.get("transfers_total")
+                done = run.get("transfers_completed")
+                if not isinstance(total, int) or total < 1:
+                    failures.append(
+                        f"{where}: transfers_total is {total!r}, "
+                        "expected a positive integer")
+                elif done != total:
+                    failures.append(
+                        f"{where}: only {done!r} of {total} transfers "
+                        "completed within the horizon")
+                for metric in ("transfer_mean_s", "transfer_p50_s",
+                               "transfer_p90_s"):
+                    value = run.get(metric)
+                    if value is None:
+                        continue   # legitimately absent: nothing done
+                    if not _finite(value) or value <= 0:
+                        failures.append(
+                            f"{where}: {metric} is {value!r}, not a "
+                            "positive finite number")
     return failures
 
 
@@ -391,25 +447,47 @@ def summary_markdown(new: Optional[Dict], baseline: Optional[Dict],
                 f"| {data.get('p99_ms')} | {ratio} |")
     if isinstance(scale, dict):
         lines += ["", "## Scale harness", "",
-                  "| preset | scheduler | flows | events/s | "
+                  "| preset | backend | flows | events/s | "
                   "peak pending | migrations |",
                   "|---|---|---|---|---|---|"]
         for preset, entry in (scale.get("presets") or {}).items():
             if not isinstance(entry, dict):
                 continue   # check_scale_report reports the failure
-            for scheduler, run in (entry.get("schedulers") or {}).items():
+            for backend, run in (entry.get("backends") or {}).items():
                 if not isinstance(run, dict):
                     continue
                 eps = run.get("events_per_sec")
                 eps = round(eps) if _finite(eps) else eps
                 lines.append(
-                    f"| {preset} | {scheduler} | {run.get('n_flows')} "
+                    f"| {preset} | {backend} | {run.get('n_flows')} "
                     f"| {eps} | {run.get('peak_pending')} "
                     f"| {run.get('migrations')} |")
             ratio = entry.get("auto_vs_wheel")
             if ratio is not None:
                 lines.append(
                     f"| {preset} | *auto vs wheel* |  | {ratio}x |  |  |")
+        families = scale.get("families")
+        if isinstance(families, dict) and families:
+            lines += ["", "## Scenario families", "",
+                      "| family | scheduler | algorithm | done | "
+                      "mean s | p90 s |",
+                      "|---|---|---|---|---|---|"]
+            for family, entry in families.items():
+                if not isinstance(entry, dict):
+                    continue
+                for scheduler, by_algo in (
+                        entry.get("schedulers") or {}).items():
+                    if not isinstance(by_algo, dict):
+                        continue
+                    for algorithm, run in by_algo.items():
+                        if not isinstance(run, dict):
+                            continue
+                        done = (f"{run.get('transfers_completed')}/"
+                                f"{run.get('transfers_total')}")
+                        lines.append(
+                            f"| {family} | {scheduler} | {algorithm} "
+                            f"| {done} | {run.get('transfer_mean_s')} "
+                            f"| {run.get('transfer_p90_s')} |")
     return "\n".join(lines) + "\n"
 
 

@@ -1,14 +1,18 @@
 #!/usr/bin/env python
-"""CI gate: the algorithm registry stays the single dispatch path.
+"""CI gate: the registry stays the single dispatch path on both axes.
 
 The legacy per-layer factories — ``repro.fluid.dynamics.
 make_fluid_algorithm`` and ``repro.fluid.equilibrium.allocation_rule``
 — are deprecating wrappers kept only for backwards compatibility; every
 name→algorithm resolution must go through ``repro.core.registry``.
-This script greps the package for *call sites* of the wrappers outside
-``core/`` (and outside the two modules that define them) and exits
-non-zero when it finds any, with a ruff-style ``path:line:`` report.
-It runs in the CI lint job next to ``ruff check``.
+The packet-scheduler axis has the same contract from day one: concrete
+policy classes (``MinRttScheduler`` and friends) are constructed only
+by the registry's :func:`~repro.core.registry.make_scheduler`; call
+sites name schedulers by string.  This script greps the package for
+*call sites* of either kind outside ``core/`` (and outside the modules
+that define/re-export them) and exits non-zero when it finds any, with
+a ruff-style ``path:line:`` report.  It runs in the CI lint job next to
+``ruff check``.
 
 Usage::
 
@@ -57,6 +61,26 @@ REGISTRY_IMPORTS = re.compile(
 ALLOWED = ("core/", "fluid/dynamics.py", "fluid/equilibrium.py",
            "fluid/__init__.py")
 
+#: Concrete packet-scheduler policy classes: constructing (or
+#: importing) one outside core/ bypasses ``make_scheduler`` and with it
+#: alias resolution and parameter validation.  The abstract
+#: ``PacketScheduler`` base stays importable everywhere — type
+#: annotations and ``isinstance`` checks are not dispatch.
+_SCHEDULER_CLASSES = (r"MinRttScheduler|RoundRobinScheduler|"
+                      r"RedundantScheduler|QueueAwareScheduler")
+SCHEDULER_BANNED_CALLS = re.compile(
+    rf"\b({_SCHEDULER_CLASSES})\s*\(")
+SCHEDULER_BANNED_IMPORTS = re.compile(
+    r"from\s+\S*(?:\bpacket_scheduler\b|\bsim\b)\S*\s+import\s*"
+    r"(?:\(([^)]*)\)|([^\n]+))", re.S)
+_SCHEDULER_NAMES = re.compile(rf"\b({_SCHEDULER_CLASSES})\b")
+
+#: Modules allowed to name the concrete scheduler classes: the registry
+#: (its factory table), the defining module, and the sim package
+#: __init__ that re-exports them.
+SCHEDULER_ALLOWED = ("core/", "sim/packet_scheduler.py",
+                     "sim/__init__.py")
+
 
 def _registry_imported_names(text: str) -> set:
     names = set()
@@ -68,34 +92,57 @@ def _registry_imported_names(text: str) -> set:
     return names
 
 
+def _scan_rule(path, text, *, calls, imports, names, sanctioned):
+    """Violations of one banned-name rule in one file's text."""
+    violations = []
+    flagged_lines = set()
+    # Text-level import scan: parenthesized imports span lines.
+    for match in imports.finditer(text):
+        imported = match.group(1) or match.group(2)
+        if names.search(imported):
+            flagged_lines.add(text.count("\n", 0, match.start()) + 1)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("#"):
+            continue
+        banned = [match for match in calls.finditer(line)
+                  if match.group(1) not in sanctioned]
+        if banned or lineno in flagged_lines:
+            violations.append((path, lineno, stripped))
+            flagged_lines.discard(lineno)
+    for lineno in sorted(flagged_lines):   # import on a comment line
+        violations.append((path, lineno,
+                           text.splitlines()[lineno - 1].lstrip()))
+    return violations
+
+
 def scan(src: pathlib.Path) -> List[Tuple[pathlib.Path, int, str]]:
     """All banned call sites under ``src`` as (path, line, text)."""
     violations = []
     for path in sorted(src.rglob("*.py")):
         relative = path.relative_to(src).as_posix()
-        if any(relative == allowed or relative.startswith(allowed)
-               for allowed in ALLOWED):
-            continue
-        text = path.read_text()
-        sanctioned = _registry_imported_names(text)
-        flagged_lines = set()
-        # Text-level import scan: parenthesized imports span lines.
-        for match in BANNED_IMPORTS.finditer(text):
-            imported = match.group(1) or match.group(2)
-            if _BANNED_NAMES.search(imported):
-                flagged_lines.add(text.count("\n", 0, match.start()) + 1)
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            stripped = line.lstrip()
-            if stripped.startswith("#"):
+        text = None
+        file_hits = []
+        for allowed, kwargs in (
+                (ALLOWED, dict(calls=BANNED_CALLS,
+                               imports=BANNED_IMPORTS,
+                               names=_BANNED_NAMES)),
+                (SCHEDULER_ALLOWED, dict(calls=SCHEDULER_BANNED_CALLS,
+                                         imports=SCHEDULER_BANNED_IMPORTS,
+                                         names=_SCHEDULER_NAMES))):
+            if any(relative == entry or relative.startswith(entry)
+                   for entry in allowed):
                 continue
-            banned = [match for match in BANNED_CALLS.finditer(line)
-                      if match.group(1) not in sanctioned]
-            if banned or lineno in flagged_lines:
-                violations.append((path, lineno, stripped))
-                flagged_lines.discard(lineno)
-        for lineno in sorted(flagged_lines):   # import on a comment line
-            violations.append((path, lineno,
-                               text.splitlines()[lineno - 1].lstrip()))
+            if text is None:
+                text = path.read_text()
+            # Registry imports sanction bare calls for both rules: the
+            # scheduler rule never matches them (the registry exports
+            # make_scheduler, not the concrete classes), so sharing the
+            # set is harmless there.
+            file_hits.extend(_scan_rule(
+                path, text, sanctioned=_registry_imported_names(text),
+                **kwargs))
+        violations.extend(sorted(file_hits, key=lambda hit: hit[1]))
     return violations
 
 
@@ -111,16 +158,16 @@ def main(argv=None) -> int:
         return 2
     violations = scan(src)
     for path, lineno, text in violations:
-        print(f"{path}:{lineno}: legacy algorithm factory call outside "
+        print(f"{path}:{lineno}: algorithm/scheduler dispatch outside "
               f"core/ — resolve through repro.core.registry instead: "
               f"{text}", file=sys.stderr)
     if violations:
-        print(f"FAIL registry gate: {len(violations)} legacy dispatch "
-              "site(s); repro.core.registry is the single dispatch path",
-              file=sys.stderr)
+        print(f"FAIL registry gate: {len(violations)} out-of-registry "
+              "dispatch site(s); repro.core.registry is the single "
+              "dispatch path for both axes", file=sys.stderr)
         return 1
-    print(f"registry gate OK: no legacy algorithm dispatch outside "
-          f"core/ in {src}")
+    print(f"registry gate OK: no out-of-registry algorithm or "
+          f"scheduler dispatch outside core/ in {src}")
     return 0
 
 

@@ -143,6 +143,19 @@ def _experiments(fast: bool, jobs: int = 1, backend: str = "loop",
     }
 
 
+def _parse_names(text):
+    """Split a comma-separated ``--foo a,b,c`` option into a tuple.
+
+    ``None`` (option absent) passes through; blanks are dropped, so an
+    empty/whitespace value becomes the empty tuple and the command can
+    reject it with a clear message.  Shared by every list-valued option
+    so singular/plural conventions stay uniform across subcommands.
+    """
+    if text is None:
+        return None
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
 def _parse_shard(text: str):
     """Parse ``--shard I/N`` (or ``--shard steal``)."""
     if text == "steal":
@@ -204,10 +217,23 @@ def build_parser() -> argparse.ArgumentParser:
                            help="generator preset to run (repeatable; "
                                 f"default: medium; known: "
                                 f"{', '.join(sorted(scale.PRESETS))})")
-    scale_cmd.add_argument("--schedulers", default="heap,wheel,auto",
-                           metavar="LIST",
-                           help="comma-separated scheduler backends to "
-                                "compare (default: heap,wheel,auto)")
+    scale_cmd.add_argument("--engine-backends", dest="engine_backends",
+                           default="heap,wheel,auto", metavar="LIST",
+                           help="comma-separated engine event-scheduler "
+                                "backends to compare on the preset grid "
+                                "(default: heap,wheel,auto; formerly "
+                                "--schedulers)")
+    scale_cmd.add_argument("--families", default=None, metavar="LIST",
+                           help="comma-separated scenario families to "
+                                "run as finite-transfer sections (known: "
+                                "dual_lte, handover, wifi_lte, wired; "
+                                "default: none)")
+    scale_cmd.add_argument("--schedulers", metavar="LIST",
+                           default="minrtt,roundrobin,redundant,qaware",
+                           help="comma-separated packet schedulers for "
+                                "the family sections (registry axis; "
+                                "default: minrtt,roundrobin,redundant,"
+                                "qaware)")
     scale_cmd.add_argument("--duration", type=float, default=None,
                            metavar="SECONDS",
                            help="simulated measurement window (default: "
@@ -228,8 +254,8 @@ def build_parser() -> argparse.ArgumentParser:
     scale_cmd.add_argument("--seed", type=int, default=1,
                            help="generator seed (default: 1)")
     scale_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
-                           help="worker processes for the preset x "
-                                "scheduler grid (default: 1)")
+                           help="worker processes for the preset/family "
+                                "grids (default: 1)")
     scale_cmd.add_argument("--resume", metavar="DIR", default=None,
                            help="cache every grid point under DIR "
                                 "(resumable/sharded, as for 'run')")
@@ -333,10 +359,15 @@ def main(argv=None) -> int:
     if args.command == "algorithms":
         from .experiments.algorithms import (
             layer_support_table,
+            scheduler_check_table,
+            scheduler_smoke_check,
+            scheduler_support_table,
             smoke_check,
             smoke_check_table,
         )
         print(layer_support_table())
+        print()
+        print(scheduler_support_table())
         if not args.check:
             return 0
         started = time.time()
@@ -344,11 +375,20 @@ def main(argv=None) -> int:
         print()
         print(smoke_check_table(checks))
         print(f"[algorithm matrix: {time.time() - started:.1f}s]")
+        started = time.time()
+        scheduler_checks = scheduler_smoke_check()
+        print()
+        print(scheduler_check_table(scheduler_checks))
+        print(f"[scheduler matrix: {time.time() - started:.1f}s]")
         failed = [c for c in checks if c.status == "FAIL"]
         for check in failed:      # name every failing cell on stderr
             print(f"FAIL: {check.algorithm}/{check.layer}: "
                   f"{check.detail}", file=sys.stderr)
-        return 1 if failed else 0
+        sched_failed = [c for c in scheduler_checks if c.status == "FAIL"]
+        for check in sched_failed:
+            print(f"FAIL: {check.scheduler}x{check.algorithm}: "
+                  f"{check.detail}", file=sys.stderr)
+        return 1 if failed or sched_failed else 0
 
     if args.command == "verify":
         from .verify import Z3_AVAILABLE, format_results
@@ -387,16 +427,15 @@ def main(argv=None) -> int:
             print("--shard requires --resume DIR: the shared cache is "
                   "how the shards' results are merged", file=sys.stderr)
             return 2
-        schedulers = [s.strip() for s in args.schedulers.split(",")
-                      if s.strip()]
-        algorithms = None
-        if args.algorithms is not None:
-            algorithms = tuple(a.strip() for a in args.algorithms.split(",")
-                               if a.strip())
+        backends = _parse_names(args.engine_backends) or ()
+        schedulers = _parse_names(args.schedulers) or ()
+        families = _parse_names(args.families) or ()
+        algorithms = _parse_names(args.algorithms)
         started = time.time()
         try:
             report = scale.scale_report(
-                args.presets or ["medium"], schedulers=schedulers,
+                args.presets or ["medium"], backends=backends,
+                families=families, schedulers=schedulers,
                 duration=args.duration, warmup=args.warmup,
                 max_flows=args.max_flows, algorithms=algorithms,
                 seed=args.seed,
@@ -407,6 +446,8 @@ def main(argv=None) -> int:
             print(str(message), file=sys.stderr)
             return 2
         print(scale.report_table(report))
+        if report.get("families"):
+            print(scale.family_table(report))
         print(f"[scale: {time.time() - started:.1f}s]")
         scale.write_report(report, args.output)
         print(f"[report written to {args.output}]")

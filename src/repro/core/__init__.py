@@ -12,6 +12,11 @@ one :class:`AlgorithmSpec` per algorithm bundles the packet controller,
 the fluid derivative, the equilibrium allocation rule and (for the
 algorithms with machine-checked claims) the SMT constraint model behind
 a single name, with capability flags for algorithms that lack a layer.
+
+The registry's second, orthogonal axis is the packet scheduler: one
+:class:`SchedulerSpec` per policy (minrtt, roundrobin, redundant,
+qaware), resolved through :func:`make_scheduler` and composable with
+any packet-capable algorithm.
 """
 
 from .balia import BaliaController
@@ -24,16 +29,24 @@ from .olia import OliaController
 from .registry import (
     AlgorithmSpec,
     ParamSpec,
+    SchedulerSpec,
     algorithm_specs,
     available_algorithms,
+    available_schedulers,
+    get_scheduler_spec,
     get_spec,
     make_allocation_rule,
     make_controller,
     make_fluid_algorithm,
+    make_scheduler,
     make_smt_model,
     register_algorithm,
+    register_scheduler,
     registered,
+    registered_scheduler,
+    scheduler_specs,
     unregister_algorithm,
+    unregister_scheduler,
 )
 from .reno import RenoController, UncoupledController
 from .rtt import RttEstimator
@@ -54,6 +67,7 @@ __all__ = [
     "RttEstimator",
     "AlgorithmSpec",
     "ParamSpec",
+    "SchedulerSpec",
     "algorithm_specs",
     "get_spec",
     "make_controller",
@@ -64,4 +78,11 @@ __all__ = [
     "register_algorithm",
     "registered",
     "unregister_algorithm",
+    "scheduler_specs",
+    "get_scheduler_spec",
+    "make_scheduler",
+    "available_schedulers",
+    "register_scheduler",
+    "registered_scheduler",
+    "unregister_scheduler",
 ]

@@ -1,23 +1,33 @@
-"""The cross-layer algorithm registry: one spec per algorithm.
+"""The cross-layer registry: two orthogonal axes of named specs.
 
 The paper's whole argument is a comparison *across algorithms* carried
-out in three analytical layers — packet-level simulation
+out in four analytical layers — packet-level simulation
 (:class:`~repro.core.base.MultipathController`), fluid dynamics
-(:class:`~repro.fluid.dynamics.FluidAlgorithm`) and equilibrium fixed
-points (allocation rules in :mod:`repro.fluid.equilibrium`).  Peng,
-Walid, Hwang & Low ("Multipath TCP: Analysis, Design and
-Implementation") show why those should be *one* abstraction: a whole
-design space of MP-TCP algorithms is parametrized by a small
-per-algorithm spec from which both the fluid model and the packet
-behaviour follow.
+(:class:`~repro.fluid.dynamics.FluidAlgorithm`), equilibrium fixed
+points (allocation rules in :mod:`repro.fluid.equilibrium`) and SMT
+verification (:mod:`repro.verify`).  Peng, Walid, Hwang & Low
+("Multipath TCP: Analysis, Design and Implementation") show why those
+should be *one* abstraction: a whole design space of MP-TCP algorithms
+is parametrized by a small per-algorithm spec from which both the
+fluid model and the packet behaviour follow.
 
-:class:`AlgorithmSpec` is that spec: a name (plus aliases), one factory
-per layer the algorithm supports (``None`` = the layer is not
-implemented — the *capability flags*), and the declared per-algorithm
-parameters (:class:`ParamSpec`) that flow through every layer from one
-place (e.g. OLIA's ``tie_tolerance``, the epsilon family's
-``epsilon``).  Every name→algorithm resolution in the repo goes through
-this module:
+MPTCP has a second control knob the congestion-control literature
+holds fixed: the *packet scheduler*, which decides which subflow
+carries the next packet of a finite transfer.  The wild-measurement
+papers (Shreedhar et al., Dimopoulos et al., PAPERS.md) find it moves
+outcomes as much as the CC choice, so it is a registry axis of its
+own, **orthogonal** to the algorithm axis: any scheduler composes with
+any packet-capable algorithm.
+
+:class:`AlgorithmSpec` is the algorithm-axis spec: a name (plus
+aliases), one factory per layer the algorithm supports (``None`` = the
+layer is not implemented — the *capability flags*), and the declared
+per-algorithm parameters (:class:`ParamSpec`) that flow through every
+layer from one place (e.g. OLIA's ``tie_tolerance``, the epsilon
+family's ``epsilon``).  :class:`SchedulerSpec` is the scheduler-axis
+spec: a name, one factory, declared parameters — schedulers live in a
+single (packet) layer, so no capability flags.  Every name→object
+resolution in the repo goes through this module:
 
 * ``make_controller(name, **params)`` — packet layer (the DES).
 * ``make_fluid_algorithm(name, **params)`` — fluid ODE layer.
@@ -26,25 +36,32 @@ this module:
   :class:`~repro.verify.base.ConstraintModel` of the fixed-point
   conditions; optional, needs the ``z3-solver`` extra at *solve* time
   but not to build or list the capability).
+* ``make_scheduler(name, **params)`` — the scheduler axis (a
+  :class:`~repro.sim.packet_scheduler.PacketScheduler` policy).
 
 The legacy per-layer factories (``repro.fluid.dynamics.
 make_fluid_algorithm``, ``repro.fluid.equilibrium.allocation_rule``)
 are thin deprecating wrappers over these; a CI gate
 (``benchmarks/check_registry_gate.py``) keeps them from growing new
-call sites outside ``core/``.
+call sites outside ``core/`` and holds scheduler dispatch to the same
+rule.
 
 Adding an algorithm is a one-file change: write the controller /
 derivative / allocation next to each other, bundle them in an
 ``AlgorithmSpec``, and register it — see :mod:`repro.core.balia` for
 the worked example (BALIA, registered once, runnable in all three
 layers, every sweep, the scenario generator and the scale harness).
+Adding a scheduler is smaller still: subclass
+:class:`~repro.sim.packet_scheduler.PacketScheduler`, bundle it in a
+:class:`SchedulerSpec`, and :func:`register_scheduler` it.
 
-Builtin specs are bound lazily on first lookup: the registry lives in
-``core`` but binds factories defined in the fluid layer, whose legacy
-wrappers call back into this module — deferring the binding breaks
-that cycle and makes registration independent of which package is
-imported first.  (``import repro.core`` itself still reaches the fluid
-layer, through the :mod:`~repro.core.balia` re-export.)
+Builtin specs on both axes are bound lazily on first lookup: the
+registry lives in ``core`` but binds factories defined in the fluid
+and sim layers, whose legacy wrappers call back into this module —
+deferring the binding breaks that cycle and makes registration
+independent of which package is imported first.  (``import
+repro.core`` itself still reaches the fluid layer, through the
+:mod:`~repro.core.balia` re-export.)
 """
 
 from __future__ import annotations
@@ -232,21 +249,183 @@ class AlgorithmSpec:
         return self._make("smt", params)
 
 
+# -- scheduler-axis specs --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """One packet scheduler on the registry's scheduler axis.
+
+    Schedulers live in a single layer (the packet DES), so the spec is
+    the algorithm spec minus the capability flags: a canonical name
+    (plus aliases), one factory producing a fresh
+    :class:`~repro.sim.packet_scheduler.PacketScheduler` per
+    connection, and declared :class:`ParamSpec` parameters (their
+    ``layers`` field is ignored on this axis).
+    """
+
+    name: str
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+    factory: Optional[Callable[..., object]] = None
+    params: Tuple[ParamSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.lower():
+            raise ValueError(
+                f"spec name must be a non-empty lower-case string, "
+                f"got {self.name!r}")
+        if any(alias != alias.lower() for alias in self.aliases):
+            raise ValueError(f"aliases must be lower-case: {self.aliases}")
+        if self.factory is None:
+            raise ValueError(
+                f"scheduler spec {self.name!r} needs a factory")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Canonical name followed by every alias."""
+        return (self.name, *self.aliases)
+
+    def make(self, **params):
+        """A fresh scheduler policy instance (validated ``params``)."""
+        accepted = {p.name for p in self.params}
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            raise TypeError(
+                f"scheduler {self.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}; accepted: "
+                f"{', '.join(sorted(accepted)) or 'none'}")
+        missing = sorted(p.name for p in self.params
+                         if p.required and p.name not in params)
+        if missing:
+            raise TypeError(
+                f"scheduler {self.name!r} requires parameter(s) "
+                f"{', '.join(missing)}")
+        return self.factory(**params)
+
+
 # -- the registry ----------------------------------------------------------------
 
-_SPECS: Dict[str, AlgorithmSpec] = {}       # canonical name -> spec
-_NAMES: Dict[str, str] = {}                 # any name/alias -> canonical
-_BUILTINS_LOADED = False
+
+class _Axis:
+    """Name-table mechanics shared by the two registry axes.
+
+    One instance per axis (algorithms, schedulers): a canonical-name →
+    spec table, an any-name/alias → canonical table, lazy builtin
+    loading, and collision/override/restore bookkeeping.  Everything
+    axis-specific (capability layers, construction, error flavour
+    beyond the axis noun) stays in the thin public wrappers below.
+    """
+
+    def __init__(self, kind: str, load_builtins: Callable[[], list]):
+        self.kind = kind
+        self._load_builtins = load_builtins
+        self.specs: Dict[str, object] = {}    # canonical name -> spec
+        self.names: Dict[str, str] = {}       # any name/alias -> canonical
+        self._loaded = False
+
+    def ensure_builtins(self) -> None:
+        """Bind the builtin specs on first use (lazy cross imports)."""
+        if self._loaded:
+            return
+        self._loaded = True
+        for spec in self._load_builtins():
+            self.register(spec)
+
+    def register(self, spec, *, override: bool = False) -> List:
+        self.ensure_builtins()
+        colliding = sorted({self.names[name] for name in spec.names
+                            if name in self.names})
+        replaced: List = []
+        if colliding:
+            if not override:
+                taken = ", ".join(name for name in spec.names
+                                  if name in self.names)
+                raise ValueError(
+                    f"{self.kind} name(s) already registered: {taken} "
+                    "(pass override=True to replace)")
+            for canonical in colliding:
+                replaced.append(self.unregister(canonical))
+        self.specs[spec.name] = spec
+        for name in spec.names:
+            self.names[name] = spec.name
+        return replaced
+
+    def unregister(self, name: str):
+        self.ensure_builtins()
+        key = name.lower()
+        if key not in self.names:
+            known = ", ".join(self.available())
+            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}")
+        spec = self.specs.pop(self.names[key])
+        for alias in spec.names:
+            self.names.pop(alias, None)
+        return spec
+
+    def get(self, name: str):
+        self.ensure_builtins()
+        try:
+            return self.specs[self.names[name.lower()]]
+        except KeyError:
+            known = ", ".join(self.available())
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; known: {known}") from None
+
+    def all_specs(self) -> List:
+        self.ensure_builtins()
+        return [spec for _, spec in sorted(self.specs.items())]
+
+    def available(self) -> list[str]:
+        self.ensure_builtins()
+        return sorted(self.names)
+
+    @contextmanager
+    def registered(self, spec, *, override: bool = False):
+        replaced = self.register(spec, override=override)
+        try:
+            yield spec
+        finally:
+            self.unregister(spec.name)
+            for old in replaced:
+                self.register(old)
+
+
+def _builtin_scheduler_specs() -> List[SchedulerSpec]:
+    # Lazy for the same reason as _builtin_specs: the registry lives in
+    # ``core`` but the policies live in the sim layer, which imports
+    # this module for controller resolution.
+    from ..sim import packet_scheduler as _ps
+
+    return [
+        SchedulerSpec(
+            name="minrtt", aliases=("min-rtt",),
+            description="lowest-srtt ready subflow (the default)",
+            factory=_ps.MinRttScheduler),
+        SchedulerSpec(
+            name="roundrobin", aliases=("rr", "round-robin"),
+            description="cycle ready subflows in key order, one "
+            "packet each",
+            factory=_ps.RoundRobinScheduler),
+        SchedulerSpec(
+            name="redundant", aliases=("duplicate",),
+            description="every packet on every subflow; first copy "
+            "to arrive wins",
+            factory=_ps.RedundantScheduler),
+        SchedulerSpec(
+            name="qaware", aliases=("queue-aware", "cross-layer"),
+            description="srtt + first-hop queue drain time "
+            "(cross-layer, Shreedhar et al.)",
+            factory=_ps.QueueAwareScheduler),
+    ]
+
+
+_ALGORITHMS = _Axis("algorithm", lambda: _builtin_specs())
+_SCHEDULERS = _Axis("scheduler", _builtin_scheduler_specs)
 
 
 def _ensure_builtins() -> None:
-    """Bind the builtin specs on first use (lazy cross-layer imports)."""
-    global _BUILTINS_LOADED
-    if _BUILTINS_LOADED:
-        return
-    _BUILTINS_LOADED = True
-    for spec in _builtin_specs():
-        register_algorithm(spec)
+    """Bind the builtin algorithm specs on first use."""
+    _ALGORITHMS.ensure_builtins()
 
 
 def _builtin_specs() -> List[AlgorithmSpec]:
@@ -357,7 +536,6 @@ def register_algorithm(spec, factory=None, *,
     ``override=True`` the colliding spec(s) are unregistered first and
     returned, so callers (and :func:`registered`) can restore them.
     """
-    _ensure_builtins()
     if not isinstance(spec, AlgorithmSpec):
         if factory is None:
             raise TypeError(
@@ -368,34 +546,12 @@ def register_algorithm(spec, factory=None, *,
                              description="user-registered controller")
     elif factory is not None:
         raise TypeError("cannot pass a factory alongside an AlgorithmSpec")
-    colliding = sorted({_NAMES[name] for name in spec.names
-                        if name in _NAMES})
-    replaced: List[AlgorithmSpec] = []
-    if colliding:
-        if not override:
-            taken = ", ".join(name for name in spec.names if name in _NAMES)
-            raise ValueError(
-                f"algorithm name(s) already registered: {taken} "
-                "(pass override=True to replace)")
-        for canonical in colliding:
-            replaced.append(unregister_algorithm(canonical))
-    _SPECS[spec.name] = spec
-    for name in spec.names:
-        _NAMES[name] = spec.name
-    return replaced
+    return _ALGORITHMS.register(spec, override=override)
 
 
 def unregister_algorithm(name: str) -> AlgorithmSpec:
     """Remove a registered spec (by any of its names) and return it."""
-    _ensure_builtins()
-    key = name.lower()
-    if key not in _NAMES:
-        known = ", ".join(available_algorithms())
-        raise KeyError(f"unknown algorithm {name!r}; known: {known}")
-    spec = _SPECS.pop(_NAMES[key])
-    for alias in spec.names:
-        _NAMES.pop(alias, None)
-    return spec
+    return _ALGORITHMS.unregister(name)
 
 
 @contextmanager
@@ -409,13 +565,8 @@ def registered(spec, *, override: bool = False):
         with registered(AlgorithmSpec(name="mine", ...)):
             run_experiment("mine")
     """
-    replaced = register_algorithm(spec, override=override)
-    try:
+    with _ALGORITHMS.registered(spec, override=override):
         yield spec
-    finally:
-        unregister_algorithm(spec.name)
-        for old in replaced:
-            register_algorithm(old)
 
 
 def get_spec(name: str) -> AlgorithmSpec:
@@ -424,19 +575,12 @@ def get_spec(name: str) -> AlgorithmSpec:
     Raises ``KeyError`` with the list of known names when ``name`` is
     unknown, which makes config typos fail loudly.
     """
-    _ensure_builtins()
-    try:
-        return _SPECS[_NAMES[name.lower()]]
-    except KeyError:
-        known = ", ".join(available_algorithms())
-        raise KeyError(f"unknown algorithm {name!r}; known: {known}") \
-            from None
+    return _ALGORITHMS.get(name)
 
 
 def algorithm_specs() -> List[AlgorithmSpec]:
     """Every registered spec, once each, sorted by canonical name."""
-    _ensure_builtins()
-    return [spec for _, spec in sorted(_SPECS.items())]
+    return _ALGORITHMS.all_specs()
 
 
 def available_algorithms(layer: str | None = None) -> list[str]:
@@ -446,22 +590,22 @@ def available_algorithms(layer: str | None = None) -> list[str]:
     ``"smt"``) filters to the names whose algorithm implements that
     layer — the name sets the four ``make_*`` entry points accept.
     """
-    _ensure_builtins()
     if layer is None:
-        return sorted(_NAMES)
-    return sorted(name for name, canonical in _NAMES.items()
-                  if _SPECS[canonical].supports(layer))
+        return _ALGORITHMS.available()
+    _ALGORITHMS.ensure_builtins()
+    return sorted(name for name, canonical in _ALGORITHMS.names.items()
+                  if _ALGORITHMS.specs[canonical].supports(layer))
 
 
 def _spec_for_layer(name: str, layer: str) -> AlgorithmSpec:
     """Resolve ``name`` for ``layer``, failing loudly either way."""
-    _ensure_builtins()
+    _ALGORITHMS.ensure_builtins()
     key = name.lower()
-    if key not in _NAMES:
+    if key not in _ALGORITHMS.names:
         known = ", ".join(available_algorithms(layer))
         raise KeyError(
             f"unknown algorithm {name!r}; known ({layer}): {known}")
-    spec = _SPECS[_NAMES[key]]
+    spec = _ALGORITHMS.specs[_ALGORITHMS.names[key]]
     if not spec.supports(layer):
         capable = ", ".join(available_algorithms(layer))
         raise KeyError(
@@ -509,3 +653,66 @@ def make_smt_model(name, **params):
     if isinstance(name, AlgorithmSpec):
         return name.make_smt(**params)
     return _spec_for_layer(name, "smt").make_smt(**params)
+
+
+# -- the scheduler axis ----------------------------------------------------------
+
+def register_scheduler(spec: SchedulerSpec, *,
+                       override: bool = False) -> List[SchedulerSpec]:
+    """Register a :class:`SchedulerSpec` on the scheduler axis.
+
+    Without ``override`` a name collision (canonical or alias) raises
+    ``ValueError``; with ``override=True`` the colliding spec(s) are
+    unregistered first and returned so callers (and
+    :func:`registered_scheduler`) can restore them.
+    """
+    if not isinstance(spec, SchedulerSpec):
+        raise TypeError("register_scheduler takes a SchedulerSpec")
+    return _SCHEDULERS.register(spec, override=override)
+
+
+def unregister_scheduler(name: str) -> SchedulerSpec:
+    """Remove a registered scheduler (by any of its names), return it."""
+    return _SCHEDULERS.unregister(name)
+
+
+@contextmanager
+def registered_scheduler(spec: SchedulerSpec, *, override: bool = False):
+    """Context manager: register a scheduler, unregister it on exit.
+
+    The scheduler-axis twin of :func:`registered`, with the same
+    displaced-spec restoration semantics.
+    """
+    with _SCHEDULERS.registered(spec, override=override):
+        yield spec
+
+
+def get_scheduler_spec(name: str) -> SchedulerSpec:
+    """The :class:`SchedulerSpec` for ``name`` (case-insensitive)."""
+    return _SCHEDULERS.get(name)
+
+
+def scheduler_specs() -> List[SchedulerSpec]:
+    """Every registered scheduler spec, sorted by canonical name."""
+    return _SCHEDULERS.all_specs()
+
+
+def available_schedulers() -> list[str]:
+    """All registered scheduler names (aliases included), sorted."""
+    return _SCHEDULERS.available()
+
+
+def make_scheduler(name=None, **params):
+    """Instantiate a packet scheduler by name (or spec).
+
+    ``None`` resolves to the default policy (``minrtt``), so callers
+    can thread an optional scheduler argument straight through.
+    Raises ``KeyError`` with the list of registered scheduler names
+    when ``name`` is unknown; undeclared ``params`` raise
+    ``TypeError``.
+    """
+    if name is None:
+        name = "minrtt"
+    if isinstance(name, SchedulerSpec):
+        return name.make(**params)
+    return _SCHEDULERS.get(name).make(**params)

@@ -11,10 +11,21 @@ useless if the flows starve).
 
 Points are plain :class:`~repro.experiments.runner.RunSpec` functions
 dispatched through :class:`~repro.experiments.sweep.SweepRunner`, so
-the whole preset × scheduler grid shards, steals, caches and resumes
+the whole preset × backend grid shards, steals, caches and resumes
 like every other sweep in this repo.  ``python -m repro scale`` drives
 it and writes ``BENCH_scale.json`` (validated in CI by
 ``benchmarks/check_bench.py --scale``).
+
+Two orthogonal grids live here (mirroring the registry's two axes):
+
+* **presets × engine backends** (``--preset``/``--engine-backends``):
+  DES throughput of the heap/wheel/auto event schedulers on the wired
+  workloads — "scheduler" in these records means *engine backend*;
+* **families × packet schedulers × CC** (``--families``/
+  ``--schedulers``/``--algorithms``): finite-transfer completion times
+  of the heterogeneous/wireless scenario families
+  (:data:`~repro.topology.generator.FAMILY_PRESETS`) under each
+  packet-scheduler/algorithm pairing.
 
 ``REPRO_BENCH_SMOKE=1`` (or ``--smoke``) caps flow counts and windows
 so the PR-tier CI stays fast; the nightly tier runs the real presets.
@@ -24,15 +35,22 @@ from __future__ import annotations
 
 import json
 import platform
-from dataclasses import asdict, dataclass
+import random
+from dataclasses import asdict, dataclass, replace
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from ..benchreport import smoke_mode
-from ..core.registry import get_spec
+from ..core.registry import get_scheduler_spec, get_spec
 from ..sim.engine import SCHEDULER_NAMES, Simulator
 from ..sim.monitors import FlowMeter
-from ..topology.generator import PRESETS, generate_preset, preset_config
+from ..topology.generator import (
+    PRESETS,
+    build_random_scenario,
+    family_config,
+    generate_preset,
+    preset_config,
+)
 from .results import ResultTable
 from .runner import RunSpec
 from .sweep import SWEEP_PENDING, SweepRunner
@@ -80,10 +98,10 @@ SMOKE_WARMUP = 0.4
 
 @dataclass
 class ScaleRun:
-    """Outcome of one (preset, scheduler) scale point."""
+    """Outcome of one (preset, engine backend) scale point."""
 
     preset: str
-    scheduler: str
+    backend: str                 # engine backend (heap/wheel/auto)
     n_flows: int
     n_links: int
     seed: int
@@ -113,7 +131,7 @@ def _percentile(ranked: List[float], pct: float) -> float:
     return ranked[index]
 
 
-def run_scale_point(*, preset: str, scheduler: str = "auto",
+def run_scale_point(*, preset: str, backend: str = "auto",
                     duration: Optional[float] = None,
                     warmup: Optional[float] = None,
                     max_flows: Optional[int] = None,
@@ -138,7 +156,7 @@ def run_scale_point(*, preset: str, scheduler: str = "auto",
         repeats = DEFAULT_REPEATS.get(preset, 1)
     best: Optional[ScaleRun] = None
     for _ in range(max(repeats, 1)):
-        run = _run_scale_once(preset=preset, scheduler=scheduler,
+        run = _run_scale_once(preset=preset, backend=backend,
                               duration=duration, warmup=warmup,
                               max_flows=max_flows, algorithms=algorithms,
                               sample_period=sample_period, seed=seed)
@@ -147,7 +165,7 @@ def run_scale_point(*, preset: str, scheduler: str = "auto",
     return best
 
 
-def _run_scale_once(*, preset: str, scheduler: str,
+def _run_scale_once(*, preset: str, backend: str,
                     duration: Optional[float],
                     warmup: Optional[float],
                     max_flows: Optional[int],
@@ -157,7 +175,7 @@ def _run_scale_once(*, preset: str, scheduler: str,
         duration = DEFAULT_DURATIONS[preset]
     if warmup is None:
         warmup = DEFAULT_WARMUPS[preset]
-    sim = Simulator(scheduler)
+    sim = Simulator(backend)
 
     build_start = perf_counter()
     scenario = generate_preset(
@@ -198,7 +216,7 @@ def _run_scale_once(*, preset: str, scheduler: str,
                  for t in source.completion_times]
     return ScaleRun(
         preset=preset,
-        scheduler=scheduler,
+        backend=backend,
         n_flows=scenario.n_flows,
         n_links=len(scenario.links),
         seed=seed,
@@ -223,8 +241,112 @@ def _run_scale_once(*, preset: str, scheduler: str,
     )
 
 
+#: Simulated horizon (seconds) a family point may take to complete all
+#: of its finite transfers; unfinished transfers are reported (and the
+#: bench gate fails the run).
+FAMILY_HORIZON = 30.0
+SMOKE_FAMILY_HORIZON = 15.0
+SMOKE_FAMILY_MAX_FLOWS = 12
+
+
+@dataclass
+class FamilyRun:
+    """Outcome of one (family, packet scheduler, algorithm) point."""
+
+    family: str
+    scheduler: str               # packet scheduler (registry axis)
+    algorithm: str               # congestion-control algorithm
+    backend: str                 # engine backend the point ran on
+    n_flows: int
+    n_links: int
+    seed: int
+    horizon: float               # simulated completion deadline
+    build_seconds: float
+    wall_seconds: float
+    events: int
+    events_per_sec: float
+    transfers_total: int
+    transfers_completed: int
+    transfer_mean_s: Optional[float]
+    transfer_p50_s: Optional[float]
+    transfer_p90_s: Optional[float]
+    link_changes: int            # fading steps across all links
+    handovers: int
+
+
+def run_family_point(*, family: str, scheduler: str = "minrtt",
+                     algorithm: str = "olia", backend: str = "auto",
+                     horizon: Optional[float] = None,
+                     max_flows: Optional[int] = None,
+                     seed: int = 1) -> FamilyRun:
+    """Run one scenario-family point; module-level for RunSpec.
+
+    Every multipath flow of the family runs ``algorithm`` and stripes
+    its finite transfer through ``scheduler``; the point runs until all
+    transfers complete or the simulated ``horizon`` passes.
+    """
+    family_config(family)       # loud ValueError on unknown families
+    get_scheduler_spec(scheduler)
+    spec = get_spec(algorithm)
+    if not spec.has_packet:
+        raise ValueError(
+            f"algorithm {algorithm!r} has no packet layer (supports: "
+            f"{', '.join(spec.layers)}); family points run packet-level "
+            "flows")
+    if horizon is None:
+        horizon = FAMILY_HORIZON
+    sim = Simulator(backend)
+    build_start = perf_counter()
+    config = family_config(family)
+    if max_flows is not None:
+        config = config.scaled(max_flows)
+    config = replace(
+        config,
+        scheduler_mix=((scheduler, 1.0),),
+        algorithm_mix=((algorithm, 1.0),))
+    scenario = build_random_scenario(sim, random.Random(seed), config)
+    scenario.start()
+    build_seconds = perf_counter() - build_start
+
+    total = len(scenario.bulk_flows)
+    run_start = perf_counter()
+    # Slice the run so completion stops the clock early instead of
+    # simulating dead air to the horizon.
+    while sim.now < horizon and len(scenario.transfer_times) < total:
+        sim.run(until=min(sim.now + 1.0, horizon))
+    wall_seconds = perf_counter() - run_start
+
+    times = sorted(scenario.transfer_times)
+    n_done = len(times)
+    return FamilyRun(
+        family=family,
+        scheduler=scheduler,
+        algorithm=algorithm,
+        backend=backend,
+        n_flows=scenario.n_flows,
+        n_links=len(scenario.links),
+        seed=seed,
+        horizon=horizon,
+        build_seconds=build_seconds,
+        wall_seconds=wall_seconds,
+        events=sim.events_processed,
+        events_per_sec=(sim.events_processed / wall_seconds
+                        if wall_seconds > 0 else 0.0),
+        transfers_total=total,
+        transfers_completed=n_done,
+        transfer_mean_s=(sum(times) / n_done if n_done else None),
+        transfer_p50_s=(_percentile(times, 50) if n_done else None),
+        transfer_p90_s=(_percentile(times, 90) if n_done else None),
+        link_changes=sum(d.changes for d in scenario.dynamics),
+        handovers=sum(d.handovers for d in scenario.dynamics),
+    )
+
+
 def scale_report(presets: Sequence[str] = ("medium",), *,
-                 schedulers: Sequence[str] = ("heap", "wheel", "auto"),
+                 backends: Sequence[str] = ("heap", "wheel", "auto"),
+                 families: Sequence[str] = (),
+                 schedulers: Sequence[str] = ("minrtt", "roundrobin",
+                                              "redundant", "qaware"),
                  duration: Optional[float] = None,
                  warmup: Optional[float] = None,
                  max_flows: Optional[int] = None,
@@ -232,27 +354,43 @@ def scale_report(presets: Sequence[str] = ("medium",), *,
                  algorithms: Optional[Sequence[str]] = None,
                  seed: int = 1, smoke: Optional[bool] = None,
                  jobs: int = 1, cache_dir=None, shard=None) -> dict:
-    """Run the preset × scheduler grid and assemble the report dict.
+    """Run the preset × backend grid (plus optional family × scheduler
+    × CC sections) and assemble the report dict.
 
-    The grid goes through :class:`SweepRunner` — ``jobs``, ``cache_dir``
+    The grids go through :class:`SweepRunner` — ``jobs``, ``cache_dir``
     and ``shard`` behave exactly as for the figure sweeps, so a 10k-flow
     grid can be split across machines through a shared cache directory.
     In a sharded run, cells owned by other shards are simply absent
     from the report (and the table prints them as PENDING).
+
+    ``backends`` selects the *engine* event schedulers of the preset
+    grid; ``schedulers`` selects the *packet* schedulers of the family
+    grid — the two orthogonal meanings the registry now separates.
     """
-    if not presets:
-        raise ValueError("no presets to run")
+    if not presets and not families:
+        raise ValueError("no presets or families to run")
     for preset in presets:
         preset_config(preset)
-    if not schedulers:
+    if presets and not backends:
         raise ValueError(
-            "no schedulers to run (empty --schedulers?); expected a "
-            f"comma-separated subset of {', '.join(SCHEDULER_NAMES)}")
-    for name in schedulers:
+            "no engine backends to run (empty --engine-backends?); "
+            "expected a comma-separated subset of "
+            f"{', '.join(SCHEDULER_NAMES)}")
+    for name in backends:
         if name not in SCHEDULER_NAMES:
             expected = ", ".join(SCHEDULER_NAMES)
             raise ValueError(
-                f"unknown scheduler {name!r}; expected one of {expected}")
+                f"unknown engine backend {name!r}; expected one of "
+                f"{expected}")
+    for family in families:
+        family_config(family)
+    if families and not schedulers:
+        from ..core.registry import available_schedulers
+        raise ValueError(
+            "no packet schedulers to run (empty --schedulers?); known: "
+            + ", ".join(available_schedulers()))
+    for name in schedulers:
+        get_scheduler_spec(name)    # loud KeyError on typos
     if algorithms is not None:
         algorithms = tuple(algorithms)
         for name in algorithms:
@@ -264,19 +402,37 @@ def scale_report(presets: Sequence[str] = ("medium",), *,
                     "packet-level flows")
     if smoke is None:
         smoke = smoke_mode()
+    family_horizon = None
+    family_max_flows = max_flows
     if smoke:
         max_flows = min(max_flows or SMOKE_MAX_FLOWS, SMOKE_MAX_FLOWS)
         duration = min(duration or SMOKE_DURATION, SMOKE_DURATION)
         warmup = min(warmup or SMOKE_WARMUP, SMOKE_WARMUP)
         repeats = 1
+        family_horizon = SMOKE_FAMILY_HORIZON
+        family_max_flows = min(family_max_flows or SMOKE_FAMILY_MAX_FLOWS,
+                               SMOKE_FAMILY_MAX_FLOWS)
+    # The family grid's CC axis: --algorithms when given, else OLIA
+    # (the paper's algorithm) as the canonical column.
+    family_algorithms = tuple(algorithms) if algorithms else ("olia",)
 
     runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
     specs = [
-        RunSpec.make(run_scale_point, preset=preset, scheduler=scheduler,
+        RunSpec.make(run_scale_point, preset=preset, backend=backend,
                      duration=duration, warmup=warmup, max_flows=max_flows,
                      repeats=repeats, algorithms=algorithms, seed=seed)
         for preset in presets
-        for scheduler in schedulers]
+        for backend in backends]
+    n_preset_cells = len(specs)
+    family_cells = [(family, scheduler, algorithm)
+                    for family in families
+                    for scheduler in schedulers
+                    for algorithm in family_algorithms]
+    specs += [
+        RunSpec.make(run_family_point, family=family, scheduler=scheduler,
+                     algorithm=algorithm, horizon=family_horizon,
+                     max_flows=family_max_flows, seed=seed)
+        for family, scheduler, algorithm in family_cells]
     # Wall-clock cells served from a resume cache were measured in some
     # earlier run, possibly on another machine; remember which, so the
     # report never builds a cross-machine throughput ratio.
@@ -292,26 +448,28 @@ def scale_report(presets: Sequence[str] = ("medium",), *,
         "smoke": smoke,
         "python": platform.python_version(),
         "seed": seed,
-        "schedulers": list(schedulers),
+        "backends": list(backends),
+        "schedulers": list(schedulers) if families else [],
         "algorithms": None if algorithms is None else list(algorithms),
         "presets": {},
+        "families": {},
     }
-    n_sched = len(schedulers)
+    n_backends = len(backends)
     for cell, preset in enumerate(presets):
-        base = cell * n_sched
-        block = runs[base:base + n_sched]
-        by_scheduler = {}
-        for offset, (scheduler, run) in enumerate(zip(schedulers, block)):
+        base = cell * n_backends
+        block = runs[base:base + n_backends]
+        by_backend = {}
+        for offset, (backend, run) in enumerate(zip(backends, block)):
             if run is SWEEP_PENDING:
                 continue
             record = asdict(run)
             record["from_cache"] = from_cache[base + offset]
-            by_scheduler[scheduler] = record
-        if not by_scheduler:
+            by_backend[backend] = record
+        if not by_backend:
             continue
-        entry: dict = {"schedulers": by_scheduler}
-        wheel = by_scheduler.get("wheel")
-        auto = by_scheduler.get("auto")
+        entry: dict = {"backends": by_backend}
+        wheel = by_backend.get("wheel")
+        auto = by_backend.get("auto")
         if wheel and auto:
             # Ratios only mean something when both sides were measured
             # by this run on this machine (check_bench's own rule).
@@ -321,6 +479,17 @@ def scale_report(presets: Sequence[str] = ("medium",), *,
                 entry["auto_vs_wheel"] = round(
                     auto["events_per_sec"] / wheel["events_per_sec"], 3)
         report["presets"][preset] = entry
+    for offset, (family, scheduler, algorithm) in enumerate(family_cells):
+        index = n_preset_cells + offset
+        run = runs[index]
+        if run is SWEEP_PENDING:
+            continue
+        record = asdict(run)
+        record["from_cache"] = from_cache[index]
+        family_entry = report["families"].setdefault(
+            family, {"schedulers": {}})
+        sched_entry = family_entry["schedulers"].setdefault(scheduler, {})
+        sched_entry[algorithm] = record
     return report
 
 
@@ -329,11 +498,11 @@ def report_table(report: dict) -> ResultTable:
     table = ResultTable(
         "Scale harness - DES throughput on generated scenarios"
         + (" [SMOKE]" if report.get("smoke") else ""),
-        ["preset", "scheduler", "flows", "events/s", "wall s",
+        ["preset", "backend", "flows", "events/s", "wall s",
          "peak pending", "migrations", "goodput p50 pps"])
     for preset, entry in report["presets"].items():
-        for scheduler, run in entry["schedulers"].items():
-            table.add_row(preset, scheduler, run["n_flows"],
+        for backend, run in entry["backends"].items():
+            table.add_row(preset, backend, run["n_flows"],
                           round(run["events_per_sec"]),
                           round(run["wall_seconds"], 2),
                           run["peak_pending"], run["migrations"],
@@ -351,12 +520,34 @@ def report_table(report: dict) -> ResultTable:
     return table
 
 
+def family_table(report: dict) -> ResultTable:
+    """Scenario-family section of a :func:`scale_report` dict."""
+    table = ResultTable(
+        "Scenario families - finite transfers per packet scheduler"
+        + (" [SMOKE]" if report.get("smoke") else ""),
+        ["family", "scheduler", "algorithm", "done", "mean s",
+         "p90 s", "fades", "handovers"])
+    for family, entry in report.get("families", {}).items():
+        for scheduler, by_algo in entry["schedulers"].items():
+            for algorithm, run in by_algo.items():
+                mean = run["transfer_mean_s"]
+                p90 = run["transfer_p90_s"]
+                table.add_row(
+                    family, scheduler, algorithm,
+                    f"{run['transfers_completed']}/"
+                    f"{run['transfers_total']}",
+                    "-" if mean is None else round(mean, 3),
+                    "-" if p90 is None else round(p90, 3),
+                    run["link_changes"], run["handovers"])
+    return table
+
+
 def scale_table(presets: Sequence[str] = ("medium",), *,
-                schedulers: Sequence[str] = ("heap", "wheel", "auto"),
+                backends: Sequence[str] = ("heap", "wheel", "auto"),
                 jobs: int = 1, cache_dir=None, shard=None,
                 **kwargs) -> ResultTable:
     """Convenience: :func:`scale_report` rendered as a ResultTable."""
-    report = scale_report(presets, schedulers=schedulers, jobs=jobs,
+    report = scale_report(presets, backends=backends, jobs=jobs,
                           cache_dir=cache_dir, shard=shard, **kwargs)
     return report_table(report)
 
@@ -371,8 +562,12 @@ def write_report(report: dict, output_path: str) -> None:
 __all__ = [
     "DEFAULT_DURATIONS",
     "DEFAULT_WARMUPS",
+    "FAMILY_HORIZON",
+    "FamilyRun",
     "ScaleRun",
+    "family_table",
     "report_table",
+    "run_family_point",
     "run_scale_point",
     "scale_report",
     "scale_table",

@@ -171,5 +171,11 @@ def make_fluid_algorithm(name: str, **params) -> FluidAlgorithm:
         the same names (and is the only dispatch path; a CI gate keeps
         new call sites off this wrapper).
     """
+    import warnings
+
     from ..core import registry
+    warnings.warn(
+        "repro.fluid.dynamics.make_fluid_algorithm is deprecated; use "
+        "repro.core.registry.make_fluid_algorithm",
+        DeprecationWarning, stacklevel=2)
     return registry.make_fluid_algorithm(name, **params)

@@ -61,6 +61,14 @@ _MAX_ANNEALING = 1024.0
 #: it is frozen as a budget miss.  Annealing a point resets its strike
 #: count: the new step size gets a fresh chance to restore the pace.
 _PACE_STRIKES = 3
+#: Unit-circle margin of the tie-cycle annealing exemption.  A point
+#: whose window AR(1) step autocorrelation sits in
+#: ``(-_TIE_LAMBDA, 0)`` alternates but contracts on average — the
+#: signature of a best-set tie cycle collapsing at fixed step size —
+#: and is spared annealing and pace strikes.  Saturated period-2
+#: orbits (the case annealing exists for) repeat exactly, so their
+#: estimate hugs -1 and stays outside the exemption band.
+_TIE_LAMBDA = 0.97
 
 
 def tcp_rate(p, rtt):
@@ -340,7 +348,13 @@ def allocation_rule(name: str, **kwargs) -> AllocationRule:
         A callable ``rule(p, rtt) -> rates`` operating along the last
         axis of its arguments.
     """
+    import warnings
+
     from ..core import registry
+    warnings.warn(
+        "repro.fluid.equilibrium.allocation_rule is deprecated; use "
+        "repro.core.registry.make_allocation_rule",
+        DeprecationWarning, stacklevel=2)
     return registry.make_allocation_rule(name, **kwargs)
 
 
@@ -467,6 +481,28 @@ def solve_fixed_point_batch(networks, rules, *,
     on the point's own history, so batch and sequential runs stay
     bitwise-equal; a point that never stalls rescales by exactly
     ``1.0`` and is bitwise-identical to the fixed-damping iteration.
+
+    Tie-cycle annealing exemption: a best-set tie cycle is the one
+    orbit annealing can never settle — its amplitude is proportional
+    to ``g`` while the residual rescale is ``damping / g``, so the
+    two cancel and the rescaled residual plateaus down the whole
+    ladder (such points used to walk to the floor and freeze
+    ``converged=False``).  Left at fixed ``g`` the cycle *does*
+    collapse on its own: the orbit wanders along the tie manifold
+    (residual flat for hundreds of iterations), then the flip pattern
+    locks and contracts geometrically through the period-2 test.  The
+    wander phase defeats any improvement-rate test, but the window
+    AR(1) step statistics separate the two regimes that matter: a tie
+    cycle alternates with an *estimated contraction strictly inside
+    the unit circle* (``-_TIE_LAMBDA < lambda < 0`` — contracting on
+    average, just not monotonically), while the saturated period-2
+    orbits annealing exists for (e.g. wVegas' ``alpha/p`` response
+    past its stability bound) repeat exactly, ``lambda ~ -1``.  A
+    point in the first regime keeps its step size — no anneal, no
+    pace strike — and is left to the period-2 residual test.  The
+    test reads only the point's own window history, so it preserves
+    row-wise batch/sequential bitwise equality.
+
     A point that is *still* stalled at the annealing floor sits on a
     rule discontinuity no step size can settle through (its
     equilibrium is a sliding point of the hard best-set map); it
@@ -644,8 +680,19 @@ def solve_fixed_point_batch(networks, rules, *,
         window += 1
         at_window = window >= _STALL_WINDOW
         if at_window.any():
-            stalled = at_window & (best_resid
-                                   > _STALL_FACTOR * best_checkpoint)
+            # Tie-cycle exemption: an alternating orbit whose window
+            # AR(1) contraction estimate is strictly inside the unit
+            # circle (-_TIE_LAMBDA < lambda < 0) is a best-set tie
+            # cycle contracting on average — annealing it is
+            # counterproductive (amplitude ∝ g cancels against the
+            # damping/g rescale), so it is spared the anneal and the
+            # pace strike and left to the period-2 residual test.
+            # The saturated orbits annealing exists for repeat
+            # exactly (lambda ~ -1) and are not exempt.
+            tie_wait = (at_window & (lam_num < 0.0)
+                        & (lam_num > -_TIE_LAMBDA * lam_den))
+            stalled = (at_window & ~tie_wait
+                       & (best_resid > _STALL_FACTOR * best_checkpoint))
             anneal = stalled & (g_act > g_min)
             g_act = np.where(anneal, _ANNEAL_STEP * g_act, g_act)
             # Pace strikes: a point behind the log-linear pace line to
@@ -658,7 +705,7 @@ def solve_fixed_point_batch(networks, rules, *,
             # the new step size gets a fresh chance (a just-stabilised
             # orbit converges far faster than its plateau suggested).
             pace = tol ** (iteration / max_iter)
-            pace_fail = (at_window
+            pace_fail = (at_window & ~tie_wait
                          & (best_resid > pace)
                          & (best_resid > catchup * best_checkpoint))
             strikes = np.where(at_window,

@@ -7,6 +7,13 @@ from .scheduler import AdaptiveScheduler, HeapScheduler, WheelScheduler
 from .monitors import FlowMeter, WindowTracer
 from .mptcp import MptcpConnection, PathSpec
 from .packet import Packet
+from .packet_scheduler import (
+    MinRttScheduler,
+    PacketScheduler,
+    QueueAwareScheduler,
+    RedundantScheduler,
+    RoundRobinScheduler,
+)
 from .queues import DropTailQueue, REDQueue
 from .tcp import TcpSubflow, single_path_tcp
 
@@ -26,6 +33,11 @@ __all__ = [
     "single_path_tcp",
     "MptcpConnection",
     "PathSpec",
+    "PacketScheduler",
+    "MinRttScheduler",
+    "RoundRobinScheduler",
+    "RedundantScheduler",
+    "QueueAwareScheduler",
     "BulkTransfer",
     "ShortFlowSource",
     "BackgroundTraffic",

@@ -25,21 +25,36 @@ PathProvider = Callable[[], Tuple[tuple, float]]
 
 
 class BulkTransfer:
-    """A long-lived flow: single-path TCP or MPTCP, started with jitter."""
+    """A long-lived flow: single-path TCP or MPTCP, started with jitter.
+
+    Passing ``size_packets`` turns it into a *finite* transfer: MPTCP
+    connections then stripe the stream through the packet ``scheduler``
+    (a registry name, spec, or policy instance; default ``minrtt``) and
+    call ``on_complete(elapsed)`` when done.  Long-lived flows ignore
+    the scheduler — with unlimited data every subflow is always busy.
+    """
 
     def __init__(self, sim: Simulator, algorithm: str,
                  paths: List[PathSpec], *, start_time: float = 0.0,
+                 scheduler=None,
+                 size_packets: Optional[int] = None,
+                 on_complete: Optional[Callable[[float], None]] = None,
                  name: str = "bulk") -> None:
         self.sim = sim
         self.name = name
         self.start_time = start_time
         if algorithm in ("tcp", "reno") and len(paths) == 1:
             self._tcp: Optional[TcpSubflow] = single_path_tcp(
-                sim, paths[0].links, paths[0].reverse_delay, name=name)
+                sim, paths[0].links, paths[0].reverse_delay,
+                size_packets=size_packets, on_complete=on_complete,
+                name=name)
             self._mptcp: Optional[MptcpConnection] = None
         else:
             self._tcp = None
-            self._mptcp = MptcpConnection(sim, algorithm, paths, name=name)
+            self._mptcp = MptcpConnection(
+                sim, algorithm, paths, scheduler=scheduler,
+                size_packets=size_packets, on_complete=on_complete,
+                name=name)
 
     def start(self) -> None:
         if self._tcp is not None:

@@ -62,33 +62,61 @@ class LinkStats:
 
 
 class Link:
-    """Unidirectional link: rate (bits/s), propagation delay, queue."""
+    """Unidirectional link: rate (bits/s), propagation delay, queue.
+
+    ``rate_bps`` and ``delay`` may be mutated mid-run (the wireless
+    scenario machinery in :mod:`repro.topology.wireless` drives both):
+    a new rate applies from the next transmission, and the propagation
+    pipe clamps delivery times to stay monotone so a shrinking delay
+    can never reorder packets already on the wire.  ``loss_rate``
+    models non-congestion (channel) loss: each arriving packet is
+    dropped with that probability, drawn from the caller-supplied
+    ``loss_rng`` so runs stay seed-reproducible.  At the default
+    ``loss_rate=0.0`` no random numbers are ever drawn.
+    """
 
     __slots__ = ("sim", "rate_bps", "delay", "queue", "stats", "name",
-                 "_busy", "_pipe", "_pipe_idle")
+                 "loss_rate", "loss_rng", "_busy", "_pipe", "_pipe_idle")
 
     def __init__(self, sim: Simulator, rate_bps: float, delay: float,
                  queue: Optional[DropTailQueue] = None,
-                 name: str = "link") -> None:
+                 name: str = "link", *,
+                 loss_rate: float = 0.0,
+                 loss_rng=None) -> None:
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
         if delay < 0:
             raise ValueError("propagation delay cannot be negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if loss_rate > 0.0 and loss_rng is None:
+            raise ValueError("loss_rate needs a loss_rng for "
+                             "reproducible channel drops")
         self.sim = sim
         self.rate_bps = rate_bps
         self.delay = delay
         self.queue = queue if queue is not None else DropTailQueue()
         self.stats = LinkStats()
         self.name = name
+        self.loss_rate = loss_rate
+        self.loss_rng = loss_rng
         self._busy = False
         # Packets on the wire: (delivery_time, packet), delivery order ==
-        # transmission order because the propagation delay is constant.
+        # transmission order because the propagation delay is constant
+        # (or clamped monotone when mutated mid-run).
         self._pipe: Deque[Tuple[float, Packet]] = deque()
         self._pipe_idle = True
 
     def receive(self, packet: Packet) -> None:
         """Packet arrives at this link's ingress."""
         self.stats.arrivals += 1
+        if (self.loss_rate > 0.0
+                and self.loss_rng.random() < self.loss_rate):
+            # Channel loss (wireless): dropped on arrival, before the
+            # queue — indistinguishable from a queue drop to the
+            # transport, as non-congestion losses are to real TCP.
+            self.stats.drops += 1
+            return
         if self._busy:
             if not self.queue.try_enqueue(packet):
                 self.stats.drops += 1
@@ -109,11 +137,18 @@ class Link:
     def _transmission_done(self, packet: Packet) -> None:
         self.stats.bytes_sent += packet.size_bytes
         now = self.sim.now
-        self._pipe.append((now + self.delay, packet))
+        deliver_at = now + self.delay
+        pipe = self._pipe
+        if pipe and pipe[-1][0] > deliver_at:
+            # The delay shrank mid-run (wireless rate/handover change):
+            # clamp to the tail so the wire stays FIFO.  A no-op for
+            # constant delay — completion order is arrival order.
+            deliver_at = pipe[-1][0]
+        pipe.append((deliver_at, packet))
         if self._pipe_idle:
             # First packet on an idle wire: start the delivery loop.
             self._pipe_idle = False
-            self.sim.schedule(self.delay, self._deliver)
+            self.sim.schedule_at(deliver_at, self._deliver)
         # Drain the queue: keep the service loop going with the next
         # packet (one pending service event per busy link).
         next_packet = self.queue.dequeue()

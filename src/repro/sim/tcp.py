@@ -45,6 +45,7 @@ class TcpSubflow:
                  min_ssthresh: float = 2.0,
                  rcv_wnd_packets: Optional[int] = None,
                  on_complete: Optional[Callable[[float], None]] = None,
+                 gate=None,
                  name: str = "flow") -> None:
         if not path:
             raise ValueError("path must contain at least one link")
@@ -61,6 +62,10 @@ class TcpSubflow:
         self.min_ssthresh = min_ssthresh
         self.rcv_wnd_packets = rcv_wnd_packets
         self.on_complete = on_complete
+        # Optional scheduler gate (finite MPTCP transfers): the gate
+        # answers _has_data via the grant-on-ask contract and tracks
+        # connection-level completion across subflows.
+        self.gate = gate
         self.name = name
 
         base_rtt = sum(link.delay for link in self.path) + reverse_delay
@@ -111,6 +116,8 @@ class TcpSubflow:
     def _begin(self) -> None:
         self.started = True
         self.start_time = self.sim.now
+        if self.gate is not None:
+            self.gate.note_start()
         self._try_send()
 
     @property
@@ -129,6 +136,10 @@ class TcpSubflow:
 
     # -- sending ---------------------------------------------------------------
     def _has_data(self) -> bool:
+        if self.gate is not None:
+            # Scheduler-gated finite transfer: the gate decides (and may
+            # grant this subflow a packet, or poke a preferred sibling).
+            return self.gate.has_data(self)
         if self.size_packets is None:
             return True
         return self.snd_nxt < self.size_packets
@@ -169,6 +180,12 @@ class TcpSubflow:
                 self.rcv_nxt += 1
         elif seq > self.rcv_nxt:
             self._out_of_order.add(seq)
+        if self.gate is not None:
+            # Redundant scheduling completes at the receiver: any copy
+            # of a stream packet advances the cross-subflow union.
+            self.gate.on_received(self, seq)
+            if self.completed:
+                return  # union covered the stream; no more ACKs needed
         # ACK (cumulative) returns over the uncongested reverse direction.
         self.sim.schedule(self.reverse_delay, self.on_ack, self.rcv_nxt)
 
@@ -214,11 +231,17 @@ class TcpSubflow:
                 self.controller.increase_on_ack(self.key,
                                                 acked_packets=newly)
 
+        if self.gate is not None and self.gate.on_ack(self, newly):
+            return  # this ACK completed the whole multipath transfer
         if self.size_packets is not None and ack >= self.size_packets:
             self._complete()
             return
         self._arm_timer()
         self._try_send()
+        if self.gate is not None:
+            # Freed window/updated RTT may change the policy's choice:
+            # let idle siblings ask again.
+            self.gate.kick()
 
     #: Retransmissions allowed per arriving partial ACK.  Two per ACK
     #: grows the repair rate exponentially (like slow start) while

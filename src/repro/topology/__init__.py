@@ -2,14 +2,18 @@
 
 from .fattree import FatTree
 from .generator import (
+    FAMILY_PRESETS,
     PRESETS,
     FlowDescription,
     GeneratedScenario,
     GeneratorConfig,
     build_random_scenario,
+    family_config,
+    generate_family,
     generate_preset,
     preset_config,
 )
+from .wireless import LinkDynamics, TimeVaryingLink
 from .scenarios import (
     ScenarioATopology,
     ScenarioBTopology,
@@ -26,8 +30,13 @@ __all__ = [
     "FlowDescription",
     "GeneratedScenario",
     "GeneratorConfig",
+    "LinkDynamics",
+    "TimeVaryingLink",
+    "FAMILY_PRESETS",
     "PRESETS",
     "build_random_scenario",
+    "family_config",
+    "generate_family",
     "generate_preset",
     "preset_config",
     "ScenarioATopology",

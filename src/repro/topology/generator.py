@@ -35,6 +35,7 @@ from ..sim.engine import Simulator
 from ..sim.link import Link
 from ..sim.mptcp import PathSpec
 from ..sim.queues import DropTailQueue, REDQueue
+from .wireless import LinkDynamics, TimeVaryingLink
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,22 @@ class GeneratorConfig:
         single-path flows, all other names go through the cross-layer
         algorithm registry as multipath (names are validated against
         the registry's packet-capable set at construction time).
+    scheduler_mix : tuple of (name, weight)
+        Relative weights of the packet schedulers multipath flows are
+        assigned; names are validated against the registry's scheduler
+        axis.  Schedulers only shape behaviour for finite transfers
+        (``transfer_packets``); for long-lived bulk flows they are
+        recorded but inert.
+    transfer_packets : int or None
+        When set, every bulk flow becomes a *finite* transfer of this
+        many packets, striped by its assigned scheduler; completion
+        times land in ``GeneratedScenario.transfer_times``.  ``None``
+        (default) keeps the classic long-lived Iperf model.
+    link_dynamics : LinkDynamics or None
+        When set, every bottleneck link gets a seeded
+        :class:`~repro.topology.wireless.TimeVaryingLink` driver (and
+        the dynamics' channel ``loss_rate``): the wireless scenario
+        families.  ``None`` keeps links wired/constant.
     churn_fraction : float
         Fraction of ``n_flows`` realised as
         :class:`~repro.sim.apps.ShortFlowSource` (Poisson arrivals of
@@ -94,6 +111,9 @@ class GeneratorConfig:
     algorithm_mix: Tuple[Tuple[str, float], ...] = (
         ("lia", 0.3), ("olia", 0.3), ("balia", 0.1), ("ewtcp", 0.15),
         ("tcp", 0.15))
+    scheduler_mix: Tuple[Tuple[str, float], ...] = (("minrtt", 1.0),)
+    transfer_packets: Optional[int] = None
+    link_dynamics: Optional[LinkDynamics] = None
     churn_fraction: float = 0.1
     two_hop_fraction: float = 0.3
     queue: str = "droptail"
@@ -136,6 +156,23 @@ class GeneratorConfig:
                     f"algorithm_mix entry {name!r} has no packet layer "
                     f"(supports: {', '.join(spec.layers)}); the generator "
                     "builds packet-level flows")
+        if not self.scheduler_mix:
+            raise ValueError("scheduler_mix cannot be empty")
+        if any(weight < 0 for _, weight in self.scheduler_mix) \
+                or sum(weight for _, weight in self.scheduler_mix) <= 0:
+            raise ValueError("scheduler_mix weights must be >= 0 and "
+                             "sum to a positive total")
+        from ..core.registry import available_schedulers, get_scheduler_spec
+        for sched_name, _ in self.scheduler_mix:
+            try:
+                get_scheduler_spec(sched_name)
+            except KeyError:
+                known = ", ".join(available_schedulers())
+                raise ValueError(
+                    f"scheduler_mix names an unknown scheduler "
+                    f"{sched_name!r}; known: {known}") from None
+        if self.transfer_packets is not None and self.transfer_packets < 1:
+            raise ValueError("transfer_packets must be at least 1")
         low, high = self.capacity_mbps
         if not 0 < low <= high:
             raise ValueError(f"bad capacity range {self.capacity_mbps}")
@@ -171,6 +208,64 @@ PRESETS: Dict[str, GeneratorConfig] = {
 }
 
 
+#: Heterogeneous/wireless scenario families: the open scenario space
+#: beyond the paper's wired testbed.  Each family is a complete
+#: GeneratorConfig — finite transfers striped by a scheduler mix over
+#: multipath-capable CC, on links whose radio model
+#: (:class:`~repro.topology.wireless.LinkDynamics`) sets the fading,
+#: loss and handover behaviour.  ``wired`` is the control: the same
+#: workload on constant links.
+FAMILY_PRESETS: Dict[str, GeneratorConfig] = {
+    "wired": GeneratorConfig(
+        n_flows=24, n_links=8, subflows_min=2, subflows_max=2,
+        transfer_packets=400,
+        scheduler_mix=(("minrtt", 0.4), ("roundrobin", 0.2),
+                       ("redundant", 0.2), ("qaware", 0.2)),
+        algorithm_mix=(("olia", 0.5), ("lia", 0.3), ("balia", 0.2)),
+        churn_fraction=0.0),
+    # Asymmetric dual-LTE: two cellular paths per flow, both fading,
+    # light channel loss, no handovers — the time-varying preset the
+    # scale bench gates.
+    "dual_lte": GeneratorConfig(
+        n_flows=24, n_links=8, subflows_min=2, subflows_max=2,
+        capacity_mbps=(3.0, 30.0), base_rtt=(0.05, 0.15),
+        transfer_packets=400,
+        scheduler_mix=(("minrtt", 0.4), ("roundrobin", 0.2),
+                       ("redundant", 0.2), ("qaware", 0.2)),
+        algorithm_mix=(("olia", 0.5), ("lia", 0.3), ("balia", 0.2)),
+        churn_fraction=0.0,
+        link_dynamics=LinkDynamics(
+            rate_range=(2e6, 40e6), change_interval=0.2,
+            rate_sigma=0.35, delay_jitter=0.25, loss_rate=0.005)),
+    # WiFi + LTE: wider capacity spread and heavier channel loss (WiFi
+    # contention), moderate fading.
+    "wifi_lte": GeneratorConfig(
+        n_flows=24, n_links=8, subflows_min=2, subflows_max=2,
+        capacity_mbps=(2.0, 60.0), base_rtt=(0.02, 0.12),
+        transfer_packets=400,
+        scheduler_mix=(("minrtt", 0.4), ("roundrobin", 0.2),
+                       ("redundant", 0.2), ("qaware", 0.2)),
+        algorithm_mix=(("olia", 0.5), ("lia", 0.3), ("balia", 0.2)),
+        churn_fraction=0.0,
+        link_dynamics=LinkDynamics(
+            rate_range=(1e6, 70e6), change_interval=0.15,
+            rate_sigma=0.5, delay_jitter=0.3, loss_rate=0.02)),
+    # Mobility: dual-LTE radio model plus periodic handover outages.
+    "handover": GeneratorConfig(
+        n_flows=24, n_links=8, subflows_min=2, subflows_max=2,
+        capacity_mbps=(3.0, 30.0), base_rtt=(0.05, 0.15),
+        transfer_packets=400,
+        scheduler_mix=(("minrtt", 0.4), ("roundrobin", 0.2),
+                       ("redundant", 0.2), ("qaware", 0.2)),
+        algorithm_mix=(("olia", 0.5), ("lia", 0.3), ("balia", 0.2)),
+        churn_fraction=0.0,
+        link_dynamics=LinkDynamics(
+            rate_range=(2e6, 40e6), change_interval=0.2,
+            rate_sigma=0.35, delay_jitter=0.25, loss_rate=0.005,
+            handover_interval=2.0, handover_outage=0.08)),
+}
+
+
 @dataclass
 class FlowDescription:
     """Build-time record of one generated flow (structure, not state)."""
@@ -181,6 +276,7 @@ class FlowDescription:
     base_rtt: float
     start_time: float
     paths: List[Tuple[Tuple[str, ...], float]]   # (link names, reverse)
+    scheduler: str = "minrtt"    # packet scheduler (multipath flows)
 
 
 @dataclass
@@ -201,13 +297,18 @@ class GeneratedScenario:
     bulk_flows: Dict[str, BulkTransfer]
     churn_sources: List[ShortFlowSource]
     flow_descriptions: List[FlowDescription] = field(default_factory=list)
+    dynamics: List[TimeVaryingLink] = field(default_factory=list)
+    transfer_times: List[float] = field(default_factory=list)
 
     def start(self) -> None:
-        """Start every bulk flow (with its jitter) and churn source."""
+        """Start every bulk flow (with its jitter), churn source and
+        link-dynamics driver."""
         for flow in self.bulk_flows.values():
             flow.start()
         for source in self.churn_sources:
             source.start()
+        for driver in self.dynamics:
+            driver.start()
 
     @property
     def n_flows(self) -> int:
@@ -224,11 +325,14 @@ class GeneratedScenario:
             "links": [(link.name, link.rate_bps, link.delay,
                        type(link.queue).__name__)
                       for link in self.links],
-            "flows": [(d.name, d.kind, d.algorithm,
+            "flows": [(d.name, d.kind, d.algorithm, d.scheduler,
                        round(d.base_rtt, 12), round(d.start_time, 12),
                        tuple((names, round(reverse, 12))
                              for names, reverse in d.paths))
                       for d in self.flow_descriptions],
+            "dynamics": (dataclasses.astuple(self.config.link_dynamics)
+                         if self.config.link_dynamics is not None
+                         else None),
         }
 
 
@@ -255,12 +359,25 @@ def build_random_scenario(sim: Simulator, rng: random.Random,
     rtt_low, rtt_high = config.base_rtt
     max_hop = rtt_low / 4.0
     links: List[Link] = []
+    dynamics_drivers: List[TimeVaryingLink] = []
+    dyn = config.link_dynamics
     for i in range(config.n_links):
         capacity = rng.uniform(*config.capacity_mbps)
         delay = rng.uniform(0.25, 1.0) * max_hop
-        links.append(Link(sim, rate_bps=capacity * 1e6, delay=delay,
-                          queue=_make_queue(rng, capacity, config.queue),
-                          name=f"{name}.l{i}"))
+        loss_rng = None
+        if dyn is not None and dyn.loss_rate > 0:
+            # Private per-link stream: channel drops at simulation time
+            # never consume the build rng.
+            loss_rng = random.Random(rng.getrandbits(64))
+        link = Link(sim, rate_bps=capacity * 1e6, delay=delay,
+                    queue=_make_queue(rng, capacity, config.queue),
+                    name=f"{name}.l{i}",
+                    loss_rate=dyn.loss_rate if dyn is not None else 0.0,
+                    loss_rng=loss_rng)
+        links.append(link)
+        if dyn is not None:
+            dynamics_drivers.append(
+                TimeVaryingLink(sim, link, dyn, rng.getrandbits(64)))
 
     from ..core.registry import get_spec
     names = [algo for algo, _ in config.algorithm_mix]
@@ -288,9 +405,13 @@ def build_random_scenario(sim: Simulator, rng: random.Random,
             described.append((tuple(link.name for link in path), reverse))
         return specs, described
 
+    scheduler_names = [sched for sched, _ in config.scheduler_mix]
+    scheduler_weights = [weight for _, weight in config.scheduler_mix]
+
     bulk_flows: Dict[str, BulkTransfer] = {}
     churn_sources: List[ShortFlowSource] = []
     descriptions: List[FlowDescription] = []
+    transfer_times: List[float] = []
     for i in range(config.n_flows):
         base_rtt = rng.uniform(rtt_low, rtt_high)
         if i < n_churn:
@@ -318,17 +439,32 @@ def build_random_scenario(sim: Simulator, rng: random.Random,
             config.subflows_min, config.subflows_max)
         specs, described = draw_paths(n_subflows, base_rtt)
         start_time = rng.uniform(0.0, config.start_spread)
+        # Single-entry mixes skip the draw so the default configuration
+        # reproduces the exact pre-scheduler-axis rng stream.
+        if len(scheduler_names) == 1:
+            scheduler = scheduler_names[0]
+        else:
+            scheduler = rng.choices(scheduler_names,
+                                    weights=scheduler_weights)[0]
         flow_name = f"{name}.f{i}"
         bulk_flows[flow_name] = BulkTransfer(
-            sim, algorithm, specs, start_time=start_time, name=flow_name)
+            sim, algorithm, specs, start_time=start_time,
+            scheduler=scheduler,
+            size_packets=config.transfer_packets,
+            on_complete=(transfer_times.append
+                         if config.transfer_packets is not None else None),
+            name=flow_name)
         descriptions.append(FlowDescription(
             name=flow_name, kind="bulk", algorithm=algorithm,
-            base_rtt=base_rtt, start_time=start_time, paths=described))
+            base_rtt=base_rtt, start_time=start_time, paths=described,
+            scheduler=scheduler))
 
     return GeneratedScenario(sim=sim, config=config, links=links,
                              bulk_flows=bulk_flows,
                              churn_sources=churn_sources,
-                             flow_descriptions=descriptions)
+                             flow_descriptions=descriptions,
+                             dynamics=dynamics_drivers,
+                             transfer_times=transfer_times)
 
 
 def preset_config(preset: str) -> GeneratorConfig:
@@ -341,9 +477,20 @@ def preset_config(preset: str) -> GeneratorConfig:
             f"unknown scale preset {preset!r}; known: {known}") from None
 
 
+def family_config(family: str) -> GeneratorConfig:
+    """The :data:`FAMILY_PRESETS` entry for ``family``."""
+    try:
+        return FAMILY_PRESETS[family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILY_PRESETS))
+        raise ValueError(
+            f"unknown scenario family {family!r}; known: {known}") from None
+
+
 def generate_preset(sim: Simulator, preset: str, *, seed: int = 1,
                     max_flows: Optional[int] = None,
-                    algorithms: Optional[Tuple[str, ...]] = None
+                    algorithms: Optional[Tuple[str, ...]] = None,
+                    schedulers: Optional[Tuple[str, ...]] = None
                     ) -> GeneratedScenario:
     """Generate a named preset into ``sim``.
 
@@ -351,8 +498,9 @@ def generate_preset(sim: Simulator, preset: str, *, seed: int = 1,
     :meth:`GeneratorConfig.scaled`, shrinking the link pool in step so
     the capped scenario keeps the preset's congestion density.
     ``algorithms`` replaces the preset's algorithm mix with the given
-    names at equal weights (registry-validated) — the knob behind
-    ``python -m repro scale --algorithms``.
+    names at equal weights (registry-validated), and ``schedulers``
+    does the same for the packet-scheduler mix — the knobs behind
+    ``python -m repro scale --algorithms/--schedulers``.
     """
     config = preset_config(preset)
     if max_flows is not None:
@@ -361,4 +509,23 @@ def generate_preset(sim: Simulator, preset: str, *, seed: int = 1,
         config = dataclasses.replace(
             config,
             algorithm_mix=tuple((name, 1.0) for name in algorithms))
+    if schedulers is not None:
+        config = dataclasses.replace(
+            config,
+            scheduler_mix=tuple((name, 1.0) for name in schedulers))
+    return build_random_scenario(sim, random.Random(seed), config)
+
+
+def generate_family(sim: Simulator, family: str, *, seed: int = 1,
+                    max_flows: Optional[int] = None,
+                    schedulers: Optional[Tuple[str, ...]] = None
+                    ) -> GeneratedScenario:
+    """Generate a scenario-family workload (see :data:`FAMILY_PRESETS`)."""
+    config = family_config(family)
+    if max_flows is not None:
+        config = config.scaled(max_flows)
+    if schedulers is not None:
+        config = dataclasses.replace(
+            config,
+            scheduler_mix=tuple((name, 1.0) for name in schedulers))
     return build_random_scenario(sim, random.Random(seed), config)

@@ -46,15 +46,15 @@ def _report(*, fluid_speedup=30.0, eq_speedup=4.0, engine_speedup=1.4,
     }
 
 
-def _scale_run(scheduler, events_per_sec=250_000.0, **overrides):
+def _scale_run(backend, events_per_sec=250_000.0, **overrides):
     run = {
-        "scheduler": scheduler,
+        "backend": backend,
         "n_flows": 1000,
         "events_per_sec": events_per_sec,
         "wall_seconds": 1.2,
         "events": 300_000,
         "peak_pending": 8000,
-        "migrations": 1 if scheduler == "auto" else 0,
+        "migrations": 1 if backend == "auto" else 0,
         "goodput_mean_pps": 40.0,
         "goodput_p50_pps": 12.0,
     }
@@ -68,7 +68,7 @@ def _scale_report(auto_vs_wheel=1.0, **run_overrides):
         "smoke": False,
         "presets": {
             "medium": {
-                "schedulers": {
+                "backends": {
                     "heap": _scale_run("heap"),
                     "wheel": _scale_run("wheel"),
                     "auto": _scale_run("auto", **run_overrides),
@@ -237,7 +237,7 @@ class TestCheckScaleReport:
 
     def test_missing_metric_fails(self):
         report = _scale_report()
-        del report["presets"]["medium"]["schedulers"]["auto"][
+        del report["presets"]["medium"]["backends"]["auto"][
             "events_per_sec"]
         failures = check_bench.check_scale_report(report)
         assert any("events_per_sec" in f and "missing" in f
@@ -284,8 +284,8 @@ class TestCheckScaleReport:
         for broken in (
                 [1, 2, 3],
                 {"presets": {"medium": None}},
-                {"presets": {"medium": {"schedulers": {"auto": None}}}},
-                {"presets": {"medium": {"schedulers": {"auto": []}}}}):
+                {"presets": {"medium": {"backends": {"auto": None}}}},
+                {"presets": {"medium": {"backends": {"auto": []}}}}):
             failures = check_bench.check_scale_report(broken)
             assert failures, broken
             # The markdown writer must survive the same inputs (it

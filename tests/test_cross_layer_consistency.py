@@ -21,8 +21,11 @@ from functools import lru_cache
 import numpy as np
 import pytest
 
-from repro.core.registry import algorithm_specs, get_spec
-from repro.experiments.algorithms import _scenario_a_fluid
+from repro.core.registry import algorithm_specs, get_spec, scheduler_specs
+from repro.experiments.algorithms import (
+    _scenario_a_fluid,
+    scheduler_smoke_check,
+)
 from repro.fluid import integrate, solve_fixed_point
 from repro.sim.apps import BulkTransfer
 from repro.sim.engine import Simulator
@@ -155,6 +158,34 @@ class TestCrossLayerAgreement:
         assert np.max(np.abs(pk_t1 - fl_t1)) < PACKET_TOL, \
             f"{name}: packet {pk_t1} vs fluid {fl_t1}"
         assert abs(pk_t2 - fl_t2) < PACKET_TOL
+
+
+class TestSchedulerAlgorithmMatrix:
+    """The registry's second axis composes with the first: every
+    packet scheduler must carry a finite transfer on scenario A under
+    every congestion-control spec with a packet layer — the same
+    matrix the CI smoke lane runs via ``repro algorithms --check``."""
+
+    def test_every_scheduler_cc_pair_completes(self):
+        checks = scheduler_smoke_check(size_packets=40, horizon=30.0)
+        failed = [(c.scheduler, c.algorithm, c.detail)
+                  for c in checks if c.status == "FAIL"]
+        assert not failed, failed
+        completed = {(c.scheduler, c.algorithm)
+                     for c in checks if c.status == "ok"}
+        packet_algos = {
+            spec.name for spec in algorithm_specs()
+            if spec.supports("packet")
+            and not spec.required_params("packet")}
+        expected = {(sched.name, algo)
+                    for sched in scheduler_specs()
+                    for algo in packet_algos}
+        assert completed == expected
+
+    def test_matrix_covers_every_registered_scheduler(self):
+        checks = scheduler_smoke_check(size_packets=40, horizon=30.0)
+        seen = {c.scheduler for c in checks}
+        assert seen == {spec.name for spec in scheduler_specs()}
 
 
 class TestDesignSpectrum:

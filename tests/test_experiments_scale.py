@@ -11,8 +11,11 @@ from repro.cli import main
 from repro.experiments.scale import (
     SMOKE_DURATION,
     SMOKE_MAX_FLOWS,
+    FamilyRun,
     ScaleRun,
+    family_table,
     report_table,
+    run_family_point,
     run_scale_point,
     scale_report,
     write_report,
@@ -26,7 +29,7 @@ _SPEC.loader.exec_module(check_bench)
 
 # One in-process point everybody below reuses (module-level so the
 # numbers stay comparable across asserts without re-running).
-_POINT_KWARGS = dict(preset="tiny", scheduler="auto", duration=0.4,
+_POINT_KWARGS = dict(preset="tiny", backend="auto", duration=0.4,
                      warmup=0.1, seed=2)
 
 
@@ -50,8 +53,8 @@ class TestRunScalePoint:
         assert (tiny_run.goodput_p10_pps <= tiny_run.goodput_p50_pps
                 <= tiny_run.goodput_p90_pps)
 
-    def test_records_scheduler_state(self, tiny_run):
-        assert tiny_run.scheduler == "auto"
+    def test_records_backend_state(self, tiny_run):
+        assert tiny_run.backend == "auto"
         assert tiny_run.final_backend in ("heap", "wheel")
         assert tiny_run.migrations >= 0
 
@@ -77,26 +80,26 @@ class TestRunScalePoint:
 
 class TestScaleReportAlgorithms:
     def test_algorithms_recorded_and_validated(self):
-        report = scale_report(["tiny"], schedulers=("auto",),
+        report = scale_report(["tiny"], backends=("auto",),
                               duration=0.3, warmup=0.1, seed=3,
                               smoke=False, algorithms=("balia",))
         assert report["algorithms"] == ["balia"]
         assert check_bench.check_scale_report(report) == []
         with pytest.raises(KeyError, match="known"):
-            scale_report(["tiny"], schedulers=("auto",),
+            scale_report(["tiny"], backends=("auto",),
                          algorithms=("not-an-algo",))
         with pytest.raises(ValueError, match="no packet layer"):
-            scale_report(["tiny"], schedulers=("auto",),
+            scale_report(["tiny"], backends=("auto",),
                          algorithms=("epsilon",))
 
 
 class TestScaleReport:
     def test_grid_and_ratio(self, tmp_path):
         report = scale_report(
-            ["tiny"], schedulers=("wheel", "auto"), duration=0.3,
+            ["tiny"], backends=("wheel", "auto"), duration=0.3,
             warmup=0.1, seed=3, smoke=False)
         entry = report["presets"]["tiny"]
-        assert set(entry["schedulers"]) == {"wheel", "auto"}
+        assert set(entry["backends"]) == {"wheel", "auto"}
         assert math.isfinite(entry["auto_vs_wheel"])
         # The report satisfies the CI validator it is gated by.
         assert check_bench.check_scale_report(report) == []
@@ -106,21 +109,21 @@ class TestScaleReport:
 
     def test_smoke_env_caps_the_workload(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
-        report = scale_report(["tiny"], schedulers=("heap",),
+        report = scale_report(["tiny"], backends=("heap",),
                               duration=0.3, warmup=0.1)
         assert report["smoke"] is True
-        run = report["presets"]["tiny"]["schedulers"]["heap"]
+        run = report["presets"]["tiny"]["backends"]["heap"]
         assert run["n_flows"] <= SMOKE_MAX_FLOWS
         assert run["duration"] <= min(0.3, SMOKE_DURATION)
 
     def test_cached_grid_is_served_verbatim(self, tmp_path):
-        kwargs = dict(schedulers=("heap",), duration=0.3, warmup=0.1,
+        kwargs = dict(backends=("heap",), duration=0.3, warmup=0.1,
                       seed=4, smoke=False, cache_dir=tmp_path)
         first = scale_report(["tiny"], **kwargs)
         assert list(tmp_path.glob("*.pkl"))
         second = scale_report(["tiny"], **kwargs)
-        one = first["presets"]["tiny"]["schedulers"]["heap"]
-        two = second["presets"]["tiny"]["schedulers"]["heap"]
+        one = first["presets"]["tiny"]["backends"]["heap"]
+        two = second["presets"]["tiny"]["backends"]["heap"]
         # Cache provenance is tracked per cell; everything else —
         # wall-clock fields included — is served verbatim from disk.
         assert one.pop("from_cache") is False
@@ -128,7 +131,7 @@ class TestScaleReport:
         assert one == two
 
     def test_cached_cells_suppress_the_wall_clock_ratio(self, tmp_path):
-        kwargs = dict(schedulers=("wheel", "auto"), duration=0.3,
+        kwargs = dict(backends=("wheel", "auto"), duration=0.3,
                       warmup=0.1, seed=5, smoke=False,
                       cache_dir=tmp_path)
         fresh = scale_report(["tiny"], **kwargs)
@@ -143,29 +146,101 @@ class TestScaleReport:
         assert check_bench.check_scale_report(cached) == []
         assert "omitted" in str(report_table(cached))
 
-    def test_unknown_preset_and_scheduler_rejected(self):
+    def test_unknown_preset_and_backend_rejected(self):
         with pytest.raises(ValueError, match="preset"):
             scale_report(["bogus"])
-        with pytest.raises(ValueError, match="scheduler"):
-            scale_report(["tiny"], schedulers=("fibheap",))
-        with pytest.raises(ValueError, match="schedulers"):
-            scale_report(["tiny"], schedulers=())
+        with pytest.raises(ValueError, match="backend"):
+            scale_report(["tiny"], backends=("fibheap",))
+        with pytest.raises(ValueError, match="engine-backends"):
+            scale_report(["tiny"], backends=())
         with pytest.raises(ValueError, match="presets"):
             scale_report([])
 
     def test_table_renders_every_cell(self):
-        report = scale_report(["tiny"], schedulers=("heap", "auto"),
+        report = scale_report(["tiny"], backends=("heap", "auto"),
                               duration=0.3, warmup=0.1, smoke=False)
         text = str(report_table(report))
         assert "tiny" in text and "auto" in text and "heap" in text
         assert "auto vs wheel" not in text   # wheel did not run
 
 
+class TestFamilyGrid:
+    def test_family_point_finishes_its_transfers(self):
+        run = run_family_point(family="wired", scheduler="roundrobin",
+                               algorithm="olia", max_flows=6,
+                               horizon=20.0, seed=7)
+        assert isinstance(run, FamilyRun)
+        assert run.transfers_completed == run.transfers_total > 0
+        assert run.transfer_mean_s is not None
+        assert 0 < run.transfer_p50_s <= run.transfer_p90_s
+
+    def test_family_point_is_deterministic(self):
+        kwargs = dict(family="dual_lte", scheduler="minrtt",
+                      algorithm="olia", max_flows=4, horizon=15.0,
+                      seed=9)
+        one = run_family_point(**kwargs)
+        two = run_family_point(**kwargs)
+        assert one.transfer_mean_s == two.transfer_mean_s
+        assert one.link_changes == two.link_changes > 0
+        assert one.events == two.events
+
+    def test_unknown_family_scheduler_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="family"):
+            run_family_point(family="bogus")
+        with pytest.raises(KeyError, match="known"):
+            run_family_point(family="wired", scheduler="fifo")
+        with pytest.raises(ValueError, match="no packet layer"):
+            run_family_point(family="wired", algorithm="epsilon")
+
+    def test_report_grid_validates_and_renders(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+        report = scale_report(
+            ["tiny"], backends=("heap",), families=("wired",),
+            schedulers=("minrtt", "redundant"), duration=0.3,
+            warmup=0.1, seed=3)
+        assert report["schedulers"] == ["minrtt", "redundant"]
+        cells = report["families"]["wired"]["schedulers"]
+        assert set(cells) == {"minrtt", "redundant"}
+        for by_algo in cells.values():
+            assert set(by_algo) == {"olia"}
+            run = by_algo["olia"]
+            assert run["transfers_completed"] == run["transfers_total"]
+        assert check_bench.check_scale_report(report) == []
+        text = str(family_table(report))
+        assert "wired" in text and "redundant" in text
+
+    def test_validator_rejects_bad_family_cells(self):
+        record = {"transfers_total": 4, "transfers_completed": 4,
+                  "transfer_mean_s": 1.0, "transfer_p50_s": 1.0,
+                  "transfer_p90_s": 1.5}
+        def rep(rec):
+            return {"presets": {"tiny": {"backends": {"heap": {}}}},
+                    "families": {"wired": {"schedulers":
+                                           {"minrtt": {"olia": rec}}}}}
+        base = [f for f in check_bench.check_scale_report(rep(record))
+                if f.startswith("scale[wired")]
+        assert base == []
+        stuck = dict(record, transfers_completed=3)
+        assert any("3" in f and "4" in f
+                   for f in check_bench.check_scale_report(rep(stuck)))
+        # NaN round-trips through JSON as a float; it must FAIL loudly.
+        poisoned = dict(record, transfer_mean_s=float("nan"))
+        assert any("transfer_mean_s" in f
+                   for f in check_bench.check_scale_report(rep(poisoned)))
+
+    def test_unknown_packet_scheduler_rejected_in_report(self):
+        with pytest.raises(KeyError, match="known"):
+            scale_report(["tiny"], families=("wired",),
+                         schedulers=("fifo",))
+        with pytest.raises(ValueError, match="packet schedulers"):
+            scale_report(["tiny"], families=("wired",), schedulers=())
+
+
 class TestCliVerb:
     def test_scale_round_trip(self, tmp_path, capsys):
         output = tmp_path / "BENCH_scale.json"
         code = main(["scale", "--preset", "tiny", "--duration", "0.3",
-                     "--warmup", "0.1", "--schedulers", "wheel,auto",
+                     "--warmup", "0.1", "--engine-backends", "wheel,auto",
                      "--output", str(output)])
         assert code == 0
         out = capsys.readouterr().out
@@ -174,19 +249,19 @@ class TestCliVerb:
         assert "tiny" in report["presets"]
         assert check_bench.check_scale_report(report) == []
 
-    def test_unknown_scheduler_exits_2(self, tmp_path, capsys):
-        code = main(["scale", "--preset", "tiny", "--schedulers", "bogus",
+    def test_unknown_backend_exits_2(self, tmp_path, capsys):
+        code = main(["scale", "--preset", "tiny", "--engine-backends", "bogus",
                      "--output", str(tmp_path / "x.json")])
         assert code == 2
         assert "bogus" in capsys.readouterr().err
 
-    def test_empty_schedulers_exits_2(self, tmp_path, capsys):
+    def test_empty_backends_exits_2(self, tmp_path, capsys):
         """A shell-quoting accident must not 'succeed' with an empty
         report."""
-        code = main(["scale", "--preset", "tiny", "--schedulers", "",
+        code = main(["scale", "--preset", "tiny", "--engine-backends", "",
                      "--output", str(tmp_path / "x.json")])
         assert code == 2
-        assert "schedulers" in capsys.readouterr().err
+        assert "engine-backends" in capsys.readouterr().err
         assert not (tmp_path / "x.json").exists()
 
     def test_shard_requires_resume(self, tmp_path, capsys):
@@ -198,7 +273,7 @@ class TestCliVerb:
     def test_sharded_runs_merge_through_the_cache(self, tmp_path):
         cache = tmp_path / "cache"
         common = ["--preset", "tiny", "--duration", "0.3", "--warmup",
-                  "0.1", "--schedulers", "heap,wheel,auto",
+                  "0.1", "--engine-backends", "heap,wheel,auto",
                   "--resume", str(cache)]
         for shard in ("0/2", "1/2"):
             out = tmp_path / f"shard{shard[0]}.json"
@@ -207,6 +282,6 @@ class TestCliVerb:
         merged = tmp_path / "merged.json"
         assert main(["scale", *common, "--output", str(merged)]) == 0
         report = json.loads(merged.read_text())
-        assert set(report["presets"]["tiny"]["schedulers"]) == \
+        assert set(report["presets"]["tiny"]["backends"]) == \
             {"heap", "wheel", "auto"}
         assert check_bench.check_scale_report(report) == []

@@ -144,8 +144,10 @@ class TestFactory:
         for name, cls in (("tcp", TcpFluid), ("lia", LiaFluid),
                           ("olia", OliaFluid), ("coupled", CoupledFluid),
                           ("ewtcp", EwtcpFluid)):
-            assert isinstance(make_fluid_algorithm(name), cls)
+            with pytest.deprecated_call():
+                algo = make_fluid_algorithm(name)
+            assert isinstance(algo, cls)
 
     def test_unknown_name(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError), pytest.deprecated_call():
             make_fluid_algorithm("nope")

@@ -106,3 +106,47 @@ class TestGateDetection:
     def test_comments_ignored(self, tmp_path):
         assert self._scan_one(
             tmp_path, "# old: allocation_rule('olia')\n") == []
+
+
+class TestSchedulerAxisDetection:
+    _scan_one = TestGateDetection._scan_one
+
+    def test_concrete_class_construction_flagged(self, tmp_path):
+        hits = self._scan_one(
+            tmp_path, "policy = RoundRobinScheduler()\n")
+        assert len(hits) == 1 and hits[0][1] == 1
+
+    def test_concrete_class_import_flagged(self, tmp_path):
+        hits = self._scan_one(
+            tmp_path,
+            "from repro.sim.packet_scheduler import MinRttScheduler\n")
+        assert len(hits) == 1
+
+    def test_sim_package_reexport_import_flagged(self, tmp_path):
+        hits = self._scan_one(
+            tmp_path,
+            "from ..sim import (\n"
+            "    Simulator,\n"
+            "    RedundantScheduler,\n"
+            ")\n")
+        assert len(hits) == 1 and hits[0][1] == 1
+
+    def test_base_class_import_allowed(self, tmp_path):
+        """Typing against the abstract base is not dispatch."""
+        assert self._scan_one(
+            tmp_path,
+            "from ..sim.packet_scheduler import PacketScheduler\n") == []
+
+    def test_make_scheduler_is_the_sanctioned_path(self, tmp_path):
+        assert self._scan_one(
+            tmp_path,
+            "from ..core.registry import make_scheduler\n"
+            "policy = make_scheduler('qaware')\n") == []
+
+    def test_defining_modules_exempt(self, tmp_path):
+        for relative in ("core/registry.py", "sim/packet_scheduler.py",
+                         "sim/__init__.py"):
+            module = tmp_path / relative
+            module.parent.mkdir(exist_ok=True)
+            module.write_text("policy = QueueAwareScheduler()\n")
+        assert gate.scan(tmp_path) == []

@@ -1,0 +1,235 @@
+"""Time-varying links, handovers, and the wireless scenario families.
+
+Property-style coverage of :mod:`repro.topology.wireless` — the rate
+walk stays inside its clamp, the delay inside its jitter band, the
+whole trajectory is a pure function of ``(dynamics, seed)`` — plus the
+scenario-family presets layered on the generator (scheduler mixes,
+finite transfers, per-family radio models).
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.topology import (
+    FAMILY_PRESETS,
+    LinkDynamics,
+    TimeVaryingLink,
+    build_random_scenario,
+    family_config,
+    generate_family,
+)
+from repro.topology.generator import GeneratorConfig
+from repro.topology.wireless import OUTAGE_RATE_BPS
+
+
+def _driven_link(sim, dynamics, *, rate=1e7, delay=0.03, seed=42):
+    link = Link(sim, rate, delay, name="radio")
+    return link, TimeVaryingLink(sim, link, dynamics, seed)
+
+
+def _observe(dynamics, *, horizon=30.0, seed=42, sample_dt=0.01):
+    """Run one driven link, sampling (rate, delay) on a fixed clock."""
+    sim = Simulator()
+    link, driver = _driven_link(sim, dynamics, seed=seed)
+    samples = []
+
+    def sample():
+        samples.append((link.rate_bps, link.delay))
+        if sim.now < horizon:
+            sim.schedule(sample_dt, sample)
+
+    driver.start()
+    sim.schedule(0.0, sample)
+    sim.run(until=horizon)
+    return driver, samples
+
+
+class TestLinkDynamicsValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="rate_range"):
+            LinkDynamics(rate_range=(0.0, 1e6))
+        with pytest.raises(ValueError, match="rate_range"):
+            LinkDynamics(rate_range=(2e6, 1e6))
+        with pytest.raises(ValueError, match="change_interval"):
+            LinkDynamics(rate_range=(1e6, 2e6), change_interval=0.0)
+        with pytest.raises(ValueError, match="rate_sigma"):
+            LinkDynamics(rate_range=(1e6, 2e6), rate_sigma=-0.1)
+        with pytest.raises(ValueError, match="delay_jitter"):
+            LinkDynamics(rate_range=(1e6, 2e6), delay_jitter=1.0)
+        with pytest.raises(ValueError, match="loss_rate"):
+            LinkDynamics(rate_range=(1e6, 2e6), loss_rate=1.0)
+        with pytest.raises(ValueError, match="outage"):
+            LinkDynamics(rate_range=(1e6, 2e6), handover_interval=1.0,
+                         handover_outage=0.0)
+
+    def test_family_presets_carry_valid_dynamics(self):
+        for family, config in FAMILY_PRESETS.items():
+            if config.link_dynamics is not None:
+                assert isinstance(config.link_dynamics, LinkDynamics), \
+                    family
+
+
+class TestRateAndDelayBounds:
+    DYNAMICS = LinkDynamics(rate_range=(2e6, 4e7), change_interval=0.05,
+                            rate_sigma=0.6, delay_jitter=0.25)
+
+    def test_rate_walk_stays_clamped(self):
+        driver, samples = _observe(self.DYNAMICS)
+        assert driver.changes > 100
+        low, high = self.DYNAMICS.rate_range
+        for rate, _ in samples:
+            assert low <= rate <= high
+
+    def test_delay_jitters_inside_its_band(self):
+        _, samples = _observe(self.DYNAMICS)
+        delays = {delay for _, delay in samples}
+        assert len(delays) > 10, "delay never jittered"
+        for delay in delays:
+            assert 0.03 * 0.75 <= delay <= 0.03 * 1.25
+
+    def test_zero_sigma_freezes_the_rate(self):
+        frozen = LinkDynamics(rate_range=(2e6, 4e7), change_interval=0.05,
+                              rate_sigma=0.0, delay_jitter=0.2)
+        _, samples = _observe(frozen)
+        assert {rate for rate, _ in samples} == {1e7}
+        assert len({delay for _, delay in samples}) > 10
+
+
+class TestDeterminism:
+    DYNAMICS = LinkDynamics(rate_range=(2e6, 4e7), change_interval=0.1,
+                            rate_sigma=0.4, delay_jitter=0.2,
+                            handover_interval=3.0, handover_outage=0.05)
+
+    def test_same_seed_same_trajectory(self):
+        one_driver, one = _observe(self.DYNAMICS, seed=5)
+        two_driver, two = _observe(self.DYNAMICS, seed=5)
+        assert one == two
+        assert one_driver.changes == two_driver.changes
+        assert one_driver.handovers == two_driver.handovers
+
+    def test_different_seeds_diverge(self):
+        _, one = _observe(self.DYNAMICS, seed=5)
+        _, two = _observe(self.DYNAMICS, seed=6)
+        assert one != two
+
+    def test_trajectory_independent_of_traffic(self):
+        """Private RNG: adding traffic must not shift the radio draws."""
+        sim = Simulator()
+        link, driver = _driven_link(sim, self.DYNAMICS, seed=9)
+        driver.start()
+        # Interleave unrelated events that would perturb a shared RNG.
+        for i in range(200):
+            sim.schedule(i * 0.11, lambda: None)
+        sim.schedule(0.0, lambda: None)
+        sim.run(until=20.0)
+        baseline_changes = driver.changes
+        baseline_rate = link.rate_bps
+
+        sim2 = Simulator()
+        link2, driver2 = _driven_link(sim2, self.DYNAMICS, seed=9)
+        driver2.start()
+        sim2.run(until=20.0)
+        assert driver2.changes == baseline_changes
+        assert link2.rate_bps == baseline_rate
+
+
+class TestHandover:
+    DYNAMICS = LinkDynamics(rate_range=(2e6, 4e7), change_interval=0.2,
+                            rate_sigma=0.3, delay_jitter=0.2,
+                            handover_interval=1.0, handover_outage=0.08)
+
+    def test_handovers_happen_and_outage_rate_is_visible(self):
+        driver, samples = _observe(self.DYNAMICS, horizon=40.0)
+        assert driver.handovers > 10
+        outage_samples = [r for r, _ in samples if r == OUTAGE_RATE_BPS]
+        assert outage_samples, "outage rate never observed"
+
+    def test_reattach_redraws_inside_the_range(self):
+        driver, samples = _observe(self.DYNAMICS, horizon=40.0)
+        low, high = self.DYNAMICS.rate_range
+        for rate, _ in samples:
+            assert rate == OUTAGE_RATE_BPS or low <= rate <= high
+
+    def test_stop_freezes_the_link(self):
+        sim = Simulator()
+        link, driver = _driven_link(sim, self.DYNAMICS)
+        driver.start()
+        sim.run(until=5.0)
+        driver.stop()
+        frozen = (link.rate_bps, link.delay)
+        changes = driver.changes
+        sim.run(until=15.0)
+        assert (link.rate_bps, link.delay) == frozen
+        assert driver.changes == changes
+
+
+class TestFamilies:
+    def test_known_families(self):
+        assert set(FAMILY_PRESETS) == {"wired", "dual_lte", "wifi_lte",
+                                       "handover"}
+        with pytest.raises(ValueError, match="wired"):
+            family_config("bogus")
+
+    def test_family_config_returns_copies(self):
+        assert family_config("dual_lte") == FAMILY_PRESETS["dual_lte"]
+
+    def test_generate_family_runs_and_completes_transfers(self):
+        sim = Simulator()
+        scenario = generate_family(sim, "dual_lte", seed=3, max_flows=8)
+        scenario.start()
+        sim.run(until=20.0)
+        assert len(scenario.transfer_times) == len(scenario.bulk_flows)
+        assert all(t > 0 for t in scenario.transfer_times)
+        assert sum(d.changes for d in scenario.dynamics) > 0
+
+    def test_schedulers_override_replaces_the_mix(self):
+        sim = Simulator()
+        scenario = generate_family(sim, "wired", seed=3, max_flows=8,
+                                   schedulers=("redundant",))
+        assert {d.scheduler for d in scenario.flow_descriptions} \
+            == {"redundant"}
+
+    def test_describe_names_schedulers_and_dynamics(self):
+        sim = Simulator()
+        scenario = generate_family(sim, "handover", seed=4, max_flows=6)
+        description = scenario.describe()
+        assert description["dynamics"] is not None
+        schedulers = {flow[3] for flow in description["flows"]}
+        assert schedulers <= {"minrtt", "roundrobin", "redundant",
+                              "qaware"}
+
+    def test_wired_family_has_no_radio(self):
+        sim = Simulator()
+        scenario = generate_family(sim, "wired", seed=5, max_flows=6)
+        assert scenario.dynamics == []
+        assert scenario.describe()["dynamics"] is None
+
+
+class TestGeneratorConfigValidation:
+    def test_scheduler_mix_names_are_validated(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            GeneratorConfig(n_flows=4, n_links=4,
+                            scheduler_mix=(("fifo", 1.0),))
+
+    def test_scheduler_mix_needs_positive_weight(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_flows=4, n_links=4, scheduler_mix=())
+
+    def test_transfer_packets_must_be_positive(self):
+        with pytest.raises(ValueError, match="transfer_packets"):
+            GeneratorConfig(n_flows=4, n_links=4, transfer_packets=0)
+
+    def test_default_streams_unchanged_without_dynamics(self):
+        """Adding the new knobs at their defaults must not consume any
+        extra RNG draws: the classic preset structure is frozen."""
+        one = build_random_scenario(
+            Simulator(), random.Random(11),
+            GeneratorConfig(n_flows=6, n_links=4)).describe()
+        two = build_random_scenario(
+            Simulator(), random.Random(11),
+            GeneratorConfig(n_flows=6, n_links=4)).describe()
+        assert one == two
+        assert one["dynamics"] is None
