@@ -37,6 +37,17 @@ workloads' algorithm mix.
 ``python -m repro scale --preset medium``) through the DES engine on
 every scheduler backend and writes ``BENCH_scale.json`` (see
 docs/PERFORMANCE.md and docs/REPRODUCING.md).
+``--claim-ttl SECONDS`` (on ``run``, ``scale`` and the sweep fabric
+verbs) reaps abandoned ``.claim`` lock files older than the TTL, so a
+hard-killed ``--shard steal`` run never parks points forever; the
+single-host default stays ``None`` (claims outlive crashes until
+released) while the distributed fabric defaults to a finite TTL.
+``sweep serve`` / ``sweep work`` / ``sweep bench`` run the distributed
+sweep fabric: a coordinator that owns a grid manifest and leases point
+batches over newline-delimited JSON, workers that execute and stream
+results back, and the 1-vs-2-vs-4-worker scaling benchmark behind
+``BENCH_dist.json`` (see docs/ARCHITECTURE.md, "The distributed sweep
+fabric").
 """
 
 from __future__ import annotations
@@ -79,7 +90,8 @@ ALGORITHM_EXPERIMENTS = {
 
 def _experiments(fast: bool, jobs: int = 1, backend: str = "loop",
                  cache_dir=None, shard=None,
-                 algorithm: str | None = None
+                 algorithm: str | None = None,
+                 claim_ttl: float | None = None
                  ) -> Dict[str, Callable[[], object]]:
     """Experiment name -> zero-argument callable returning a table.
 
@@ -100,7 +112,8 @@ def _experiments(fast: bool, jobs: int = 1, backend: str = "loop",
         dict(k=4, duration=5.0, warmup=1.0)
     trace_len = 90.0 if not fast else 30.0
     # Everything dispatched through SweepRunner accepts the queue knobs.
-    sweep = dict(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    sweep = dict(jobs=jobs, cache_dir=cache_dir, shard=shard,
+                 claim_ttl=claim_ttl)
     return {
         "fig1b": lambda: scenario_a.figure1_table(simulate_lia=True, **sim),
         "fig1c": lambda: scenario_a.figure1_table(),
@@ -208,6 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "when point costs vary wildly); requires "
                           "--resume so the shards can merge their "
                           "results")
+    run.add_argument("--claim-ttl", type=float, default=None,
+                     metavar="SECONDS",
+                     help="reap .claim lock files older than SECONDS "
+                          "as abandoned by a dead run (default: never "
+                          "— claims persist until released)")
     scale_cmd = sub.add_parser(
         "scale",
         help="run generated scale workloads and write BENCH_scale.json")
@@ -263,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
                            default=None,
                            help="compute only this shard of the grid "
                                 "(or 'steal'); requires --resume")
+    scale_cmd.add_argument("--claim-ttl", type=float, default=None,
+                           metavar="SECONDS",
+                           help="reap .claim lock files older than "
+                                "SECONDS as abandoned (default: never)")
     scale_cmd.add_argument("--output", default="BENCH_scale.json",
                            metavar="PATH",
                            help="where to write the JSON report "
@@ -346,7 +368,273 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--smoke", action="store_true",
                            help="capped sizes (same as "
                                 "REPRO_BENCH_SMOKE=1)")
+
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="distributed sweep fabric: coordinator (serve), worker "
+             "(work), live progress (status) and the scaling benchmark "
+             "(bench) behind BENCH_dist.json")
+    sweep_sub = sweep_cmd.add_subparsers(dest="sweep_command",
+                                         required=True)
+    fabric_serve = sweep_sub.add_parser(
+        "serve",
+        help="run the coordinator: own the grid manifest, lease point "
+             "batches to workers over newline-delimited JSON, write "
+             "results into the shared cache, reap dead workers")
+    fabric_serve.add_argument("--cache-dir", required=True, metavar="DIR",
+                              help="shared content-hash cache the sweep "
+                                   "completes into (the SweepRunner "
+                                   "--resume layout; restarting with the "
+                                   "same DIR resumes)")
+    fabric_serve.add_argument("--host", default="0.0.0.0",
+                              help="bind address (default: 0.0.0.0 — "
+                                   "workers are usually remote)")
+    fabric_serve.add_argument("--port", type=int, default=None,
+                              help="TCP port (default: 8653; 0 picks an "
+                                   "ephemeral port and prints it)")
+    fabric_serve.add_argument("--spill", metavar="DIR", default=None,
+                              help="load the grid from a write_shards "
+                                   "spill directory instead of the "
+                                   "family-grid options below")
+    fabric_serve.add_argument("--families", default=None, metavar="LIST",
+                              help="comma-separated scenario families "
+                                   "(default: wired,dual_lte,wifi_lte,"
+                                   "handover)")
+    fabric_serve.add_argument("--schedulers", default=None, metavar="LIST",
+                              help="comma-separated packet schedulers "
+                                   "(default: minrtt,roundrobin,"
+                                   "redundant,qaware)")
+    fabric_serve.add_argument("--algorithms", default=None, metavar="LIST",
+                              help="comma-separated algorithms (default: "
+                                   "lia,olia,balia,ewtcp,tcp)")
+    fabric_serve.add_argument("--seeds", type=int, default=None,
+                              metavar="N",
+                              help="seeds per grid cell (default: 125 — "
+                                   "the full 10k-point grid at the "
+                                   "default axes)")
+    fabric_serve.add_argument("--claim-ttl", type=float, default=None,
+                              metavar="SECONDS",
+                              help="claim-file TTL advertised to "
+                                   "workers (default: 300 — finite in "
+                                   "distributed mode so a hard-killed "
+                                   "worker never parks points forever)")
+    fabric_serve.add_argument("--lease-size", type=int, default=None,
+                              metavar="K",
+                              help="points per lease (default: 8)")
+    fabric_serve.add_argument("--heartbeat-timeout", type=float,
+                              default=None, metavar="SECONDS",
+                              help="requeue a worker's leases after this "
+                                   "much silence (default: 30)")
+    fabric_serve.add_argument("--fresh", dest="resume",
+                              action="store_false",
+                              help="ignore completed points already in "
+                                   "the cache (default: resume them)")
+    fabric_work = sweep_sub.add_parser(
+        "work",
+        help="run a worker: register with a coordinator, lease point "
+             "batches, execute, stream results back; reconnects with "
+             "backoff when the coordinator goes away")
+    fabric_work.add_argument("--connect", required=True,
+                             metavar="HOST:PORT",
+                             help="the coordinator (bare HOST uses the "
+                                  "default port 8653)")
+    fabric_work.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="local worker processes per lease "
+                                  "(default: 1, in-process)")
+    fabric_work.add_argument("--cache-dir", metavar="DIR", default=None,
+                             help="optional shared-filesystem cache: "
+                                  "serve already-cached points without "
+                                  "recomputing and take .claim files "
+                                  "against concurrent local runs")
+    fabric_work.add_argument("--claim-ttl", type=float, default=None,
+                             metavar="SECONDS",
+                             help="override the coordinator-advertised "
+                                  "claim TTL (only with --cache-dir)")
+    fabric_work.add_argument("--name", default=None,
+                             help="worker name in coordinator status "
+                                  "output (default: host-pid)")
+    fabric_work.add_argument("--reconnect", type=int, default=5,
+                             metavar="N",
+                             help="connection attempts before giving up "
+                                  "(default: 5)")
+    fabric_work.add_argument("--reconnect-delay", type=float, default=0.5,
+                             metavar="SECONDS",
+                             help="base of the exponential reconnect "
+                                  "backoff (default: 0.5)")
+    fabric_status = sweep_sub.add_parser(
+        "status",
+        help="print a serving coordinator's merged progress/ETA view")
+    fabric_status.add_argument("--connect", required=True,
+                               metavar="HOST:PORT",
+                               help="the coordinator to query")
+    fabric_bench = sweep_sub.add_parser(
+        "bench",
+        help="run the end-to-end scaling benchmark (single-host "
+             "reference, then the fabric at each worker count; bitwise "
+             "merge check) and write BENCH_dist.json")
+    fabric_bench.add_argument("--output", default="BENCH_dist.json",
+                              metavar="PATH",
+                              help="where to write the JSON report "
+                                   "(default: ./BENCH_dist.json)")
+    fabric_bench.add_argument("--workers", default="1,2,4", metavar="LIST",
+                              help="comma-separated worker counts "
+                                   "(default: 1,2,4; smoke caps at 2)")
+    fabric_bench.add_argument("--seeds", type=int, default=None,
+                              metavar="N",
+                              help="seeds per grid cell (default: 125 "
+                                   "full / 12 smoke)")
+    fabric_bench.add_argument("--smoke", action="store_true",
+                              help="tiny grid and <=2 workers (same as "
+                                   "REPRO_BENCH_SMOKE=1)")
     return parser
+
+
+def _fabric_progress(status: dict) -> None:
+    """One coordinator progress line (the merged live view)."""
+    rate = status.get("points_per_sec")
+    eta = status.get("eta_seconds")
+    alive = sum(1 for w in status["workers"].values() if w["alive"])
+    line = (f"[{status['completed']}/{status['total']} points, "
+            f"{len(status['workers'])} worker(s) ({alive} alive)")
+    if rate:
+        line += f", {rate:.1f} pts/s"
+    if eta:
+        line += f", eta {eta:.0f}s"
+    if status["reassigned_points"]:
+        line += f", {status['reassigned_points']} reassigned"
+    print(line + "]", flush=True)
+
+
+def _sweep_fabric(args) -> int:
+    """The ``sweep`` verb: serve / work / status / bench."""
+    import asyncio
+    import json
+
+    from .dist import (DEFAULT_PORT, JsonLineConnection, SweepCoordinator,
+                       SweepWorker, parse_hostport)
+    from .dist import bench as dist_bench
+
+    if args.sweep_command == "serve":
+        from .experiments.sweep import load_all_specs
+        if args.spill is not None:
+            try:
+                specs = load_all_specs(args.spill)
+            except (OSError, ValueError) as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+        else:
+            try:
+                specs = dist_bench.build_dist_grid(
+                    families=_parse_names(args.families)
+                    or dist_bench.DIST_FAMILIES,
+                    schedulers=_parse_names(args.schedulers)
+                    or dist_bench.DIST_SCHEDULERS,
+                    algorithms=_parse_names(args.algorithms)
+                    or dist_bench.DIST_ALGORITHMS,
+                    seeds=args.seeds or dist_bench.DEFAULT_SEEDS)
+            except (KeyError, ValueError) as exc:
+                print(str(exc.args[0] if exc.args else exc),
+                      file=sys.stderr)
+                return 2
+        knobs = {}
+        if args.claim_ttl is not None:
+            knobs["claim_ttl"] = args.claim_ttl
+        if args.lease_size is not None:
+            knobs["lease_size"] = args.lease_size
+        if args.heartbeat_timeout is not None:
+            knobs["heartbeat_timeout"] = args.heartbeat_timeout
+        coordinator = SweepCoordinator(
+            specs, args.cache_dir, resume=args.resume,
+            on_progress=_fabric_progress, **knobs)
+        port = DEFAULT_PORT if args.port is None else args.port
+        print(f"sweep coordinator: {len(specs)} points "
+              f"({coordinator.resumed_points} already in "
+              f"{args.cache_dir}); serving on {args.host}:"
+              f"{port or '<ephemeral>'} (Ctrl-C stops; restarting with "
+              "the same --cache-dir resumes)", flush=True)
+        try:
+            stats = asyncio.run(coordinator.serve(
+                args.host, port,
+                ready=lambda p: print(f"[listening on port {p}]",
+                                      flush=True)))
+        except KeyboardInterrupt:
+            print("\n[coordinator stopped; completed points are in "
+                  f"{args.cache_dir}]")
+            return 130
+        print(f"[grid complete: {stats['completed']}/{stats['total']} "
+              f"points, {stats['results_received']} received, "
+              f"{stats['resumed_points']} resumed, "
+              f"{stats['reassigned_points']} reassigned, "
+              f"{stats['dead_workers']} dead worker(s)]")
+        return 0
+
+    if args.sweep_command == "work":
+        try:
+            host, port = parse_hostport(args.connect, DEFAULT_PORT)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.jobs < 1:
+            print(f"--jobs must be >= 1 (got {args.jobs})",
+                  file=sys.stderr)
+            return 2
+        worker = SweepWorker(host, port, jobs=args.jobs,
+                             cache_dir=args.cache_dir,
+                             claim_ttl=args.claim_ttl, name=args.name,
+                             reconnect_attempts=args.reconnect,
+                             reconnect_delay=args.reconnect_delay)
+        summary = worker.run()
+        print(f"[worker {summary.name}: {summary.points} point(s) "
+              f"({summary.computed} computed, {summary.cache_hits} from "
+              f"cache) over {summary.leases} lease(s) in "
+              f"{summary.wall_seconds:.1f}s; {summary.reason}]")
+        if summary.reason != "done":
+            print(f"worker gave up: {summary.reason} (after "
+                  f"{summary.reconnects} failed connection attempt(s))",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if args.sweep_command == "status":
+        try:
+            host, port = parse_hostport(args.connect, DEFAULT_PORT)
+            with JsonLineConnection(host, port, timeout=10.0) as conn:
+                status = conn.request("status")
+        except (OSError, ValueError) as exc:
+            print(f"cannot query {args.connect}: {exc}", file=sys.stderr)
+            return 1
+        status.pop("ok", None)
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+
+    # bench
+    out_dir = os.path.dirname(os.path.abspath(args.output))
+    if not os.path.isdir(out_dir):
+        print(f"cannot write report: no such directory {out_dir}",
+              file=sys.stderr)
+        return 2
+    try:
+        worker_counts = tuple(int(n) for n in _parse_names(args.workers))
+    except ValueError:
+        print(f"--workers must be a comma-separated list of counts, "
+              f"got {args.workers!r}", file=sys.stderr)
+        return 2
+    if not worker_counts or min(worker_counts) < 1:
+        print(f"--workers needs counts >= 1, got {args.workers!r}",
+              file=sys.stderr)
+        return 2
+    started = time.time()
+    report = dist_bench.run_dist_bench(
+        smoke=args.smoke or None, worker_counts=worker_counts,
+        seeds=args.seeds)
+    print(f"[sweep bench: {time.time() - started:.1f}s]")
+    dist_bench.write_report(report, args.output)
+    print(f"[report written to {args.output}]")
+    if not report["bitwise_equal"]:
+        print("merged distributed results are NOT bitwise-equal to the "
+              "single-host reference", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -440,7 +728,8 @@ def main(argv=None) -> int:
                 max_flows=args.max_flows, algorithms=algorithms,
                 seed=args.seed,
                 smoke=args.smoke or None, jobs=args.jobs,
-                cache_dir=args.resume, shard=args.shard)
+                cache_dir=args.resume, shard=args.shard,
+                claim_ttl=args.claim_ttl)
         except (KeyError, ValueError) as exc:
             message = exc.args[0] if exc.args else str(exc)
             print(str(message), file=sys.stderr)
@@ -507,6 +796,9 @@ def main(argv=None) -> int:
         print(f"[report written to {args.output}]")
         return 0
 
+    if args.command == "sweep":
+        return _sweep_fabric(args)
+
     if args.jobs < 1:
         print(f"--jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
         return 2
@@ -517,7 +809,8 @@ def main(argv=None) -> int:
         return 2
     registry = _experiments(args.fast, jobs=args.jobs, backend=args.backend,
                             cache_dir=args.resume, shard=args.shard,
-                            algorithm=args.algorithm)
+                            algorithm=args.algorithm,
+                            claim_ttl=args.claim_ttl)
     names = list(registry) if "all" in args.experiments \
         else args.experiments
     unknown = [n for n in names if n not in registry]

@@ -1,0 +1,41 @@
+"""Distributed sweep fabric: coordinator/worker mode for 10k-point grids.
+
+The single-host :class:`~repro.experiments.sweep.SweepRunner` tops out
+at one machine's cores; this package spreads the same content-hash-
+cached sweep across N hosts with nothing but a TCP port and (optionally)
+a shared cache directory:
+
+* :mod:`repro.dist.protocol` — the newline-delimited-JSON wire protocol
+  and the synchronous client connection;
+* :mod:`repro.dist.coordinator` — owns the spec manifest, leases point
+  batches, reaps dead workers, merges live progress
+  (``python -m repro sweep serve``);
+* :mod:`repro.dist.worker` — lease/execute/report loop with reconnect
+  (``python -m repro sweep work``);
+* :mod:`repro.dist.bench` — the end-to-end scaling benchmark behind
+  ``BENCH_dist.json`` (``python -m repro sweep bench``).
+
+See docs/ARCHITECTURE.md ("The distributed sweep fabric") for the lease
+lifecycle and the safety argument.
+"""
+
+from .coordinator import (DEFAULT_CLAIM_TTL, DEFAULT_PORT,
+                          CoordinatorThread, SweepCoordinator)
+from .protocol import (PROTOCOL_VERSION, JsonLineConnection, ProtocolError,
+                       decode_payload, encode_payload, parse_hostport)
+from .worker import SweepWorker, WorkerSummary
+
+__all__ = [
+    "DEFAULT_CLAIM_TTL",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "CoordinatorThread",
+    "JsonLineConnection",
+    "ProtocolError",
+    "SweepCoordinator",
+    "SweepWorker",
+    "WorkerSummary",
+    "decode_payload",
+    "encode_payload",
+    "parse_hostport",
+]

@@ -120,7 +120,8 @@ def epsilon_sweep_table(*, n1: int = 10, n2: int = 10,
                         rtt: float = 0.15,
                         epsilons=(0.0, 0.5, 1.0, 1.5, 2.0),
                         jobs: int = 1, cache_dir=None,
-                        shard=None, backend: str = "loop") -> ResultTable:
+                        shard=None, claim_ttl=None,
+                        backend: str = "loop") -> ResultTable:
     """Fixed points of the epsilon-family on the scenario C network.
 
     ``backend="batch"`` solves all pending epsilon points in one
@@ -141,7 +142,8 @@ def epsilon_sweep_table(*, n1: int = 10, n2: int = 10,
         "(eps=0 ~ OLIA, eps=1 ~ LIA, eps=2 ~ uncoupled)",
         ["epsilon", "mp rate (pkt/s)", "sp rate (pkt/s)", "p2",
          "mp share of AP2 (%)"])
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard,
+                         claim_ttl=claim_ttl)
     specs = [RunSpec.make(epsilon_sweep_point, epsilon=epsilon, n1=n1,
                           n2=n2, c1_mbps=c1_mbps, c2_mbps=c2_mbps,
                           rtt=rtt)
@@ -183,7 +185,8 @@ def flappiness_point(*, algorithm: str, capacity_mbps: float,
 def flappiness_table(*, capacity_mbps: float = 10.0,
                      duration: float = 90.0,
                      seeds=(1, 2, 3), jobs: int = 1,
-                     cache_dir=None, shard=None) -> ResultTable:
+                     cache_dir=None, shard=None,
+                     claim_ttl=None) -> ResultTable:
     """OLIA vs the alpha-less coupled controller on symmetric paths.
 
     The coupled controller concentrates its window on one path and flips
@@ -196,7 +199,8 @@ def flappiness_table(*, capacity_mbps: float = 10.0,
         f"mean over {len(seeds)} seeds)",
         ["algorithm", "w1", "w2", "imbalance", "one-sided frac"])
     algorithms = ("olia", "coupled")
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard,
+                         claim_ttl=claim_ttl)
     samples = runner.run([
         RunSpec.make(flappiness_point, algorithm=algorithm,
                      capacity_mbps=capacity_mbps, duration=duration,
@@ -230,12 +234,14 @@ def queue_discipline_table(*, n1: int = 10, n2: int = 10,
                            c1_mbps: float = 1.0, c2_mbps: float = 1.0,
                            duration: float = 30.0, warmup: float = 15.0,
                            seed: int = 1, jobs: int = 1,
-                           cache_dir=None, shard=None) -> ResultTable:
+                           cache_dir=None, shard=None,
+                           claim_ttl=None) -> ResultTable:
     """Scenario C under RED (testbed) and drop-tail (htsim) queues."""
     table = ResultTable(
         "Ablation - queue discipline: scenario C, N1=N2, C1=C2",
         ["queue", "algorithm", "sp normalized", "p2"])
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard,
+                         claim_ttl=claim_ttl)
     rows = runner.run([
         RunSpec.make(queue_discipline_point, queue=queue,
                      algorithm=algorithm, n1=n1, n2=n2, c1_mbps=c1_mbps,

@@ -87,7 +87,8 @@ def figure13a_table(*, k: int = 8, link_mbps: float = 10.0,
                     duration: float = 3.0, warmup: float = 1.0,
                     subflow_counts=(2, 4, 8), seed: int = 1,
                     algorithms=("lia", "olia"), jobs: int = 1,
-                    cache_dir=None, shard=None) -> ResultTable:
+                    cache_dir=None, shard=None,
+                    claim_ttl=None) -> ResultTable:
     """Figure 13(a): aggregate throughput vs number of subflows.
 
     Every (algorithm, subflow-count) cell plus the TCP baseline is an
@@ -97,7 +98,8 @@ def figure13a_table(*, k: int = 8, link_mbps: float = 10.0,
     table = ResultTable(
         "Fig. 13(a) - FatTree permutation: throughput (% of optimal)",
         ["subflows", *[a.upper() for a in algorithms], "TCP"])
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard,
+                         claim_ttl=claim_ttl)
     specs = [RunSpec.make(run_permutation, algorithm="tcp", k=k,
                           link_mbps=link_mbps, duration=duration,
                           warmup=warmup, seed=seed)]
@@ -125,7 +127,8 @@ def figure13b_table(*, k: int = 8, link_mbps: float = 10.0,
                     duration: float = 3.0, warmup: float = 1.0,
                     n_subflows: int = 8, seed: int = 1,
                     percentiles=(10, 25, 50, 75, 90), jobs: int = 1,
-                    cache_dir=None, shard=None) -> ResultTable:
+                    cache_dir=None, shard=None,
+                    claim_ttl=None) -> ResultTable:
     """Figure 13(b): ranked per-flow throughput, 8 subflows vs TCP.
 
     The three runs (LIA, OLIA, TCP baseline) are independent, so they
@@ -135,7 +138,8 @@ def figure13b_table(*, k: int = 8, link_mbps: float = 10.0,
         "Fig. 13(b) - FatTree: per-flow throughput percentiles "
         "(% of line rate)",
         ["percentile", "LIA", "OLIA", "TCP"])
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard,
+                         claim_ttl=claim_ttl)
     names = ("LIA", "OLIA", "TCP")
     results = runner.run([
         RunSpec.make(run_permutation, algorithm=name.lower(),

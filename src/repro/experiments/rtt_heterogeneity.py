@@ -102,7 +102,8 @@ def _batch_sweep_rows(*, algorithm: str, base_rtt: float, rtt_ratios,
 def rtt_sweep_table(*, algorithm: str = "olia", base_rtt: float = 0.1,
                     rtt_ratios=(0.25, 0.5, 1.0, 2.0, 4.0),
                     n_tcp: int = 3, jobs: int = 1, cache_dir=None,
-                    shard=None, backend: str = "loop") -> ResultTable:
+                    shard=None, claim_ttl=None,
+                    backend: str = "loop") -> ResultTable:
     """Fluid fixed point as AP1's RTT varies relative to AP2's.
 
     With a *small* RTT on AP1, the TCP-compatible best-path criterion
@@ -125,7 +126,8 @@ def rtt_sweep_table(*, algorithm: str = "olia", base_rtt: float = 0.1,
         "(AP1 rtt = ratio * AP2 rtt, TCP users on both APs)",
         ["rtt1/rtt2", "mp rate on AP1", "mp rate on AP2",
          "tcp@AP1 rate", "tcp@AP2 rate", "p2"])
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard,
+                         claim_ttl=claim_ttl)
     specs = [RunSpec.make(rtt_sweep_point, algorithm=algorithm,
                           base_rtt=base_rtt, ratio=ratio, n_tcp=n_tcp)
              for ratio in rtt_ratios]

@@ -353,7 +353,8 @@ def scale_report(presets: Sequence[str] = ("medium",), *,
                  repeats: Optional[int] = None,
                  algorithms: Optional[Sequence[str]] = None,
                  seed: int = 1, smoke: Optional[bool] = None,
-                 jobs: int = 1, cache_dir=None, shard=None) -> dict:
+                 jobs: int = 1, cache_dir=None, shard=None,
+                 claim_ttl: Optional[float] = None) -> dict:
     """Run the preset × backend grid (plus optional family × scheduler
     × CC sections) and assemble the report dict.
 
@@ -416,7 +417,8 @@ def scale_report(presets: Sequence[str] = ("medium",), *,
     # (the paper's algorithm) as the canonical column.
     family_algorithms = tuple(algorithms) if algorithms else ("olia",)
 
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard,
+                         claim_ttl=claim_ttl)
     specs = [
         RunSpec.make(run_scale_point, preset=preset, backend=backend,
                      duration=duration, warmup=warmup, max_flows=max_flows,

@@ -128,7 +128,7 @@ def figure11_12_table(*, n1_values=(5, 10, 20, 30), n2: int = 10,
                       rtt: float = 0.15, duration: float = 30.0,
                       warmup: float = 15.0, seed: int = 1,
                       jobs: int = 1, cache_dir=None,
-                      shard=None) -> ResultTable:
+                      shard=None, claim_ttl=None) -> ResultTable:
     """Figures 11/12: measured LIA vs OLIA in scenario C.
 
     Each (C1/C2, N1, algorithm) cell is an independent DES run, so the
@@ -140,7 +140,8 @@ def figure11_12_table(*, n1_values=(5, 10, 20, 30), n2: int = 10,
         ["C1/C2", "N1/N2", "sp LIA", "sp OLIA", "sp opt",
          "p2 LIA", "p2 OLIA", "p2 opt"])
     grid = [(ratio, n1) for ratio in c1_over_c2 for n1 in n1_values]
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard)
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, shard=shard,
+                         claim_ttl=claim_ttl)
     runs = runner.run([
         RunSpec.make(simulate, algorithm=algorithm, n1=n1, n2=n2,
                      c1_mbps=ratio * c2_mbps, c2_mbps=c2_mbps,

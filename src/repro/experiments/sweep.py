@@ -562,6 +562,19 @@ def pending_row(row: Any, width: int) -> Sequence[Any]:
 
 # -- spec spill: shard files on disk -----------------------------------------
 
+#: Schema stamp written into every ``manifest.json``; bumped on layout
+#: changes so a loader meeting a foreign or stale spill fails loudly
+#: (naming the path and both versions) instead of surfacing a KeyError
+#: from deep inside a sweep.  Version 2 added the stamp itself.
+MANIFEST_SCHEMA = 2
+
+#: The keys every manifest must carry; checked up front by
+#: :func:`load_manifest` so a truncated rewrite fails with the path and
+#: the missing key, not an anonymous ``KeyError`` later.
+_MANIFEST_KEYS = ("schema", "total", "shard_count", "shards",
+                  "spec_hashes")
+
+
 def write_shards(specs: Sequence[RunSpec], directory: "str | os.PathLike",
                  shard_count: int) -> List[Path]:
     """Spill a sweep's spec queue to ``directory`` as shard files.
@@ -602,6 +615,7 @@ def write_shards(specs: Sequence[RunSpec], directory: "str | os.PathLike",
             pickle.dump(owned, fh)
         paths.append(path)
     manifest = {
+        "schema": MANIFEST_SCHEMA,
         "total": len(specs),
         "shard_count": shard_count,
         "shards": [p.name for p in paths],
@@ -614,9 +628,50 @@ def write_shards(specs: Sequence[RunSpec], directory: "str | os.PathLike",
 
 
 def load_manifest(directory: "str | os.PathLike") -> Dict[str, Any]:
-    """Read the ``manifest.json`` written by :func:`write_shards`."""
-    with (Path(directory) / "manifest.json").open() as fh:
-        return json.load(fh)
+    """Read and validate the ``manifest.json`` of a spec spill.
+
+    Every failure mode names the offending path and what was expected:
+    a missing manifest, undecodable JSON (truncated write), a non-dict
+    payload, a missing key, or a schema stamp other than
+    :data:`MANIFEST_SCHEMA` (a spill written by a different revision of
+    :func:`write_shards` — re-spill rather than guessing at the layout).
+    """
+    path = Path(directory) / "manifest.json"
+    try:
+        with path.open() as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no spec-spill manifest at {path}: expected the "
+            "manifest.json written by write_shards()") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"unreadable spec-spill manifest {path}: {exc} — the file "
+            "is truncated or not JSON; re-run write_shards()") from exc
+    if not isinstance(manifest, dict):
+        raise ValueError(
+            f"malformed spec-spill manifest {path}: expected a JSON "
+            f"object, got {type(manifest).__name__}")
+    schema = manifest.get("schema", 1)
+    if schema != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"spec-spill manifest {path} has schema version {schema}, "
+            f"this revision reads version {MANIFEST_SCHEMA}: the spill "
+            "was written by a different code revision — re-run "
+            "write_shards() with the current one")
+    missing = [key for key in _MANIFEST_KEYS if key not in manifest]
+    if missing:
+        raise ValueError(
+            f"truncated spec-spill manifest {path}: missing key(s) "
+            f"{', '.join(missing)} (expected {', '.join(_MANIFEST_KEYS)})")
+    if len(manifest["spec_hashes"]) != manifest["total"] or \
+            len(manifest["shards"]) != manifest["shard_count"]:
+        raise ValueError(
+            f"inconsistent spec-spill manifest {path}: "
+            f"{len(manifest['spec_hashes'])} spec hash(es) for total="
+            f"{manifest['total']}, {len(manifest['shards'])} shard "
+            f"file(s) for shard_count={manifest['shard_count']}")
+    return manifest
 
 
 def load_shard(directory: "str | os.PathLike",
@@ -642,5 +697,48 @@ def load_shard(directory: "str | os.PathLike",
             f"shard_index must be in [0, {manifest['shard_count']}), "
             f"got {shard_index}")
     path = Path(directory) / manifest["shards"][shard_index]
-    with path.open("rb") as fh:
-        return pickle.load(fh)
+    try:
+        with path.open("rb") as fh:
+            specs = pickle.load(fh)
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"spec spill is missing shard file {path} (manifest "
+            f"{Path(directory) / 'manifest.json'} names it): the spill "
+            "is incomplete — re-run write_shards()") from None
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError) as exc:
+        raise ValueError(
+            f"unreadable shard file {path}: {type(exc).__name__}: {exc} "
+            "— truncated write or a spill from an incompatible code "
+            "revision; re-run write_shards()") from exc
+    expected = manifest["spec_hashes"][shard_index::manifest["shard_count"]]
+    actual = [spec.content_hash() for spec in specs]
+    if actual != expected:
+        raise ValueError(
+            f"shard file {path} does not match its manifest: expected "
+            f"{len(expected)} spec(s) with the manifest's hashes, got "
+            f"{len(actual)}"
+            + ("" if len(actual) != len(expected) else
+               " with differing content hashes — the point functions "
+               "changed since the spill was written; re-run "
+               "write_shards()"))
+    return specs
+
+
+def load_all_specs(directory: "str | os.PathLike") -> List[RunSpec]:
+    """Reassemble a spill's full spec list in original result order.
+
+    The inverse of :func:`write_shards`: loads every shard (each
+    validated against the manifest's hashes) and interleaves them back
+    — shard ``i`` owns positions ``i, i + count, ...``.  This is how a
+    sweep coordinator (``python -m repro sweep serve --spill DIR``)
+    ingests a grid another host laid out.
+    """
+    manifest = load_manifest(directory)
+    count = manifest["shard_count"]
+    shards = [load_shard(directory, index) for index in range(count)]
+    specs: List[Optional[RunSpec]] = [None] * manifest["total"]
+    for shard_index, owned in enumerate(shards):
+        for position, spec in enumerate(owned):
+            specs[shard_index + position * count] = spec
+    return specs

@@ -494,3 +494,137 @@ class TestMain:
         assert check_bench.main([str(new_path),
                                  "--baseline", str(base_path)]) == 0
         assert "Bench check" in summary.read_text()
+
+
+def _dist_run(workers, *, points=10000, pps=100.0, scaling=None,
+              **overrides):
+    run = {
+        "workers": workers,
+        "wall_seconds": points / pps,
+        "points_per_sec": pps,
+        "completed": points,
+        "reassigned_points": 0,
+        "duplicate_results": 0,
+        "dead_workers": 0,
+        "leases_granted": points // 8,
+        "core_limited": False,
+        "bitwise_equal": True,
+    }
+    if scaling is not None:
+        run["scaling_vs_1"] = scaling
+        run["efficiency"] = scaling / workers
+    run.update(overrides)
+    return run
+
+
+def _dist_report(*, smoke=False, points=10000, scaling=1.8, **overrides):
+    report = {
+        "benchmark": "dist",
+        "smoke": smoke,
+        "python": "3.11.7",
+        "cpu_count": 4,
+        "grid": {"points": points, "families": ["wired"],
+                 "schedulers": ["minrtt"], "algorithms": ["olia"],
+                 "seeds": 1, "max_flows": 2, "horizon": 6.0},
+        "reference": {"wall_seconds": points / 110.0,
+                      "points_per_sec": 110.0},
+        "workers": {
+            "1": _dist_run(1, points=points, pps=100.0),
+            "2": _dist_run(2, points=points, pps=100.0 * scaling,
+                           scaling=scaling),
+        },
+        "bitwise_equal": True,
+    }
+    report.update(overrides)
+    return report
+
+
+class TestCheckDistReport:
+    def test_good_report_passes(self):
+        assert check_bench.check_dist_report(_dist_report()) == []
+
+    def test_wrong_benchmark_kind_fails(self):
+        failures = check_bench.check_dist_report({"benchmark": "serve"})
+        assert any("expected 'dist'" in f for f in failures)
+
+    def test_bitwise_mismatch_fails(self):
+        report = _dist_report(bitwise_equal=False)
+        failures = check_bench.check_dist_report(report)
+        assert any("bitwise-equal" in f for f in failures)
+
+    def test_per_run_bitwise_mismatch_fails(self):
+        report = _dist_report()
+        report["workers"]["2"]["bitwise_equal"] = False
+        failures = check_bench.check_dist_report(report)
+        assert any("2 worker(s)" in f and "bitwise-equal" in f
+                   for f in failures)
+
+    def test_lost_points_fail(self):
+        report = _dist_report()
+        report["workers"]["2"]["completed"] = 9999
+        failures = check_bench.check_dist_report(report)
+        assert any("lost work" in f for f in failures)
+
+    def test_nan_points_per_sec_fails(self):
+        report = _dist_report()
+        report["workers"]["1"]["points_per_sec"] = float("nan")
+        failures = check_bench.check_dist_report(report)
+        assert any("points_per_sec" in f for f in failures)
+
+    def test_missing_workers_section_fails(self):
+        report = _dist_report()
+        report["workers"] = {}
+        failures = check_bench.check_dist_report(report)
+        assert any("no fabric runs" in f for f in failures)
+
+    def test_negative_counter_fails(self):
+        report = _dist_report()
+        report["workers"]["1"]["reassigned_points"] = -1
+        failures = check_bench.check_dist_report(report)
+        assert any("reassigned_points" in f for f in failures)
+
+    def test_scaling_below_full_floor_fails(self):
+        report = _dist_report(scaling=1.4)
+        failures = check_bench.check_dist_report(report)
+        assert any("below the 1.6x floor" in f for f in failures)
+
+    def test_smoke_floor_is_lower(self):
+        assert check_bench.check_dist_report(
+            _dist_report(smoke=True, scaling=1.3)) == []
+        failures = check_bench.check_dist_report(
+            _dist_report(smoke=True, scaling=1.05))
+        assert any("below the 1.1x floor" in f for f in failures)
+
+    def test_core_limited_run_skips_scaling_floor(self):
+        report = _dist_report(scaling=0.9)
+        report["workers"]["2"]["core_limited"] = True
+        assert check_bench.check_dist_report(report) == []
+
+    def test_scaling_stale_run_skips_scaling_floor(self):
+        report = _dist_report(scaling=0.9)
+        report["workers"]["2"]["scaling_stale"] = True
+        assert check_bench.check_dist_report(report) == []
+
+    def test_missing_scaling_ratio_fails_when_not_skipped(self):
+        report = _dist_report()
+        del report["workers"]["2"]["scaling_vs_1"]
+        failures = check_bench.check_dist_report(report)
+        assert any("scaling_vs_1" in f for f in failures)
+
+    def test_cli_dist_only(self, tmp_path, capsys):
+        path = tmp_path / "dist.json"
+        path.write_text(json.dumps(_dist_report()))
+        assert check_bench.main(["--dist", str(path)]) == 0
+        path.write_text(json.dumps(_dist_report(scaling=1.2)))
+        assert check_bench.main(["--dist", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_dist_section_in_step_summary(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        path = tmp_path / "dist.json"
+        path.write_text(json.dumps(_dist_report()))
+        assert check_bench.main(["--dist", str(path)]) == 0
+        text = summary.read_text()
+        assert "Distributed sweep fabric" in text
+        assert "1.80x" in text

@@ -6,8 +6,10 @@ from repro.experiments.ablation import flappiness_point
 from repro.experiments.rtt_heterogeneity import rtt_sweep_point
 from repro.experiments.runner import RunSpec, measure
 from repro.experiments.sweep import (
+    MANIFEST_SCHEMA,
     SWEEP_PENDING,
     SweepRunner,
+    load_all_specs,
     load_manifest,
     load_shard,
     pending_attr,
@@ -580,6 +582,98 @@ class TestSpecSpill:
     def test_write_shards_rejects_bad_count(self, tmp_path):
         with pytest.raises(ValueError, match="shard_count"):
             write_shards(_rtt_specs(), tmp_path, shard_count=0)
+
+    def test_manifest_is_schema_stamped(self, tmp_path):
+        write_shards(_rtt_specs(), tmp_path, shard_count=2)
+        assert load_manifest(tmp_path)["schema"] == MANIFEST_SCHEMA
+
+    def test_load_all_specs_restores_result_order(self, tmp_path):
+        specs = _rtt_specs()
+        for count in (1, 2, 3, 4):
+            spill = tmp_path / f"spill-{count}"
+            write_shards(specs, spill, shard_count=count)
+            assert load_all_specs(spill) == specs
+
+    def test_missing_manifest_names_the_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError,
+                           match="no spec-spill manifest"):
+            load_manifest(tmp_path / "nowhere")
+
+    def test_truncated_manifest_fails_loudly(self, tmp_path):
+        write_shards(_rtt_specs(), tmp_path, shard_count=2)
+        path = tmp_path / "manifest.json"
+        path.write_text(path.read_text()[:25])
+        with pytest.raises(ValueError, match="unreadable spec-spill"):
+            load_manifest(tmp_path)
+        with pytest.raises(ValueError, match="manifest.json"):
+            load_shard(tmp_path, 0)   # load_shard surfaces it too
+
+    def test_schema_mismatch_fails_loudly(self, tmp_path):
+        import json as json_mod
+        write_shards(_rtt_specs(), tmp_path, shard_count=2)
+        path = tmp_path / "manifest.json"
+        manifest = json_mod.loads(path.read_text())
+        manifest["schema"] = MANIFEST_SCHEMA + 1
+        path.write_text(json_mod.dumps(manifest))
+        with pytest.raises(ValueError, match="schema version"):
+            load_manifest(tmp_path)
+
+    def test_unstamped_legacy_manifest_rejected(self, tmp_path):
+        import json as json_mod
+        write_shards(_rtt_specs(), tmp_path, shard_count=2)
+        path = tmp_path / "manifest.json"
+        manifest = json_mod.loads(path.read_text())
+        del manifest["schema"]    # a spill from before the stamp
+        path.write_text(json_mod.dumps(manifest))
+        with pytest.raises(ValueError, match="schema version 1"):
+            load_manifest(tmp_path)
+
+    def test_missing_manifest_key_names_it(self, tmp_path):
+        import json as json_mod
+        write_shards(_rtt_specs(), tmp_path, shard_count=2)
+        path = tmp_path / "manifest.json"
+        manifest = json_mod.loads(path.read_text())
+        del manifest["spec_hashes"]
+        path.write_text(json_mod.dumps(manifest))
+        with pytest.raises(ValueError, match="spec_hashes"):
+            load_manifest(tmp_path)
+
+    def test_inconsistent_manifest_counts_rejected(self, tmp_path):
+        import json as json_mod
+        write_shards(_rtt_specs(), tmp_path, shard_count=2)
+        path = tmp_path / "manifest.json"
+        manifest = json_mod.loads(path.read_text())
+        manifest["total"] = 99
+        path.write_text(json_mod.dumps(manifest))
+        with pytest.raises(ValueError, match="inconsistent"):
+            load_manifest(tmp_path)
+
+    def test_torn_shard_file_fails_loudly(self, tmp_path):
+        write_shards(_rtt_specs(), tmp_path, shard_count=2)
+        shard = tmp_path / "shard-0001.pkl"
+        shard.write_bytes(shard.read_bytes()[:7])
+        with pytest.raises(ValueError, match="unreadable shard file"):
+            load_shard(tmp_path, 1)
+
+    def test_missing_shard_file_fails_loudly(self, tmp_path):
+        write_shards(_rtt_specs(), tmp_path, shard_count=2)
+        (tmp_path / "shard-0001.pkl").unlink()
+        with pytest.raises(FileNotFoundError, match="missing shard file"):
+            load_shard(tmp_path, 1)
+
+    def test_shard_hash_mismatch_rejected(self, tmp_path):
+        import pickle as pickle_mod
+        specs = _rtt_specs()
+        write_shards(specs, tmp_path, shard_count=2)
+        # Overwrite shard 0 with different specs: same count, wrong
+        # content — the loader must notice via the manifest hashes.
+        imposter = [RunSpec.make(rtt_sweep_point, algorithm="lia",
+                                 base_rtt=0.1, ratio=r, n_tcp=2)
+                    for r in (0.5, 2.0)]
+        (tmp_path / "shard-0000.pkl").write_bytes(
+            pickle_mod.dumps(imposter))
+        with pytest.raises(ValueError, match="does not match its manifest"):
+            load_shard(tmp_path, 0)
 
 
 class TestMeasureValidation:
